@@ -1,0 +1,440 @@
+//! Baseline strategies from the DisQ paper's evaluation (§5.2, §5.3).
+//!
+//! Every competitor the paper compares against is either a plan built
+//! without preprocessing ([`naive_average`]), a [`DisqConfig`] variation
+//! run through the same driver (SimpleDisQ, OnlyQueryAttributes,
+//! RandomDismantle, Full, OneConnection, NaiveEstimations), or a
+//! composition of per-target runs ([`totally_separated`]). The
+//! [`Baseline`] enum names them all so the experiment harness can sweep
+//! uniformly.
+
+#![warn(missing_docs)]
+
+use disq_core::{
+    preprocess, DisqConfig, DisqError, EstimationPolicy, EvaluationPlan, PairingPolicy,
+    PlannedAttribute, PreprocessOutput, SelectionStrategy, TargetRegression,
+};
+use disq_crowd::{CrowdPlatform, Money, PricingModel};
+use disq_domain::{AttributeId, DomainSpec};
+
+/// The named strategies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// The full algorithm (this paper).
+    DisQ,
+    /// No preprocessing: ask only about the query attributes and average
+    /// (§5.2).
+    NaiveAverage,
+    /// DisQ without the dismantling phase — "the best that can be done
+    /// today without using an expert" (§5.2).
+    SimpleDisQ,
+    /// Dismantling restricted to the query attributes themselves (§5.3.1).
+    OnlyQueryAttributes,
+    /// Dismantling question targets chosen uniformly at random (mentioned
+    /// and dismissed in §5.3.1).
+    RandomDismantle,
+    /// Multi-target variant collecting statistics for *all*
+    /// attribute–target pairs (§5.3.2).
+    Full,
+    /// Multi-target variant pairing each new attribute with exactly one
+    /// target (§5.3.2).
+    OneConnection,
+    /// Multi-target variant replacing the Eq. 11 graph estimates with the
+    /// average measured `S_o` (§5.3.2).
+    NaiveEstimations,
+}
+
+impl Baseline {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::DisQ => "DisQ",
+            Baseline::NaiveAverage => "NaiveAverage",
+            Baseline::SimpleDisQ => "SimpleDisQ",
+            Baseline::OnlyQueryAttributes => "OnlyQueryAttributes",
+            Baseline::RandomDismantle => "RandomDismantle",
+            Baseline::Full => "Full",
+            Baseline::OneConnection => "OneConnection",
+            Baseline::NaiveEstimations => "NaiveEstimations",
+        }
+    }
+
+    /// The configuration variation this baseline corresponds to, starting
+    /// from `base`. `None` for [`Baseline::NaiveAverage`], which does not
+    /// run the preprocessing driver at all.
+    pub fn config(self, base: &DisqConfig) -> Option<DisqConfig> {
+        let mut c = base.clone();
+        match self {
+            Baseline::DisQ => {}
+            Baseline::NaiveAverage => return None,
+            Baseline::SimpleDisQ => c.dismantling = false,
+            Baseline::OnlyQueryAttributes => c.selection = SelectionStrategy::QueryOnly,
+            Baseline::RandomDismantle => c.selection = SelectionStrategy::Random,
+            Baseline::Full => c.pairing = PairingPolicy::All,
+            Baseline::OneConnection => c.pairing = PairingPolicy::One,
+            Baseline::NaiveEstimations => c.estimation = EstimationPolicy::AverageDefault,
+        }
+        Some(c)
+    }
+
+    /// All baselines, for reporting sweeps.
+    pub const ALL: [Baseline; 8] = [
+        Baseline::DisQ,
+        Baseline::NaiveAverage,
+        Baseline::SimpleDisQ,
+        Baseline::OnlyQueryAttributes,
+        Baseline::RandomDismantle,
+        Baseline::Full,
+        Baseline::OneConnection,
+        Baseline::NaiveEstimations,
+    ];
+}
+
+/// Builds the NaiveAverage plan: the per-object budget is split across the
+/// query attributes proportionally to `weights` (equal when `None`), each
+/// share buys direct value questions about that attribute, and the
+/// "regression" is the identity. No crowd questions are spent offline.
+pub fn naive_average(
+    spec: &DomainSpec,
+    targets: &[AttributeId],
+    b_obj: Money,
+    pricing: &PricingModel,
+    weights: Option<&[f64]>,
+) -> Result<EvaluationPlan, DisqError> {
+    if targets.is_empty() {
+        return Err(DisqError::EmptyQuery);
+    }
+    if let Some(w) = weights {
+        if w.len() != targets.len() {
+            return Err(DisqError::Config(format!(
+                "{} weights for {} targets",
+                w.len(),
+                targets.len()
+            )));
+        }
+    }
+    let equal = vec![1.0; targets.len()];
+    let w = weights.unwrap_or(&equal);
+    let total_w: f64 = w.iter().map(|x| x.max(0.0)).sum();
+    if total_w <= 0.0 {
+        return Err(DisqError::Config("weights sum to zero".into()));
+    }
+
+    let mut attributes = Vec::with_capacity(targets.len());
+    let mut regressions = Vec::with_capacity(targets.len());
+    for (t, &attr) in targets.iter().enumerate() {
+        let s = spec.attr(attr);
+        let price = pricing.value_price(s.kind);
+        let share_cents = b_obj.as_cents() * w[t].max(0.0) / total_w;
+        let mut questions = (share_cents / price.as_cents()).floor() as u32;
+        // A target priced out by rounding still gets one question if the
+        // whole-budget leftovers can cover it.
+        if questions == 0 {
+            let spent: Money = attributes
+                .iter()
+                .map(|p: &PlannedAttribute| {
+                    pricing.value_price(p.kind) * i64::from(p.questions)
+                })
+                .sum();
+            if spent + price <= b_obj {
+                questions = 1;
+            }
+        }
+        attributes.push(PlannedAttribute {
+            attr,
+            label: s.name.clone(),
+            kind: s.kind,
+            questions,
+        });
+        let mut coefficients = vec![0.0; targets.len()];
+        coefficients[t] = 1.0;
+        regressions.push(TargetRegression {
+            target: attr,
+            label: s.name.clone(),
+            intercept: 0.0,
+            coefficients,
+            training_mse: f64::NAN,
+        });
+    }
+    // Drop zero-question attributes (and their coefficient columns).
+    let keep: Vec<usize> = (0..attributes.len())
+        .filter(|&i| attributes[i].questions > 0)
+        .collect();
+    let kept_attrs: Vec<PlannedAttribute> =
+        keep.iter().map(|&i| attributes[i].clone()).collect();
+    let regressions = regressions
+        .into_iter()
+        .map(|r| TargetRegression {
+            coefficients: keep.iter().map(|&i| r.coefficients[i]).collect(),
+            ..r
+        })
+        .collect();
+    Ok(EvaluationPlan {
+        attributes: kept_attrs,
+        regressions,
+    })
+}
+
+/// Runs a baseline through the shared preprocessing driver (or builds the
+/// NaiveAverage plan directly). Returns the plan plus driver diagnostics
+/// when the driver ran.
+#[allow(clippy::too_many_arguments)] // experiment-harness surface
+pub fn run_baseline<P: CrowdPlatform>(
+    baseline: Baseline,
+    platform: &mut P,
+    spec: &DomainSpec,
+    targets: &[AttributeId],
+    b_obj: Money,
+    base_config: &DisqConfig,
+    pricing: &PricingModel,
+    weights: Option<Vec<f64>>,
+    seed: u64,
+) -> Result<(EvaluationPlan, Option<PreprocessOutput>), DisqError> {
+    match baseline.config(base_config) {
+        None => {
+            let plan = naive_average(spec, targets, b_obj, pricing, weights.as_deref())?;
+            Ok((plan, None))
+        }
+        Some(config) => {
+            let out = preprocess(
+                platform, spec, targets, b_obj, &config, pricing, weights, seed,
+            )?;
+            Ok((out.plan.clone(), Some(out)))
+        }
+    }
+}
+
+/// The `TotallySeparated` baseline (§5.3.2): solve each query attribute
+/// independently with `B_prc/n` offline and `B_obj/n` online budget, then
+/// merge the plans. `make_platform` builds a fresh capped platform per
+/// target (each sub-run has its own ledger, as the paper's split implies).
+#[allow(clippy::too_many_arguments)] // experiment-harness surface
+pub fn totally_separated<P, F>(
+    mut make_platform: F,
+    spec: &DomainSpec,
+    targets: &[AttributeId],
+    b_obj: Money,
+    b_prc: Money,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+    seed: u64,
+) -> Result<EvaluationPlan, DisqError>
+where
+    P: CrowdPlatform,
+    F: FnMut(Money) -> P,
+{
+    if targets.is_empty() {
+        return Err(DisqError::EmptyQuery);
+    }
+    let n = targets.len() as i64;
+    let sub_prc = Money::from_millicents(b_prc.millicents() / n);
+    let sub_obj = Money::from_millicents(b_obj.millicents() / n);
+    let mut plans = Vec::with_capacity(targets.len());
+    for (i, &t) in targets.iter().enumerate() {
+        let mut platform = make_platform(sub_prc);
+        let out = preprocess(
+            &mut platform,
+            spec,
+            &[t],
+            sub_obj,
+            config,
+            pricing,
+            None,
+            seed.wrapping_add(i as u64),
+        )?;
+        plans.push(out.plan);
+    }
+    Ok(EvaluationPlan::merge(&plans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disq_crowd::{CrowdConfig, SimulatedCrowd};
+    use disq_domain::{domains::pictures, Population};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn spec() -> Arc<DomainSpec> {
+        Arc::new(pictures::spec())
+    }
+
+    fn crowd(s: &Arc<DomainSpec>, cap: Money, seed: u64) -> SimulatedCrowd {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = Population::sample(Arc::clone(s), 3_000, &mut rng).unwrap();
+        SimulatedCrowd::new(pop, CrowdConfig::default(), Some(cap), seed)
+    }
+
+    #[test]
+    fn naive_average_splits_budget() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        let age = s.id_of("Age").unwrap();
+        let plan = naive_average(
+            &s,
+            &[bmi, age],
+            Money::from_cents(4.0),
+            &PricingModel::paper(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plan.attributes.len(), 2);
+        // Equal split of 4¢ over two numeric attrs at 0.4¢: 5 questions
+        // each.
+        assert_eq!(plan.attributes[0].questions, 5);
+        assert_eq!(plan.attributes[1].questions, 5);
+        assert!(plan.cost_per_object(&PricingModel::paper()) <= Money::from_cents(4.0));
+        // Identity regressions.
+        assert_eq!(plan.predict(0, &[23.0, 40.0]), 23.0);
+        assert_eq!(plan.predict(1, &[23.0, 40.0]), 40.0);
+    }
+
+    #[test]
+    fn naive_average_weighted_split() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        let age = s.id_of("Age").unwrap();
+        let plan = naive_average(
+            &s,
+            &[bmi, age],
+            Money::from_cents(4.0),
+            &PricingModel::paper(),
+            Some(&[3.0, 1.0]),
+        )
+        .unwrap();
+        assert!(plan.attributes[0].questions > plan.attributes[1].questions);
+    }
+
+    #[test]
+    fn naive_average_tiny_budget_single_question() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        let plan = naive_average(
+            &s,
+            &[bmi],
+            Money::from_cents(0.4),
+            &PricingModel::paper(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plan.questions_per_object(), 1);
+    }
+
+    #[test]
+    fn naive_average_validation() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        assert!(matches!(
+            naive_average(&s, &[], Money::from_cents(4.0), &PricingModel::paper(), None),
+            Err(DisqError::EmptyQuery)
+        ));
+        assert!(naive_average(
+            &s,
+            &[bmi],
+            Money::from_cents(4.0),
+            &PricingModel::paper(),
+            Some(&[1.0, 2.0])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn baseline_configs_differ_in_the_right_knob() {
+        let base = DisqConfig::default();
+        assert!(Baseline::NaiveAverage.config(&base).is_none());
+        assert!(!Baseline::SimpleDisQ.config(&base).unwrap().dismantling);
+        assert_eq!(
+            Baseline::OnlyQueryAttributes.config(&base).unwrap().selection,
+            SelectionStrategy::QueryOnly
+        );
+        assert_eq!(
+            Baseline::Full.config(&base).unwrap().pairing,
+            PairingPolicy::All
+        );
+        assert_eq!(
+            Baseline::OneConnection.config(&base).unwrap().pairing,
+            PairingPolicy::One
+        );
+        assert_eq!(
+            Baseline::NaiveEstimations.config(&base).unwrap().estimation,
+            EstimationPolicy::AverageDefault
+        );
+        // DisQ itself is the unmodified base.
+        let disq = Baseline::DisQ.config(&base).unwrap();
+        assert!(disq.dismantling);
+        assert_eq!(disq.selection, SelectionStrategy::Optimal);
+    }
+
+    #[test]
+    fn run_baseline_naive_needs_no_budget() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        let mut platform = crowd(&s, Money::ZERO, 1);
+        let (plan, out) = run_baseline(
+            Baseline::NaiveAverage,
+            &mut platform,
+            &s,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            1,
+        )
+        .unwrap();
+        assert!(out.is_none());
+        assert_eq!(plan.questions_per_object(), 10);
+        assert_eq!(platform.ledger().spent(), Money::ZERO);
+    }
+
+    #[test]
+    fn run_baseline_simple_disq() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        let mut platform = crowd(&s, Money::from_dollars(20.0), 2);
+        let (plan, out) = run_baseline(
+            Baseline::SimpleDisQ,
+            &mut platform,
+            &s,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            2,
+        )
+        .unwrap();
+        let out = out.unwrap();
+        assert!(out.stats.discovered.is_empty());
+        assert_eq!(plan.regressions.len(), 1);
+    }
+
+    #[test]
+    fn totally_separated_merges_per_target_plans() {
+        let s = spec();
+        let bmi = s.id_of("Bmi").unwrap();
+        let age = s.id_of("Age").unwrap();
+        let s2 = Arc::clone(&s);
+        let mut seed = 10u64;
+        let plan = totally_separated(
+            move |cap| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let pop = Population::sample(Arc::clone(&s2), 3_000, &mut rng).unwrap();
+                SimulatedCrowd::new(pop, CrowdConfig::default(), Some(cap), seed)
+            },
+            &s,
+            &[bmi, age],
+            Money::from_cents(8.0),
+            Money::from_dollars(40.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            77,
+        )
+        .unwrap();
+        assert_eq!(plan.regressions.len(), 2);
+        // Each sub-plan respected B_obj/2 = 4¢; the merged plan fits 8¢.
+        assert!(plan.cost_per_object(&PricingModel::paper()) <= Money::from_cents(8.0));
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's coverage artifact. Run via `cargo bench -p disq-bench --bench coverage`;
+//! override repetitions with `DISQ_REPS`.
+
+fn main() {
+    let reps = disq_bench::default_reps();
+    println!("reps = {reps}\n");
+    print!("{}", disq_bench::experiments::coverage::run(reps));
+}

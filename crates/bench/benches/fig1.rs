@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig1 artifact. Run via `cargo bench -p disq-bench --bench fig1`;
+//! override repetitions with `DISQ_REPS`.
+
+fn main() {
+    let reps = disq_bench::default_reps();
+    println!("reps = {reps}\n");
+    print!("{}", disq_bench::experiments::fig1::run(reps));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig2 artifact. Run via `cargo bench -p disq-bench --bench fig2`;
+//! override repetitions with `DISQ_REPS`.
+
+fn main() {
+    let reps = disq_bench::default_reps();
+    println!("reps = {reps}\n");
+    print!("{}", disq_bench::experiments::fig2::run(reps));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig4 artifact. Run via `cargo bench -p disq-bench --bench fig4`;
+//! override repetitions with `DISQ_REPS`.
+
+fn main() {
+    let reps = disq_bench::default_reps();
+    println!("reps = {reps}\n");
+    print!("{}", disq_bench::experiments::fig4::run(reps));
+}

@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the computational kernels: the greedy
+//! budget-distribution solver (Eq. 2), SVD least squares, the symmetric
+//! eigendecomposition behind the PSD projection, and a full
+//! preprocessing run (the paper's "running time is polynomial in the two
+//! budgets" remark, measured).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use disq_core::components::budget_dist::find_budget_distribution;
+use disq_core::{preprocess, DisqConfig};
+use disq_crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq_domain::{domains::pictures, Population};
+use disq_math::{jacobi_eigen, lstsq_svd, svd_jacobi, Matrix};
+use disq_stats::StatsTrio;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect(),
+    )
+}
+
+fn trio(n: usize, rng: &mut StdRng) -> StatsTrio {
+    let mut t = StatsTrio::new(1);
+    for i in 0..n {
+        let cov: Vec<f64> = (0..i).map(|_| rng.random::<f64>() * 0.3).collect();
+        t.push_attribute(
+            &[rng.random::<f64>() * 0.8],
+            &cov,
+            1.0,
+            0.2 + rng.random::<f64>(),
+        )
+        .unwrap();
+    }
+    t.set_target_variance(0, 1.0).unwrap();
+    t
+}
+
+fn bench_budget_distribution(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [5usize, 10, 20] {
+        let t = trio(n, &mut rng);
+        let costs: Vec<Money> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Money::from_cents(0.1)
+                } else {
+                    Money::from_cents(0.4)
+                }
+            })
+            .collect();
+        c.bench_function(&format!("greedy_budget_distribution/{n}_attrs"), |b| {
+            b.iter(|| {
+                find_budget_distribution(
+                    black_box(&t),
+                    &[1.0],
+                    Money::from_cents(4.0),
+                    black_box(&costs),
+                )
+                .unwrap()
+            })
+        });
+    }
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for (rows, cols) in [(50, 5), (100, 10), (200, 20)] {
+        let a = random_matrix(&mut rng, rows, cols);
+        c.bench_function(&format!("svd_jacobi/{rows}x{cols}"), |b| {
+            b.iter(|| svd_jacobi(black_box(&a)).unwrap())
+        });
+    }
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = random_matrix(&mut rng, 100, 8);
+    let y: Vec<f64> = (0..100).map(|_| rng.random::<f64>()).collect();
+    c.bench_function("lstsq_svd/100x8", |b| {
+        b.iter(|| lstsq_svd(black_box(&x), black_box(&y), 1e-10).unwrap())
+    });
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [6usize, 12, 24] {
+        let b_mat = random_matrix(&mut rng, n, n);
+        let mut a = b_mat.transpose().matmul(&b_mat).unwrap();
+        a.symmetrize();
+        c.bench_function(&format!("jacobi_eigen/{n}x{n}"), |bch| {
+            bch.iter(|| jacobi_eigen(black_box(&a)).unwrap())
+        });
+    }
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let pop = Population::sample(Arc::clone(&spec), 2_000, &mut rng).unwrap();
+    let mut group = c.benchmark_group("preprocess_end_to_end");
+    group.sample_size(10);
+    group.bench_function("pictures_bmi_bprc20", |b| {
+        b.iter_batched(
+            || SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), Some(Money::from_dollars(20.0)), 9),
+            |mut crowd| {
+                preprocess(
+                    &mut crowd,
+                    &spec,
+                    &[bmi],
+                    Money::from_cents(4.0),
+                    &DisqConfig::default(),
+                    &PricingModel::paper(),
+                    None,
+                    9,
+                )
+                .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_budget_distribution,
+    bench_svd,
+    bench_lstsq,
+    bench_eigen,
+    bench_preprocess
+);
+criterion_main!(kernels);

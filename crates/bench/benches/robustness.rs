@@ -1,0 +1,8 @@
+//! Regenerates the paper's robustness artifact. Run via `cargo bench -p disq-bench --bench robustness`;
+//! override repetitions with `DISQ_REPS`.
+
+fn main() {
+    let reps = disq_bench::default_reps();
+    println!("reps = {reps}\n");
+    print!("{}", disq_bench::experiments::robustness::run(reps));
+}

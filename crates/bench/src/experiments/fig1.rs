@@ -1,0 +1,95 @@
+//! Figure 1 (§5.2 "Proof of concept"): weighted query error of DisQ vs
+//! SimpleDisQ vs NaiveAverage.
+//!
+//! * 1a/1b/1c — varying `B_prc` ($10–35) at `B_obj` = 4¢ for the queries
+//!   {Bmi} (pictures), {Protein} (recipes) and {Bmi, Age} (pictures);
+//! * 1d/1e/1f — varying `B_obj` (0.4–10¢) at `B_prc` = $30 for the same
+//!   queries.
+//!
+//! Expected shape: DisQ lowest everywhere; SimpleDisQ between; the gap to
+//! NaiveAverage is largest for the unintuitive Protein attribute; only
+//! DisQ improves with `B_prc`.
+
+use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_fixed, b_prc_sweep};
+use crate::report::{fmt_err, Table};
+use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use disq_baselines::Baseline;
+use disq_crowd::Money;
+
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Baseline(Baseline::DisQ),
+    StrategyKind::Baseline(Baseline::SimpleDisQ),
+    StrategyKind::Baseline(Baseline::NaiveAverage),
+];
+
+const QUERIES: [(&str, DomainKind, &[&str]); 3] = [
+    ("1a/1d  A(Q)={Bmi}, pictures", DomainKind::Pictures, &["Bmi"]),
+    ("1b/1e  A(Q)={Protein}, recipes", DomainKind::Recipes, &["Protein"]),
+    (
+        "1c/1f  A(Q)={Bmi, Age}, pictures",
+        DomainKind::Pictures,
+        &["Bmi", "Age"],
+    ),
+];
+
+/// One sweep table: rows are budget points, columns strategies.
+pub fn sweep(
+    title: &str,
+    domain: DomainKind,
+    targets: &[&'static str],
+    points: &[(String, Money, Money)], // (label, b_prc, b_obj)
+    reps: usize,
+) -> Table {
+    let mut header = vec!["budget"];
+    header.extend(STRATEGIES.iter().map(|s| s.name()));
+    let mut table = Table::new(title, &header);
+    for (label, b_prc, b_obj) in points {
+        let mut row = vec![label.clone()];
+        for s in STRATEGIES {
+            let cell = Cell::new(domain, targets, s, *b_prc, *b_obj);
+            row.push(fmt_err(run_cell_avg(&cell, reps)));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Runs all six panels.
+pub fn run(reps: usize) -> String {
+    let mut out = String::new();
+    for (name, domain, targets) in QUERIES {
+        // Varying B_prc (top row of Figure 1).
+        let points: Vec<(String, Money, Money)> = b_prc_sweep()
+            .into_iter()
+            .map(|p| (format!("B_prc=${:.0}", p.as_dollars()), p, b_obj_fixed()))
+            .collect();
+        out.push_str(
+            &sweep(
+                &format!("Fig {name} — error vs B_prc (B_obj=4¢)"),
+                domain,
+                targets,
+                &points,
+                reps,
+            )
+            .render(),
+        );
+        out.push('\n');
+        // Varying B_obj (bottom row).
+        let points: Vec<(String, Money, Money)> = b_obj_sweep()
+            .into_iter()
+            .map(|o| (format!("B_obj={:.1}¢", o.as_cents()), b_prc_fixed(), o))
+            .collect();
+        out.push_str(
+            &sweep(
+                &format!("Fig {name} — error vs B_obj (B_prc=$30)"),
+                domain,
+                targets,
+                &points,
+                reps,
+            )
+            .render(),
+        );
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,70 @@
+//! Figure 2 (§5.2): the `B_obj` necessary to reach target error levels.
+//!
+//! For each algorithm, sweep `B_obj` at the fixed `B_prc` = $30 and report
+//! the smallest per-object budget whose average error drops below each
+//! target. The paper's reading: DisQ needs a markedly smaller `B_obj` than
+//! SimpleDisQ/NaiveAverage to hit the same accuracy (e.g. 6¢ vs 10¢ for
+//! 0.067 on Bmi).
+
+use crate::experiments::{b_obj_sweep, b_prc_fixed};
+use crate::report::Table;
+use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use disq_baselines::Baseline;
+
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Baseline(Baseline::DisQ),
+    StrategyKind::Baseline(Baseline::SimpleDisQ),
+    StrategyKind::Baseline(Baseline::NaiveAverage),
+];
+
+/// Error-vs-budget curve per strategy, then the inverted "necessary
+/// budget" table for a grid of target errors.
+pub fn run(reps: usize) -> String {
+    let mut out = String::new();
+    for (name, domain, targets) in [
+        ("pictures {Bmi}", DomainKind::Pictures, &["Bmi"][..]),
+        ("recipes {Protein}", DomainKind::Recipes, &["Protein"][..]),
+    ] {
+        // Gather curves.
+        let sweep = b_obj_sweep();
+        let mut curves: Vec<Vec<Option<f64>>> = Vec::new();
+        for s in STRATEGIES {
+            let mut curve = Vec::new();
+            for &b_obj in &sweep {
+                let cell = Cell::new(domain, targets, s, b_prc_fixed(), b_obj);
+                curve.push(run_cell_avg(&cell, reps).map(|(m, _)| m));
+            }
+            curves.push(curve);
+        }
+        // Target grid: geometric steps just above the best achievable
+        // error. (An arithmetic grid over the full range would be
+        // dominated by the enormous NaiveAverage errors at 0.4¢.)
+        let observed: Vec<f64> = curves.iter().flatten().flatten().copied().collect();
+        let lo = observed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let grid: Vec<f64> = [1.2, 1.7, 2.4, 3.4].iter().map(|m| lo * m).collect();
+
+        let mut header = vec!["target error".to_string()];
+        header.extend(STRATEGIES.iter().map(|s| s.name().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("Fig 2 — necessary B_obj for target errors ({name}, B_prc=$30)"),
+            &header_refs,
+        );
+        for &target in &grid {
+            let mut row = vec![format!("{target:.4}")];
+            for (si, _) in STRATEGIES.iter().enumerate() {
+                let needed = sweep
+                    .iter()
+                    .zip(&curves[si])
+                    .find(|(_, e)| e.is_some_and(|e| e <= target))
+                    .map(|(b, _)| format!("{:.1}¢", b.as_cents()))
+                    .unwrap_or_else(|| ">10¢".to_string());
+                row.push(needed);
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,56 @@
+//! Figure 3 (§5.3.1 "The GetNextAttribute Method"): DisQ vs
+//! OnlyQueryAttributes on the recipes/{Protein} query.
+//!
+//! * 3a — varying `B_prc` at `B_obj` = 4¢;
+//! * 3b — varying `B_obj` at `B_prc` = $30.
+//!
+//! Expected shape: DisQ consistently below OnlyQueryAttributes, with the
+//! gap widening as `B_prc` grows (enough budget to exploit the wider
+//! answer variety that recursive dismantling provides).
+
+use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_fixed, b_prc_sweep};
+use crate::report::{fmt_err, Table};
+use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use disq_baselines::Baseline;
+
+const STRATEGIES: [StrategyKind; 2] = [
+    StrategyKind::Baseline(Baseline::DisQ),
+    StrategyKind::Baseline(Baseline::OnlyQueryAttributes),
+];
+
+/// Runs both panels.
+pub fn run(reps: usize) -> String {
+    let mut out = String::new();
+    let domain = DomainKind::Recipes;
+    let targets = ["Protein"];
+
+    let mut table = Table::new(
+        "Fig 3a — error vs B_prc (recipes {Protein}, B_obj=4¢)",
+        &["budget", "DisQ", "OnlyQueryAttributes"],
+    );
+    for b_prc in b_prc_sweep() {
+        let mut row = vec![format!("B_prc=${:.0}", b_prc.as_dollars())];
+        for s in STRATEGIES {
+            let cell = Cell::new(domain, &targets, s, b_prc, b_obj_fixed());
+            row.push(fmt_err(run_cell_avg(&cell, reps)));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    let mut table = Table::new(
+        "Fig 3b — error vs B_obj (recipes {Protein}, B_prc=$30)",
+        &["budget", "DisQ", "OnlyQueryAttributes"],
+    );
+    for b_obj in b_obj_sweep() {
+        let mut row = vec![format!("B_obj={:.1}¢", b_obj.as_cents())];
+        for s in STRATEGIES {
+            let cell = Cell::new(domain, &targets, s, b_prc_fixed(), b_obj);
+            row.push(fmt_err(run_cell_avg(&cell, reps)));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out
+}

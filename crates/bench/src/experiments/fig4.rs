@@ -1,0 +1,70 @@
+//! Figure 4 (§5.3.2 "Statistic Estimation"): multi-target statistics
+//! collection variants on pictures/{Bmi, Age}.
+//!
+//! DisQ (pairing rule + Eq. 11 graph estimation) vs TotallySeparated,
+//! Full, OneConnection and NaiveEstimations.
+//!
+//! * 4a — varying `B_prc` at `B_obj` = 4¢;
+//! * 4b — varying `B_obj` at `B_prc` = $50.
+//!
+//! Expected shape: TotallySeparated clearly worst (especially at low
+//! `B_prc`); DisQ at least as good as Full for reasonable budgets and
+//! never worse than OneConnection except marginally at very low budgets;
+//! NaiveEstimations always below DisQ.
+
+use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_sweep};
+use crate::report::{fmt_err, Table};
+use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use disq_baselines::Baseline;
+use disq_crowd::Money;
+
+const STRATEGIES: [StrategyKind; 5] = [
+    StrategyKind::Baseline(Baseline::DisQ),
+    StrategyKind::TotallySeparated,
+    StrategyKind::Baseline(Baseline::Full),
+    StrategyKind::Baseline(Baseline::OneConnection),
+    StrategyKind::Baseline(Baseline::NaiveEstimations),
+];
+
+fn header() -> Vec<&'static str> {
+    let mut h = vec!["budget"];
+    h.extend(STRATEGIES.iter().map(|s| s.name()));
+    h
+}
+
+/// Runs both panels.
+pub fn run(reps: usize) -> String {
+    let mut out = String::new();
+    let domain = DomainKind::Pictures;
+    let targets = ["Bmi", "Age"];
+
+    let mut table = Table::new(
+        "Fig 4a — error vs B_prc (pictures {Bmi, Age}, B_obj=4¢)",
+        &header(),
+    );
+    for b_prc in b_prc_sweep().into_iter().chain([Money::from_dollars(50.0)]) {
+        let mut row = vec![format!("B_prc=${:.0}", b_prc.as_dollars())];
+        for s in STRATEGIES {
+            let cell = Cell::new(domain, &targets, s, b_prc, b_obj_fixed());
+            row.push(fmt_err(run_cell_avg(&cell, reps)));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    let mut table = Table::new(
+        "Fig 4b — error vs B_obj (pictures {Bmi, Age}, B_prc=$50)",
+        &header(),
+    );
+    for b_obj in b_obj_sweep() {
+        let mut row = vec![format!("B_obj={:.1}¢", b_obj.as_cents())];
+        for s in STRATEGIES {
+            let cell = Cell::new(domain, &targets, s, Money::from_dollars(50.0), b_obj);
+            row.push(fmt_err(run_cell_avg(&cell, reps)));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out
+}

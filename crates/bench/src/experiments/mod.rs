@@ -1,0 +1,40 @@
+//! One module per paper artifact. Each exposes `run(reps) -> String`,
+//! returning the reproduced rows/series as text.
+
+pub mod coverage;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod robustness;
+pub mod table4;
+pub mod table5;
+
+use disq_crowd::Money;
+
+/// The paper's `B_prc` sweep: $10–$35 (§5.2).
+pub fn b_prc_sweep() -> Vec<Money> {
+    [10.0, 15.0, 20.0, 25.0, 30.0, 35.0]
+        .iter()
+        .map(|&d| Money::from_dollars(d))
+        .collect()
+}
+
+/// The paper's `B_obj` sweep: 0.4¢–10¢ (§5.2).
+pub fn b_obj_sweep() -> Vec<Money> {
+    [0.4, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+        .iter()
+        .map(|&c| Money::from_cents(c))
+        .collect()
+}
+
+/// Fixed `B_obj` for the varying-`B_prc` figures (4¢, "over the graph's
+/// knee").
+pub fn b_obj_fixed() -> Money {
+    Money::from_cents(4.0)
+}
+
+/// Fixed `B_prc` for the varying-`B_obj` figures ($30).
+pub fn b_prc_fixed() -> Money {
+    Money::from_dollars(30.0)
+}

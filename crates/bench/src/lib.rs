@@ -1,0 +1,32 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! Layering: [`runner`] knows how to execute one experimental *cell*
+//! (domain × query × strategy × budgets × crowd configuration) end to end
+//! — sample a calibrated population, run the offline phase against a
+//! capped simulated crowd, execute the plan online on held-out objects,
+//! and score the weighted query error against ground truth — and to
+//! average cells over repetitions with per-repetition seeds. [`report`]
+//! renders aligned text tables. [`experiments`] holds one module per
+//! paper artifact (Fig. 1–4, Tables 4–5, the §5.3.1 coverage study, the
+//! §5.4 robustness sweeps); each exposes `run(reps) -> String`.
+//!
+//! The bench targets under `benches/` are thin wrappers so that
+//! `cargo bench --workspace` regenerates the whole evaluation. Repetition
+//! counts default to the paper's 30 and can be overridden with the
+//! `DISQ_REPS` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+/// Repetitions per cell: `DISQ_REPS` env var, defaulting to the paper's
+/// 30.
+pub fn default_reps() -> usize {
+    std::env::var("DISQ_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(30)
+}

@@ -1,0 +1,346 @@
+//! Cell execution: one (domain, query, strategy, budgets) configuration,
+//! offline + online, scored against ground truth.
+
+use disq_baselines::{naive_average, run_baseline, totally_separated, Baseline};
+use disq_core::{metrics, online, DisqConfig, DisqError, EvaluationPlan, PreprocessStats};
+use disq_crowd::{CrowdConfig, CrowdPlatform, Money, SimulatedCrowd};
+use disq_domain::{AttributeId, DomainSpec, ObjectId, Population};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Which calibrated world a cell runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// Human pictures (Table 4a/5a calibration).
+    Pictures,
+    /// Recipes (Table 4b/5b calibration).
+    Recipes,
+    /// Housing (coverage gold standard).
+    Housing,
+    /// Laptops (coverage gold standard).
+    Laptops,
+    /// Synthetic domain with the given generator seed.
+    Synthetic(u64),
+}
+
+impl DomainKind {
+    /// Builds the domain spec.
+    pub fn spec(self) -> DomainSpec {
+        match self {
+            DomainKind::Pictures => disq_domain::domains::pictures::spec(),
+            DomainKind::Recipes => disq_domain::domains::recipes::spec(),
+            DomainKind::Housing => disq_domain::domains::housing::spec(),
+            DomainKind::Laptops => disq_domain::domains::laptops::spec(),
+            DomainKind::Synthetic(seed) => disq_domain::domains::synthetic::spec(
+                &disq_domain::domains::synthetic::SyntheticConfig::default(),
+                seed,
+            ),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DomainKind::Pictures => "pictures",
+            DomainKind::Recipes => "recipes",
+            DomainKind::Housing => "housing",
+            DomainKind::Laptops => "laptops",
+            DomainKind::Synthetic(_) => "synthetic",
+        }
+    }
+}
+
+/// Strategy under test: a named baseline or the per-target split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// One of the shared-driver strategies.
+    Baseline(Baseline),
+    /// The `TotallySeparated` multi-target baseline.
+    TotallySeparated,
+}
+
+impl StrategyKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Baseline(b) => b.name(),
+            StrategyKind::TotallySeparated => "TotallySeparated",
+        }
+    }
+}
+
+/// One experimental configuration.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// World to run in.
+    pub domain: DomainKind,
+    /// Query attribute names.
+    pub targets: Vec<&'static str>,
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Offline preprocessing budget `B_prc`.
+    pub b_prc: Money,
+    /// Online per-object budget `B_obj`.
+    pub b_obj: Money,
+    /// Crowd behaviour (junk/synonym/spam rates; price sheet).
+    pub crowd: CrowdConfig,
+    /// Algorithm configuration (the robustness sweeps tweak this).
+    pub config: DisqConfig,
+}
+
+impl Cell {
+    /// A cell with default crowd and algorithm configurations.
+    pub fn new(
+        domain: DomainKind,
+        targets: &[&'static str],
+        strategy: StrategyKind,
+        b_prc: Money,
+        b_obj: Money,
+    ) -> Self {
+        Cell {
+            domain,
+            targets: targets.to_vec(),
+            strategy,
+            b_prc,
+            b_obj,
+            crowd: CrowdConfig::default(),
+            config: DisqConfig::default(),
+        }
+    }
+}
+
+/// Everything one repetition produces.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Weighted query error on the held-out evaluation objects.
+    pub error: f64,
+    /// Offline money actually spent.
+    pub offline_spent: Money,
+    /// The plan that was executed.
+    pub plan: EvaluationPlan,
+    /// Driver diagnostics when the preprocessing driver ran.
+    pub stats: Option<PreprocessStats>,
+}
+
+/// Objects evaluated online per repetition.
+pub const EVAL_OBJECTS: usize = 150;
+/// Population size backing each repetition.
+pub const POPULATION: usize = 2_000;
+
+/// Ground-truth evaluation weights: the paper's `ω_t = 1/Var(a_t)` with
+/// the *domain's* variance (stable across repetitions and strategies).
+pub fn eval_weights(spec: &DomainSpec, targets: &[AttributeId]) -> Vec<f64> {
+    targets
+        .iter()
+        .map(|&a| {
+            let sd = spec.attr(a).sd;
+            1.0 / (sd * sd).max(1e-9)
+        })
+        .collect()
+}
+
+/// Runs one repetition of a cell. `rep` seeds both the sampled world and
+/// the crowd so that every strategy sees statistically identical settings
+/// (the §5.1 record-and-reuse discipline, achieved here by seeding).
+pub fn run_cell(cell: &Cell, rep: u64) -> Result<CellOutcome, DisqError> {
+    let spec = Arc::new(cell.domain.spec());
+    let targets: Vec<AttributeId> = cell
+        .targets
+        .iter()
+        .map(|n| spec.id_of(n).unwrap_or_else(|| panic!("unknown target {n}")))
+        .collect();
+    let weights = eval_weights(&spec, &targets);
+    let pricing = cell.crowd.pricing;
+
+    let mut rng = StdRng::seed_from_u64(rep.wrapping_mul(0x9E37_79B9).wrapping_add(17));
+    let population = Population::sample(Arc::clone(&spec), POPULATION, &mut rng)
+        .map_err(|e| DisqError::Config(format!("population sampling failed: {e}")))?;
+
+    // ---- Offline phase ----------------------------------------------------
+    let (plan, stats, offline_spent) = match cell.strategy {
+        StrategyKind::Baseline(Baseline::NaiveAverage) => {
+            let plan = naive_average(&spec, &targets, cell.b_obj, &pricing, Some(&weights))?;
+            (plan, None, Money::ZERO)
+        }
+        StrategyKind::Baseline(b) => {
+            let mut platform = SimulatedCrowd::new(
+                population.clone(),
+                cell.crowd.clone(),
+                Some(cell.b_prc),
+                rep.wrapping_add(1000),
+            );
+            let (plan, out) = run_baseline(
+                b,
+                &mut platform,
+                &spec,
+                &targets,
+                cell.b_obj,
+                &cell.config,
+                &pricing,
+                Some(weights.clone()),
+                rep,
+            )?;
+            let spent = platform.ledger().spent();
+            (plan, out.map(|o| o.stats), spent)
+        }
+        StrategyKind::TotallySeparated => {
+            let mut sub = 0u64;
+            let pop = population.clone();
+            let crowd_cfg = cell.crowd.clone();
+            let plan = totally_separated(
+                move |cap| {
+                    sub += 1;
+                    SimulatedCrowd::new(
+                        pop.clone(),
+                        crowd_cfg.clone(),
+                        Some(cap),
+                        rep.wrapping_add(2000 + sub),
+                    )
+                },
+                &spec,
+                &targets,
+                cell.b_obj,
+                cell.b_prc,
+                &cell.config,
+                &pricing,
+                rep,
+            )?;
+            // Per-target ledgers are internal to the closure; report the
+            // cap as an upper bound.
+            (plan, None, cell.b_prc)
+        }
+    };
+
+    // ---- Online phase -----------------------------------------------------
+    let mut online_crowd = SimulatedCrowd::new(
+        population.clone(),
+        cell.crowd.clone(),
+        None,
+        rep.wrapping_add(5000),
+    );
+    let objects: Vec<ObjectId> = (0..EVAL_OBJECTS.min(population.n_objects()))
+        .map(ObjectId)
+        .collect();
+    let raw_estimates = online::estimate_objects(&mut online_crowd, &plan, &objects)?;
+
+    // Reorder plan-target estimates into query-target order.
+    let order: Vec<usize> = targets
+        .iter()
+        .map(|&t| {
+            plan.regressions
+                .iter()
+                .position(|r| r.target == t)
+                .expect("plan covers every query target")
+        })
+        .collect();
+    let estimates: Vec<Vec<f64>> = raw_estimates
+        .iter()
+        .map(|row| order.iter().map(|&i| row[i]).collect())
+        .collect();
+    let truth: Vec<Vec<f64>> = objects
+        .iter()
+        .map(|&o| targets.iter().map(|&a| population.value(o, a)).collect())
+        .collect();
+    let error = metrics::query_error(&estimates, &truth, &weights);
+
+    Ok(CellOutcome {
+        error,
+        offline_spent,
+        plan,
+        stats,
+    })
+}
+
+/// Mean and standard deviation of the cell error over `reps` repetitions.
+/// Repetitions whose budget is infeasible (`BudgetTooSmall`) are excluded;
+/// if all are infeasible the result is `None`.
+pub fn run_cell_avg(cell: &Cell, reps: usize) -> Option<(f64, f64)> {
+    let mut errors = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        match run_cell(cell, rep as u64) {
+            Ok(outcome) => errors.push(outcome.error),
+            Err(DisqError::BudgetTooSmall { .. }) => {}
+            Err(e) => panic!("cell {:?} failed: {e}", cell.strategy.name()),
+        }
+    }
+    if errors.is_empty() {
+        return None;
+    }
+    let n = errors.len() as f64;
+    let mean = errors.iter().sum::<f64>() / n;
+    let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+    Some((mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_average_cell_runs() {
+        let cell = Cell::new(
+            DomainKind::Pictures,
+            &["Bmi"],
+            StrategyKind::Baseline(Baseline::NaiveAverage),
+            Money::ZERO,
+            Money::from_cents(4.0),
+        );
+        let out = run_cell(&cell, 0).unwrap();
+        assert!(out.error.is_finite());
+        assert!(out.error > 0.0);
+        assert_eq!(out.offline_spent, Money::ZERO);
+    }
+
+    #[test]
+    fn disq_beats_naive_on_protein() {
+        // The paper's headline: for a hard attribute, dismantling wins.
+        let b_obj = Money::from_cents(4.0);
+        let naive = Cell::new(
+            DomainKind::Recipes,
+            &["Protein"],
+            StrategyKind::Baseline(Baseline::NaiveAverage),
+            Money::ZERO,
+            b_obj,
+        );
+        let disq = Cell::new(
+            DomainKind::Recipes,
+            &["Protein"],
+            StrategyKind::Baseline(Baseline::DisQ),
+            Money::from_dollars(30.0),
+            b_obj,
+        );
+        let (naive_err, _) = run_cell_avg(&naive, 3).unwrap();
+        let (disq_err, _) = run_cell_avg(&disq, 3).unwrap();
+        assert!(
+            disq_err < naive_err,
+            "DisQ {disq_err} should beat NaiveAverage {naive_err}"
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_excluded() {
+        let cell = Cell::new(
+            DomainKind::Pictures,
+            &["Bmi"],
+            StrategyKind::Baseline(Baseline::DisQ),
+            Money::from_cents(50.0), // hopeless B_prc
+            Money::from_cents(4.0),
+        );
+        assert!(run_cell_avg(&cell, 2).is_none());
+    }
+
+    #[test]
+    fn determinism_per_rep() {
+        let cell = Cell::new(
+            DomainKind::Pictures,
+            &["Bmi"],
+            StrategyKind::Baseline(Baseline::SimpleDisQ),
+            Money::from_dollars(15.0),
+            Money::from_cents(2.0),
+        );
+        let a = run_cell(&cell, 3).unwrap();
+        let b = run_cell(&cell, 3).unwrap();
+        assert_eq!(a.error, b.error);
+    }
+}

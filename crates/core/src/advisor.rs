@@ -1,0 +1,255 @@
+//! Budget advice (§7 future work: "Determining automatically what these
+//! budgets should be and the ideal ratio between them is an intriguing
+//! future research").
+//!
+//! Once a preprocessing run has produced a statistics trio, the Eq. 2
+//! error model predicts — without any further crowd spend — what error any
+//! alternative per-object budget would achieve. That turns two practical
+//! questions into pure computation:
+//!
+//! * "how accurate can I get for X¢ per object?" →
+//!   [`predicted_error_curve`];
+//! * "what's the cheapest `B_obj` reaching error ε?" →
+//!   [`recommend_b_obj`] (the programmatic form of the paper's Fig. 2);
+//! * "given a total budget and a table of N objects, how should I split
+//!   offline vs online?" → [`recommend_split`].
+
+use crate::components::budget_dist::find_budget_distribution;
+use crate::{DisqError, PreprocessOutput};
+use disq_crowd::{Money, PricingModel};
+
+/// One point of a predicted error-vs-budget curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Per-object budget.
+    pub b_obj: Money,
+    /// Predicted weighted query error (Eq. 2 model, summed over targets
+    /// with the run's weights).
+    pub predicted_error: f64,
+}
+
+/// Predicts the weighted query error the trio's statistics support at each
+/// candidate per-object budget (greedy-optimal allocation at each point).
+pub fn predicted_error_curve(
+    out: &PreprocessOutput,
+    pricing: &PricingModel,
+    budgets: &[Money],
+) -> Result<Vec<CurvePoint>, DisqError> {
+    let costs = pool_costs(out, pricing);
+    budgets
+        .iter()
+        .map(|&b_obj| {
+            let (b, _) = find_budget_distribution(&out.trio, &out.weights, b_obj, &costs)?;
+            let b_f: Vec<f64> = b.iter().map(|&q| q as f64).collect();
+            let mut err = 0.0;
+            for (t, &w) in out.weights.iter().enumerate() {
+                err += w * out.trio.predicted_error(t, &b_f)?;
+            }
+            Ok(CurvePoint {
+                b_obj,
+                predicted_error: err,
+            })
+        })
+        .collect()
+}
+
+/// The cheapest per-object budget predicted to reach `target_error`, from
+/// the given candidate grid; `None` when no candidate reaches it.
+pub fn recommend_b_obj(
+    out: &PreprocessOutput,
+    pricing: &PricingModel,
+    candidates: &[Money],
+    target_error: f64,
+) -> Result<Option<Money>, DisqError> {
+    let mut sorted = candidates.to_vec();
+    sorted.sort();
+    for point in predicted_error_curve(out, pricing, &sorted)? {
+        if point.predicted_error <= target_error {
+            return Ok(Some(point.b_obj));
+        }
+    }
+    Ok(None)
+}
+
+/// Advice for splitting a total budget between offline preprocessing and
+/// online evaluation of an `n_objects` table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitAdvice {
+    /// Per-object online budget.
+    pub b_obj: Money,
+    /// Money left for preprocessing after `n_objects · b_obj`.
+    pub b_prc: Money,
+    /// Predicted weighted query error at that split (using the supplied
+    /// run's statistics as a proxy for what preprocessing will learn).
+    pub predicted_error: f64,
+}
+
+/// Recommends how to split `total` between `B_prc` and `N·B_obj`, using an
+/// existing run's statistics as the proxy error model: among the candidate
+/// per-object budgets that leave at least `min_b_prc` for preprocessing,
+/// pick the one with the lowest predicted error. Returns `None` when no
+/// candidate is feasible.
+pub fn recommend_split(
+    out: &PreprocessOutput,
+    pricing: &PricingModel,
+    total: Money,
+    n_objects: u64,
+    candidates: &[Money],
+    min_b_prc: Money,
+) -> Result<Option<SplitAdvice>, DisqError> {
+    let mut best: Option<SplitAdvice> = None;
+    for point in predicted_error_curve(out, pricing, candidates)? {
+        let online_total = point.b_obj * (n_objects as i64);
+        if online_total + min_b_prc > total {
+            continue;
+        }
+        let advice = SplitAdvice {
+            b_obj: point.b_obj,
+            b_prc: total - online_total,
+            predicted_error: point.predicted_error,
+        };
+        if best.is_none_or(|b| advice.predicted_error < b.predicted_error) {
+            best = Some(advice);
+        }
+    }
+    Ok(best)
+}
+
+fn pool_costs(out: &PreprocessOutput, pricing: &PricingModel) -> Vec<Money> {
+    // Pool kinds are recoverable from the plan where present; attributes
+    // without a plan entry are priced from the budget vector context —
+    // the trio itself is kind-agnostic, so fall back to the numeric price
+    // (conservative: never underestimates cost).
+    (0..out.trio.n_attrs())
+        .map(|i| {
+            out.plan
+                .attributes
+                .iter()
+                .find(|p| out.pool_labels.get(i) == Some(&p.label))
+                .map(|p| pricing.value_price(p.kind))
+                .unwrap_or(pricing.numeric_value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{preprocess, DisqConfig};
+    use disq_crowd::{CrowdConfig, SimulatedCrowd};
+    use disq_domain::{domains::pictures, Population};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run() -> (PreprocessOutput, PricingModel) {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 1_000, &mut rng).unwrap();
+        let mut crowd = SimulatedCrowd::new(
+            pop,
+            CrowdConfig::default(),
+            Some(Money::from_dollars(20.0)),
+            0,
+        );
+        let out = preprocess(
+            &mut crowd,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            0,
+        )
+        .unwrap();
+        (out, PricingModel::paper())
+    }
+
+    fn grid() -> Vec<Money> {
+        [0.4, 1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&c| Money::from_cents(c))
+            .collect()
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let (out, pricing) = run();
+        let curve = predicted_error_curve(&out, &pricing, &grid()).unwrap();
+        assert_eq!(curve.len(), 5);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].predicted_error <= w[0].predicted_error + 1e-9,
+                "{curve:?}"
+            );
+        }
+        assert!(curve[0].predicted_error > 0.0);
+    }
+
+    #[test]
+    fn recommendation_is_cheapest_sufficient_budget() {
+        let (out, pricing) = run();
+        let curve = predicted_error_curve(&out, &pricing, &grid()).unwrap();
+        // Pick a target between the best and worst points.
+        let target = 0.5 * (curve[0].predicted_error + curve[4].predicted_error);
+        let rec = recommend_b_obj(&out, &pricing, &grid(), target)
+            .unwrap()
+            .expect("target is achievable");
+        // The recommended budget achieves the target…
+        let at = curve.iter().find(|p| p.b_obj == rec).unwrap();
+        assert!(at.predicted_error <= target);
+        // …and nothing cheaper does.
+        for p in &curve {
+            if p.b_obj < rec {
+                assert!(p.predicted_error > target);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_target_yields_none() {
+        let (out, pricing) = run();
+        assert_eq!(
+            recommend_b_obj(&out, &pricing, &grid(), 1e-12).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn split_respects_total_and_floor() {
+        let (out, pricing) = run();
+        let total = Money::from_dollars(60.0);
+        let advice = recommend_split(
+            &out,
+            &pricing,
+            total,
+            500,
+            &grid(),
+            Money::from_dollars(15.0),
+        )
+        .unwrap()
+        .expect("some split is feasible");
+        assert!(advice.b_prc >= Money::from_dollars(15.0));
+        assert_eq!(advice.b_prc + advice.b_obj * 500, total);
+        // With 500 objects at 8¢ = $40 online, that split is feasible too;
+        // the advisor must have chosen the error-minimal feasible one.
+        assert!(advice.b_obj >= Money::from_cents(4.0), "{advice:?}");
+    }
+
+    #[test]
+    fn impossible_split_yields_none() {
+        let (out, pricing) = run();
+        let advice = recommend_split(
+            &out,
+            &pricing,
+            Money::from_dollars(1.0),
+            10_000,
+            &grid(),
+            Money::from_dollars(15.0),
+        )
+        .unwrap();
+        assert_eq!(advice, None);
+    }
+}

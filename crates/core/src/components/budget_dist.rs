@@ -1,0 +1,212 @@
+//! `FindBudgetDistribution`: cost-aware greedy forward selection (Eq. 2/10).
+//!
+//! The optimal budget distribution maximizes
+//! `Σ_t ω_t · S_oᵀ (S_a + Diag(S_c/b))⁻¹ S_o`
+//! subject to `Σ_a b(a)·price(a) ≤ B_obj`. Exact optimization is NP-hard
+//! in `B_obj` \[27\], so — following the paper — we run greedy forward
+//! selection: repeatedly grant one more question to the attribute with the
+//! best objective gain *per cent spent* (the cost division implements the
+//! paper's treatment of heterogeneous question prices) until the budget
+//! can buy nothing more or no gain remains.
+
+use crate::DisqError;
+use disq_crowd::Money;
+use disq_stats::StatsTrio;
+
+/// Gains below this are considered numerical noise and stop the greedy
+/// loop (prevents burning budget on zero-signal attributes).
+const MIN_GAIN: f64 = 1e-12;
+
+/// Computes the greedy budget distribution and its final objective value.
+///
+/// * `trio` — current statistics (|pool| attributes).
+/// * `weights` — per-target error weights `ω_t`.
+/// * `budget` — the per-object online budget `B_obj`.
+/// * `costs` — per-attribute value-question price.
+///
+/// Returns `(b, objective)` with `b[a]` = questions for attribute `a`.
+pub fn find_budget_distribution(
+    trio: &StatsTrio,
+    weights: &[f64],
+    budget: Money,
+    costs: &[Money],
+) -> Result<(Vec<u32>, f64), DisqError> {
+    let n = trio.n_attrs();
+    if costs.len() != n {
+        return Err(DisqError::Config(format!(
+            "costs has length {}, trio has {} attributes",
+            costs.len(),
+            n
+        )));
+    }
+    let mut b = vec![0u32; n];
+    if n == 0 {
+        return Ok((b, 0.0));
+    }
+    let mut b_f: Vec<f64> = vec![0.0; n];
+    let mut remaining = budget;
+    let mut current = 0.0;
+
+    loop {
+        let mut best: Option<(usize, f64, f64)> = None; // (attr, gain/cent, objective)
+        for a in 0..n {
+            let price = costs[a];
+            if !price.is_positive() || price > remaining {
+                continue;
+            }
+            b_f[a] += 1.0;
+            let obj = trio.explained_variance_weighted(weights, &b_f)?;
+            b_f[a] -= 1.0;
+            let gain = obj - current;
+            if gain <= MIN_GAIN {
+                continue;
+            }
+            let rate = gain / price.as_cents();
+            if best.is_none_or(|(_, r, _)| rate > r) {
+                best = Some((a, rate, obj));
+            }
+        }
+        match best {
+            Some((a, _, obj)) => {
+                b[a] += 1;
+                b_f[a] += 1.0;
+                remaining -= costs[a];
+                current = obj;
+            }
+            None => break,
+        }
+    }
+    Ok((b, current))
+}
+
+/// The maximal greedy objective achievable with the given budget — used by
+/// the `L(A, u, v)` loss term of the next-attribute scorer.
+pub fn greedy_objective(
+    trio: &StatsTrio,
+    weights: &[f64],
+    budget: Money,
+    costs: &[Money],
+) -> Result<f64, DisqError> {
+    Ok(find_budget_distribution(trio, weights, budget, costs)?.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cheap helper: single target with variance 1.
+    fn trio_with(attrs: &[(f64, f64, f64)]) -> StatsTrio {
+        // (s_o, own_var, s_c) per attribute, mutually uncorrelated.
+        let mut t = StatsTrio::new(1);
+        for (i, &(so, var, sc)) in attrs.iter().enumerate() {
+            t.push_attribute(&[so], &vec![0.0; i], var, sc).unwrap();
+        }
+        t.set_target_variance(0, 1.0).unwrap();
+        t
+    }
+
+    fn cents(c: f64) -> Money {
+        Money::from_cents(c)
+    }
+
+    #[test]
+    fn spends_whole_budget_on_single_good_attribute() {
+        let t = trio_with(&[(0.9, 1.0, 1.0)]);
+        let (b, obj) = find_budget_distribution(&t, &[1.0], cents(1.0), &[cents(0.1)]).unwrap();
+        assert_eq!(b, vec![10]);
+        assert!(obj > 0.0);
+    }
+
+    #[test]
+    fn ignores_zero_signal_attribute() {
+        let t = trio_with(&[(0.9, 1.0, 1.0), (0.0, 1.0, 1.0)]);
+        let (b, _) =
+            find_budget_distribution(&t, &[1.0], cents(1.0), &[cents(0.1), cents(0.1)]).unwrap();
+        assert_eq!(b[1], 0);
+        assert_eq!(b[0], 10);
+    }
+
+    #[test]
+    fn prefers_cheap_attribute_of_equal_signal() {
+        let t = trio_with(&[(0.6, 1.0, 1.0), (0.6, 1.0, 1.0)]);
+        let (b, _) =
+            find_budget_distribution(&t, &[1.0], cents(1.0), &[cents(0.4), cents(0.1)]).unwrap();
+        assert!(b[1] > b[0], "cheap attr should dominate: {b:?}");
+    }
+
+    #[test]
+    fn splits_between_complementary_attributes() {
+        // Two uncorrelated informative attributes: both should get budget
+        // under a generous allowance.
+        let t = trio_with(&[(0.6, 1.0, 0.5), (0.6, 1.0, 0.5)]);
+        let (b, _) =
+            find_budget_distribution(&t, &[1.0], cents(2.0), &[cents(0.1), cents(0.1)]).unwrap();
+        assert!(b[0] >= 3 && b[1] >= 3, "{b:?}");
+    }
+
+    #[test]
+    fn noisy_attribute_gets_more_questions_than_clean_one() {
+        // Same signal; attribute 0 is noisier, so equalizing marginal
+        // utility pushes more questions its way.
+        let t = trio_with(&[(0.6, 1.0, 2.0), (0.6, 1.0, 0.1)]);
+        let (b, _) =
+            find_budget_distribution(&t, &[1.0], cents(2.0), &[cents(0.1), cents(0.1)]).unwrap();
+        assert!(b[0] > b[1], "{b:?}");
+    }
+
+    #[test]
+    fn budget_constraint_respected() {
+        let t = trio_with(&[(0.9, 1.0, 1.0), (0.5, 1.0, 1.0)]);
+        let costs = [cents(0.4), cents(0.1)];
+        let budget = cents(1.3);
+        let (b, _) = find_budget_distribution(&t, &[1.0], budget, &costs).unwrap();
+        let spent: Money = (0..2).map(|i| costs[i] * i64::from(b[i])).sum();
+        assert!(spent <= budget, "spent {spent} of {budget}");
+        assert!(b.iter().sum::<u32>() > 0);
+    }
+
+    #[test]
+    fn objective_monotone_in_budget() {
+        let t = trio_with(&[(0.7, 1.0, 1.0), (0.4, 1.0, 0.5)]);
+        let costs = [cents(0.1), cents(0.1)];
+        let small = greedy_objective(&t, &[1.0], cents(0.5), &costs).unwrap();
+        let large = greedy_objective(&t, &[1.0], cents(2.0), &costs).unwrap();
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn empty_trio_gives_empty_plan() {
+        let t = StatsTrio::new(1);
+        let (b, obj) = find_budget_distribution(&t, &[1.0], cents(5.0), &[]).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_plan() {
+        let t = trio_with(&[(0.9, 1.0, 1.0)]);
+        let (b, obj) = find_budget_distribution(&t, &[1.0], Money::ZERO, &[cents(0.1)]).unwrap();
+        assert_eq!(b, vec![0]);
+        assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn cost_length_mismatch_rejected() {
+        let t = trio_with(&[(0.9, 1.0, 1.0)]);
+        assert!(find_budget_distribution(&t, &[1.0], cents(1.0), &[]).is_err());
+    }
+
+    #[test]
+    fn multi_target_weights_steer_allocation() {
+        // Attribute 0 helps target 0, attribute 1 helps target 1.
+        let mut t = StatsTrio::new(2);
+        t.push_attribute(&[0.8, 0.0], &[], 1.0, 1.0).unwrap();
+        t.push_attribute(&[0.0, 0.8], &[0.0], 1.0, 1.0).unwrap();
+        t.set_target_variance(0, 1.0).unwrap();
+        t.set_target_variance(1, 1.0).unwrap();
+        let costs = [cents(0.1), cents(0.1)];
+        // Heavily weight target 1: attribute 1 should get more budget.
+        let (b, _) = find_budget_distribution(&t, &[0.1, 10.0], cents(1.0), &costs).unwrap();
+        assert!(b[1] > b[0], "{b:?}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Preprocessing-budget management (§3.2.3).
+//!
+//! `B_prc` pays for three things: dismantling questions (`n` of them),
+//! statistics (`N₁` examples per target plus `k·N₁` value questions per
+//! discovered attribute per paired target) and the regression training set
+//! (`N₂ = 50 + 8·#attrs` rows per target, each costing up to `B_obj` in
+//! value questions, plus example questions beyond the reusable `N₁`).
+//!
+//! Only `n` and `N₂` are really free (the paper's observation), and `N₂`
+//! is pinned by the sample-size rule — so the open decisions are (a) how
+//! large an `N₁` the budget can afford at all (we degrade `N₁` gracefully
+//! instead of failing, which is what lets the low-`B_prc` points of
+//! Fig. 1 run), and (b) when to stop dismantling: while the money left
+//! after reserving the completion cost still covers one more iteration.
+
+use crate::{AttributePool, DisqConfig};
+use disq_crowd::{Money, PricingModel};
+use disq_domain::{AttributeId, DomainSpec};
+
+/// Smallest example set we accept before declaring the budget too small.
+pub const MIN_N1: usize = 30;
+
+/// Cost of finishing the algorithm from the current state: the regression
+/// training set for the current pool (reserved pessimistically — every
+/// pool attribute might end up active).
+pub fn completion_cost(
+    pool_len: usize,
+    n_targets: usize,
+    n1: usize,
+    b_obj: Money,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+) -> Money {
+    // An attribute can only be active if B_obj can buy it one question.
+    let affordable = (b_obj.millicents() / pricing.binary_value.millicents().max(1)) as usize;
+    let active_cap = pool_len.min(affordable).min(config.max_attrs);
+    let n2 = config.n2(active_cap);
+    let extra_examples = n2.saturating_sub(n1) * n_targets;
+    let training_rows = n2 * n_targets;
+    // Two-stage refinement reserve: k fresh answers per example cell for
+    // each attribute the plan is likely to select (greedy plans rarely
+    // activate more than a handful), at the mixed binary/numeric price.
+    // Selected helpers are typically paired with a single target's example
+    // set, so the reserve does not scale with the target count; the
+    // refinement loop re-checks affordability before spending anyway.
+    let refine_attrs = active_cap.min(6);
+    let per_answer =
+        Money::from_millicents((pricing.binary_value + pricing.numeric_value).millicents() / 2);
+    let refine = per_answer * ((config.refine_rounds * config.k * n1 * refine_attrs) as i64);
+    pricing.example * (extra_examples as i64) + b_obj * (training_rows as i64) + refine
+}
+
+/// Upper bound on one more dismantling iteration: the dismantling question,
+/// a full verification run, and — if the answer is new — `k·N₁` value
+/// questions on one paired target's example set at the numeric price.
+pub fn iteration_cost(
+    n1: usize,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+) -> Money {
+    pricing.dismantle
+        + pricing.verify * i64::from(config.sprt.max_samples)
+        + pricing.numeric_value * ((config.k * n1) as i64)
+}
+
+/// Cost of the initial phase for a given `N₁`: example sets plus the
+/// statistics for the query attributes themselves (which are paired with
+/// every target), plus the completion reserve. Used to pick the largest
+/// affordable `N₁`.
+fn initial_cost(
+    spec: &DomainSpec,
+    targets: &[AttributeId],
+    n1: usize,
+    b_obj: Money,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+) -> Money {
+    let t = targets.len();
+    let examples = pricing.example * ((n1 * t) as i64);
+    let stats: Money = targets
+        .iter()
+        .map(|&a| {
+            pricing.value_price(spec.attr(a).kind) * ((config.k * n1 * t) as i64)
+        })
+        .sum();
+    examples + stats + completion_cost(t, t, n1, b_obj, config, pricing)
+}
+
+/// Picks the largest `N₁ ∈ [MIN_N1, config.n1]` whose initial cost fits in
+/// `available`. Returns `None` when even `MIN_N1` does not fit.
+pub fn choose_n1(
+    spec: &DomainSpec,
+    targets: &[AttributeId],
+    b_obj: Money,
+    available: Money,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+) -> Option<usize> {
+    // When dismantling is on, leave the configured fraction of the budget
+    // as headroom for dismantling questions — otherwise the example set
+    // greedily eats the entire budget and no attribute is ever discovered.
+    let budget = if config.dismantling {
+        let frac = (1.0 - config.dismantle_budget_fraction).clamp(0.0, 1.0);
+        Money::from_millicents((available.millicents() as f64 * frac) as i64)
+    } else {
+        available
+    };
+    let mut n = config.n1;
+    while n >= MIN_N1 {
+        if initial_cost(spec, targets, n, b_obj, config, pricing) <= budget {
+            return Some(n);
+        }
+        n -= (n / 20).max(1);
+    }
+    // Fall back to the full budget (no dismantling headroom) before giving
+    // up entirely: a small example set beats refusing to run.
+    if config.dismantling {
+        let mut n = config.n1;
+        while n >= MIN_N1 {
+            if initial_cost(spec, targets, n, b_obj, config, pricing) <= available {
+                return Some(n);
+            }
+            n -= (n / 20).max(1);
+        }
+    }
+    None
+}
+
+/// Whether the remaining budget supports one more dismantling iteration
+/// on top of the completion reserve.
+pub fn can_continue_dismantling(
+    remaining: Money,
+    pool: &AttributePool,
+    n_targets: usize,
+    n1: usize,
+    b_obj: Money,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+) -> bool {
+    let reserve = completion_cost(pool.len(), n_targets, n1, b_obj, config, pricing);
+    let step = iteration_cost(n1, config, pricing);
+    remaining >= reserve + step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unification;
+    use disq_domain::domains::pictures;
+
+    fn setup() -> (DomainSpec, Vec<AttributeId>) {
+        let spec = pictures::spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        (spec, vec![bmi])
+    }
+
+    #[test]
+    fn completion_cost_grows_with_pool() {
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        let b_obj = Money::from_cents(4.0);
+        let small = completion_cost(2, 1, 200, b_obj, &config, &pricing);
+        let large = completion_cost(8, 1, 200, b_obj, &config, &pricing);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn completion_cost_known_value() {
+        // 1 target, 5 pool attrs, n1 = 200, b_obj = 4¢:
+        // n2 = 50 + 8*5 = 90 < n1 → no extra examples; 90 rows * 4¢ = 360¢;
+        // refinement reserve: 1 round * 2 answers * 200 cells * 5 attrs *
+        // 0.25¢ = 500¢.
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        let c = completion_cost(5, 1, 200, Money::from_cents(4.0), &config, &pricing);
+        assert_eq!(c, Money::from_cents(360.0 + 500.0));
+    }
+
+    #[test]
+    fn extra_examples_charged_when_n2_exceeds_n1() {
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        // n1 = 40 < n2 = 90 → 50 extra examples at 5¢ = 250¢, plus rows
+        // and the (n1-scaled) refinement reserve of 100¢.
+        let c = completion_cost(5, 1, 40, Money::from_cents(4.0), &config, &pricing);
+        assert_eq!(c, Money::from_cents(250.0 + 360.0 + 100.0));
+    }
+
+    #[test]
+    fn refinement_reserve_disabled_with_zero_rounds() {
+        let pricing = PricingModel::paper();
+        let with = completion_cost(5, 1, 200, Money::from_cents(4.0), &DisqConfig::default(), &pricing);
+        let without = completion_cost(
+            5,
+            1,
+            200,
+            Money::from_cents(4.0),
+            &DisqConfig {
+                refine_rounds: 0,
+                ..Default::default()
+            },
+            &pricing,
+        );
+        assert_eq!(without, Money::from_cents(360.0));
+        assert!(with > without);
+    }
+
+    #[test]
+    fn full_n1_affordable_at_generous_budget() {
+        let (spec, targets) = setup();
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        let n1 = choose_n1(
+            &spec,
+            &targets,
+            Money::from_cents(4.0),
+            Money::from_dollars(30.0),
+            &config,
+            &pricing,
+        );
+        assert_eq!(n1, Some(200));
+    }
+
+    #[test]
+    fn n1_degrades_at_tight_budget() {
+        let (spec, targets) = setup();
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        let n1 = choose_n1(
+            &spec,
+            &targets,
+            Money::from_cents(4.0),
+            Money::from_dollars(10.0),
+            &config,
+            &pricing,
+        )
+        .expect("10 dollars should afford a reduced example set");
+        assert!(n1 < 200, "n1 {n1}");
+        assert!(n1 >= MIN_N1);
+    }
+
+    #[test]
+    fn hopeless_budget_rejected() {
+        let (spec, targets) = setup();
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        let n1 = choose_n1(
+            &spec,
+            &targets,
+            Money::from_cents(4.0),
+            Money::from_dollars(1.0),
+            &config,
+            &pricing,
+        );
+        assert_eq!(n1, None);
+    }
+
+    #[test]
+    fn dismantling_gate_matches_reserve() {
+        let (spec, _) = setup();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let pool = AttributePool::new(&spec, &[bmi], Unification::Merge);
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        let b_obj = Money::from_cents(4.0);
+        let reserve = completion_cost(1, 1, 200, b_obj, &config, &pricing);
+        let step = iteration_cost(200, &config, &pricing);
+        assert!(can_continue_dismantling(
+            reserve + step,
+            &pool,
+            1,
+            200,
+            b_obj,
+            &config,
+            &pricing
+        ));
+        assert!(!can_continue_dismantling(
+            reserve + step - Money::from_millicents(1),
+            &pool,
+            1,
+            200,
+            b_obj,
+            &config,
+            &pricing
+        ));
+    }
+
+    #[test]
+    fn iteration_cost_scales_with_n1() {
+        let config = DisqConfig::default();
+        let pricing = PricingModel::paper();
+        assert!(iteration_cost(200, &config, &pricing) > iteration_cost(50, &config, &pricing));
+    }
+}

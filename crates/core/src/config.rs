@@ -1,0 +1,214 @@
+//! Algorithm configuration.
+//!
+//! The defaults are the paper's experimental settings (§5.1): `N₁ = 200`
+//! example objects, `k = 2` statistic samples per cell,
+//! `E[ρ(a_j, ans_j)] ≈ 0.5`, `N₂ = 50 + 8·#attributes` regression samples,
+//! weights `ω_t = 1/Var(a_t)`. The policy enums turn the single driver
+//! into every variant the evaluation compares: `SimpleDisQ`,
+//! `OnlyQueryAttributes`, `Full`, `OneConnection`, `NaiveEstimations`, …
+
+use disq_stats::SprtConfig;
+
+/// How dismantling answers are deduplicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unification {
+    /// Synonyms merge into the canonical attribute (the paper's default
+    /// assumption, via thesaurus/NLP tools).
+    Merge,
+    /// No unification: each distinct raw phrasing becomes its own
+    /// discovered attribute (the §5.4 "Normalization Mechanism"
+    /// robustness setting).
+    RawText,
+}
+
+/// Which attributes may be chosen for the next dismantling question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Eq. 8/9 scoring over every discovered attribute (DisQ).
+    Optimal,
+    /// Only the attributes explicitly in the query
+    /// (the `OnlyQueryAttributes` baseline of §5.3.1).
+    QueryOnly,
+    /// Uniformly random discovered attribute (the random variant the
+    /// paper mentions and dismisses).
+    Random,
+}
+
+/// Which (new attribute, query attribute) pairs get value questions on the
+/// per-target example sets (§4 "Collection").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairingPolicy {
+    /// The paper's rule: pair with target `t` iff the estimated relevance
+    /// is at least half the maximum over targets.
+    Rule,
+    /// Pair with every target (the `Full` baseline).
+    All,
+    /// Pair only with the single most relevant target
+    /// (the `OneConnection` baseline).
+    One,
+}
+
+/// How unmeasured `S_o` entries are filled in (§4 "Estimation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimationPolicy {
+    /// Angular-distance shortest paths on the correlation graph (Eq. 11).
+    Graph,
+    /// Every missing entry gets the average of the measured `S_o` values
+    /// (the `NaiveEstimations` baseline).
+    AverageDefault,
+}
+
+/// Tunable parameters of the preprocessing algorithm.
+#[derive(Debug, Clone)]
+pub struct DisqConfig {
+    /// Number of example objects per query attribute used for statistics
+    /// (`N₁`, paper default 200).
+    pub n1: usize,
+    /// Value-question samples per (example, attribute) cell for statistics
+    /// (`k`, paper default 2).
+    pub k: usize,
+    /// Assumed correlation between an attribute and its dismantling
+    /// answers, `E[ρ(a_j, ans_j)]` (paper default 0.5; §5.4 sweeps it).
+    pub rho_assumption: f64,
+    /// Sequential-test configuration for verification questions.
+    pub sprt: SprtConfig,
+    /// Synonym handling.
+    pub unification: Unification,
+    /// Dismantling on/off (off reproduces the `SimpleDisQ` baseline).
+    pub dismantling: bool,
+    /// Next-attribute selection strategy.
+    pub selection: SelectionStrategy,
+    /// Multi-target pair collection policy.
+    pub pairing: PairingPolicy,
+    /// Missing-`S_o` estimation policy.
+    pub estimation: EstimationPolicy,
+    /// Base of the regression sample-size rule `N₂ = n2_base +
+    /// n2_per_attr · #attrs` (Green \[16\]; paper uses 50 + 8·#attrs).
+    pub n2_base: usize,
+    /// Per-attribute increment of the `N₂` rule.
+    pub n2_per_attr: usize,
+    /// Relevance threshold of the §4 pairing rule (paper: 0.5).
+    pub pairing_threshold: f64,
+    /// Also use attribute–attribute (`S_a`) edges in the Eq. 11 graph —
+    /// an extension beyond the paper's bipartite graph (default on; turn
+    /// off for strict fidelity).
+    pub graph_attr_edges: bool,
+    /// Subtract the `S_c/k` worker-noise inflation from the estimated
+    /// `S_a` diagonal (the \[27\] correction; default on, ablatable).
+    pub diag_bias_correction: bool,
+    /// Soft-threshold multiplier (in standard errors) applied to estimated
+    /// `S_o` entries. The greedy budget distribution *selects* the largest
+    /// estimates, so unshrunk sampling noise systematically promotes weak
+    /// attributes; one standard error of shrinkage counters that winner's
+    /// curse. `0.0` disables (ablation).
+    pub so_shrinkage: f64,
+    /// Fraction of the preprocessing budget earmarked for dismantling
+    /// (and its verification) questions when dismantling is enabled; the
+    /// example-set sizing leaves this headroom instead of maximizing `N₁`.
+    /// This is the paper's `n` vs `N₁/N₂` balance made explicit.
+    pub dismantle_budget_fraction: f64,
+    /// Two-stage statistic refinement rounds: after computing a budget
+    /// distribution, the *selected* attributes get `k` fresh answers per
+    /// example cell (unbiased conditional on selection) and the
+    /// distribution is recomputed. `0` reproduces the paper's single-pass
+    /// estimation.
+    pub refine_rounds: usize,
+    /// Relative singular-value cutoff of the regression solver.
+    pub regression_tol: f64,
+    /// Hard cap on discovered attributes (safety valve, well above
+    /// anything the budgets can reach).
+    pub max_attrs: usize,
+}
+
+impl Default for DisqConfig {
+    fn default() -> Self {
+        DisqConfig {
+            n1: 200,
+            k: 2,
+            rho_assumption: 0.5,
+            sprt: SprtConfig::relevance_default(),
+            unification: Unification::Merge,
+            dismantling: true,
+            selection: SelectionStrategy::Optimal,
+            pairing: PairingPolicy::Rule,
+            estimation: EstimationPolicy::Graph,
+            n2_base: 50,
+            n2_per_attr: 8,
+            pairing_threshold: 0.5,
+            graph_attr_edges: true,
+            diag_bias_correction: true,
+            so_shrinkage: 1.0,
+            dismantle_budget_fraction: 0.2,
+            refine_rounds: 1,
+            regression_tol: 1e-8,
+            max_attrs: 64,
+        }
+    }
+}
+
+impl DisqConfig {
+    /// The `N₂` rule: regression training examples needed for a model
+    /// with `n_attrs` predictors.
+    pub fn n2(&self, n_attrs: usize) -> usize {
+        self.n2_base + self.n2_per_attr * n_attrs
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n1 < 2 {
+            return Err("n1 must be at least 2".into());
+        }
+        if self.k < 1 {
+            return Err("k must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.rho_assumption) {
+            return Err(format!("rho_assumption {} outside [0,1]", self.rho_assumption));
+        }
+        if !(0.0..=1.0).contains(&self.pairing_threshold) {
+            return Err(format!(
+                "pairing_threshold {} outside [0,1]",
+                self.pairing_threshold
+            ));
+        }
+        if self.max_attrs == 0 {
+            return Err("max_attrs must be positive".into());
+        }
+        self.sprt.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DisqConfig::default();
+        assert_eq!(c.n1, 200);
+        assert_eq!(c.k, 2);
+        assert_eq!(c.rho_assumption, 0.5);
+        assert_eq!(c.n2(0), 50);
+        assert_eq!(c.n2(6), 98);
+        assert_eq!(c.pairing_threshold, 0.5);
+        assert!(c.dismantling);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut c = DisqConfig {
+            n1: 1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.n1 = 10;
+        c.k = 0;
+        assert!(c.validate().is_err());
+        c.k = 2;
+        c.rho_assumption = 1.5;
+        assert!(c.validate().is_err());
+        c.rho_assumption = 0.5;
+        c.max_attrs = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Bookkeeping of discovered attributes.
+//!
+//! The crowd answers dismantling questions with free text. Under the
+//! paper's normalization assumption ([`Unification::Merge`]) synonyms
+//! resolve to one canonical attribute; in the §5.4 robustness setting
+//! ([`Unification::RawText`]) each distinct phrasing is tracked as its own
+//! discovered attribute (backed by the same underlying domain attribute
+//! for value questions — "big" and "heavy" are answered the same way by
+//! workers even if the algorithm doesn't know they coincide).
+
+use crate::Unification;
+use disq_domain::{AttributeId, AttributeKind, AttributeRegistry, DomainSpec};
+use std::collections::HashMap;
+
+/// One attribute slot the algorithm tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredAttr {
+    /// The label under which the algorithm knows this attribute (canonical
+    /// name, or raw phrasing when unification is off).
+    pub label: String,
+    /// Underlying domain attribute (what value questions actually ask).
+    pub attr: AttributeId,
+    /// Kind (drives value-question pricing).
+    pub kind: AttributeKind,
+    /// True for the original query attributes (`A₀ = A(Q)`).
+    pub is_query_attr: bool,
+}
+
+/// Outcome of resolving a raw dismantling answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolution {
+    /// Already tracked: pool index of the existing slot.
+    Known(usize),
+    /// Resolvable and new: candidate slot, not yet inserted.
+    New(DiscoveredAttr),
+    /// Not an attribute of the domain (junk).
+    Junk,
+}
+
+/// The growing set `A_m` of discovered attributes.
+#[derive(Debug, Clone)]
+pub struct AttributePool {
+    items: Vec<DiscoveredAttr>,
+    by_label: HashMap<String, usize>,
+    by_attr: HashMap<AttributeId, usize>,
+    unification: Unification,
+}
+
+impl AttributePool {
+    /// Creates a pool seeded with the query attributes.
+    pub fn new(spec: &DomainSpec, query_attrs: &[AttributeId], unification: Unification) -> Self {
+        let mut pool = AttributePool {
+            items: Vec::new(),
+            by_label: HashMap::new(),
+            by_attr: HashMap::new(),
+            unification,
+        };
+        for &a in query_attrs {
+            let s = spec.attr(a);
+            pool.insert(DiscoveredAttr {
+                label: s.name.clone(),
+                attr: a,
+                kind: s.kind,
+                is_query_attr: true,
+            });
+        }
+        pool
+    }
+
+    /// Number of tracked attributes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Slot by pool index.
+    ///
+    /// # Panics
+    /// Panics on out-of-range index.
+    pub fn get(&self, i: usize) -> &DiscoveredAttr {
+        &self.items[i]
+    }
+
+    /// Iterates over slots in discovery order.
+    pub fn iter(&self) -> impl Iterator<Item = &DiscoveredAttr> {
+        self.items.iter()
+    }
+
+    /// Resolves a raw dismantling answer against the domain and the pool.
+    pub fn resolve(&self, raw: &str, spec: &DomainSpec) -> Resolution {
+        match self.unification {
+            Unification::Merge => match spec.id_of(raw) {
+                Some(attr) => match self.by_attr.get(&attr) {
+                    Some(&i) => Resolution::Known(i),
+                    None => {
+                        let s = spec.attr(attr);
+                        Resolution::New(DiscoveredAttr {
+                            label: s.name.clone(),
+                            attr,
+                            kind: s.kind,
+                            is_query_attr: false,
+                        })
+                    }
+                },
+                None => Resolution::Junk,
+            },
+            Unification::RawText => {
+                let key = AttributeRegistry::normalize_key(raw);
+                match self.by_label.get(&key) {
+                    Some(&i) => Resolution::Known(i),
+                    None => match spec.id_of(raw) {
+                        Some(attr) => Resolution::New(DiscoveredAttr {
+                            label: raw.trim().to_string(),
+                            attr,
+                            kind: spec.attr(attr).kind,
+                            is_query_attr: false,
+                        }),
+                        None => Resolution::Junk,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Inserts a slot (from [`Resolution::New`]) and returns its index.
+    pub fn insert(&mut self, d: DiscoveredAttr) -> usize {
+        let i = self.items.len();
+        self.by_label
+            .insert(AttributeRegistry::normalize_key(&d.label), i);
+        // Under RawText two labels may share an attr; keep the first for
+        // by_attr (only used by Merge resolution, which never coexists).
+        self.by_attr.entry(d.attr).or_insert(i);
+        self.items.push(d);
+        i
+    }
+
+    /// Indices of the query attributes (always `0..n_query`).
+    pub fn query_indices(&self) -> Vec<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_query_attr)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disq_domain::domains::pictures;
+
+    fn pool(unification: Unification) -> (DomainSpec, AttributePool) {
+        let spec = pictures::spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let pool = AttributePool::new(&spec, &[bmi], unification);
+        (spec, pool)
+    }
+
+    #[test]
+    fn seeded_with_query_attributes() {
+        let (_, p) = pool(Unification::Merge);
+        assert_eq!(p.len(), 1);
+        assert!(p.get(0).is_query_attr);
+        assert_eq!(p.get(0).label, "Bmi");
+        assert_eq!(p.query_indices(), vec![0]);
+    }
+
+    #[test]
+    fn merge_resolves_synonym_to_same_slot() {
+        let (spec, mut p) = pool(Unification::Merge);
+        // Discover Heavy by canonical name.
+        match p.resolve("Heavy", &spec) {
+            Resolution::New(d) => {
+                let i = p.insert(d);
+                assert_eq!(i, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Its synonym must now be Known.
+        assert_eq!(p.resolve("big", &spec), Resolution::Known(1));
+        assert_eq!(p.resolve("heavy", &spec), Resolution::Known(1));
+    }
+
+    #[test]
+    fn raw_text_keeps_synonyms_distinct() {
+        let (spec, mut p) = pool(Unification::RawText);
+        let d1 = match p.resolve("Heavy", &spec) {
+            Resolution::New(d) => d,
+            other => panic!("unexpected {other:?}"),
+        };
+        p.insert(d1);
+        // "big" resolves to the same underlying attribute but is a NEW slot.
+        match p.resolve("big", &spec) {
+            Resolution::New(d) => {
+                assert_eq!(d.label, "big");
+                assert_eq!(d.attr, spec.id_of("Heavy").unwrap());
+                let i = p.insert(d);
+                assert_eq!(i, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Asking again about "big" is now Known.
+        assert_eq!(p.resolve("BIG", &spec), Resolution::Known(2));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn junk_detected() {
+        let (spec, p) = pool(Unification::Merge);
+        assert_eq!(p.resolve("phase of the moon", &spec), Resolution::Junk);
+    }
+
+    #[test]
+    fn query_attr_is_known_not_new() {
+        let (spec, p) = pool(Unification::Merge);
+        assert_eq!(p.resolve("bmi", &spec), Resolution::Known(0));
+    }
+
+    #[test]
+    fn kind_tracked_for_pricing() {
+        let (spec, mut p) = pool(Unification::Merge);
+        if let Resolution::New(d) = p.resolve("Heavy", &spec) {
+            assert_eq!(d.kind, AttributeKind::Boolean);
+            p.insert(d);
+        }
+        if let Resolution::New(d) = p.resolve("Weight", &spec) {
+            assert_eq!(d.kind, AttributeKind::Numeric);
+        } else {
+            panic!("Weight should be new");
+        }
+    }
+}

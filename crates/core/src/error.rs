@@ -1,0 +1,76 @@
+//! Unified error type of the core algorithm.
+
+use disq_crowd::CrowdError;
+use disq_math::MathError;
+use disq_stats::TrioError;
+use std::fmt;
+
+/// Everything that can go wrong while preprocessing or evaluating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisqError {
+    /// Crowd platform failure (budget exhausted, empty population, …).
+    Crowd(CrowdError),
+    /// Statistics bookkeeping failure.
+    Trio(TrioError),
+    /// Linear algebra failure.
+    Math(MathError),
+    /// Invalid configuration.
+    Config(String),
+    /// The query referenced no attributes.
+    EmptyQuery,
+    /// The preprocessing budget is too small to even collect the initial
+    /// example sets and statistics.
+    BudgetTooSmall {
+        /// Human-readable explanation of the minimal need.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DisqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisqError::Crowd(e) => write!(f, "crowd error: {e}"),
+            DisqError::Trio(e) => write!(f, "statistics error: {e}"),
+            DisqError::Math(e) => write!(f, "math error: {e}"),
+            DisqError::Config(m) => write!(f, "invalid configuration: {m}"),
+            DisqError::EmptyQuery => write!(f, "query has no attributes"),
+            DisqError::BudgetTooSmall { detail } => {
+                write!(f, "preprocessing budget too small: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DisqError {}
+
+impl From<CrowdError> for DisqError {
+    fn from(e: CrowdError) -> Self {
+        DisqError::Crowd(e)
+    }
+}
+
+impl From<TrioError> for DisqError {
+    fn from(e: TrioError) -> Self {
+        DisqError::Trio(e)
+    }
+}
+
+impl From<MathError> for DisqError {
+    fn from(e: MathError) -> Self {
+        DisqError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DisqError = CrowdError::EmptyPopulation.into();
+        assert!(e.to_string().contains("crowd error"));
+        let e: DisqError = MathError::NonFinite.into();
+        assert!(e.to_string().contains("math error"));
+        assert!(DisqError::EmptyQuery.to_string().contains("no attributes"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Error metrics (§2 "Problem definition", §5.1 weighting).
+//!
+//! The paper minimizes the *query error*: the sum over query attributes of
+//! the mean squared estimation error, with per-attribute weights
+//! `ω_t = 1/Var(O.a_t)` by default so attributes on wildly different
+//! scales (calories in the thousands, booleans in \[0,1\]) contribute
+//! comparably — each term becomes a normalized MSE in units of target
+//! variance.
+
+/// Mean squared error between estimates and ground truth.
+///
+/// # Panics
+/// Panics on length mismatch; returns `0.0` for empty inputs.
+pub fn mse(estimates: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truth.len(), "mse length mismatch");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates
+        .iter()
+        .zip(truth)
+        .map(|(&e, &t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// The paper's default weights: `ω_t = 1/Var(a_t)` (guarded against zero
+/// variance).
+pub fn inverse_variance_weights(variances: &[f64]) -> Vec<f64> {
+    variances.iter().map(|&v| 1.0 / v.max(1e-9)).collect()
+}
+
+/// Weighted query error: `Σ_t ω_t · MSE_t`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn weighted_query_error(per_target_mse: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(
+        per_target_mse.len(),
+        weights.len(),
+        "weighted error arity mismatch"
+    );
+    per_target_mse
+        .iter()
+        .zip(weights)
+        .map(|(&m, &w)| w * m)
+        .sum()
+}
+
+/// Convenience: full query error from per-object estimates.
+/// `estimates[i][t]` vs `truth[i][t]`, weighted by `weights[t]`.
+pub fn query_error(estimates: &[Vec<f64>], truth: &[Vec<f64>], weights: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truth.len(), "object count mismatch");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let t_count = weights.len();
+    let mut per_target = vec![0.0; t_count];
+    for (e_row, t_row) in estimates.iter().zip(truth) {
+        assert_eq!(e_row.len(), t_count);
+        assert_eq!(t_row.len(), t_count);
+        for t in 0..t_count {
+            let d = e_row[t] - t_row[t];
+            per_target[t] += d * d;
+        }
+    }
+    for m in &mut per_target {
+        *m /= estimates.len() as f64;
+    }
+    weighted_query_error(&per_target, weights)
+}
+
+/// Classification quality of a boolean estimate set (§7 future work: "a
+/// recall-precision measurement may fit more for boolean query attributes
+/// like gluten_free").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BooleanQuality {
+    /// Fraction of predicted positives that are truly positive.
+    pub precision: f64,
+    /// Fraction of true positives that were predicted positive.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Overall agreement.
+    pub accuracy: f64,
+}
+
+/// Scores boolean estimates against boolean truth, thresholding both at
+/// 0.5 (the paper's boolean-as-numeric convention). Empty inputs yield
+/// all-1.0 (vacuous truth); a denominator of zero yields 1.0 for that
+/// component (no chances to be wrong).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn boolean_quality(estimates: &[f64], truth: &[f64]) -> BooleanQuality {
+    assert_eq!(estimates.len(), truth.len(), "boolean quality arity mismatch");
+    let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
+    for (&e, &t) in estimates.iter().zip(truth) {
+        match (e >= 0.5, t >= 0.5) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let ratio = |num: u64, den: u64| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    let precision = ratio(tp, tp + fp);
+    let recall = ratio(tp, tp + fn_);
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    BooleanQuality {
+        precision,
+        recall,
+        f1,
+        accuracy: ratio(tp + tn, tp + fp + fn_ + tn),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_quality_perfect() {
+        let q = boolean_quality(&[0.9, 0.1, 0.8], &[1.0, 0.0, 1.0]);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.accuracy, 1.0);
+    }
+
+    #[test]
+    fn boolean_quality_mixed() {
+        // predictions: +,+,-,-  truth: +,-,+,-  → tp=1 fp=1 fn=1 tn=1.
+        let q = boolean_quality(&[0.9, 0.9, 0.1, 0.1], &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert_eq!(q.f1, 0.5);
+        assert_eq!(q.accuracy, 0.5);
+    }
+
+    #[test]
+    fn boolean_quality_degenerate_denominators() {
+        // No predicted positives: precision vacuous 1.0, recall 0.
+        let q = boolean_quality(&[0.1, 0.2], &[1.0, 1.0]);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+        // Empty input.
+        let q = boolean_quality(&[], &[]);
+        assert_eq!(q.accuracy, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn boolean_quality_checks_length() {
+        boolean_quality(&[0.1], &[]);
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[2.0, 4.0], &[0.0, 0.0]), 10.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_checks_length() {
+        mse(&[1.0], &[]);
+    }
+
+    #[test]
+    fn inverse_variance_weights_normalize_scales() {
+        let w = inverse_variance_weights(&[4.0, 0.25]);
+        assert_eq!(w, vec![0.25, 4.0]);
+        // An error of one standard deviation contributes 1.0 either way.
+        assert!((w[0] * 4.0 - w[1] * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_guarded() {
+        let w = inverse_variance_weights(&[0.0]);
+        assert!(w[0].is_finite());
+    }
+
+    #[test]
+    fn weighted_error_sums() {
+        let e = weighted_query_error(&[2.0, 3.0], &[1.0, 10.0]);
+        assert_eq!(e, 32.0);
+    }
+
+    #[test]
+    fn query_error_end_to_end() {
+        let est = vec![vec![1.0, 10.0], vec![3.0, 10.0]];
+        let truth = vec![vec![2.0, 10.0], vec![2.0, 14.0]];
+        // target 0: mean((1-2)², (3-2)²) = 1; target 1: mean(0, 16) = 8.
+        let err = query_error(&est, &truth, &[1.0, 0.5]);
+        assert!((err - (1.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_error_empty() {
+        assert_eq!(query_error(&[], &[], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Evaluation plans — the output of the preprocessing phase.
+//!
+//! A plan is the paper's pair `(b, l)`: a shared budget distribution over
+//! the selected attributes (how many value questions per object each one
+//! gets) and one assembly regression per query attribute. The
+//! [`EvaluationPlan::formula`] printer renders it in the paper's notation:
+//!
+//! ```text
+//! Bmi ≈ 10.6 + 0.6·Bmi^(5) + 11.9·Heavy^(10) - 2.7·Attractive^(3)
+//! ```
+
+use disq_crowd::{Money, PricingModel};
+use disq_domain::{AttributeId, AttributeKind};
+use std::fmt::Write as _;
+
+/// One attribute that receives online value questions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedAttribute {
+    /// Underlying domain attribute to ask about.
+    pub attr: AttributeId,
+    /// Label the algorithm discovered it under.
+    pub label: String,
+    /// Kind (drives per-question price).
+    pub kind: AttributeKind,
+    /// `b(a)`: value questions per object (> 0).
+    pub questions: u32,
+}
+
+/// The assembly regression for one query attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetRegression {
+    /// The query attribute being estimated.
+    pub target: AttributeId,
+    /// Its display label.
+    pub label: String,
+    /// Intercept `l₀`.
+    pub intercept: f64,
+    /// Coefficients aligned with [`EvaluationPlan::attributes`].
+    pub coefficients: Vec<f64>,
+    /// Mean squared error on the training set (diagnostic).
+    pub training_mse: f64,
+}
+
+/// A complete `(b, l)` plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationPlan {
+    /// Attributes with non-zero budget, in pool-discovery order.
+    pub attributes: Vec<PlannedAttribute>,
+    /// One regression per query attribute.
+    pub regressions: Vec<TargetRegression>,
+}
+
+impl EvaluationPlan {
+    /// Per-object cost of executing this plan at the given prices.
+    pub fn cost_per_object(&self, pricing: &PricingModel) -> Money {
+        self.attributes
+            .iter()
+            .map(|p| pricing.value_price(p.kind) * i64::from(p.questions))
+            .sum()
+    }
+
+    /// Total value questions per object.
+    pub fn questions_per_object(&self) -> u32 {
+        self.attributes.iter().map(|p| p.questions).sum()
+    }
+
+    /// The regression for a given target, if present.
+    pub fn regression_for(&self, target: AttributeId) -> Option<&TargetRegression> {
+        self.regressions.iter().find(|r| r.target == target)
+    }
+
+    /// Predicts a target's value from per-attribute averaged answers
+    /// (aligned with [`Self::attributes`]).
+    ///
+    /// # Panics
+    /// Panics if `averages` has the wrong arity or `target_idx` is out of
+    /// range.
+    pub fn predict(&self, target_idx: usize, averages: &[f64]) -> f64 {
+        let r = &self.regressions[target_idx];
+        assert_eq!(averages.len(), self.attributes.len(), "arity mismatch");
+        r.intercept
+            + r.coefficients
+                .iter()
+                .zip(averages)
+                .map(|(&c, &x)| c * x)
+                .sum::<f64>()
+    }
+
+    /// Renders the paper-style formula for one target.
+    pub fn formula(&self, target_idx: usize) -> String {
+        let r = &self.regressions[target_idx];
+        let mut s = format!("{} ≈ {:.3}", r.label, r.intercept);
+        for (coef, attr) in r.coefficients.iter().zip(&self.attributes) {
+            if coef.abs() < 1e-12 {
+                continue;
+            }
+            let sign = if *coef >= 0.0 { "+" } else { "-" };
+            let _ = write!(
+                s,
+                " {} {:.3}·{}^({})",
+                sign,
+                coef.abs(),
+                attr.label.replace(' ', "_"),
+                attr.questions
+            );
+        }
+        s
+    }
+
+    /// Merges two plans (used by the `TotallySeparated` baseline): budgets
+    /// add per attribute, regressions concatenate with coefficients
+    /// re-aligned to the merged attribute list.
+    pub fn merge(plans: &[EvaluationPlan]) -> EvaluationPlan {
+        let mut attributes: Vec<PlannedAttribute> = Vec::new();
+        // First pass: merged attribute list (sum questions for duplicates).
+        for plan in plans {
+            for p in &plan.attributes {
+                match attributes.iter_mut().find(|q| q.attr == p.attr) {
+                    Some(q) => q.questions += p.questions,
+                    None => attributes.push(p.clone()),
+                }
+            }
+        }
+        // Second pass: re-align coefficients.
+        let mut regressions = Vec::new();
+        for plan in plans {
+            for r in &plan.regressions {
+                let mut coefficients = vec![0.0; attributes.len()];
+                for (coef, p) in r.coefficients.iter().zip(&plan.attributes) {
+                    let idx = attributes.iter().position(|q| q.attr == p.attr).unwrap();
+                    coefficients[idx] = *coef;
+                }
+                regressions.push(TargetRegression {
+                    coefficients,
+                    ..r.clone()
+                });
+            }
+        }
+        EvaluationPlan {
+            attributes,
+            regressions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> EvaluationPlan {
+        EvaluationPlan {
+            attributes: vec![
+                PlannedAttribute {
+                    attr: AttributeId(0),
+                    label: "Bmi".into(),
+                    kind: AttributeKind::Numeric,
+                    questions: 5,
+                },
+                PlannedAttribute {
+                    attr: AttributeId(5),
+                    label: "Heavy".into(),
+                    kind: AttributeKind::Boolean,
+                    questions: 10,
+                },
+            ],
+            regressions: vec![TargetRegression {
+                target: AttributeId(0),
+                label: "Bmi".into(),
+                intercept: 10.6,
+                coefficients: vec![0.6, 11.9],
+                training_mse: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn cost_per_object() {
+        let plan = sample_plan();
+        let pricing = PricingModel::paper();
+        // 5 numeric at 0.4¢ + 10 binary at 0.1¢ = 3¢.
+        assert_eq!(plan.cost_per_object(&pricing), Money::from_cents(3.0));
+        assert_eq!(plan.questions_per_object(), 15);
+    }
+
+    #[test]
+    fn predict_applies_regression() {
+        let plan = sample_plan();
+        let y = plan.predict(0, &[20.0, 0.5]);
+        assert!((y - (10.6 + 0.6 * 20.0 + 11.9 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn predict_checks_arity() {
+        sample_plan().predict(0, &[1.0]);
+    }
+
+    #[test]
+    fn formula_renders_paper_style() {
+        let f = sample_plan().formula(0);
+        assert!(f.starts_with("Bmi ≈ 10.600"));
+        assert!(f.contains("0.600·Bmi^(5)"));
+        assert!(f.contains("+ 11.900·Heavy^(10)"));
+    }
+
+    #[test]
+    fn formula_skips_zero_coefficients() {
+        let mut plan = sample_plan();
+        plan.regressions[0].coefficients[1] = 0.0;
+        let f = plan.formula(0);
+        assert!(!f.contains("Heavy"));
+    }
+
+    #[test]
+    fn formula_shows_negative_terms() {
+        let mut plan = sample_plan();
+        plan.regressions[0].coefficients[1] = -2.7;
+        let f = plan.formula(0);
+        assert!(f.contains("- 2.700·Heavy^(10)"));
+    }
+
+    #[test]
+    fn merge_sums_budgets_and_realigns() {
+        let a = sample_plan();
+        let mut b = sample_plan();
+        b.attributes[0].attr = AttributeId(9);
+        b.attributes[0].label = "Age".into();
+        b.regressions[0].target = AttributeId(9);
+        b.regressions[0].label = "Age".into();
+        let merged = EvaluationPlan::merge(&[a.clone(), b]);
+        // Heavy appears in both: questions add.
+        let heavy = merged
+            .attributes
+            .iter()
+            .find(|p| p.label == "Heavy")
+            .unwrap();
+        assert_eq!(heavy.questions, 20);
+        assert_eq!(merged.attributes.len(), 3);
+        assert_eq!(merged.regressions.len(), 2);
+        // First regression predicts the same values as before on its own
+        // attrs, 0 elsewhere.
+        let avgs = vec![20.0, 0.5, 7.0]; // Bmi, Heavy, Age
+        let y = merged.predict(0, &avgs);
+        assert!((y - a.predict(0, &[20.0, 0.5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_lookup() {
+        let plan = sample_plan();
+        assert!(plan.regression_for(AttributeId(0)).is_some());
+        assert!(plan.regression_for(AttributeId(3)).is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Plan persistence.
+//!
+//! The preprocessing phase runs once, offline; the online phase may run
+//! days later, per query, possibly in a different process. A plan
+//! round-trips through a small self-describing text format (one
+//! `key=value` record per line, `#`-prefixed comments) — no serialization
+//! dependency needed, and the files diff cleanly in version control.
+
+use crate::{DisqError, EvaluationPlan, PlannedAttribute, TargetRegression};
+use disq_domain::{AttributeId, AttributeKind};
+use std::fmt::Write as _;
+
+const VERSION: u32 = 1;
+
+/// Serializes a plan to the text format.
+pub fn plan_to_string(plan: &EvaluationPlan) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# disq evaluation plan");
+    let _ = writeln!(s, "version={VERSION}");
+    let _ = writeln!(s, "attributes={}", plan.attributes.len());
+    for p in &plan.attributes {
+        let kind = match p.kind {
+            AttributeKind::Numeric => "numeric",
+            AttributeKind::Boolean => "boolean",
+        };
+        let _ = writeln!(
+            s,
+            "attribute={}\t{}\t{}\t{}",
+            p.attr.index(),
+            kind,
+            p.questions,
+            p.label
+        );
+    }
+    let _ = writeln!(s, "regressions={}", plan.regressions.len());
+    for r in &plan.regressions {
+        let coefs = r
+            .coefficients
+            .iter()
+            .map(|c| format!("{c:e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            s,
+            "regression={}\t{:e}\t{:e}\t{}\t{}",
+            r.target.index(),
+            r.intercept,
+            r.training_mse,
+            coefs,
+            r.label
+        );
+    }
+    s
+}
+
+fn parse_err(line: &str, what: &str) -> DisqError {
+    DisqError::Config(format!("plan parse error: {what} in line '{line}'"))
+}
+
+/// Parses a plan from the text format produced by [`plan_to_string`].
+pub fn plan_from_str(text: &str) -> Result<EvaluationPlan, DisqError> {
+    let mut attributes: Vec<PlannedAttribute> = Vec::new();
+    let mut regressions: Vec<TargetRegression> = Vec::new();
+    let mut version_seen = false;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| parse_err(line, "missing '='"))?;
+        match key {
+            "version" => {
+                let v: u32 = value.parse().map_err(|_| parse_err(line, "bad version"))?;
+                if v != VERSION {
+                    return Err(DisqError::Config(format!(
+                        "unsupported plan version {v} (expected {VERSION})"
+                    )));
+                }
+                version_seen = true;
+            }
+            "attributes" | "regressions" => {} // counts are advisory
+            "attribute" => {
+                let mut parts = value.splitn(4, '\t');
+                let idx: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad attribute id"))?;
+                let kind = match parts.next() {
+                    Some("numeric") => AttributeKind::Numeric,
+                    Some("boolean") => AttributeKind::Boolean,
+                    _ => return Err(parse_err(line, "bad kind")),
+                };
+                let questions: u32 = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad question count"))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line, "missing label"))?
+                    .to_string();
+                attributes.push(PlannedAttribute {
+                    attr: AttributeId(idx),
+                    label,
+                    kind,
+                    questions,
+                });
+            }
+            "regression" => {
+                let mut parts = value.splitn(5, '\t');
+                let idx: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad target id"))?;
+                let intercept: f64 = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad intercept"))?;
+                let training_mse: f64 = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad training mse"))?;
+                let coef_text = parts.next().ok_or_else(|| parse_err(line, "missing coefficients"))?;
+                let coefficients: Vec<f64> = if coef_text.is_empty() {
+                    Vec::new()
+                } else {
+                    coef_text
+                        .split(',')
+                        .map(|c| c.parse::<f64>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| parse_err(line, "bad coefficient"))?
+                };
+                let label = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line, "missing label"))?
+                    .to_string();
+                regressions.push(TargetRegression {
+                    target: AttributeId(idx),
+                    label,
+                    intercept,
+                    coefficients,
+                    training_mse,
+                });
+            }
+            other => {
+                return Err(DisqError::Config(format!(
+                    "plan parse error: unknown key '{other}'"
+                )))
+            }
+        }
+    }
+
+    if !version_seen {
+        return Err(DisqError::Config("plan parse error: missing version".into()));
+    }
+    for r in &regressions {
+        if r.coefficients.len() != attributes.len() {
+            return Err(DisqError::Config(format!(
+                "plan parse error: regression '{}' has {} coefficients for {} attributes",
+                r.label,
+                r.coefficients.len(),
+                attributes.len()
+            )));
+        }
+    }
+    Ok(EvaluationPlan {
+        attributes,
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> EvaluationPlan {
+        EvaluationPlan {
+            attributes: vec![
+                PlannedAttribute {
+                    attr: AttributeId(0),
+                    label: "Bmi".into(),
+                    kind: AttributeKind::Numeric,
+                    questions: 5,
+                },
+                PlannedAttribute {
+                    attr: AttributeId(5),
+                    label: "Heavy looking".into(), // label with a space
+                    kind: AttributeKind::Boolean,
+                    questions: 10,
+                },
+            ],
+            regressions: vec![TargetRegression {
+                target: AttributeId(0),
+                label: "Bmi".into(),
+                intercept: 10.625,
+                coefficients: vec![0.6, -11.9e-3],
+                training_mse: 1.25,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let plan = sample_plan();
+        let text = plan_to_string(&plan);
+        let back = plan_from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn roundtrip_preserves_extreme_floats() {
+        let mut plan = sample_plan();
+        plan.regressions[0].intercept = 1.234_567_890_123_456_7e-300;
+        plan.regressions[0].coefficients = vec![f64::MIN_POSITIVE, 9.87e250];
+        let back = plan_from_str(&plan_to_string(&plan)).unwrap();
+        assert_eq!(back.regressions[0].intercept, plan.regressions[0].intercept);
+        assert_eq!(
+            back.regressions[0].coefficients,
+            plan.regressions[0].coefficients
+        );
+    }
+
+    #[test]
+    fn nan_training_mse_survives() {
+        let mut plan = sample_plan();
+        plan.regressions[0].training_mse = f64::NAN;
+        let back = plan_from_str(&plan_to_string(&plan)).unwrap();
+        assert!(back.regressions[0].training_mse.is_nan());
+        // PartialEq on the whole plan would fail on NaN; fields around it
+        // must still match.
+        assert_eq!(back.attributes, plan.attributes);
+    }
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = EvaluationPlan {
+            attributes: vec![],
+            regressions: vec![],
+        };
+        assert_eq!(plan_from_str(&plan_to_string(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut text = plan_to_string(&sample_plan());
+        text.insert_str(0, "\n# extra comment\n\n");
+        assert!(plan_from_str(&text).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(plan_from_str("").is_err()); // no version
+        assert!(plan_from_str("version=99").is_err()); // wrong version
+        assert!(plan_from_str("version=1\nnot a record").is_err());
+        assert!(plan_from_str("version=1\nmystery=1").is_err());
+        assert!(plan_from_str("version=1\nattribute=x\tnumeric\t3\tA").is_err());
+        // Coefficient arity mismatch.
+        let bad = "version=1\nattribute=0\tnumeric\t3\tA\nregression=0\t0.0\t0.0\t1.0,2.0\tA";
+        assert!(plan_from_str(bad).is_err());
+    }
+
+    #[test]
+    fn executes_identically_after_roundtrip() {
+        let plan = sample_plan();
+        let back = plan_from_str(&plan_to_string(&plan)).unwrap();
+        let x = [23.0, 0.7];
+        assert_eq!(plan.predict(0, &x), back.predict(0, &x));
+        assert_eq!(plan.formula(0), back.formula(0));
+    }
+}

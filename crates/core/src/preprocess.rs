@@ -1,0 +1,704 @@
+//! The preprocessing driver — Algorithm 1 (§3) with the §4 extension.
+//!
+//! ```text
+//! E_B ← GetExamples(N₁, k)
+//! while CollectingAttributesCondition:
+//!     a ← GetNextAttribute(A, S, B_obj)        (Eq. 8/9 + SPRT verify)
+//!     A ← A ∪ a
+//!     S ← UpdateStatistics(S, a, E_B)          (pairing rule in §4)
+//! fill unmeasured S_o                          (Eq. 11 graph / baseline)
+//! b ← FindBudgetDistribution(S)                (greedy, Eq. 2/10)
+//! E_L ← GetExamples(N₂, b)
+//! l ← FindRegression(b, E_L)
+//! return (l, b)
+//! ```
+//!
+//! `B_prc` is enforced by the platform's ledger cap; the driver's own
+//! budget logic (in `components::budgeting`) decides how large an `N₁` to
+//! afford and when dismantling must stop to leave room for the regression
+//! training set.
+
+use crate::components::budget_dist::find_budget_distribution;
+use crate::components::budgeting;
+use crate::components::next_attribute::choose_dismantle_target;
+use crate::components::regression::learn_regressions;
+use crate::components::statistics::StatisticsCollector;
+use crate::{
+    AttributePool, DisqConfig, DisqError, EstimationPolicy, EvaluationPlan, PairingPolicy,
+    Resolution,
+};
+use disq_crowd::{CrowdPlatform, Money, PricingModel};
+use disq_domain::{AttributeId, DomainSpec};
+use disq_stats::{NewAnswerModel, SoGraphEstimator, Sprt, SprtDecision, StatsTrio};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Diagnostics of one preprocessing run.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessStats {
+    /// The example-set size actually used (≤ configured `N₁`).
+    pub n1_used: usize,
+    /// Dismantling questions asked.
+    pub dismantle_questions: u32,
+    /// Attributes accepted into the pool (beyond the query attributes),
+    /// by label.
+    pub discovered: Vec<String>,
+    /// Suggestions rejected by verification.
+    pub rejected: u32,
+    /// Junk answers (unresolvable text).
+    pub junk: u32,
+    /// Answers naming an already-known attribute.
+    pub duplicates: u32,
+    /// Money spent by the end of preprocessing.
+    pub spent: Money,
+    /// True when plan validation replaced the dismantled plan with the
+    /// query-only fallback.
+    pub fell_back: bool,
+}
+
+/// Result of preprocessing: the plan plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutput {
+    /// The `(b, l)` plan for the online phase.
+    pub plan: EvaluationPlan,
+    /// The final statistics trio (diagnostic / experiment reporting).
+    pub trio: StatsTrio,
+    /// Labels of every pool attribute in discovery order.
+    pub pool_labels: Vec<String>,
+    /// The computed budget distribution over the pool.
+    pub budget: Vec<u32>,
+    /// The per-target error weights used.
+    pub weights: Vec<f64>,
+    /// Run diagnostics.
+    pub stats: PreprocessStats,
+}
+
+/// Runs the offline preprocessing phase.
+///
+/// * `platform` — crowd access; its ledger cap is `B_prc`.
+/// * `spec` — the domain (names, kinds; *statistics are never read from
+///   it* — everything is learned through crowd questions).
+/// * `targets` — `A(Q)`.
+/// * `b_obj` — the per-object online budget.
+/// * `weights` — per-target error weights; `None` derives the paper's
+///   default `ω_t = 1/Var(a_t)` from the example sets.
+/// * `seed` — drives only the algorithm's internal randomness (the
+///   `Random` selection strategy); crowd randomness lives in the platform.
+#[allow(clippy::too_many_arguments)] // the paper's problem signature
+pub fn preprocess<P: CrowdPlatform>(
+    platform: &mut P,
+    spec: &DomainSpec,
+    targets: &[AttributeId],
+    b_obj: Money,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+    weights: Option<Vec<f64>>,
+    seed: u64,
+) -> Result<PreprocessOutput, DisqError> {
+    config.validate().map_err(DisqError::Config)?;
+    if targets.is_empty() {
+        return Err(DisqError::EmptyQuery);
+    }
+    if let Some(w) = &weights {
+        if w.len() != targets.len() {
+            return Err(DisqError::Config(format!(
+                "{} weights for {} targets",
+                w.len(),
+                targets.len()
+            )));
+        }
+    }
+    let n_targets = targets.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // ---- N₁ sizing and example collection -------------------------------
+    let available = platform.ledger().remaining();
+    let n1 = budgeting::choose_n1(spec, targets, b_obj, available, config, pricing).ok_or_else(
+        || DisqError::BudgetTooSmall {
+            detail: format!(
+                "cannot afford even {} examples per target plus the regression reserve",
+                budgeting::MIN_N1
+            ),
+        },
+    )?;
+    let mut collector = StatisticsCollector::collect_examples(platform, targets, n1)?;
+
+    // ---- Pool + statistics for the query attributes ---------------------
+    let mut pool = AttributePool::new(spec, targets, config.unification);
+    let mut trio = StatsTrio::new(n_targets);
+    let mut model = NewAnswerModel::new();
+    for i in 0..n_targets {
+        let idx = collector.add_attribute(
+            platform,
+            pool.get(i).attr,
+            vec![true; n_targets],
+            config.k,
+        )?;
+        collector.update_trio(&mut trio, idx, config.k, config.diag_bias_correction, config.so_shrinkage)?;
+        model.add_attribute();
+    }
+    for t in 0..n_targets {
+        trio.set_target_variance(t, collector.target_variance(t))?;
+    }
+    pin_query_attr_stats(&mut trio, &collector, n_targets)?;
+    let weights = weights.unwrap_or_else(|| {
+        (0..n_targets)
+            .map(|t| 1.0 / trio.target_variance(t).max(1e-9))
+            .collect()
+    });
+
+    // ---- Dismantling loop ------------------------------------------------
+    let mut stats = PreprocessStats {
+        n1_used: n1,
+        ..Default::default()
+    };
+    while config.dismantling && pool.len() < config.max_attrs {
+        let remaining = platform.ledger().remaining();
+        if !budgeting::can_continue_dismantling(
+            remaining, &pool, n_targets, n1, b_obj, config, pricing,
+        ) {
+            break;
+        }
+        let costs = value_costs(&pool, pricing);
+        let Some(j) = choose_dismantle_target(
+            &trio, &pool, &model, &weights, b_obj, &costs, config, &mut rng,
+        )?
+        else {
+            break;
+        };
+        model.record_question(j);
+        stats.dismantle_questions += 1;
+        let parent_attr = pool.get(j).attr;
+        let raw = platform.ask_dismantle(parent_attr)?;
+
+        match pool.resolve(&raw, spec) {
+            Resolution::Known(_) => {
+                stats.duplicates += 1;
+            }
+            Resolution::Junk => {
+                // Verify anyway (we cannot know it is junk without asking);
+                // junk essentially never survives the SPRT.
+                let _ = run_verification(platform, &raw, parent_attr, config)?;
+                stats.junk += 1;
+            }
+            Resolution::New(d) => {
+                if !run_verification(platform, &raw, parent_attr, config)? {
+                    stats.rejected += 1;
+                    continue;
+                }
+                // §4 collection rule: which targets get value questions.
+                let paired = pair_targets(&trio, j, &weights, config);
+                // Affordability: statistics for this attribute must leave
+                // the completion reserve intact.
+                let stat_cost = attribute_stat_cost(&d, &paired, n1, config, pricing);
+                let reserve = budgeting::completion_cost(
+                    pool.len() + 1,
+                    n_targets,
+                    n1,
+                    b_obj,
+                    config,
+                    pricing,
+                );
+                if platform.ledger().remaining() < stat_cost + reserve {
+                    break;
+                }
+                stats.discovered.push(d.label.clone());
+                let attr = d.attr;
+                pool.insert(d);
+                model.add_attribute();
+                let idx = collector.add_attribute(platform, attr, paired, config.k)?;
+                collector.update_trio(&mut trio, idx, config.k, config.diag_bias_correction, config.so_shrinkage)?;
+            }
+        }
+    }
+
+    // ---- Fill unmeasured S_o entries (§4 estimation) ---------------------
+    fill_missing_s_o(&mut trio, config)?;
+
+    // ---- Budget distribution (+ two-stage refinement) --------------------
+    let costs = value_costs(&pool, pricing);
+    let (mut budget, _) = find_budget_distribution(&trio, &weights, b_obj, &costs)?;
+    for _ in 0..config.refine_rounds {
+        let selected: Vec<usize> = (0..pool.len()).filter(|&i| budget[i] > 0).collect();
+        if selected.is_empty() {
+            break;
+        }
+        // Refresh only what the budget can spare beyond the completion
+        // reserve. Cost: k fresh answers per already-collected cell.
+        let refresh_cost: Money = selected
+            .iter()
+            .map(|&i| {
+                let paired = (0..n_targets)
+                    .filter(|&t| collector.is_paired(i, t))
+                    .count();
+                pricing.value_price(pool.get(i).kind) * ((config.k * n1 * paired) as i64)
+            })
+            .sum();
+        let reserve =
+            budgeting::completion_cost(pool.len(), n_targets, n1, b_obj, config, pricing);
+        if platform.ledger().remaining() < refresh_cost + reserve {
+            break;
+        }
+        for &i in &selected {
+            collector.extend_answers(platform, i, pool.get(i).attr, config.k)?;
+            collector.refresh_trio_entry(
+                &mut trio,
+                i,
+                config.diag_bias_correction,
+                config.so_shrinkage,
+            )?;
+        }
+        // Refresh overwrites the pinned exact self-statistics of any
+        // selected query attribute; restore them.
+        pin_query_attr_stats(&mut trio, &collector, n_targets)?;
+        let (new_budget, _) = find_budget_distribution(&trio, &weights, b_obj, &costs)?;
+        let stable = new_budget == budget;
+        budget = new_budget;
+        if stable {
+            break;
+        }
+    }
+    let mut plan = learn_regressions(platform, &collector, &pool, &budget, config, false)?;
+
+    // ---- Plan validation against the query-only fallback ------------------
+    // The training rows carry *true* target values, so the realized
+    // training error is an honest check on the whole estimation pipeline.
+    // If the dismantled plan underperforms what the (exactly-known) query
+    // attributes alone are predicted to achieve, fall back — the paper's
+    // framework can never need to do worse than SimpleDisQ.
+    let fallback_costs: Vec<Money> = pool
+        .iter()
+        .map(|d| {
+            if d.is_query_attr {
+                pricing.value_price(d.kind)
+            } else {
+                Money::ZERO
+            }
+        })
+        .collect();
+    let (fb_budget, _) = find_budget_distribution(&trio, &weights, b_obj, &fallback_costs)?;
+    if fb_budget != budget {
+        let realized_a = weighted_training_error(&plan, &weights, config);
+        let fb_f64: Vec<f64> = fb_budget.iter().map(|&b| b as f64).collect();
+        let mut predicted_fb = 0.0;
+        for (t, &w) in weights.iter().enumerate() {
+            predicted_fb += w * trio.predicted_error(t, &fb_f64)?;
+        }
+        if realized_a > predicted_fb * 1.05 {
+            let plan_b =
+                learn_regressions(platform, &collector, &pool, &fb_budget, config, false)?;
+            let realized_b = weighted_training_error(&plan_b, &weights, config);
+            if realized_b < realized_a {
+                plan = plan_b;
+                budget = fb_budget;
+                stats.fell_back = true;
+            }
+        }
+    }
+    // Convert whatever budget remains into extra training rows for the
+    // winning plan (the N₂ rule is a lower bound).
+    let improved = learn_regressions(platform, &collector, &pool, &budget, config, true)?;
+    if weighted_training_error(&improved, &weights, config)
+        <= weighted_training_error(&plan, &weights, config)
+    {
+        plan = improved;
+    }
+
+    stats.spent = platform.ledger().spent();
+    Ok(PreprocessOutput {
+        plan,
+        pool_labels: pool.iter().map(|d| d.label.clone()).collect(),
+        budget,
+        weights,
+        trio,
+        stats,
+    })
+}
+
+/// Weighted realized training error of a plan, with a degrees-of-freedom
+/// optimism correction (`n/(n − p − 1)`) so plans with more predictors do
+/// not win on in-sample fit alone. Missing MSEs count as infinite.
+fn weighted_training_error(plan: &EvaluationPlan, weights: &[f64], config: &DisqConfig) -> f64 {
+    let p = plan.attributes.len();
+    let n = config.n2(p) as f64;
+    let correction = if n > (p + 1) as f64 {
+        n / (n - (p + 1) as f64)
+    } else {
+        f64::INFINITY
+    };
+    plan.regressions
+        .iter()
+        .zip(weights)
+        .map(|(r, &w)| {
+            if r.training_mse.is_finite() {
+                w * r.training_mse * correction
+            } else {
+                f64::INFINITY
+            }
+        })
+        .sum()
+}
+
+/// Pins a query attribute's self statistics to exact values: for unbiased
+/// workers `Cov(answer_t, a_t) = Var(a_t)`, and the example set carries the
+/// *true* target values, so both the `S_o[t][t]` entry and the attribute's
+/// own variance are estimable without answer noise (and must not be
+/// soft-thresholded — shrinking the target's own signal drains the online
+/// budget toward weak helpers).
+fn pin_query_attr_stats(
+    trio: &mut StatsTrio,
+    collector: &crate::components::statistics::StatisticsCollector,
+    n_targets: usize,
+) -> Result<(), DisqError> {
+    for t in 0..n_targets {
+        let var = collector.target_variance(t);
+        trio.set_s_o(t, t, var)?;
+        trio.set_s_a(t, t, var)?;
+    }
+    Ok(())
+}
+
+fn value_costs(pool: &AttributePool, pricing: &PricingModel) -> Vec<Money> {
+    pool.iter().map(|d| pricing.value_price(d.kind)).collect()
+}
+
+/// Runs the SPRT verification dialogue for a suggested attribute.
+fn run_verification<P: CrowdPlatform>(
+    platform: &mut P,
+    candidate: &str,
+    of: AttributeId,
+    config: &DisqConfig,
+) -> Result<bool, DisqError> {
+    let mut sprt = Sprt::new(config.sprt).map_err(DisqError::Config)?;
+    loop {
+        let yes = platform.ask_verify(candidate, of)?;
+        match sprt.feed(yes) {
+            SprtDecision::AcceptRelevant => return Ok(true),
+            SprtDecision::RejectIrrelevant => return Ok(false),
+            SprtDecision::Continue => {}
+        }
+    }
+}
+
+/// §4 collection rule: estimated relevance of the new attribute to each
+/// target is `ρ̂ · ρ(target, parent)`; pair with targets whose estimate is
+/// at least `pairing_threshold` of the best (policy-dependent).
+fn pair_targets(
+    trio: &StatsTrio,
+    parent_idx: usize,
+    weights: &[f64],
+    config: &DisqConfig,
+) -> Vec<bool> {
+    let n_targets = trio.n_targets();
+    if n_targets == 1 {
+        return vec![true];
+    }
+    match config.pairing {
+        PairingPolicy::All => vec![true; n_targets],
+        PairingPolicy::One | PairingPolicy::Rule => {
+            let est: Vec<f64> = (0..n_targets)
+                .map(|t| {
+                    let rho = trio.target_correlation(t, parent_idx).abs();
+                    config.rho_assumption * rho * weights[t].max(0.0).signum().max(0.0)
+                })
+                .collect();
+            let (best, best_val) = est
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, &v)| (i, v))
+                .unwrap_or((0, 0.0));
+            let mut paired = vec![false; n_targets];
+            paired[best] = true;
+            if config.pairing == PairingPolicy::Rule && best_val > 0.0 {
+                for t in 0..n_targets {
+                    if est[t] >= config.pairing_threshold * best_val {
+                        paired[t] = true;
+                    }
+                }
+            }
+            paired
+        }
+    }
+}
+
+/// Statistics cost of adding one attribute: `k·N₁` value questions per
+/// paired target.
+fn attribute_stat_cost(
+    d: &crate::DiscoveredAttr,
+    paired: &[bool],
+    n1: usize,
+    config: &DisqConfig,
+    pricing: &PricingModel,
+) -> Money {
+    let n_paired = paired.iter().filter(|&&p| p).count();
+    pricing.value_price(d.kind) * ((config.k * n1 * n_paired) as i64)
+}
+
+/// Fills NaN `S_o` entries per the configured estimation policy.
+fn fill_missing_s_o(trio: &mut StatsTrio, config: &DisqConfig) -> Result<(), DisqError> {
+    let n_targets = trio.n_targets();
+    let n_attrs = trio.n_attrs();
+    let any_missing = (0..n_targets)
+        .any(|t| (0..n_attrs).any(|a| trio.s_o_missing(t, a)));
+    if !any_missing {
+        return Ok(());
+    }
+    match config.estimation {
+        EstimationPolicy::Graph => {
+            let mut g = SoGraphEstimator::new(n_targets, n_attrs);
+            for t in 0..n_targets {
+                for a in 0..n_attrs {
+                    if !trio.s_o_missing(t, a) {
+                        g.add_target_edge(t, a, trio.target_correlation(t, a));
+                    }
+                }
+            }
+            if config.graph_attr_edges {
+                for i in 0..n_attrs {
+                    for j in (i + 1)..n_attrs {
+                        g.add_attr_edge(i, j, trio.attr_correlation(i, j));
+                    }
+                }
+            }
+            for t in 0..n_targets {
+                let est = g.estimate_for_target(t);
+                let sigma_t = trio.target_variance(t).max(0.0).sqrt();
+                for a in 0..n_attrs {
+                    if trio.s_o_missing(t, a) {
+                        // Eq. 11: S_o = σ(a_t)·σ(a_j)·cos(shortest path).
+                        let value = est[a].0 * sigma_t * trio.sigma(a);
+                        trio.set_s_o(t, a, value)?;
+                    }
+                }
+            }
+        }
+        EstimationPolicy::AverageDefault => {
+            // NaiveEstimations baseline: every missing entry gets the
+            // average of the measured |S_o| values.
+            let mut measured = Vec::new();
+            for t in 0..n_targets {
+                for a in 0..n_attrs {
+                    if !trio.s_o_missing(t, a) {
+                        measured.push(trio.s_o(t, a).abs());
+                    }
+                }
+            }
+            let default = if measured.is_empty() {
+                0.0
+            } else {
+                measured.iter().sum::<f64>() / measured.len() as f64
+            };
+            for t in 0..n_targets {
+                for a in 0..n_attrs {
+                    if trio.s_o_missing(t, a) {
+                        trio.set_s_o(t, a, default)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disq_crowd::{CrowdConfig, SimulatedCrowd};
+    use disq_domain::{domains::pictures, domains::recipes, Population};
+    use std::sync::Arc;
+
+    fn crowd(spec: Arc<DomainSpec>, cap: Money, seed: u64) -> SimulatedCrowd {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = Population::sample(spec, 4_000, &mut rng).unwrap();
+        SimulatedCrowd::new(pop, CrowdConfig::default(), Some(cap), seed)
+    }
+
+    #[test]
+    fn single_target_bmi_end_to_end() {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(25.0), 1);
+        let out = preprocess(
+            &mut c,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            1,
+        )
+        .unwrap();
+        // The plan must exist, fit the per-object budget, and have found
+        // helper attributes.
+        assert!(out.plan.cost_per_object(&PricingModel::paper()) <= Money::from_cents(4.0));
+        assert!(!out.stats.discovered.is_empty(), "no attributes discovered");
+        assert!(out.stats.dismantle_questions > 0);
+        assert!(out.stats.spent <= Money::from_dollars(25.0));
+        assert_eq!(out.plan.regressions.len(), 1);
+        assert_eq!(out.pool_labels[0], "Bmi");
+        // Budget distribution aligned with the pool.
+        assert_eq!(out.budget.len(), out.pool_labels.len());
+    }
+
+    #[test]
+    fn simple_disq_discovers_nothing() {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(20.0), 2);
+        let config = DisqConfig {
+            dismantling: false,
+            ..Default::default()
+        };
+        let out = preprocess(
+            &mut c,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &config,
+            &PricingModel::paper(),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(out.stats.discovered.is_empty());
+        assert_eq!(out.stats.dismantle_questions, 0);
+        assert_eq!(out.pool_labels, vec!["Bmi".to_string()]);
+    }
+
+    #[test]
+    fn multi_target_shares_attributes() {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let age = spec.id_of("Age").unwrap();
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(50.0), 3);
+        let out = preprocess(
+            &mut c,
+            &spec,
+            &[bmi, age],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            3,
+        )
+        .unwrap();
+        assert_eq!(out.plan.regressions.len(), 2);
+        assert_eq!(out.weights.len(), 2);
+        // Weights default to 1/Var: Bmi var ~20 → w ~0.05; Age var ~196 →
+        // w ~0.005.
+        assert!(out.weights[0] > out.weights[1]);
+        // No NaN S_o survives the estimation fill.
+        for t in 0..2 {
+            for a in 0..out.trio.n_attrs() {
+                assert!(!out.trio.s_o_missing(t, a), "missing S_o[{t}][{a}]");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_too_small_is_reported() {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(1.0), 4);
+        let err = preprocess(
+            &mut c,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DisqError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let spec = Arc::new(pictures::spec());
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(10.0), 5);
+        let err = preprocess(
+            &mut c,
+            &spec,
+            &[],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            5,
+        )
+        .unwrap_err();
+        assert_eq!(err, DisqError::EmptyQuery);
+    }
+
+    #[test]
+    fn recipes_protein_discovers_meat() {
+        let spec = Arc::new(recipes::spec());
+        let protein = spec.id_of("Protein").unwrap();
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(30.0), 6);
+        let out = preprocess(
+            &mut c,
+            &spec,
+            &[protein],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            6,
+        )
+        .unwrap();
+        // The dominant Table 4b answer (Has Meat, 13%) should be found
+        // given ~this much budget.
+        assert!(
+            out.stats.discovered.iter().any(|d| d == "Has Meat"),
+            "discovered: {:?}",
+            out.stats.discovered
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let run = || {
+            let mut c = crowd(Arc::clone(&spec), Money::from_dollars(20.0), 9);
+            preprocess(
+                &mut c,
+                &spec,
+                &[bmi],
+                Money::from_cents(4.0),
+                &DisqConfig::default(),
+                &PricingModel::paper(),
+                None,
+                9,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.stats.discovered, b.stats.discovered);
+    }
+
+    #[test]
+    fn weight_arity_validated() {
+        let spec = Arc::new(pictures::spec());
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut c = crowd(Arc::clone(&spec), Money::from_dollars(10.0), 5);
+        let err = preprocess(
+            &mut c,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            Some(vec![1.0, 2.0]),
+            5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DisqError::Config(_)));
+    }
+}

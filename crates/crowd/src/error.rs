@@ -1,0 +1,49 @@
+//! Error type for crowd operations.
+
+use crate::Money;
+use std::fmt;
+
+/// Errors raised by a crowd platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdError {
+    /// The ledger cap would be exceeded by this question.
+    BudgetExhausted {
+        /// Price of the question that was refused.
+        needed: Money,
+        /// Money left under the cap.
+        remaining: Money,
+    },
+    /// An example question was asked of a platform with no objects.
+    EmptyPopulation,
+    /// A question referenced an attribute unknown to the platform's domain.
+    UnknownAttribute(String),
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::BudgetExhausted { needed, remaining } => {
+                write!(f, "budget exhausted: need {needed}, have {remaining}")
+            }
+            CrowdError::EmptyPopulation => write!(f, "platform has no example objects"),
+            CrowdError::UnknownAttribute(n) => write!(f, "unknown attribute '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CrowdError::BudgetExhausted {
+            needed: Money::from_cents(5.0),
+            remaining: Money::from_cents(1.0),
+        };
+        assert!(e.to_string().contains("budget exhausted"));
+        assert!(CrowdError::EmptyPopulation.to_string().contains("no example"));
+    }
+}

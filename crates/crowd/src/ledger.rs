@@ -1,0 +1,160 @@
+//! Budget accounting.
+//!
+//! Every crowd question is charged against a [`BudgetLedger`] before its
+//! answer is produced. The ledger enforces an optional hard cap (the
+//! preprocessing budget `B_prc`) and keeps per-question-type counts and
+//! totals so experiments can report exactly where the money went.
+
+use crate::{CrowdError, Money, QuestionKind};
+
+/// Tracks crowd spending with an optional cap.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    cap: Option<Money>,
+    spent: Money,
+    counts: [u64; 5],
+    totals: [Money; 5],
+}
+
+fn kind_index(kind: QuestionKind) -> usize {
+    match kind {
+        QuestionKind::BinaryValue => 0,
+        QuestionKind::NumericValue => 1,
+        QuestionKind::Dismantle => 2,
+        QuestionKind::Verify => 3,
+        QuestionKind::Example => 4,
+    }
+}
+
+impl BudgetLedger {
+    /// A ledger with no cap (online phase: the per-object budget is
+    /// enforced by the plan, not the ledger).
+    pub fn unlimited() -> Self {
+        BudgetLedger {
+            cap: None,
+            spent: Money::ZERO,
+            counts: [0; 5],
+            totals: [Money::ZERO; 5],
+        }
+    }
+
+    /// A ledger with a hard cap.
+    pub fn with_cap(cap: Money) -> Self {
+        BudgetLedger {
+            cap: Some(cap),
+            ..BudgetLedger::unlimited()
+        }
+    }
+
+    /// The cap, if any.
+    pub fn cap(&self) -> Option<Money> {
+        self.cap
+    }
+
+    /// Total spent so far.
+    pub fn spent(&self) -> Money {
+        self.spent
+    }
+
+    /// Money left under the cap (`Money::from_millicents(i64::MAX)` when
+    /// uncapped).
+    pub fn remaining(&self) -> Money {
+        match self.cap {
+            Some(cap) => cap.saturating_sub_floor_zero(self.spent),
+            None => Money::from_millicents(i64::MAX),
+        }
+    }
+
+    /// True when at least `amount` is still available.
+    pub fn can_afford(&self, amount: Money) -> bool {
+        match self.cap {
+            Some(cap) => self.spent + amount <= cap,
+            None => true,
+        }
+    }
+
+    /// Charges one question. Fails without recording anything if the cap
+    /// would be exceeded.
+    pub fn charge(&mut self, kind: QuestionKind, price: Money) -> Result<(), CrowdError> {
+        if !self.can_afford(price) {
+            return Err(CrowdError::BudgetExhausted {
+                needed: price,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += price;
+        let i = kind_index(kind);
+        self.counts[i] += 1;
+        self.totals[i] += price;
+        Ok(())
+    }
+
+    /// Number of questions of a kind charged so far.
+    pub fn count(&self, kind: QuestionKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
+    /// Money spent on a kind so far.
+    pub fn total(&self, kind: QuestionKind) -> Money {
+        self.totals[kind_index(kind)]
+    }
+
+    /// Total questions of any kind.
+    pub fn total_questions(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_refuses() {
+        let mut l = BudgetLedger::unlimited();
+        for _ in 0..1000 {
+            l.charge(QuestionKind::Example, Money::from_dollars(1.0)).unwrap();
+        }
+        assert_eq!(l.spent(), Money::from_dollars(1000.0));
+        assert_eq!(l.count(QuestionKind::Example), 1000);
+    }
+
+    #[test]
+    fn cap_enforced_exactly() {
+        let mut l = BudgetLedger::with_cap(Money::from_cents(1.0));
+        // Ten binary questions at 0.1¢ fit exactly.
+        for _ in 0..10 {
+            l.charge(QuestionKind::BinaryValue, Money::from_cents(0.1)).unwrap();
+        }
+        assert_eq!(l.remaining(), Money::ZERO);
+        let err = l
+            .charge(QuestionKind::BinaryValue, Money::from_cents(0.1))
+            .unwrap_err();
+        assert!(matches!(err, CrowdError::BudgetExhausted { .. }));
+        // Refused charge must not be recorded.
+        assert_eq!(l.count(QuestionKind::BinaryValue), 10);
+        assert_eq!(l.spent(), Money::from_cents(1.0));
+    }
+
+    #[test]
+    fn conservation_across_kinds() {
+        let mut l = BudgetLedger::with_cap(Money::from_dollars(1.0));
+        l.charge(QuestionKind::Dismantle, Money::from_cents(1.5)).unwrap();
+        l.charge(QuestionKind::Verify, Money::from_cents(0.1)).unwrap();
+        l.charge(QuestionKind::NumericValue, Money::from_cents(0.4)).unwrap();
+        let sum: Money = QuestionKind::ALL.iter().map(|&k| l.total(k)).sum();
+        assert_eq!(sum, l.spent());
+        assert_eq!(l.total_questions(), 3);
+        assert_eq!(l.remaining() + l.spent(), Money::from_dollars(1.0));
+    }
+
+    #[test]
+    fn can_afford_matches_charge() {
+        let mut l = BudgetLedger::with_cap(Money::from_cents(0.5));
+        assert!(l.can_afford(Money::from_cents(0.5)));
+        assert!(!l.can_afford(Money::from_cents(0.6)));
+        l.charge(QuestionKind::Verify, Money::from_cents(0.5)).unwrap();
+        assert!(!l.can_afford(Money::from_cents(0.1)));
+        assert!(l.can_afford(Money::ZERO));
+    }
+}

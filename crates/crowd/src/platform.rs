@@ -1,0 +1,459 @@
+//! The crowd platform trait and its simulator.
+//!
+//! [`CrowdPlatform`] is the only interface through which the DisQ
+//! algorithm may learn about the world — exactly the four question types
+//! of §2, each charged against the ledger at the configured price before
+//! an answer is produced.
+//!
+//! [`SimulatedCrowd`] implements the paper's worker model over a sampled
+//! [`Population`]:
+//!
+//! * **value questions** — numeric attributes get `o.a + ε` with
+//!   `ε ~ N(0, S_c[a])`; boolean attributes get a yes/no *vote* drawn
+//!   Bernoulli on the object's yes-propensity (unbiased, independent —
+//!   the paper's worker model exactly, with `S_c = E[q(1−q)]`). An
+//!   optional spam rate produces garbage for the spam filter to catch;
+//! * **dismantling questions** sample the domain's empirical answer
+//!   distribution (Table 4), optionally rephrased as a synonym and with
+//!   leftover mass going to irrelevant junk phrases;
+//! * **verification questions** answer "yes" with probability increasing
+//!   in the true correlation between the candidate and the target —
+//!   workers mostly confirm genuinely related attributes;
+//! * **example questions** return a random object with its true values
+//!   (the paper assumes uploaded example values are correct).
+
+use crate::{BudgetLedger, CrowdError, Money, PricingModel, QuestionKind};
+use disq_domain::{AttributeId, AttributeKind, ObjectId, Population};
+use disq_math::standard_normal;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Behavioural knobs of the simulated crowd (§5.4 robustness dimensions).
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Price sheet used to charge the ledger.
+    pub pricing: PricingModel,
+    /// Extra probability that a dismantling answer is irrelevant junk,
+    /// *in addition to* the leftover mass of the domain distribution
+    /// ("Attributes Quality" experiment).
+    pub junk_rate_boost: f64,
+    /// Probability that a dismantling answer uses a synonym phrasing
+    /// instead of the canonical name ("Normalization Mechanism"
+    /// experiment).
+    pub synonym_rate: f64,
+    /// Probability that a value answer is uniform garbage instead of a
+    /// noisy estimate (caught downstream by [`crate::filter_spam`]).
+    pub spam_rate: f64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            pricing: PricingModel::paper(),
+            junk_rate_boost: 0.0,
+            synonym_rate: 0.0,
+            spam_rate: 0.0,
+        }
+    }
+}
+
+/// Irrelevant phrases a confused worker may offer when dismantling.
+/// None of these resolve in any domain registry, so verification is the
+/// only line of defence — as in the paper.
+const JUNK_PHRASES: [&str; 12] = [
+    "background color",
+    "font of the text",
+    "number of vowels in the name",
+    "mood of the photographer",
+    "day of the week",
+    "phase of the moon",
+    "is it black",
+    "photo resolution",
+    "username of the poster",
+    "page number",
+    "shadow direction",
+    "camera brand",
+];
+
+/// The crowd as the algorithm sees it.
+pub trait CrowdPlatform {
+    /// Asks one worker for the value of `o.a`; charges a binary or numeric
+    /// value price depending on the attribute kind.
+    fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError>;
+
+    /// Asks one worker to dismantle attribute `a`; returns the raw answer
+    /// text (canonical name, synonym, or junk).
+    fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError>;
+
+    /// Asks one worker whether knowing `candidate` (raw text) helps
+    /// estimate `of`.
+    fn ask_verify(&mut self, candidate: &str, of: AttributeId) -> Result<bool, CrowdError>;
+
+    /// Asks one worker for an example object with true values for `attrs`.
+    fn ask_example(&mut self, attrs: &[AttributeId]) -> Result<(ObjectId, Vec<f64>), CrowdError>;
+
+    /// The ledger recording everything charged so far.
+    fn ledger(&self) -> &BudgetLedger;
+}
+
+/// Simulated workers over a sampled population.
+#[derive(Debug)]
+pub struct SimulatedCrowd {
+    population: Population,
+    config: CrowdConfig,
+    ledger: BudgetLedger,
+    rng: StdRng,
+}
+
+impl SimulatedCrowd {
+    /// Creates a simulated crowd. `cap` is the hard budget (use `None`
+    /// for the uncapped online phase); `seed` makes the crowd
+    /// deterministic.
+    pub fn new(population: Population, config: CrowdConfig, cap: Option<Money>, seed: u64) -> Self {
+        let ledger = match cap {
+            Some(c) => BudgetLedger::with_cap(c),
+            None => BudgetLedger::unlimited(),
+        };
+        SimulatedCrowd {
+            population,
+            config,
+            ledger,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Ground-truth population behind the crowd (for *harness-side* error
+    /// measurement only — the algorithm must go through the question API).
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrowdConfig {
+        &self.config
+    }
+
+    fn value_kind(&self, a: AttributeId) -> (QuestionKind, Money) {
+        let kind = self.population.spec().attr(a).kind;
+        let price = self.config.pricing.value_price(kind);
+        let qk = match kind {
+            AttributeKind::Boolean => QuestionKind::BinaryValue,
+            AttributeKind::Numeric => QuestionKind::NumericValue,
+        };
+        (qk, price)
+    }
+}
+
+impl CrowdPlatform for SimulatedCrowd {
+    fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
+        let (qk, price) = self.value_kind(a);
+        self.ledger.charge(qk, price)?;
+        let spec = self.population.spec().attr(a);
+        let truth = self.population.value(o, a);
+        let spamming =
+            self.config.spam_rate > 0.0 && self.rng.random::<f64>() < self.config.spam_rate;
+        Ok(match spec.kind {
+            // Boolean questions get a yes/no vote: Bernoulli on the
+            // object's yes-propensity. E[vote | truth] = truth, so the
+            // paper's unbiased-independent-noise model holds exactly, with
+            // per-object variance q(1−q).
+            AttributeKind::Boolean => {
+                let p = if spamming {
+                    0.5
+                } else {
+                    truth.clamp(0.0, 1.0)
+                };
+                if self.rng.random::<f64>() < p {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            AttributeKind::Numeric => {
+                if spamming {
+                    // Spam: uniform garbage over a wide plausible range.
+                    let span = (4.0 * spec.sd).max(1.0);
+                    spec.mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
+                } else {
+                    truth + spec.worker_sd * standard_normal(&mut self.rng)
+                }
+            }
+        })
+    }
+
+    fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
+        self.ledger
+            .charge(QuestionKind::Dismantle, self.config.pricing.dismantle)?;
+        let spec = self.population.spec();
+        let keep = (1.0 - self.config.junk_rate_boost).clamp(0.0, 1.0);
+        let mut u: f64 = self.rng.random();
+        for &(ans, p) in spec.dismantle_distribution(a) {
+            let p = p * keep;
+            if u < p {
+                let attr = spec.attr(ans);
+                // Optionally phrase the answer as a synonym.
+                if !attr.synonyms.is_empty()
+                    && self.config.synonym_rate > 0.0
+                    && self.rng.random::<f64>() < self.config.synonym_rate
+                {
+                    let i = self.rng.random_range(0..attr.synonyms.len());
+                    return Ok(attr.synonyms[i].clone());
+                }
+                return Ok(attr.name.clone());
+            }
+            u -= p;
+        }
+        // Leftover mass: an irrelevant answer.
+        let i = self.rng.random_range(0..JUNK_PHRASES.len());
+        Ok(JUNK_PHRASES[i].to_string())
+    }
+
+    fn ask_verify(&mut self, candidate: &str, of: AttributeId) -> Result<bool, CrowdError> {
+        self.ledger
+            .charge(QuestionKind::Verify, self.config.pricing.verify)?;
+        let spec = self.population.spec();
+        let p_yes = match spec.id_of(candidate) {
+            Some(c) => {
+                let rho = spec.correlation(c, of).abs();
+                (0.2 + 1.1 * rho).clamp(0.05, 0.95)
+            }
+            // Junk the crowd does not recognize as related.
+            None => 0.15,
+        };
+        Ok(self.rng.random::<f64>() < p_yes)
+    }
+
+    fn ask_example(&mut self, attrs: &[AttributeId]) -> Result<(ObjectId, Vec<f64>), CrowdError> {
+        self.ledger
+            .charge(QuestionKind::Example, self.config.pricing.example)?;
+        if self.population.n_objects() == 0 {
+            return Err(CrowdError::EmptyPopulation);
+        }
+        let o = ObjectId(self.rng.random_range(0..self.population.n_objects()));
+        let values = attrs.iter().map(|&a| self.population.value(o, a)).collect();
+        Ok((o, values))
+    }
+
+    fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disq_domain::domains::pictures;
+    use std::sync::Arc;
+
+    fn crowd(cap: Option<Money>) -> SimulatedCrowd {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(spec, 500, &mut rng).unwrap();
+        SimulatedCrowd::new(pop, CrowdConfig::default(), cap, 42)
+    }
+
+    #[test]
+    fn value_answers_center_on_truth() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let o = ObjectId(3);
+        let truth = c.population().value(o, bmi);
+        let n = 3000;
+        let avg: f64 = (0..n).map(|_| c.ask_value(o, bmi).unwrap()).sum::<f64>() / n as f64;
+        // Worker sd for Bmi is sqrt(90) ≈ 9.5; the mean of 3000 answers has
+        // sd ≈ 0.1.
+        assert!((avg - truth).abs() < 0.5, "avg {avg} truth {truth}");
+    }
+
+    #[test]
+    fn value_answer_noise_matches_sc() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let o = ObjectId(1);
+        let n = 4000;
+        let answers: Vec<f64> = (0..n).map(|_| c.ask_value(o, bmi).unwrap()).collect();
+        let mean = answers.iter().sum::<f64>() / n as f64;
+        let var = answers.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var - 90.0).abs() < 9.0, "var {var}");
+    }
+
+    #[test]
+    fn boolean_answers_clamped() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let heavy = spec.id_of("Heavy").unwrap();
+        for i in 0..200 {
+            let v = c.ask_value(ObjectId(i % 50), heavy).unwrap();
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn value_questions_priced_by_kind() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap(); // numeric
+        let heavy = spec.id_of("Heavy").unwrap(); // boolean
+        c.ask_value(ObjectId(0), bmi).unwrap();
+        c.ask_value(ObjectId(0), heavy).unwrap();
+        assert_eq!(c.ledger().count(QuestionKind::NumericValue), 1);
+        assert_eq!(c.ledger().count(QuestionKind::BinaryValue), 1);
+        assert_eq!(c.ledger().spent(), Money::from_cents(0.5));
+    }
+
+    #[test]
+    fn dismantle_frequencies_follow_table4() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let n = 4000;
+        let mut weight_count = 0;
+        let mut junk_count = 0;
+        for _ in 0..n {
+            let ans = c.ask_dismantle(bmi).unwrap();
+            match c.population().spec().id_of(&ans) {
+                Some(id) if c.population().spec().attr(id).name == "Weight" => weight_count += 1,
+                Some(_) => {}
+                None => junk_count += 1,
+            }
+        }
+        let weight_freq = weight_count as f64 / n as f64;
+        assert!((weight_freq - 0.33).abs() < 0.03, "weight {weight_freq}");
+        // Bmi's Table 4a relevant mass is 0.74, so ~26% junk.
+        let junk_freq = junk_count as f64 / n as f64;
+        assert!((junk_freq - 0.26).abs() < 0.03, "junk {junk_freq}");
+    }
+
+    #[test]
+    fn junk_boost_increases_junk() {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 100, &mut rng).unwrap();
+        let cfg = CrowdConfig {
+            junk_rate_boost: 0.5,
+            ..Default::default()
+        };
+        let mut c = SimulatedCrowd::new(pop, cfg, None, 7);
+        let bmi = spec.id_of("Bmi").unwrap();
+        let n = 2000;
+        let junk = (0..n)
+            .filter(|_| {
+                let ans = c.ask_dismantle(bmi).unwrap();
+                spec.id_of(&ans).is_none()
+            })
+            .count();
+        let freq = junk as f64 / n as f64;
+        // 1 - 0.87*0.5 ≈ 0.565 expected junk.
+        assert!(freq > 0.45, "junk freq {freq}");
+    }
+
+    #[test]
+    fn synonyms_surface_when_enabled() {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 100, &mut rng).unwrap();
+        let cfg = CrowdConfig {
+            synonym_rate: 1.0,
+            ..Default::default()
+        };
+        let mut c = SimulatedCrowd::new(pop, cfg, None, 7);
+        let bmi = spec.id_of("Bmi").unwrap();
+        // Heavy has synonyms; with rate 1.0 any Heavy answer must be a
+        // synonym, never the canonical name.
+        for _ in 0..500 {
+            let ans = c.ask_dismantle(bmi).unwrap();
+            assert_ne!(ans, "Heavy");
+        }
+    }
+
+    #[test]
+    fn verify_separates_relevant_from_junk() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let n = 500;
+        let yes_weight = (0..n).filter(|_| c.ask_verify("Weight", bmi).unwrap()).count();
+        let yes_junk = (0..n)
+            .filter(|_| c.ask_verify("phase of the moon", bmi).unwrap())
+            .count();
+        assert!(yes_weight as f64 / n as f64 > 0.7);
+        assert!((yes_junk as f64 / n as f64) < 0.3);
+    }
+
+    #[test]
+    fn verify_accepts_synonym_phrasing() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let n = 400;
+        // "big" is a synonym of Heavy (rho 0.86 with Bmi).
+        let yes = (0..n).filter(|_| c.ask_verify("big", bmi).unwrap()).count();
+        assert!(yes as f64 / n as f64 > 0.6);
+    }
+
+    #[test]
+    fn examples_return_truth() {
+        let mut c = crowd(None);
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let age = spec.id_of("Age").unwrap();
+        let (o, values) = c.ask_example(&[bmi, age]).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0], c.population().value(o, bmi));
+        assert_eq!(values[1], c.population().value(o, age));
+        assert_eq!(c.ledger().count(QuestionKind::Example), 1);
+    }
+
+    #[test]
+    fn budget_cap_stops_questions() {
+        let mut c = crowd(Some(Money::from_cents(1.5)));
+        let spec = c.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        c.ask_dismantle(bmi).unwrap(); // exactly exhausts 1.5¢
+        let err = c.ask_dismantle(bmi).unwrap_err();
+        assert!(matches!(err, CrowdError::BudgetExhausted { .. }));
+        assert_eq!(c.ledger().count(QuestionKind::Dismantle), 1);
+    }
+
+    #[test]
+    fn spam_rate_inflates_answer_spread() {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 100, &mut rng).unwrap();
+        let clean = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), None, 1);
+        let spammy = SimulatedCrowd::new(
+            pop,
+            CrowdConfig {
+                spam_rate: 0.3,
+                ..Default::default()
+            },
+            None,
+            1,
+        );
+        let height = spec.id_of("Height").unwrap();
+        let spread = |mut c: SimulatedCrowd| {
+            let xs: Vec<f64> = (0..2000).map(|_| c.ask_value(ObjectId(0), height).unwrap()).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(spread(spammy) > spread(clean) * 1.5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 100, &mut rng).unwrap();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut a = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), None, 5);
+        let mut b = SimulatedCrowd::new(pop, CrowdConfig::default(), None, 5);
+        for i in 0..50 {
+            assert_eq!(
+                a.ask_value(ObjectId(i), bmi).unwrap(),
+                b.ask_value(ObjectId(i), bmi).unwrap()
+            );
+        }
+    }
+}

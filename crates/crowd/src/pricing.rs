@@ -1,0 +1,114 @@
+//! Crowd-task price sheets.
+//!
+//! §5.1: "We set the payment for binary value question to 0.1¢ and to 0.4¢
+//! for general numeric values. For dismantling and example questions …
+//! 1.5¢ per answer … and the price of an example question to 5¢."
+//! Verification questions are yes/no and priced as binary questions.
+//! §5.4 shows the trends are robust to alternative price sheets, which the
+//! robustness bench reproduces by scaling this structure.
+
+use crate::{Money, QuestionKind};
+use disq_domain::AttributeKind;
+
+/// Prices for each crowd question type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PricingModel {
+    /// Binary (boolean-attribute) value question.
+    pub binary_value: Money,
+    /// Numeric value question.
+    pub numeric_value: Money,
+    /// Attribute dismantling question.
+    pub dismantle: Money,
+    /// Dismantling verification question.
+    pub verify: Money,
+    /// Example question.
+    pub example: Money,
+}
+
+impl PricingModel {
+    /// The paper's price sheet.
+    pub fn paper() -> Self {
+        PricingModel {
+            binary_value: Money::from_cents(0.1),
+            numeric_value: Money::from_cents(0.4),
+            dismantle: Money::from_cents(1.5),
+            verify: Money::from_cents(0.1),
+            example: Money::from_cents(5.0),
+        }
+    }
+
+    /// A uniformly scaled variant (for the §5.4 pricing robustness sweep).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let s = |m: Money| Money::from_cents(m.as_cents() * factor);
+        PricingModel {
+            binary_value: s(self.binary_value),
+            numeric_value: s(self.numeric_value),
+            dismantle: s(self.dismantle),
+            verify: s(self.verify),
+            example: s(self.example),
+        }
+    }
+
+    /// Price of a value question about an attribute of the given kind.
+    pub fn value_price(&self, kind: AttributeKind) -> Money {
+        match kind {
+            AttributeKind::Boolean => self.binary_value,
+            AttributeKind::Numeric => self.numeric_value,
+        }
+    }
+
+    /// Price of a question by ledger kind; value questions must go through
+    /// [`Self::value_price`] (this returns the numeric price for
+    /// `NumericValue` and the binary price for `BinaryValue`).
+    pub fn price(&self, kind: QuestionKind) -> Money {
+        match kind {
+            QuestionKind::BinaryValue => self.binary_value,
+            QuestionKind::NumericValue => self.numeric_value,
+            QuestionKind::Dismantle => self.dismantle,
+            QuestionKind::Verify => self.verify,
+            QuestionKind::Example => self.example,
+        }
+    }
+}
+
+impl Default for PricingModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prices() {
+        let p = PricingModel::paper();
+        assert_eq!(p.binary_value, Money::from_cents(0.1));
+        assert_eq!(p.numeric_value, Money::from_cents(0.4));
+        assert_eq!(p.dismantle, Money::from_cents(1.5));
+        assert_eq!(p.example, Money::from_cents(5.0));
+    }
+
+    #[test]
+    fn value_price_by_kind() {
+        let p = PricingModel::paper();
+        assert_eq!(p.value_price(AttributeKind::Boolean), p.binary_value);
+        assert_eq!(p.value_price(AttributeKind::Numeric), p.numeric_value);
+    }
+
+    #[test]
+    fn scaling() {
+        let p = PricingModel::paper().scaled(2.0);
+        assert_eq!(p.dismantle, Money::from_cents(3.0));
+        assert_eq!(p.example, Money::from_cents(10.0));
+    }
+
+    #[test]
+    fn price_covers_all_kinds() {
+        let p = PricingModel::paper();
+        for k in QuestionKind::ALL {
+            assert!(p.price(k).is_positive());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the crowd substrate.
+
+use crate::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn money_cents_roundtrip(mc in -1_000_000_000i64..1_000_000_000) {
+        let m = Money::from_millicents(mc);
+        // as_cents is exact for this range; from_cents rounds back to the
+        // same milli-cent count.
+        prop_assert_eq!(Money::from_cents(m.as_cents()), m);
+        prop_assert_eq!(Money::from_dollars(m.as_dollars()), m);
+    }
+
+    #[test]
+    fn money_addition_is_associative_and_commutative(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1_000_000i64..1_000_000,
+    ) {
+        let (a, b, c) = (Money::from_millicents(a), Money::from_millicents(b), Money::from_millicents(c));
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Money::ZERO, a);
+    }
+
+    #[test]
+    fn money_ordering_consistent_with_millicents(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let (ma, mb) = (Money::from_millicents(a), Money::from_millicents(b));
+        prop_assert_eq!(ma < mb, a < b);
+        prop_assert_eq!(ma.saturating_sub_floor_zero(mb).millicents(), (a - b).max(0));
+    }
+
+    #[test]
+    fn ledger_conserves_money(prices in proptest::collection::vec(1i64..10_000, 1..50), cap_extra in 0i64..10_000) {
+        let total: i64 = prices.iter().sum();
+        let cap = Money::from_millicents(total + cap_extra);
+        let mut ledger = BudgetLedger::with_cap(cap);
+        for &p in &prices {
+            ledger.charge(QuestionKind::Dismantle, Money::from_millicents(p)).unwrap();
+        }
+        prop_assert_eq!(ledger.spent().millicents(), total);
+        prop_assert_eq!(ledger.spent() + ledger.remaining(), cap);
+        prop_assert_eq!(ledger.total_questions(), prices.len() as u64);
+        // Per-kind totals always sum to the overall spend.
+        let per_kind: Money = QuestionKind::ALL.iter().map(|&k| ledger.total(k)).sum();
+        prop_assert_eq!(per_kind, ledger.spent());
+    }
+
+    #[test]
+    fn ledger_never_overdrafts(prices in proptest::collection::vec(1i64..5_000, 1..60), cap in 1i64..100_000) {
+        let cap = Money::from_millicents(cap);
+        let mut ledger = BudgetLedger::with_cap(cap);
+        for &p in &prices {
+            let _ = ledger.charge(QuestionKind::Verify, Money::from_millicents(p));
+            prop_assert!(ledger.spent() <= cap);
+        }
+    }
+
+    #[test]
+    fn filter_spam_returns_ordered_subset(xs in proptest::collection::vec(-1e6_f64..1e6, 0..30)) {
+        let kept = filter_spam(&xs);
+        prop_assert!(kept.len() <= xs.len());
+        // Order-preserving subsequence check.
+        let mut it = xs.iter();
+        for k in &kept {
+            prop_assert!(it.any(|x| x == k), "kept value not found in order");
+        }
+    }
+
+    #[test]
+    fn filter_spam_keeps_majority(xs in proptest::collection::vec(-10.0_f64..10.0, 4..30)) {
+        // On bounded data (no extreme outliers possible relative to MAD
+        // breakdown), at least half the answers must survive.
+        let kept = filter_spam(&xs);
+        prop_assert!(kept.len() * 2 >= xs.len(), "{} of {} kept", kept.len(), xs.len());
+    }
+
+    #[test]
+    fn filter_spam_never_widens_the_range(xs in proptest::collection::vec(-1e3_f64..1e3, 0..25)) {
+        // Filtering can only trim tails: the kept min/max lie within the
+        // original min/max. (Note: the filter is deliberately single-pass,
+        // not idempotent — re-filtering a filtered batch recomputes the
+        // MAD on tighter data and may trim further.)
+        let kept = filter_spam(&xs);
+        if let (Some(kmin), Some(kmax)) = (
+            kept.iter().cloned().reduce(f64::min),
+            kept.iter().cloned().reduce(f64::max),
+        ) {
+            let omin = xs.iter().cloned().reduce(f64::min).unwrap();
+            let omax = xs.iter().cloned().reduce(f64::max).unwrap();
+            prop_assert!(kmin >= omin && kmax <= omax);
+        }
+    }
+
+    #[test]
+    fn pricing_scales_linearly(factor in 0.1_f64..10.0) {
+        let base = PricingModel::paper();
+        let scaled = base.scaled(factor);
+        for k in QuestionKind::ALL {
+            let expect = Money::from_cents(base.price(k).as_cents() * factor);
+            prop_assert_eq!(scaled.price(k), expect);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Question taxonomy (§2) and answer batches.
+
+use disq_domain::{AttributeId, ObjectId};
+use std::fmt;
+
+/// The four crowd question types of the paper, used for pricing and ledger
+/// bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionKind {
+    /// "What is the value of o.a?" for a boolean attribute (0.1¢).
+    BinaryValue,
+    /// "What is the value of o.a?" for a numeric attribute (0.4¢).
+    NumericValue,
+    /// "Which attribute may help estimate a?" (1.5¢).
+    Dismantle,
+    /// "Does knowing X help determine Y?" (priced as a binary question).
+    Verify,
+    /// "Provide an example object along with attribute values" (5¢).
+    Example,
+}
+
+impl QuestionKind {
+    /// All kinds, for reporting.
+    pub const ALL: [QuestionKind; 5] = [
+        QuestionKind::BinaryValue,
+        QuestionKind::NumericValue,
+        QuestionKind::Dismantle,
+        QuestionKind::Verify,
+        QuestionKind::Example,
+    ];
+}
+
+impl fmt::Display for QuestionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QuestionKind::BinaryValue => "binary value",
+            QuestionKind::NumericValue => "numeric value",
+            QuestionKind::Dismantle => "dismantle",
+            QuestionKind::Verify => "verify",
+            QuestionKind::Example => "example",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A batch of worker answers to value questions about one
+/// `(object, attribute)` cell — the `{o.a^(1)}₁ⁿ` sets of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueBatch {
+    /// Object asked about.
+    pub object: ObjectId,
+    /// Attribute asked about.
+    pub attr: AttributeId,
+    /// Individual worker answers in arrival order.
+    pub answers: Vec<f64>,
+}
+
+impl ValueBatch {
+    /// Creates an empty batch for a cell.
+    pub fn new(object: ObjectId, attr: AttributeId) -> Self {
+        ValueBatch {
+            object,
+            attr,
+            answers: Vec::new(),
+        }
+    }
+
+    /// Average answer — the `o.a^(n)` aggregation the paper uses.
+    /// Returns `None` for an empty batch.
+    pub fn average(&self) -> Option<f64> {
+        if self.answers.is_empty() {
+            None
+        } else {
+            Some(self.answers.iter().sum::<f64>() / self.answers.len() as f64)
+        }
+    }
+
+    /// Number of answers collected.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True when no answers were collected.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_average() {
+        let mut b = ValueBatch::new(ObjectId(0), AttributeId(1));
+        assert_eq!(b.average(), None);
+        assert!(b.is_empty());
+        b.answers.extend([1.0, 2.0, 6.0]);
+        assert_eq!(b.average(), Some(3.0));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn kinds_display_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for k in QuestionKind::ALL {
+            assert!(seen.insert(k.to_string()));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

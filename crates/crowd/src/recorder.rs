@@ -1,0 +1,306 @@
+//! Record-and-reuse answer database.
+//!
+//! §5.1: "The answers collected in initial experiments was recorded in a
+//! database and reused in following experiments, so that results of
+//! multiple runs/algorithms may be compared in equivalent settings."
+//!
+//! [`RecordingCrowd`] wraps any platform and logs every Q&A into an
+//! [`AnswerLog`]; [`ReplayingCrowd`] serves answers from such a log first
+//! (FIFO per question key) and falls through to a live platform when the
+//! log runs dry. Replay still charges the replaying run's own ledger, so
+//! budgets stay comparable across algorithms.
+
+use crate::{BudgetLedger, CrowdError, CrowdPlatform};
+use disq_domain::{AttributeId, ObjectId};
+use std::collections::HashMap;
+
+/// Keys identifying repeatable questions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Value(ObjectId, AttributeId),
+    Dismantle(AttributeId),
+    Verify(String, AttributeId),
+}
+
+/// Recorded answers, grouped per question.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerLog {
+    values: HashMap<Key, Vec<f64>>,
+    dismantles: HashMap<Key, Vec<String>>,
+    verifies: HashMap<Key, Vec<bool>>,
+    examples: Vec<(Vec<AttributeId>, ObjectId, Vec<f64>)>,
+}
+
+impl AnswerLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total recorded answers of all types.
+    pub fn len(&self) -> usize {
+        self.values.values().map(Vec::len).sum::<usize>()
+            + self.dismantles.values().map(Vec::len).sum::<usize>()
+            + self.verifies.values().map(Vec::len).sum::<usize>()
+            + self.examples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Wraps a platform and records everything that flows through it.
+#[derive(Debug)]
+pub struct RecordingCrowd<P> {
+    inner: P,
+    log: AnswerLog,
+}
+
+impl<P: CrowdPlatform> RecordingCrowd<P> {
+    /// Starts recording on top of `inner`.
+    pub fn new(inner: P) -> Self {
+        RecordingCrowd {
+            inner,
+            log: AnswerLog::new(),
+        }
+    }
+
+    /// Finishes recording, returning the log and the inner platform.
+    pub fn into_parts(self) -> (AnswerLog, P) {
+        (self.log, self.inner)
+    }
+
+    /// Read access to the log so far.
+    pub fn log(&self) -> &AnswerLog {
+        &self.log
+    }
+}
+
+impl<P: CrowdPlatform> CrowdPlatform for RecordingCrowd<P> {
+    fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
+        let v = self.inner.ask_value(o, a)?;
+        self.log.values.entry(Key::Value(o, a)).or_default().push(v);
+        Ok(v)
+    }
+
+    fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
+        let v = self.inner.ask_dismantle(a)?;
+        self.log
+            .dismantles
+            .entry(Key::Dismantle(a))
+            .or_default()
+            .push(v.clone());
+        Ok(v)
+    }
+
+    fn ask_verify(&mut self, candidate: &str, of: AttributeId) -> Result<bool, CrowdError> {
+        let v = self.inner.ask_verify(candidate, of)?;
+        self.log
+            .verifies
+            .entry(Key::Verify(candidate.to_string(), of))
+            .or_default()
+            .push(v);
+        Ok(v)
+    }
+
+    fn ask_example(&mut self, attrs: &[AttributeId]) -> Result<(ObjectId, Vec<f64>), CrowdError> {
+        let (o, vals) = self.inner.ask_example(attrs)?;
+        self.log.examples.push((attrs.to_vec(), o, vals.clone()));
+        Ok((o, vals))
+    }
+
+    fn ledger(&self) -> &BudgetLedger {
+        self.inner.ledger()
+    }
+}
+
+/// Serves recorded answers first, falling back to a live platform.
+///
+/// Every question — replayed or not — is still forwarded to the live
+/// platform so it is charged at the normal price; replay only *overrides
+/// the answer* with the logged one. This keeps budget-driven control flow
+/// (stopping conditions, reserves) bit-identical between the recording
+/// run and any replaying run, which is exactly the §5.1 "compare multiple
+/// algorithms in equivalent settings" discipline.
+#[derive(Debug)]
+pub struct ReplayingCrowd<P> {
+    inner: P,
+    log: AnswerLog,
+    cursors_v: HashMap<Key, usize>,
+    cursors_d: HashMap<Key, usize>,
+    cursors_y: HashMap<Key, usize>,
+    cursor_e: usize,
+}
+
+impl<P: CrowdPlatform> ReplayingCrowd<P> {
+    /// Builds a replayer over a recorded log with `inner` as fallback.
+    pub fn new(log: AnswerLog, inner: P) -> Self {
+        ReplayingCrowd {
+            inner,
+            log,
+            cursors_v: HashMap::new(),
+            cursors_d: HashMap::new(),
+            cursors_y: HashMap::new(),
+            cursor_e: 0,
+        }
+    }
+
+    /// How many answers were served from the log (vs live).
+    pub fn replayed(&self) -> usize {
+        self.cursors_v.values().sum::<usize>()
+            + self.cursors_d.values().sum::<usize>()
+            + self.cursors_y.values().sum::<usize>()
+            + self.cursor_e
+    }
+}
+
+impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
+    fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
+        // Charge (and burn a live answer) regardless, for budget fidelity.
+        let live = self.inner.ask_value(o, a)?;
+        let key = Key::Value(o, a);
+        let cursor = self.cursors_v.entry(key.clone()).or_insert(0);
+        if let Some(answers) = self.log.values.get(&key) {
+            if *cursor < answers.len() {
+                let v = answers[*cursor];
+                *cursor += 1;
+                return Ok(v);
+            }
+        }
+        Ok(live)
+    }
+
+    fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
+        let live = self.inner.ask_dismantle(a)?;
+        let key = Key::Dismantle(a);
+        let cursor = self.cursors_d.entry(key.clone()).or_insert(0);
+        if let Some(answers) = self.log.dismantles.get(&key) {
+            if *cursor < answers.len() {
+                let v = answers[*cursor].clone();
+                *cursor += 1;
+                return Ok(v);
+            }
+        }
+        Ok(live)
+    }
+
+    fn ask_verify(&mut self, candidate: &str, of: AttributeId) -> Result<bool, CrowdError> {
+        let live = self.inner.ask_verify(candidate, of)?;
+        let key = Key::Verify(candidate.to_string(), of);
+        let cursor = self.cursors_y.entry(key.clone()).or_insert(0);
+        if let Some(answers) = self.log.verifies.get(&key) {
+            if *cursor < answers.len() {
+                let v = answers[*cursor];
+                *cursor += 1;
+                return Ok(v);
+            }
+        }
+        Ok(live)
+    }
+
+    fn ask_example(&mut self, attrs: &[AttributeId]) -> Result<(ObjectId, Vec<f64>), CrowdError> {
+        let live = self.inner.ask_example(attrs)?;
+        if self.cursor_e < self.log.examples.len() {
+            let (logged_attrs, o, vals) = &self.log.examples[self.cursor_e];
+            if logged_attrs == attrs {
+                self.cursor_e += 1;
+                return Ok((*o, vals.clone()));
+            }
+        }
+        Ok(live)
+    }
+
+    fn ledger(&self) -> &BudgetLedger {
+        self.inner.ledger()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrowdConfig, SimulatedCrowd};
+    use disq_domain::{domains::pictures, Population};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn crowd(seed: u64) -> SimulatedCrowd {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(spec, 50, &mut rng).unwrap();
+        SimulatedCrowd::new(pop, CrowdConfig::default(), None, seed)
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_answers() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        let answers: Vec<f64> = (0..5)
+            .map(|_| rec.ask_value(ObjectId(0), bmi).unwrap())
+            .collect();
+        let d = rec.ask_dismantle(bmi).unwrap();
+        let v = rec.ask_verify("Weight", bmi).unwrap();
+        let (log, _) = rec.into_parts();
+        assert_eq!(log.len(), 7);
+
+        // Replay with a *different-seed* live crowd: the log must win.
+        let mut rep = ReplayingCrowd::new(log, crowd(999));
+        for &expect in &answers {
+            assert_eq!(rep.ask_value(ObjectId(0), bmi).unwrap(), expect);
+        }
+        assert_eq!(rep.ask_dismantle(bmi).unwrap(), d);
+        assert_eq!(rep.ask_verify("Weight", bmi).unwrap(), v);
+        assert_eq!(rep.replayed(), 7);
+    }
+
+    #[test]
+    fn replay_falls_through_when_log_dry() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        rec.ask_value(ObjectId(0), bmi).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(2));
+        let _ = rep.ask_value(ObjectId(0), bmi).unwrap(); // replayed answer
+        let _ = rep.ask_value(ObjectId(0), bmi).unwrap(); // live answer
+        assert_eq!(rep.replayed(), 1);
+        // BOTH questions hit the inner ledger — replay preserves budget
+        // flow exactly.
+        assert_eq!(rep.ledger().total_questions(), 2);
+    }
+
+    #[test]
+    fn different_cells_have_independent_cursors() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let a0 = AttributeId(0);
+        let a1 = AttributeId(1);
+        let v0 = rec.ask_value(ObjectId(0), a0).unwrap();
+        let v1 = rec.ask_value(ObjectId(0), a1).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(3));
+        // Ask in the opposite order; keys are independent.
+        assert_eq!(rep.ask_value(ObjectId(0), a1).unwrap(), v1);
+        assert_eq!(rep.ask_value(ObjectId(0), a0).unwrap(), v0);
+    }
+
+    #[test]
+    fn example_replay_checks_attr_list() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let attrs = vec![AttributeId(0), AttributeId(3)];
+        let (o, vals) = rec.ask_example(&attrs).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(4));
+        let (o2, vals2) = rep.ask_example(&attrs).unwrap();
+        assert_eq!((o, vals), (o2, vals2));
+        // A different attr list cannot be served from the log.
+        let different = vec![AttributeId(1)];
+        let _ = rep.ask_example(&different).unwrap();
+        assert_eq!(rep.replayed(), 1);
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        assert!(AnswerLog::new().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Spam filtering.
+//!
+//! §2: "we assume … spam filters are employed to avoid malicious workers."
+//! This is the classic robust-statistics filter used by crowd platforms:
+//! answers further than `k` median-absolute-deviations from the batch
+//! median are discarded before averaging. For small batches (< 4 answers)
+//! there is not enough signal to call anything spam, so the batch passes
+//! through unchanged.
+
+/// Removes outlier answers: keeps values within `k = 3.5` scaled MADs of
+/// the median. Returns the surviving answers in their original order.
+pub fn filter_spam(answers: &[f64]) -> Vec<f64> {
+    const K: f64 = 3.5;
+    // 1.4826 rescales MAD to estimate a Gaussian sd.
+    const MAD_SCALE: f64 = 1.4826;
+
+    if answers.len() < 4 {
+        return answers.to_vec();
+    }
+    let med = median(answers);
+    let deviations: Vec<f64> = answers.iter().map(|&x| (x - med).abs()).collect();
+    let mad = median(&deviations) * MAD_SCALE;
+    if mad <= 0.0 {
+        // Majority answered identically; drop everything that differs.
+        return answers.iter().copied().filter(|&x| x == med).collect();
+    }
+    answers
+        .iter()
+        .copied()
+        .filter(|&x| (x - med).abs() <= K * mad)
+        .collect()
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_batch_untouched() {
+        let xs = vec![10.0, 11.0, 9.5, 10.5, 10.2];
+        assert_eq!(filter_spam(&xs), xs);
+    }
+
+    #[test]
+    fn obvious_outlier_removed() {
+        let xs = vec![10.0, 11.0, 9.5, 10.5, 10.2, 500.0];
+        let kept = filter_spam(&xs);
+        assert_eq!(kept.len(), 5);
+        assert!(!kept.contains(&500.0));
+    }
+
+    #[test]
+    fn small_batches_pass_through() {
+        let xs = vec![1.0, 1000.0, 2.0];
+        assert_eq!(filter_spam(&xs), xs);
+    }
+
+    #[test]
+    fn identical_majority_drops_dissenters() {
+        let xs = vec![5.0, 5.0, 5.0, 5.0, 42.0];
+        assert_eq!(filter_spam(&xs), vec![5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let xs = vec![3.0, 1.0, 2.0, 2.5, 1.5];
+        assert_eq!(filter_spam(&xs), xs);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(filter_spam(&[]).is_empty());
+        assert_eq!(filter_spam(&[7.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn two_sided_outliers() {
+        let xs = vec![-100.0, 10.0, 10.5, 9.5, 10.2, 9.8, 120.0];
+        let kept = filter_spam(&xs);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|&x| (9.0..11.0).contains(&x)));
+    }
+
+    #[test]
+    fn filtering_improves_average() {
+        let truth = 10.0;
+        let xs = vec![9.8, 10.1, 10.2, 9.9, 10.0, 300.0];
+        let raw_avg = xs.iter().sum::<f64>() / xs.len() as f64;
+        let kept = filter_spam(&xs);
+        let filtered_avg = kept.iter().sum::<f64>() / kept.len() as f64;
+        assert!((filtered_avg - truth).abs() < (raw_avg - truth).abs());
+    }
+}

@@ -1,0 +1,192 @@
+//! Attribute identifiers and the name registry.
+//!
+//! Attribute names come back from the crowd as free text; the paper assumes
+//! "answers that refer to the same property (like *large, big, grand*) can
+//! be reasonably identified and merged to a single representative". The
+//! registry does that merge: it interns canonical names, maps registered
+//! synonyms onto them, and normalizes case/whitespace.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an attribute inside a domain/registry.
+///
+/// A newtype rather than a bare `usize` so object values, budgets and
+/// statistics can never be indexed by the wrong kind of integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttributeId(pub usize);
+
+impl AttributeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttributeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// Interns attribute names and resolves synonyms to canonical attributes.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeRegistry {
+    names: Vec<String>,
+    by_key: HashMap<String, AttributeId>,
+}
+
+impl AttributeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical text key: lowercase, trimmed, inner whitespace collapsed
+    /// to single underscores.
+    pub fn normalize_key(name: &str) -> String {
+        name.trim()
+            .to_lowercase()
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+
+    /// Registers a canonical attribute name, returning its id. Re-registering
+    /// the same (normalized) name returns the existing id.
+    pub fn register(&mut self, name: &str) -> AttributeId {
+        let key = Self::normalize_key(name);
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = AttributeId(self.names.len());
+        self.names.push(name.trim().to_string());
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Registers `synonym` as an alias of the attribute `of`.
+    ///
+    /// # Panics
+    /// Panics if `of` is not a valid id of this registry.
+    pub fn register_synonym(&mut self, synonym: &str, of: AttributeId) {
+        assert!(of.index() < self.names.len(), "unknown attribute {of}");
+        let key = Self::normalize_key(synonym);
+        self.by_key.entry(key).or_insert(of);
+    }
+
+    /// Resolves free text (canonical name or synonym) to an id.
+    pub fn resolve(&self, name: &str) -> Option<AttributeId> {
+        self.by_key.get(&Self::normalize_key(name)).copied()
+    }
+
+    /// Canonical display name for an id.
+    ///
+    /// # Panics
+    /// Panics on an id from a different registry.
+    pub fn name(&self, id: AttributeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of canonical attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no attributes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, canonical name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttributeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttributeId(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut reg = AttributeRegistry::new();
+        let id = reg.register("Number of Eggs");
+        assert_eq!(reg.resolve("number of eggs"), Some(id));
+        assert_eq!(reg.resolve("  Number_Of_Eggs "), Some(id));
+        assert_eq!(reg.name(id), "Number of Eggs");
+    }
+
+    #[test]
+    fn reregistering_returns_same_id() {
+        let mut reg = AttributeRegistry::new();
+        let a = reg.register("Weight");
+        let b = reg.register("weight");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn synonyms_resolve_to_canonical() {
+        let mut reg = AttributeRegistry::new();
+        let heavy = reg.register("Heavy");
+        reg.register_synonym("big", heavy);
+        reg.register_synonym("LARGE", heavy);
+        assert_eq!(reg.resolve("large"), Some(heavy));
+        assert_eq!(reg.resolve("big"), Some(heavy));
+        // Canonical name untouched.
+        assert_eq!(reg.name(heavy), "Heavy");
+    }
+
+    #[test]
+    fn synonym_does_not_shadow_existing_name() {
+        let mut reg = AttributeRegistry::new();
+        let a = reg.register("Fat");
+        let b = reg.register("Heavy");
+        // Registering "fat" as a synonym of Heavy must not clobber the
+        // canonical attribute Fat.
+        reg.register_synonym("fat", b);
+        assert_eq!(reg.resolve("fat"), Some(a));
+    }
+
+    #[test]
+    fn unknown_name_resolves_to_none() {
+        let reg = AttributeRegistry::new();
+        assert_eq!(reg.resolve("anything"), None);
+    }
+
+    #[test]
+    fn normalize_key_collapses_whitespace() {
+        assert_eq!(
+            AttributeRegistry::normalize_key("  Good   Facial\tFeatures "),
+            "good_facial_features"
+        );
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut reg = AttributeRegistry::new();
+        reg.register("A");
+        reg.register("B");
+        let pairs: Vec<_> = reg.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (AttributeId(0), "A"));
+        assert_eq!(pairs[1], (AttributeId(1), "B"));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(AttributeId(3).to_string(), "attr#3");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn synonym_of_unknown_id_panics() {
+        let mut reg = AttributeRegistry::new();
+        reg.register_synonym("x", AttributeId(5));
+    }
+}

@@ -1,0 +1,104 @@
+//! The *house prices* domain.
+//!
+//! §5.3.1 validates attribute coverage on a house-price domain whose gold
+//! standard is the hedonic housing study of Harrison & Rubinfeld \[18\]
+//! (the Boston housing variables). Correlation magnitudes follow the well
+//! known empirical values of that dataset; prices are in thousands of
+//! dollars.
+
+use crate::{AttributeSpec, DomainSpec, DomainSpecBuilder};
+
+/// Builds the housing domain.
+pub fn spec() -> DomainSpec {
+    DomainSpecBuilder::new("housing")
+        .attribute(AttributeSpec::numeric("Price", 22.5, 9.2, 8.0))
+        .attribute(AttributeSpec::numeric("Rooms", 6.3, 0.7, 1.0))
+        .attribute(AttributeSpec::numeric("Size", 1500.0, 500.0, 300.0))
+        .attribute(AttributeSpec::numeric("Crime Rate", 3.6, 8.6, 4.0))
+        .attribute(AttributeSpec::numeric("Age of House", 68.0, 28.0, 20.0))
+        .attribute(AttributeSpec::numeric("Distance to Employment", 3.8, 2.1, 1.5))
+        .attribute(AttributeSpec::numeric("Tax Rate", 408.0, 168.0, 100.0))
+        .attribute(AttributeSpec::numeric("Pupil Teacher Ratio", 18.4, 2.2, 2.0))
+        .attribute(AttributeSpec::numeric("Air Pollution", 0.55, 0.12, 0.2))
+        .attribute(AttributeSpec::numeric("Lower Status Pct", 12.6, 7.1, 5.0))
+        .attribute(AttributeSpec::boolean("River Front", 0.07, 0.05_f64.sqrt()))
+        .attribute(
+            AttributeSpec::boolean("Neighborhood Quality", 0.50, 0.15_f64.sqrt())
+                .with_synonyms(&["good neighborhood", "nice area"]),
+        )
+        // Price correlations (Boston housing empirical values).
+        .correlation("Price", "Rooms", 0.70)
+        .correlation("Price", "Size", 0.65)
+        .correlation("Price", "Lower Status Pct", -0.74)
+        .correlation("Price", "Pupil Teacher Ratio", -0.51)
+        .correlation("Price", "Crime Rate", -0.39)
+        .correlation("Price", "Age of House", -0.38)
+        .correlation("Price", "Tax Rate", -0.47)
+        .correlation("Price", "Air Pollution", -0.43)
+        .correlation("Price", "Distance to Employment", 0.25)
+        .correlation("Price", "River Front", 0.18)
+        .correlation("Price", "Neighborhood Quality", 0.50)
+        // Attribute cross-correlations.
+        .correlation("Rooms", "Size", 0.70)
+        .correlation("Rooms", "Lower Status Pct", -0.61)
+        .correlation("Crime Rate", "Lower Status Pct", 0.46)
+        .correlation("Crime Rate", "Tax Rate", 0.58)
+        .correlation("Crime Rate", "Neighborhood Quality", -0.45)
+        .correlation("Air Pollution", "Distance to Employment", -0.77)
+        .correlation("Air Pollution", "Age of House", 0.73)
+        .correlation("Air Pollution", "Tax Rate", 0.67)
+        .correlation("Lower Status Pct", "Age of House", 0.60)
+        .correlation("Neighborhood Quality", "Lower Status Pct", -0.50)
+        // Crowd dismantling behaviour for Price.
+        .dismantle("Price", "Size", 0.20)
+        .dismantle("Price", "Rooms", 0.15)
+        .dismantle("Price", "Neighborhood Quality", 0.12)
+        .dismantle("Price", "Crime Rate", 0.08)
+        .dismantle("Price", "Age of House", 0.05)
+        .dismantle("Price", "Tax Rate", 0.03)
+        .dismantle("Neighborhood Quality", "Crime Rate", 0.20)
+        .dismantle("Neighborhood Quality", "Lower Status Pct", 0.12)
+        .dismantle("Neighborhood Quality", "Pupil Teacher Ratio", 0.08)
+        .dismantle("Size", "Rooms", 0.25)
+        .dismantle("Rooms", "Size", 0.25)
+        .dismantle("Crime Rate", "Lower Status Pct", 0.12)
+        .dismantle("Crime Rate", "Neighborhood Quality", 0.15)
+        .dismantle("Age of House", "Air Pollution", 0.08)
+        .gold_standard(
+            "Price",
+            &[
+                "Rooms",
+                "Size",
+                "Lower Status Pct",
+                "Crime Rate",
+                "Pupil Teacher Ratio",
+                "Tax Rate",
+                "Age of House",
+                "Air Pollution",
+            ],
+        )
+        .build()
+        .expect("housing domain calibration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_correlations_signed_sensibly() {
+        let d = spec();
+        let price = d.id_of("Price").unwrap();
+        let rooms = d.id_of("Rooms").unwrap();
+        let lower = d.id_of("Lower Status Pct").unwrap();
+        assert!(d.correlation(price, rooms) > 0.5);
+        assert!(d.correlation(price, lower) < -0.5);
+    }
+
+    #[test]
+    fn price_gold_standard_has_eight_attributes() {
+        let d = spec();
+        let price = d.id_of("Price").unwrap();
+        assert_eq!(d.gold_standard(price).unwrap().len(), 8);
+    }
+}

@@ -1,0 +1,96 @@
+//! The *laptop prices* domain.
+//!
+//! The second extra coverage domain of §5.3.1, standing in for the
+//! PDA-hedonics gold standard of Chwelos et al. \[9\]: the price of a
+//! portable computer decomposed into its spec sheet.
+
+use crate::{AttributeSpec, DomainSpec, DomainSpecBuilder};
+
+/// Builds the laptops domain.
+pub fn spec() -> DomainSpec {
+    DomainSpecBuilder::new("laptops")
+        .attribute(AttributeSpec::numeric("Price", 900.0, 400.0, 200.0))
+        .attribute(AttributeSpec::numeric("Cpu Speed", 2.5, 0.8, 0.7))
+        .attribute(AttributeSpec::numeric("Ram", 8.0, 4.0, 2.0))
+        .attribute(AttributeSpec::numeric("Storage", 512.0, 300.0, 100.0))
+        .attribute(AttributeSpec::numeric("Screen Size", 14.5, 1.5, 1.0))
+        .attribute(AttributeSpec::numeric("Weight", 1.8, 0.5, 0.45))
+        .attribute(AttributeSpec::numeric("Battery Life", 8.0, 3.0, 2.0))
+        .attribute(
+            AttributeSpec::boolean("Brand Premium", 0.30, 0.10_f64.sqrt())
+                .with_synonyms(&["premium brand", "well known brand"]),
+        )
+        .attribute(AttributeSpec::boolean("Has Ssd", 0.70, 0.05_f64.sqrt()).with_synonyms(&["ssd"]))
+        .attribute(AttributeSpec::numeric("Gpu Quality", 0.5, 0.25, 0.2))
+        .attribute(AttributeSpec::numeric("Age of Model", 2.0, 1.5, 1.0))
+        .attribute(AttributeSpec::boolean("Build Quality", 0.50, 0.15_f64.sqrt()))
+        .correlation("Price", "Cpu Speed", 0.60)
+        .correlation("Price", "Ram", 0.65)
+        .correlation("Price", "Storage", 0.50)
+        .correlation("Price", "Screen Size", 0.20)
+        .correlation("Price", "Weight", -0.10)
+        .correlation("Price", "Battery Life", 0.30)
+        .correlation("Price", "Brand Premium", 0.45)
+        .correlation("Price", "Has Ssd", 0.35)
+        .correlation("Price", "Gpu Quality", 0.55)
+        .correlation("Price", "Age of Model", -0.50)
+        .correlation("Price", "Build Quality", 0.50)
+        .correlation("Cpu Speed", "Ram", 0.55)
+        .correlation("Ram", "Storage", 0.45)
+        .correlation("Gpu Quality", "Cpu Speed", 0.40)
+        .correlation("Gpu Quality", "Weight", 0.35)
+        .correlation("Has Ssd", "Age of Model", -0.50)
+        .correlation("Weight", "Screen Size", 0.60)
+        .correlation("Build Quality", "Brand Premium", 0.45)
+        .correlation("Battery Life", "Age of Model", -0.35)
+        .dismantle("Price", "Cpu Speed", 0.15)
+        .dismantle("Price", "Ram", 0.12)
+        .dismantle("Price", "Brand Premium", 0.10)
+        .dismantle("Price", "Storage", 0.08)
+        .dismantle("Price", "Gpu Quality", 0.06)
+        .dismantle("Price", "Screen Size", 0.05)
+        .dismantle("Price", "Age of Model", 0.04)
+        .dismantle("Brand Premium", "Build Quality", 0.20)
+        .dismantle("Cpu Speed", "Gpu Quality", 0.12)
+        .dismantle("Cpu Speed", "Ram", 0.15)
+        .dismantle("Ram", "Storage", 0.12)
+        .dismantle("Age of Model", "Has Ssd", 0.10)
+        .gold_standard(
+            "Price",
+            &[
+                "Cpu Speed",
+                "Ram",
+                "Storage",
+                "Screen Size",
+                "Battery Life",
+                "Brand Premium",
+                "Gpu Quality",
+                "Age of Model",
+            ],
+        )
+        .build()
+        .expect("laptops domain calibration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_and_faster_is_pricier() {
+        let d = spec();
+        let price = d.id_of("Price").unwrap();
+        let cpu = d.id_of("Cpu Speed").unwrap();
+        let age = d.id_of("Age of Model").unwrap();
+        assert!(d.correlation(price, cpu) > 0.4);
+        assert!(d.correlation(price, age) < -0.3);
+    }
+
+    #[test]
+    fn price_dismantles_to_spec_sheet() {
+        let d = spec();
+        let price = d.id_of("Price").unwrap();
+        let dist = d.dismantle_distribution(price);
+        assert!(dist.len() >= 6);
+    }
+}

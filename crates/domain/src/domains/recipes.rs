@@ -1,0 +1,255 @@
+//! The *Recipes* domain (§5.1), calibrated to the paper.
+//!
+//! Objects are recipes (the paper used the 500 most popular dishes on
+//! allrecipes.com, normalized to one serving). Published calibration:
+//!
+//! * **Table 5b** worker variances `S_c`: Calories 80 707, Low Calorie
+//!   0.06, Dessert 0.08, Healthy 0.2, Vegetarian 0.13, Eggs 0.05;
+//! * **Table 5b** correlations among those attributes and with the targets
+//!   Calories and Protein;
+//! * **Table 4b** dismantling answers: Calories → Has Eggs 8% / Low
+//!   Calories 4% / Dessert 2% / Healthy 2%; Protein → Has Meat 13% /
+//!   Number of Eggs 4% / High Protein 4% / Vegetarian 2%; Healthy → Low
+//!   Salt 8% / Natural 8% / Fat Amount 4% / Bitter 4%; Easy to Make →
+//!   Number of Ingredients 17% / Fast 10% / Tasty 5% / Expensive 2%.
+//!
+//! Signs and unpublished pairs are filled with nutrition-plausible values
+//! and PSD-projected. The Protein/Calories gold standards stand in for the
+//! expert dietitian of §5.3.1.
+
+use crate::{AttributeSpec, DomainSpec, DomainSpecBuilder};
+
+/// Builds the calibrated recipes domain.
+pub fn spec() -> DomainSpec {
+    DomainSpecBuilder::new("recipes")
+        .attribute(AttributeSpec::numeric("Calories", 400.0, 250.0, 80_707.0_f64.sqrt()))
+        // Protein is the paper's example of an attribute "so difficult or
+        // un-intuitive for the crowd that the convergence to the final
+        // answer might be slow and thus require high budget" (§1): direct
+        // numeric guesses carry noise far above the true spread (sd ≈ 34 g
+        // per guess vs a 12 g true spread — cf. Calories, whose published
+        // S_c of 80 707 likewise exceeds its value variance).
+        .attribute(AttributeSpec::numeric("Protein", 15.0, 12.0, 34.0))
+        .attribute(
+            AttributeSpec::boolean("Low Calorie", 0.30, 0.06_f64.sqrt())
+                .with_synonyms(&["low calories", "dietetic", "diet friendly"]),
+        )
+        .attribute(AttributeSpec::boolean("Dessert", 0.30, 0.08_f64.sqrt()).with_synonyms(&["sweet dish"]))
+        .attribute(AttributeSpec::boolean("Healthy", 0.40, 0.20_f64.sqrt()).with_synonyms(&["good for you"]))
+        .attribute(AttributeSpec::boolean("Vegetarian", 0.35, 0.13_f64.sqrt()).with_synonyms(&["meatless"]))
+        .attribute(
+            AttributeSpec::boolean("Has Eggs", 0.40, 0.05_f64.sqrt())
+                .with_synonyms(&["eggs", "contains eggs"]),
+        )
+        .attribute(
+            AttributeSpec::boolean("Has Meat", 0.45, 0.06_f64.sqrt())
+                .with_synonyms(&["meat", "meat content"]),
+        )
+        // The intro's motivating decomposition: protein ≈ a linear
+        // function of ingredient quantities, which workers CAN estimate.
+        .attribute(
+            AttributeSpec::numeric("Grams of Meat", 90.0, 80.0, 60.0)
+                .with_synonyms(&["meat quantity", "amount of meat"]),
+        )
+        .attribute(AttributeSpec::numeric("Number of Eggs", 1.2, 1.3, 1.0))
+        .attribute(AttributeSpec::boolean("High Protein", 0.30, 0.10_f64.sqrt()))
+        .attribute(AttributeSpec::boolean("Low Salt", 0.30, 0.15_f64.sqrt()))
+        .attribute(AttributeSpec::boolean("Natural", 0.40, 0.18_f64.sqrt()))
+        .attribute(
+            AttributeSpec::numeric("Fat Amount", 18.0, 14.0, 120.0_f64.sqrt())
+                .with_synonyms(&["grams of fat", "fatty"]),
+        )
+        .attribute(AttributeSpec::boolean("Bitter", 0.10, 0.08_f64.sqrt()))
+        .attribute(AttributeSpec::numeric("Number of Ingredients", 9.0, 4.0, 6.0_f64.sqrt()))
+        .attribute(AttributeSpec::boolean("Fast", 0.40, 0.12_f64.sqrt()).with_synonyms(&["quick"]))
+        .attribute(AttributeSpec::boolean("Tasty", 0.60, 0.20_f64.sqrt()).with_synonyms(&["delicious"]))
+        .attribute(AttributeSpec::boolean("Expensive", 0.25, 0.12_f64.sqrt()))
+        .attribute(AttributeSpec::boolean("Easy to Make", 0.50, 0.15_f64.sqrt()).with_synonyms(&["simple"]))
+        .attribute(AttributeSpec::boolean("Good for Kids", 0.50, 0.16_f64.sqrt()))
+        // Table 5b S_a block (signs added).
+        .correlation("Calories", "Low Calorie", -0.20)
+        .correlation("Calories", "Dessert", 0.07)
+        .correlation("Calories", "Healthy", -0.15)
+        .correlation("Calories", "Vegetarian", -0.18)
+        .correlation("Calories", "Has Eggs", 0.03)
+        .correlation("Low Calorie", "Dessert", -0.10)
+        .correlation("Low Calorie", "Healthy", 0.26)
+        .correlation("Low Calorie", "Vegetarian", 0.10)
+        .correlation("Low Calorie", "Has Eggs", -0.13)
+        .correlation("Dessert", "Healthy", -0.44)
+        .correlation("Dessert", "Vegetarian", 0.34)
+        .correlation("Dessert", "Has Eggs", 0.38)
+        .correlation("Healthy", "Vegetarian", 0.06)
+        .correlation("Healthy", "Has Eggs", -0.27)
+        .correlation("Vegetarian", "Has Eggs", 0.14)
+        // Table 5b S_o columns: correlations with Calories and Protein.
+        .correlation("Protein", "Calories", 0.34)
+        .correlation("Protein", "Low Calorie", -0.08)
+        .correlation("Protein", "Dessert", -0.50)
+        .correlation("Protein", "Healthy", 0.16)
+        .correlation("Protein", "Vegetarian", -0.52)
+        .correlation("Protein", "Has Eggs", 0.26)
+        // Plausible values for unpublished pairs.
+        .correlation("Has Meat", "Protein", 0.70)
+        .correlation("Grams of Meat", "Protein", 0.80)
+        .correlation("Grams of Meat", "Has Meat", 0.75)
+        .correlation("Grams of Meat", "Vegetarian", -0.65)
+        .correlation("Grams of Meat", "Calories", 0.35)
+        .correlation("Grams of Meat", "High Protein", 0.60)
+        // Cross-correlations implied by the strong protein web (a row of
+        // correlations this strong is only PSD-feasible when the helpers
+        // correlate with each other consistently; leaving these at the
+        // default 0 would make the projection dilute the whole row).
+        .correlation("High Protein", "Vegetarian", -0.42)
+        .correlation("High Protein", "Dessert", -0.40)
+        .correlation("High Protein", "Has Eggs", 0.20)
+        .correlation("High Protein", "Number of Eggs", 0.35)
+        .correlation("High Protein", "Calories", 0.30)
+        .correlation("Grams of Meat", "Dessert", -0.40)
+        .correlation("Grams of Meat", "Has Eggs", 0.10)
+        .correlation("Grams of Meat", "Number of Eggs", 0.20)
+        .correlation("Has Meat", "Has Eggs", 0.10)
+        .correlation("Has Meat", "Number of Eggs", 0.25)
+        .correlation("Vegetarian", "Number of Eggs", -0.20)
+        .correlation("Number of Eggs", "Calories", 0.15)
+        .correlation("Has Meat", "Vegetarian", -0.80)
+        .correlation("Has Meat", "Calories", 0.30)
+        .correlation("Has Meat", "Dessert", -0.50)
+        .correlation("Number of Eggs", "Has Eggs", 0.85)
+        .correlation("Number of Eggs", "Protein", 0.45)
+        .correlation("Number of Eggs", "Dessert", 0.30)
+        .correlation("High Protein", "Protein", 0.80)
+        .correlation("High Protein", "Has Meat", 0.50)
+        .correlation("Low Salt", "Healthy", 0.40)
+        .correlation("Natural", "Healthy", 0.45)
+        .correlation("Fat Amount", "Calories", 0.65)
+        .correlation("Fat Amount", "Healthy", -0.45)
+        .correlation("Fat Amount", "Dessert", 0.30)
+        .correlation("Bitter", "Dessert", -0.25)
+        .correlation("Bitter", "Healthy", 0.15)
+        .correlation("Number of Ingredients", "Easy to Make", -0.55)
+        .correlation("Number of Ingredients", "Fast", -0.40)
+        .correlation("Fast", "Easy to Make", 0.60)
+        .correlation("Tasty", "Dessert", 0.20)
+        .correlation("Tasty", "Good for Kids", 0.40)
+        .correlation("Expensive", "Easy to Make", -0.20)
+        .correlation("Expensive", "Number of Ingredients", 0.35)
+        .correlation("Easy to Make", "Good for Kids", 0.30)
+        .correlation("Good for Kids", "Dessert", 0.35)
+        .correlation("Good for Kids", "Healthy", 0.10)
+        // Table 4b dismantling answer frequencies.
+        .dismantle("Calories", "Has Eggs", 0.08)
+        .dismantle("Calories", "Low Calorie", 0.04)
+        .dismantle("Calories", "Dessert", 0.02)
+        .dismantle("Calories", "Healthy", 0.02)
+        .dismantle("Calories", "Fat Amount", 0.10)
+        // Exactly Table 4b for Protein: Grams of Meat (the best helper)
+        // is reachable only by dismantling Has Meat — the Fig. 3 reason
+        // recursive dismantling beats OnlyQueryAttributes.
+        .dismantle("Protein", "Has Meat", 0.13)
+        .dismantle("Protein", "Number of Eggs", 0.04)
+        .dismantle("Protein", "High Protein", 0.04)
+        .dismantle("Protein", "Vegetarian", 0.02)
+        .dismantle("Protein", "Has Eggs", 0.06)
+        .dismantle("Healthy", "Low Salt", 0.08)
+        .dismantle("Healthy", "Natural", 0.08)
+        .dismantle("Healthy", "Fat Amount", 0.04)
+        .dismantle("Healthy", "Bitter", 0.04)
+        .dismantle("Healthy", "Low Calorie", 0.06)
+        .dismantle("Healthy", "Vegetarian", 0.03)
+        .dismantle("Easy to Make", "Number of Ingredients", 0.17)
+        .dismantle("Easy to Make", "Fast", 0.10)
+        .dismantle("Easy to Make", "Tasty", 0.05)
+        .dismantle("Easy to Make", "Expensive", 0.02)
+        // Plausible extensions for attributes Table 4b omits.
+        .dismantle("Good for Kids", "Tasty", 0.12)
+        .dismantle("Good for Kids", "Dessert", 0.08)
+        .dismantle("Good for Kids", "Healthy", 0.05)
+        .dismantle("Good for Kids", "Fast", 0.04)
+        .dismantle("Dessert", "Has Eggs", 0.08)
+        .dismantle("Dessert", "Tasty", 0.10)
+        .dismantle("Dessert", "Low Calorie", 0.05)
+        .dismantle("Fat Amount", "Calories", 0.10)
+        .dismantle("Fat Amount", "Healthy", 0.08)
+        .dismantle("Has Meat", "Grams of Meat", 0.12)
+        .dismantle("Has Meat", "Vegetarian", 0.15)
+        .dismantle("Has Meat", "Protein", 0.10)
+        .dismantle("Vegetarian", "Has Meat", 0.20)
+        .dismantle("Has Eggs", "Number of Eggs", 0.25)
+        .dismantle("Low Calorie", "Calories", 0.15)
+        .dismantle("Low Calorie", "Healthy", 0.10)
+        .dismantle("High Protein", "Protein", 0.15)
+        .dismantle("High Protein", "Has Meat", 0.12)
+        .dismantle("Number of Ingredients", "Easy to Make", 0.15)
+        .dismantle("Fast", "Easy to Make", 0.18)
+        // Gold standards (§5.3.1: expert dietitian for Protein/Calories).
+        .gold_standard(
+            "Protein",
+            &["Has Meat", "Number of Eggs", "High Protein", "Vegetarian", "Has Eggs", "Grams of Meat"],
+        )
+        .gold_standard(
+            "Calories",
+            &["Has Eggs", "Low Calorie", "Dessert", "Healthy", "Fat Amount"],
+        )
+        .gold_standard(
+            "Easy to Make",
+            &["Number of Ingredients", "Fast", "Tasty", "Expensive"],
+        )
+        .gold_standard(
+            "Healthy",
+            &["Low Salt", "Natural", "Fat Amount", "Bitter", "Low Calorie"],
+        )
+        .build()
+        .expect("recipes domain calibration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4b_frequencies_encoded() {
+        let d = spec();
+        let protein = d.id_of("Protein").unwrap();
+        let has_meat = d.id_of("Has Meat").unwrap();
+        let dist = d.dismantle_distribution(protein);
+        let (_, p) = dist.iter().find(|(a, _)| *a == has_meat).unwrap();
+        assert!((p - 0.13).abs() < 1e-9);
+    }
+
+    #[test]
+    fn protein_is_harder_than_dessert_for_workers() {
+        // The motivation of the paper: protein amount is hard to estimate.
+        let d = spec();
+        let protein = d.id_of("Protein").unwrap();
+        let dessert = d.id_of("Dessert").unwrap();
+        // Compare noise relative to signal (sd ratio).
+        let protein_ratio = d.attr(protein).worker_sd / d.attr(protein).sd;
+        let dessert_ratio = d.attr(dessert).worker_sd / d.attr(dessert).sd;
+        assert!(protein_ratio > dessert_ratio);
+    }
+
+    #[test]
+    fn meat_negatively_correlates_with_vegetarian() {
+        let d = spec();
+        let meat = d.id_of("Has Meat").unwrap();
+        let veg = d.id_of("Vegetarian").unwrap();
+        assert!(d.correlation(meat, veg) < -0.5);
+    }
+
+    #[test]
+    fn dismantle_mass_never_exceeds_one() {
+        let d = spec();
+        for a in d.attribute_ids() {
+            let total: f64 = d.dismantle_distribution(a).iter().map(|(_, p)| p).sum();
+            assert!(total <= 1.0 + 1e-9, "{}", d.attr(a).name);
+        }
+    }
+
+    #[test]
+    fn calories_gold_standard_present() {
+        let d = spec();
+        let cal = d.id_of("Calories").unwrap();
+        assert_eq!(d.gold_standard(cal).unwrap().len(), 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Parameterized synthetic domains (§5.1, "Synthetic Data").
+//!
+//! "To neutralize our own subjectivity/belief w.r.t which object attributes
+//! are hard/easy, we also ran experiments on a synthetically generated
+//! domain." The generator builds a random factor-model correlation
+//! structure (`ρ = L·Lᵀ` for random loadings `L`, renormalized), random
+//! worker-noise levels, and — matching the paper's stated assumption that
+//! "workers are more likely to provide attributes that are correlative with
+//! the attribute in question" — a dismantling answer distribution whose
+//! mass is proportional to correlation magnitude.
+
+use crate::{AttributeSpec, DomainSpec, DomainSpecBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Knobs of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of attributes in the universe.
+    pub n_attrs: usize,
+    /// Number of latent factors driving the correlation structure
+    /// (fewer factors → stronger correlations).
+    pub n_factors: usize,
+    /// Range of true-value standard deviations.
+    pub sd_range: (f64, f64),
+    /// Worker-noise sd as a multiple of the attribute sd, sampled
+    /// uniformly from this range ("difficulty").
+    pub noise_ratio_range: (f64, f64),
+    /// Total probability mass of relevant dismantling answers per
+    /// attribute (the rest is junk).
+    pub dismantle_mass: f64,
+    /// How many related attributes each dismantling distribution lists.
+    pub dismantle_fanout: usize,
+    /// Size of each attribute's gold-standard set (top correlated).
+    pub gold_size: usize,
+    /// Optional override of attribute 0's noise ratio — lets experiments
+    /// vary the *query* attribute's difficulty while the rest of the
+    /// domain (the potential helpers) stays fixed.
+    pub target_noise_ratio: Option<f64>,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_attrs: 20,
+            n_factors: 5,
+            sd_range: (0.5, 3.0),
+            noise_ratio_range: (0.3, 2.0),
+            dismantle_mass: 0.6,
+            dismantle_fanout: 4,
+            gold_size: 5,
+            target_noise_ratio: None,
+        }
+    }
+}
+
+/// Generates a synthetic domain deterministically from a seed.
+pub fn spec(config: &SyntheticConfig, seed: u64) -> DomainSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.n_attrs.max(2);
+    let f = config.n_factors.max(1);
+
+    // Random factor loadings; row i holds attribute i's loadings.
+    let loadings: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..f).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect())
+        .collect();
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+
+    // Correlations from normalized loading inner products.
+    let mut corr = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let dot: f64 = loadings[i]
+                .iter()
+                .zip(&loadings[j])
+                .map(|(a, b)| a * b)
+                .sum();
+            corr[i][j] = (dot / (norm(&loadings[i]) * norm(&loadings[j]))).clamp(-1.0, 1.0);
+        }
+    }
+
+    let mut b = DomainSpecBuilder::new(&format!("synthetic-{seed}"));
+    let names: Vec<String> = (0..n).map(|i| format!("Attr {i:02}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        let sd = rng.random_range(config.sd_range.0..config.sd_range.1);
+        let mut ratio = rng.random_range(config.noise_ratio_range.0..config.noise_ratio_range.1);
+        if i == 0 {
+            if let Some(r) = config.target_noise_ratio {
+                ratio = r;
+            }
+        }
+        b = b.attribute(AttributeSpec::numeric(
+            name,
+            rng.random_range(-5.0..5.0),
+            sd,
+            sd * ratio,
+        ));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Mildly shrink toward zero so the assembled matrix is usually
+            // already PSD before projection.
+            b = b.correlation(&names[i], &names[j], 0.9 * corr[i][j]);
+        }
+    }
+
+    // Dismantling: each attribute lists its top-|ρ| peers with mass
+    // proportional to |ρ|.
+    for i in 0..n {
+        let mut peers: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, corr[i][j].abs()))
+            .collect();
+        peers.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        peers.truncate(config.dismantle_fanout);
+        let total: f64 = peers.iter().map(|(_, r)| r).sum();
+        if total > 1e-9 {
+            for (j, r) in &peers {
+                let p = config.dismantle_mass * r / total;
+                if p > 1e-6 {
+                    b = b.dismantle(&names[i], &names[*j], p);
+                }
+            }
+        }
+        // Gold standard: the same top-correlated peers, one size larger
+        // pool.
+        let gold: Vec<&str> = peers
+            .iter()
+            .take(config.gold_size)
+            .map(|(j, _)| names[*j].as_str())
+            .collect();
+        if !gold.is_empty() {
+            b = b.gold_standard(&names[i], &gold);
+        }
+    }
+
+    b.build().expect("synthetic generator produces valid domains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_config_sizes() {
+        let cfg = SyntheticConfig {
+            n_attrs: 12,
+            dismantle_fanout: 3,
+            gold_size: 3,
+            ..Default::default()
+        };
+        let d = spec(&cfg, 1);
+        assert_eq!(d.n_attrs(), 12);
+        for a in d.attribute_ids() {
+            assert!(d.dismantle_distribution(a).len() <= 3);
+            if let Some(g) = d.gold_standard(a) {
+                assert!(g.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SyntheticConfig::default();
+        let a = spec(&cfg, 1);
+        let b = spec(&cfg, 2);
+        let (i, j) = (crate::AttributeId(0), crate::AttributeId(1));
+        assert_ne!(a.correlation(i, j), b.correlation(i, j));
+    }
+
+    #[test]
+    fn noise_ratios_within_range() {
+        let cfg = SyntheticConfig::default();
+        let d = spec(&cfg, 5);
+        for a in d.attribute_ids() {
+            let s = d.attr(a);
+            let ratio = s.worker_sd / s.sd;
+            assert!(
+                ratio >= cfg.noise_ratio_range.0 - 1e-9 && ratio <= cfg.noise_ratio_range.1 + 1e-9,
+                "ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn dismantle_mass_respected() {
+        let cfg = SyntheticConfig::default();
+        let d = spec(&cfg, 9);
+        for a in d.attribute_ids() {
+            let total: f64 = d.dismantle_distribution(a).iter().map(|(_, p)| p).sum();
+            assert!(total <= cfg.dismantle_mass + 1e-9);
+        }
+    }
+}

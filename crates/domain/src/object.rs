@@ -1,0 +1,141 @@
+//! Objects and the data table `D_{O×A}`.
+
+use crate::AttributeId;
+use std::fmt;
+
+/// Identifier of an object within a population / data table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub usize);
+
+impl ObjectId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A sparse table of (possibly estimated) attribute values: rows are
+/// objects, columns attributes. `None` marks a value that has not been
+/// estimated — which is the starting state of every cell in the paper's
+/// setting.
+#[derive(Debug, Clone)]
+pub struct DataTable {
+    n_attrs: usize,
+    cells: Vec<Vec<Option<f64>>>,
+}
+
+impl DataTable {
+    /// Creates a table with `n_objects` rows and `n_attrs` columns, all
+    /// empty.
+    pub fn new(n_objects: usize, n_attrs: usize) -> Self {
+        DataTable {
+            n_attrs,
+            cells: vec![vec![None; n_attrs]; n_objects],
+        }
+    }
+
+    /// Number of object rows.
+    pub fn n_objects(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of attribute columns.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Reads a cell.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn get(&self, o: ObjectId, a: AttributeId) -> Option<f64> {
+        self.cells[o.index()][a.index()]
+    }
+
+    /// Writes a cell.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn set(&mut self, o: ObjectId, a: AttributeId, value: f64) {
+        self.cells[o.index()][a.index()] = Some(value);
+    }
+
+    /// Clears a cell back to unknown.
+    pub fn clear(&mut self, o: ObjectId, a: AttributeId) {
+        self.cells[o.index()][a.index()] = None;
+    }
+
+    /// All known values in one column (skipping unknowns), with the row ids.
+    pub fn column(&self, a: AttributeId) -> Vec<(ObjectId, f64)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| row[a.index()].map(|v| (ObjectId(i), v)))
+            .collect()
+    }
+
+    /// Fraction of cells that are filled.
+    pub fn fill_ratio(&self) -> f64 {
+        let total = self.n_objects() * self.n_attrs;
+        if total == 0 {
+            return 0.0;
+        }
+        let filled: usize = self
+            .cells
+            .iter()
+            .map(|row| row.iter().filter(|c| c.is_some()).count())
+            .sum();
+        filled as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let t = DataTable::new(2, 3);
+        assert_eq!(t.n_objects(), 2);
+        assert_eq!(t.n_attrs(), 3);
+        assert_eq!(t.get(ObjectId(0), AttributeId(0)), None);
+        assert_eq!(t.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut t = DataTable::new(2, 2);
+        t.set(ObjectId(1), AttributeId(0), 3.5);
+        assert_eq!(t.get(ObjectId(1), AttributeId(0)), Some(3.5));
+        assert_eq!(t.fill_ratio(), 0.25);
+        t.clear(ObjectId(1), AttributeId(0));
+        assert_eq!(t.get(ObjectId(1), AttributeId(0)), None);
+    }
+
+    #[test]
+    fn column_skips_unknowns() {
+        let mut t = DataTable::new(3, 1);
+        t.set(ObjectId(0), AttributeId(0), 1.0);
+        t.set(ObjectId(2), AttributeId(0), 2.0);
+        let col = t.column(AttributeId(0));
+        assert_eq!(col, vec![(ObjectId(0), 1.0), (ObjectId(2), 2.0)]);
+    }
+
+    #[test]
+    fn empty_table_fill_ratio() {
+        let t = DataTable::new(0, 0);
+        assert_eq!(t.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(ObjectId(7).to_string(), "obj#7");
+    }
+}

@@ -1,0 +1,252 @@
+//! Sampled object populations.
+//!
+//! A [`Population`] realizes a [`DomainSpec`] into concrete objects by
+//! drawing true attribute values from the spec's calibrated multivariate
+//! Gaussian. Boolean attributes are clamped into `\[0, 1\]` after sampling
+//! (the paper models booleans as numerics on that range).
+
+use crate::{AttributeId, AttributeKind, DomainError, DomainSpec, ObjectId};
+use disq_math::MultivariateNormal;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A set of objects with ground-truth values for every domain attribute.
+#[derive(Debug, Clone)]
+pub struct Population {
+    spec: Arc<DomainSpec>,
+    /// `values[object][attribute]`.
+    values: Vec<Vec<f64>>,
+}
+
+impl Population {
+    /// Samples `n` objects from the domain's ground-truth distribution.
+    ///
+    /// Boolean attributes are yes-propensities in `\[0, 1\]`; the Gaussian
+    /// draw is clamped and then *sharpened* toward `{0, 1}` just enough to
+    /// hit the attribute's calibrated worker-answer variance
+    /// `S_c = E[q(1−q)]` (low published `S_c` values mean workers almost
+    /// always agree, i.e. propensities are close to 0 or 1 — a shape a
+    /// clamped Gaussian alone cannot reach). The sharpening is monotone in
+    /// the underlying Gaussian, so the correlation structure survives.
+    pub fn sample<R: Rng + ?Sized>(
+        spec: Arc<DomainSpec>,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Self, DomainError> {
+        let mvn = MultivariateNormal::new(spec.means(), &spec.covariance_matrix())?;
+        let mut values: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let mut v = mvn.sample(rng);
+                for (i, val) in v.iter_mut().enumerate() {
+                    if spec.attr(AttributeId(i)).kind == AttributeKind::Boolean {
+                        *val = val.clamp(0.0, 1.0);
+                    }
+                }
+                v
+            })
+            .collect();
+        if n >= 8 {
+            for a in spec.attribute_ids() {
+                let s = spec.attr(a);
+                if s.kind == AttributeKind::Boolean {
+                    sharpen_boolean_column(&mut values, a.index(), s.worker_sd * s.worker_sd);
+                }
+            }
+        }
+        Ok(Population { spec, values })
+    }
+
+    /// Builds a population from explicit value rows (mainly for tests and
+    /// replaying recorded data). Each row must have one value per domain
+    /// attribute.
+    pub fn from_values(spec: Arc<DomainSpec>, values: Vec<Vec<f64>>) -> Result<Self, DomainError> {
+        for row in &values {
+            if row.len() != spec.n_attrs() {
+                return Err(DomainError::BadAttributeSpec(format!(
+                    "row has {} values, domain has {} attributes",
+                    row.len(),
+                    spec.n_attrs()
+                )));
+            }
+        }
+        Ok(Population { spec, values })
+    }
+
+    /// The domain this population realizes.
+    pub fn spec(&self) -> &DomainSpec {
+        &self.spec
+    }
+
+    /// Shared handle to the domain spec.
+    pub fn spec_arc(&self) -> Arc<DomainSpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// Number of objects.
+    pub fn n_objects(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Ground-truth value of one attribute of one object.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn value(&self, o: ObjectId, a: AttributeId) -> f64 {
+        self.values[o.index()][a.index()]
+    }
+
+    /// All objects' true values for one attribute.
+    pub fn column(&self, a: AttributeId) -> Vec<f64> {
+        self.values.iter().map(|row| row[a.index()]).collect()
+    }
+
+    /// Empirical variance of one attribute over this population.
+    pub fn empirical_variance(&self, a: AttributeId) -> f64 {
+        disq_stats_variance(&self.column(a))
+    }
+
+    /// Iterates object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.n_objects()).map(ObjectId)
+    }
+}
+
+/// Mixes each propensity toward a hard 0/1 threshold (at the value that
+/// preserves the column mean) until `mean(q(1−q))` matches `target_sc`.
+/// The mix weight is found by bisection; columns already at or below the
+/// target are left untouched.
+fn sharpen_boolean_column(values: &mut [Vec<f64>], col: usize, target_sc: f64) {
+    let n = values.len();
+    let qs: Vec<f64> = values.iter().map(|row| row[col]).collect();
+    let mean_q = qs.iter().sum::<f64>() / n as f64;
+    // Threshold at the (1 − mean)-quantile keeps the fraction of "hard
+    // yes" objects equal to the mean propensity.
+    let mut sorted = qs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = (((1.0 - mean_q) * n as f64) as usize).min(n - 1);
+    let threshold = sorted[idx];
+    let hard: Vec<f64> = qs.iter().map(|&q| f64::from(q >= threshold)).collect();
+
+    let sc_at = |lambda: f64| -> f64 {
+        qs.iter()
+            .zip(&hard)
+            .map(|(&q, &h)| {
+                let m = (1.0 - lambda) * q + lambda * h;
+                m * (1.0 - m)
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    if sc_at(0.0) <= target_sc {
+        return; // already agreeable enough
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if sc_at(mid) > target_sc {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    for (row, &h) in values.iter_mut().zip(&hard) {
+        row[col] = (1.0 - lambda) * row[col] + lambda * h;
+    }
+}
+
+/// Local unbiased sample variance (avoids a circular dev-dependency on
+/// `disq-stats`, which depends on nothing here but keeps layering clean).
+fn disq_stats_variance(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = xs.iter().sum::<f64>() / n as f64;
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttributeSpec, DomainSpecBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> Arc<DomainSpec> {
+        Arc::new(
+            DomainSpecBuilder::new("test")
+                .attribute(AttributeSpec::numeric("X", 10.0, 2.0, 0.5))
+                .attribute(AttributeSpec::numeric("Y", -5.0, 1.0, 0.5))
+                .attribute(AttributeSpec::boolean("B", 0.5, 0.2))
+                .correlation("X", "Y", 0.8)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn sample_matches_spec_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = Population::sample(spec(), 20_000, &mut rng).unwrap();
+        assert_eq!(pop.n_objects(), 20_000);
+        let x = pop.column(AttributeId(0));
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        let var = pop.empirical_variance(AttributeId(0));
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn sample_respects_correlation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = Population::sample(spec(), 20_000, &mut rng).unwrap();
+        let xs = pop.column(AttributeId(0));
+        let ys = pop.column(AttributeId(1));
+        let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+        let my = ys.iter().sum::<f64>() / ys.len() as f64;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / xs.len() as f64;
+        let rho = cov / (pop.empirical_variance(AttributeId(0)).sqrt()
+            * pop.empirical_variance(AttributeId(1)).sqrt());
+        assert!((rho - 0.8).abs() < 0.05, "rho {rho}");
+    }
+
+    #[test]
+    fn boolean_values_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = Population::sample(spec(), 5_000, &mut rng).unwrap();
+        for &v in &pop.column(AttributeId(2)) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn from_values_validates_arity() {
+        let s = spec();
+        assert!(Population::from_values(Arc::clone(&s), vec![vec![1.0, 2.0, 0.5]]).is_ok());
+        assert!(Population::from_values(s, vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn value_access() {
+        let s = spec();
+        let pop = Population::from_values(s, vec![vec![1.0, 2.0, 0.3], vec![4.0, 5.0, 0.9]])
+            .unwrap();
+        assert_eq!(pop.value(ObjectId(1), AttributeId(0)), 4.0);
+        assert_eq!(pop.column(AttributeId(2)), vec![0.3, 0.9]);
+        assert_eq!(pop.object_ids().count(), 2);
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = Population::sample(spec(), 0, &mut rng).unwrap();
+        assert_eq!(pop.n_objects(), 0);
+        assert_eq!(pop.empirical_variance(AttributeId(0)), 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The query model.
+//!
+//! Queries follow the paper's SQL-flavoured running example
+//! (`select number_of_calories, protein_amount from CC where dessert=true`):
+//! a projection list plus simple comparison predicates. `A(Q)` — the set of
+//! attributes appearing anywhere in the query — is what the preprocessing
+//! phase must learn to estimate.
+
+use crate::{AttributeId, AttributeRegistry};
+use std::fmt;
+
+/// Comparison operator in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` (numeric equality with a tolerance for booleans: `x = true`
+    /// means `x >= 0.5`).
+    Eq,
+}
+
+impl PredicateOp {
+    /// Evaluates `lhs op rhs`. Equality uses the boolean convention: a
+    /// value matches `= v` when it falls on the same side of 0.5 for
+    /// 0/1 constants, and within 1e-9 otherwise.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            PredicateOp::Lt => lhs < rhs,
+            PredicateOp::Le => lhs <= rhs,
+            PredicateOp::Gt => lhs > rhs,
+            PredicateOp::Ge => lhs >= rhs,
+            PredicateOp::Eq => {
+                if rhs == 0.0 {
+                    lhs < 0.5
+                } else if rhs == 1.0 {
+                    lhs >= 0.5
+                } else {
+                    (lhs - rhs).abs() < 1e-9
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for PredicateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PredicateOp::Lt => "<",
+            PredicateOp::Le => "<=",
+            PredicateOp::Gt => ">",
+            PredicateOp::Ge => ">=",
+            PredicateOp::Eq => "=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One comparison in the `where` clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// Attribute being compared.
+    pub attr: AttributeId,
+    /// Comparison operator.
+    pub op: PredicateOp,
+    /// Constant on the right-hand side.
+    pub value: f64,
+}
+
+impl Predicate {
+    /// Tests an attribute value against this predicate.
+    pub fn matches(&self, value: f64) -> bool {
+        self.op.eval(value, self.value)
+    }
+}
+
+/// A `select … where …` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected attributes.
+    pub select: Vec<AttributeId>,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+/// Errors from [`Query::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The query did not start with `select` or had no projection list.
+    MissingSelect,
+    /// An attribute name could not be resolved.
+    UnknownAttribute(String),
+    /// A predicate could not be parsed.
+    BadPredicate(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingSelect => write!(f, "query must start with 'select <attrs>'"),
+            ParseError::UnknownAttribute(n) => write!(f, "unknown attribute '{n}'"),
+            ParseError::BadPredicate(p) => write!(f, "cannot parse predicate '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Query {
+    /// Builds a query programmatically.
+    pub fn new(select: Vec<AttributeId>, predicates: Vec<Predicate>) -> Self {
+        Query { select, predicates }
+    }
+
+    /// `A(Q)`: every attribute mentioned in the query, deduplicated,
+    /// projection attributes first.
+    pub fn attributes(&self) -> Vec<AttributeId> {
+        let mut out = Vec::new();
+        for &a in self.select.iter().chain(self.predicates.iter().map(|p| &p.attr)) {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Parses `select a, b [from X] [where c > 1 and d = true]`.
+    ///
+    /// Attribute names may contain spaces when written with underscores
+    /// (`number_of_eggs`); keywords are case-insensitive; `from <table>` is
+    /// accepted and ignored (the data table is supplied separately).
+    pub fn parse(text: &str, registry: &AttributeRegistry) -> Result<Query, ParseError> {
+        let lower = text.to_lowercase();
+        let rest = lower
+            .trim()
+            .strip_prefix("select")
+            .ok_or(ParseError::MissingSelect)?;
+
+        // Split off the where clause first, then drop any from clause.
+        let (head, where_part) = match rest.find(" where ") {
+            Some(i) => (&rest[..i], Some(&rest[i + 7..])),
+            None => (rest, None),
+        };
+        let select_part = match head.find(" from ") {
+            Some(i) => &head[..i],
+            None => head,
+        };
+
+        let resolve = |name: &str| -> Result<AttributeId, ParseError> {
+            registry
+                .resolve(name)
+                .ok_or_else(|| ParseError::UnknownAttribute(name.trim().to_string()))
+        };
+
+        let select = select_part
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(resolve)
+            .collect::<Result<Vec<_>, _>>()?;
+        if select.is_empty() {
+            return Err(ParseError::MissingSelect);
+        }
+
+        let mut predicates = Vec::new();
+        if let Some(w) = where_part {
+            for clause in w.split(" and ") {
+                let clause = clause.trim();
+                if clause.is_empty() {
+                    continue;
+                }
+                predicates.push(parse_predicate(clause, &resolve)?);
+            }
+        }
+        Ok(Query { select, predicates })
+    }
+}
+
+fn parse_predicate(
+    clause: &str,
+    resolve: &dyn Fn(&str) -> Result<AttributeId, ParseError>,
+) -> Result<Predicate, ParseError> {
+    // Longest operators first so `<=` is not parsed as `<`.
+    for (sym, op) in [
+        ("<=", PredicateOp::Le),
+        (">=", PredicateOp::Ge),
+        ("<", PredicateOp::Lt),
+        (">", PredicateOp::Gt),
+        ("=", PredicateOp::Eq),
+    ] {
+        if let Some(i) = clause.find(sym) {
+            let attr = resolve(clause[..i].trim())?;
+            let rhs = clause[i + sym.len()..].trim();
+            let value = match rhs {
+                "true" => 1.0,
+                "false" => 0.0,
+                other => other
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::BadPredicate(clause.to_string()))?,
+            };
+            return Ok(Predicate { attr, op, value });
+        }
+    }
+    Err(ParseError::BadPredicate(clause.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> AttributeRegistry {
+        let mut r = AttributeRegistry::new();
+        r.register("calories");
+        r.register("protein amount");
+        r.register("dessert");
+        r
+    }
+
+    #[test]
+    fn parse_select_only() {
+        let r = registry();
+        let q = Query::parse("select calories", &r).unwrap();
+        assert_eq!(q.select, vec![AttributeId(0)]);
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parse_running_example() {
+        let r = registry();
+        let q = Query::parse(
+            "SELECT calories, protein_amount FROM cc WHERE dessert = true",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.select, vec![AttributeId(0), AttributeId(1)]);
+        assert_eq!(
+            q.predicates,
+            vec![Predicate {
+                attr: AttributeId(2),
+                op: PredicateOp::Eq,
+                value: 1.0
+            }]
+        );
+        assert_eq!(
+            q.attributes(),
+            vec![AttributeId(0), AttributeId(1), AttributeId(2)]
+        );
+    }
+
+    #[test]
+    fn parse_numeric_predicates() {
+        let r = registry();
+        let q = Query::parse(
+            "select dessert where calories <= 300 and protein_amount > 5.5",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[0].op, PredicateOp::Le);
+        assert_eq!(q.predicates[0].value, 300.0);
+        assert_eq!(q.predicates[1].op, PredicateOp::Gt);
+        assert!((q.predicates[1].value - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attributes_deduplicated() {
+        let r = registry();
+        let q = Query::parse("select calories where calories < 100", &r).unwrap();
+        assert_eq!(q.attributes(), vec![AttributeId(0)]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let r = registry();
+        assert_eq!(
+            Query::parse("calories", &r),
+            Err(ParseError::MissingSelect)
+        );
+        assert_eq!(Query::parse("select ", &r), Err(ParseError::MissingSelect));
+        assert!(matches!(
+            Query::parse("select unknown_thing", &r),
+            Err(ParseError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            Query::parse("select calories where dessert", &r),
+            Err(ParseError::BadPredicate(_))
+        ));
+        assert!(matches!(
+            Query::parse("select calories where dessert = maybe", &r),
+            Err(ParseError::BadPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn predicate_eval_semantics() {
+        assert!(PredicateOp::Lt.eval(1.0, 2.0));
+        assert!(!PredicateOp::Lt.eval(2.0, 2.0));
+        assert!(PredicateOp::Le.eval(2.0, 2.0));
+        assert!(PredicateOp::Gt.eval(3.0, 2.0));
+        assert!(PredicateOp::Ge.eval(2.0, 2.0));
+        // Boolean equality convention.
+        assert!(PredicateOp::Eq.eval(0.8, 1.0));
+        assert!(!PredicateOp::Eq.eval(0.3, 1.0));
+        assert!(PredicateOp::Eq.eval(0.3, 0.0));
+        // Exact numeric equality otherwise.
+        assert!(PredicateOp::Eq.eval(2.5, 2.5));
+        assert!(!PredicateOp::Eq.eval(2.5, 2.6));
+    }
+
+    #[test]
+    fn predicate_matches() {
+        let p = Predicate {
+            attr: AttributeId(0),
+            op: PredicateOp::Ge,
+            value: 10.0,
+        };
+        assert!(p.matches(10.0));
+        assert!(!p.matches(9.9));
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(PredicateOp::Le.to_string(), "<=");
+        assert_eq!(PredicateOp::Eq.to_string(), "=");
+    }
+}

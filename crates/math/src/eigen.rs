@@ -1,0 +1,211 @@
+//! Symmetric eigendecomposition via the classical cyclic Jacobi method.
+//!
+//! Jacobi rotation is slow for big matrices but unbeatable for the tiny,
+//! well-conditioned covariance matrices DisQ manipulates: it is simple,
+//! numerically stable, and gives orthogonal eigenvectors to machine
+//! precision — exactly what the nearest-PSD projection needs.
+
+use crate::{Matrix, MathError, Result};
+
+/// Result of a symmetric eigendecomposition `A = V·Diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose columns are the corresponding orthonormal eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix with cyclic Jacobi
+/// rotations. The input must be symmetric; only minor asymmetry (up to
+/// `1e-8 · max|a|`) is tolerated and symmetrized away.
+pub fn jacobi_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(MathError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(MathError::NonFinite);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    let scale = a.max_abs().max(1e-300);
+    if !a.is_symmetric(1e-8 * scale) {
+        return Err(MathError::ShapeMismatch {
+            expected: "symmetric".into(),
+            found: "asymmetric".into(),
+        });
+    }
+
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Compute the Jacobi rotation annihilating m[p][q].
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(MathError::NoConvergence { sweeps: MAX_SWEEPS })
+}
+
+fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        let d = Matrix::diag(&e.values);
+        e.vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::diag(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -0.2],
+            vec![0.5, -0.2, 2.0],
+        ]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert!(reconstruct(&e).sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -0.2],
+            vec![0.5, -0.2, 2.0],
+        ]);
+        let e = jacobi_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_eigenvalue_detected() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert!(jacobi_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.2],
+            vec![0.3, 1.0, -0.4],
+            vec![0.2, -0.4, 1.0],
+        ]);
+        let e = jacobi_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[vec![5.0]]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![5.0]);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(jacobi_eigen(&Matrix::zeros(0, 0)).is_err());
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3)).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(jacobi_eigen(&bad).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by the numeric kernels.
+
+use std::fmt;
+
+/// Errors produced by the decompositions and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Two operands had incompatible shapes; carries `(expected, found)`
+    /// rendered as `rows x cols` strings.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: String,
+        /// Shape that was actually supplied.
+        found: String,
+    },
+    /// A square-matrix operation received a non-square matrix.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix was singular (or numerically singular) at the given pivot.
+    Singular {
+        /// Pivot index where elimination broke down.
+        pivot: usize,
+    },
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite; carries the diagonal index where it failed.
+    NotPositiveDefinite {
+        /// Diagonal index where a non-positive pivot appeared.
+        index: usize,
+    },
+    /// An iterative algorithm (Jacobi eigen / SVD) failed to converge.
+    NoConvergence {
+        /// Number of sweeps performed before giving up.
+        sweeps: usize,
+    },
+    /// The input contained NaN or infinite entries.
+    NonFinite,
+    /// An empty matrix or vector was supplied where data is required.
+    Empty,
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            MathError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            MathError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            MathError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at diagonal index {index}")
+            }
+            MathError::NoConvergence { sweeps } => {
+                write!(f, "iteration failed to converge after {sweeps} sweeps")
+            }
+            MathError::NonFinite => write!(f, "input contains non-finite values"),
+            MathError::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let cases: Vec<(MathError, &str)> = vec![
+            (
+                MathError::ShapeMismatch {
+                    expected: "2x2".into(),
+                    found: "3x1".into(),
+                },
+                "shape mismatch: expected 2x2, found 3x1",
+            ),
+            (
+                MathError::NotSquare { rows: 2, cols: 3 },
+                "matrix must be square, got 2x3",
+            ),
+            (MathError::Singular { pivot: 1 }, "matrix is singular at pivot 1"),
+            (
+                MathError::NotPositiveDefinite { index: 0 },
+                "matrix is not positive definite at diagonal index 0",
+            ),
+            (
+                MathError::NoConvergence { sweeps: 50 },
+                "iteration failed to converge after 50 sweeps",
+            ),
+            (MathError::NonFinite, "input contains non-finite values"),
+            (MathError::Empty, "input is empty"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<MathError>();
+    }
+}

@@ -1,0 +1,188 @@
+//! Weighted-graph shortest paths (Dijkstra).
+//!
+//! Section 4's estimation of unmeasured `S_o` entries composes correlations
+//! along paths in a bipartite attribute graph: the correlation along a path
+//! is the *product* of edge correlations, which turns into a shortest-path
+//! problem under additive weights `−ln|ρ|` (equivalently the angular
+//! distances `Γ = arccos|ρ|` composed via `cos(Γ₁+Γ₂) = cosΓ₁·cosΓ₂`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simple adjacency-list graph with non-negative edge weights.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds an undirected edge with the given non-negative weight.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, negative or non-finite weight.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
+        assert!(a < self.len() && b < self.len(), "node out of range");
+        assert!(weight >= 0.0 && weight.is_finite(), "bad weight {weight}");
+        self.adj[a].push((b, weight));
+        if a != b {
+            self.adj[b].push((a, weight));
+        }
+    }
+
+    /// Neighbors of `node` as `(target, weight)` pairs.
+    pub fn neighbors(&self, node: usize) -> &[(usize, f64)] {
+        &self.adj[node]
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance via reversed comparison; distances are
+        // finite non-negative so partial_cmp never fails.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path distances from `source`. Unreachable nodes
+/// get `f64::INFINITY`.
+pub fn shortest_paths(graph: &Graph, source: usize) -> Vec<f64> {
+    let n = graph.len();
+    let mut dist = vec![f64::INFINITY; n];
+    if source >= n {
+        return dist;
+    }
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue;
+        }
+        for &(next, w) in graph.neighbors(node) {
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_distances() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        let d = shortest_paths(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn picks_shorter_of_two_routes() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        let d = shortest_paths(&g, 0);
+        assert_eq!(d[1], 2.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::new(3);
+        let d = shortest_paths(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert!(d[1].is_infinite());
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        let from0 = shortest_paths(&g, 0);
+        let from2 = shortest_paths(&g, 2);
+        assert_eq!(from0[2], from2[0]);
+    }
+
+    #[test]
+    fn correlation_path_composition() {
+        // |ρ(0,1)| = 0.8, |ρ(1,2)| = 0.5 → composed |ρ(0,2)| = 0.4 via
+        // weights −ln|ρ|.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, -(0.8_f64.ln()));
+        g.add_edge(1, 2, -(0.5_f64.ln()));
+        let d = shortest_paths(&g, 0);
+        let rho = (-d[2]).exp();
+        assert!((rho - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 0.0);
+        let d = shortest_paths(&g, 0);
+        assert_eq!(d[1], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_source_all_infinite() {
+        let g = Graph::new(2);
+        let d = shortest_paths(&g, 5);
+        assert!(d.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn negative_weight_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+}

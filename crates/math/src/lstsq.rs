@@ -1,0 +1,233 @@
+//! Least-squares regression fitting on top of the Jacobi SVD.
+//!
+//! This is the `FindRegression` computational kernel: given a design matrix
+//! of averaged crowd answers and a vector of true target values, fit the
+//! assembly formula `a_t ≈ l₀ + Σ l(a_i)·x_i` that minimizes squared error
+//! over the training examples.
+
+use crate::{svd_jacobi, Matrix, MathError, Result};
+
+/// A fitted linear model `y ≈ intercept + coefficients · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeastSquaresFit {
+    /// Per-predictor coefficients, in design-matrix column order.
+    pub coefficients: Vec<f64>,
+    /// Intercept term (`l₀`).
+    pub intercept: f64,
+    /// Mean squared error over the training set.
+    pub training_mse: f64,
+}
+
+impl LeastSquaresFit {
+    /// Predicts `y` for a single predictor row.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the number of coefficients.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.coefficients.len(),
+            "predictor count mismatch"
+        );
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(&c, &v)| c * v)
+                .sum::<f64>()
+    }
+}
+
+/// Fits ordinary least squares with an intercept using SVD with relative
+/// singular-value cutoff `rel_tol` (use `1e-10` unless you know better).
+///
+/// `x` is the `n_samples x n_predictors` design matrix (without the
+/// intercept column — it is appended internally), `y` the target vector.
+pub fn lstsq_svd(x: &Matrix, y: &[f64], rel_tol: f64) -> Result<LeastSquaresFit> {
+    let (n, p) = x.shape();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if y.len() != n {
+        return Err(MathError::ShapeMismatch {
+            expected: format!("{n}x1"),
+            found: format!("{}x1", y.len()),
+        });
+    }
+    if n < p + 1 {
+        return Err(MathError::ShapeMismatch {
+            expected: format!("at least {}x{}", p + 1, p),
+            found: format!("{n}x{p}"),
+        });
+    }
+    if !x.is_finite() || y.iter().any(|v| !v.is_finite()) {
+        return Err(MathError::NonFinite);
+    }
+
+    // Center predictors and target: fit on centered data, recover the
+    // intercept from the means. This keeps the design matrix
+    // well-conditioned even when predictor scales differ wildly
+    // (calories in the thousands next to booleans in [0,1]).
+    let mut col_means = vec![0.0; p];
+    for j in 0..p {
+        col_means[j] = (0..n).map(|i| x[(i, j)]).sum::<f64>() / n as f64;
+    }
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+
+    let mut centered = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            centered[(i, j)] = x[(i, j)] - col_means[j];
+        }
+    }
+    let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
+
+    let coefficients = if p == 0 {
+        Vec::new()
+    } else {
+        let svd = svd_jacobi(&centered)?;
+        svd.solve_least_squares(&yc, rel_tol)?
+    };
+
+    let intercept = y_mean
+        - coefficients
+            .iter()
+            .zip(&col_means)
+            .map(|(&c, &m)| c * m)
+            .sum::<f64>();
+
+    let fit = LeastSquaresFit {
+        coefficients,
+        intercept,
+        training_mse: 0.0,
+    };
+    let mse = (0..n)
+        .map(|i| {
+            let pred = fit.predict(x.row(i));
+            let r = y[i] - pred;
+            r * r
+        })
+        .sum::<f64>()
+        / n as f64;
+
+    Ok(LeastSquaresFit {
+        training_mse: mse,
+        ..fit
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 3 + 2a - b
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 3.0],
+        ]);
+        let y: Vec<f64> = (0..4)
+            .map(|i| 3.0 + 2.0 * x[(i, 0)] - x[(i, 1)])
+            .collect();
+        let fit = lstsq_svd(&x, &y, 1e-10).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-10);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-10);
+        assert!((fit.coefficients[1] + 1.0).abs() < 1e-10);
+        assert!(fit.training_mse < 1e-20);
+    }
+
+    #[test]
+    fn constant_target_gives_zero_coefficients() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let fit = lstsq_svd(&x, &[5.0, 5.0, 5.0], 1e-10).unwrap();
+        assert!(fit.coefficients[0].abs() < 1e-10);
+        assert!((fit.intercept - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_predictors_fits_mean() {
+        let x = Matrix::zeros(3, 0);
+        let fit = lstsq_svd(&x, &[1.0, 2.0, 6.0], 1e-10).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!(fit.coefficients.is_empty());
+        // MSE is the variance of y around its mean.
+        assert!((fit.training_mse - (4.0 + 1.0 + 9.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_predictors_stay_finite() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 8.0],
+        ]);
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let fit = lstsq_svd(&x, &y, 1e-8).unwrap();
+        assert!(fit.coefficients.iter().all(|c| c.is_finite()));
+        // Predictions must still be accurate even if the split between the
+        // two collinear columns is arbitrary.
+        assert!(fit.training_mse < 1e-16);
+    }
+
+    #[test]
+    fn wildly_different_scales_handled() {
+        // One predictor in thousands, one boolean-ish.
+        let x = Matrix::from_rows(&[
+            vec![1500.0, 0.0],
+            vec![2500.0, 1.0],
+            vec![500.0, 0.0],
+            vec![3500.0, 1.0],
+            vec![1000.0, 1.0],
+        ]);
+        let y: Vec<f64> = (0..5)
+            .map(|i| 0.001 * x[(i, 0)] + 2.0 * x[(i, 1)] - 1.0)
+            .collect();
+        let fit = lstsq_svd(&x, &y, 1e-10).unwrap();
+        assert!((fit.coefficients[0] - 0.001).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert!(lstsq_svd(&x, &[1.0], 1e-10).is_err());
+    }
+
+    #[test]
+    fn shape_and_finite_validation() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(lstsq_svd(&x, &[1.0], 1e-10).is_err());
+        assert!(lstsq_svd(&Matrix::zeros(0, 0), &[], 1e-10).is_err());
+        assert!(lstsq_svd(&x, &[1.0, f64::NAN], 1e-10).is_err());
+    }
+
+    #[test]
+    fn predict_panics_on_wrong_arity() {
+        let fit = LeastSquaresFit {
+            coefficients: vec![1.0, 2.0],
+            intercept: 0.0,
+            training_mse: 0.0,
+        };
+        let result = std::panic::catch_unwind(|| fit.predict(&[1.0]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn noisy_fit_beats_mean_predictor() {
+        // y = 2x + noise-ish deterministic wiggle.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..20)
+            .map(|i| 2.0 * i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = lstsq_svd(&x, &y, 1e-10).unwrap();
+        let mean = y.iter().sum::<f64>() / 20.0;
+        let mean_mse = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 20.0;
+        assert!(fit.training_mse < mean_mse / 10.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used as the general-purpose fallback solver when a covariance matrix is
+//! not numerically positive definite (the Cholesky path is preferred).
+
+use crate::{Matrix, MathError, Result, EPS};
+
+/// LU decomposition `P·A = L·U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: unit-lower-triangular L below the diagonal,
+    /// U on and above it.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, `+1.0` or `-1.0`.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(MathError::NonFinite);
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(MathError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max <= EPS * scale {
+                return Err(MathError::Singular { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for c in (k + 1)..n {
+                    let u = lu[(k, c)];
+                    lu[(i, c)] -= m * u;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{n}x1"),
+                found: format!("{}x1", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let lu = Lu::new(&a).unwrap();
+        approx(&lu.solve(&[5.0, 10.0]).unwrap(), &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        approx(&lu.solve(&[2.0, 3.0]).unwrap(), &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn det_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((Lu::new(&a).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ]);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let diff = prod.sub(&Matrix::identity(3)).unwrap();
+        assert!(diff.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(MathError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(MathError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(Lu::new(&Matrix::zeros(0, 0)), Err(MathError::Empty)));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let a = Matrix::from_rows(&[vec![f64::NAN, 0.0], vec![0.0, 1.0]]);
+        assert!(matches!(Lu::new(&a), Err(MathError::NonFinite)));
+    }
+
+    #[test]
+    fn solve_wrong_length_rejected() {
+        let a = Matrix::identity(2);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

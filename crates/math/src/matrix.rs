@@ -1,0 +1,482 @@
+//! A small dense row-major matrix type.
+//!
+//! DisQ's matrices are tiny (tens of attributes at most), so this favours
+//! clarity and safety over blocked kernels. Storage is a single contiguous
+//! `Vec<f64>` in row-major order, which keeps multiplication cache-friendly
+//! for the sizes we care about.
+
+use crate::{MathError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from raw row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(nrows, ncols, data)
+    }
+
+    /// Creates an all-zero `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diag(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Creates a column vector (an `n x 1` matrix).
+    pub fn col_vec(values: &[f64]) -> Self {
+        Matrix::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The main diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{}x*", self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{}x1", self.cols),
+                found: format!("{}x1", v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| dot(self.row(r), v))
+            .collect())
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * s).collect(),
+        }
+    }
+
+    /// Adds `value` to every diagonal entry in place.
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let idx = i * self.cols + i;
+            self.data[idx] += value;
+        }
+    }
+
+    /// Extracts the principal submatrix on the given row/column indices.
+    ///
+    /// Used by the budget-distribution solver to restrict the statistics
+    /// trio to attributes with non-zero budget.
+    pub fn principal_submatrix(&self, indices: &[usize]) -> Matrix {
+        let k = indices.len();
+        let mut sub = Matrix::zeros(k, k);
+        for (si, &i) in indices.iter().enumerate() {
+            for (sj, &j) in indices.iter().enumerate() {
+                sub[(si, sj)] = self[(i, j)];
+            }
+        }
+        sub
+    }
+
+    /// Returns the maximum absolute entry (the max-norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// True if all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// True if symmetric within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᵀ)/2`.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+    }
+
+    #[test]
+    fn from_vec_and_index() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i = Matrix::identity(3);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let d = Matrix::diag(&[2.0, 5.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 5.0);
+        assert_eq!(d[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = sample();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = sample();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = sample();
+        let b = Matrix::zeros(3, 2);
+        assert!(matches!(a.matmul(&b), Err(MathError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = sample();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = sample();
+        let s = a.add(&a).unwrap();
+        assert_eq!(s, a.scale(2.0));
+        let d = s.sub(&a).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = sample();
+        a.add_diagonal(10.0);
+        assert_eq!(a[(0, 0)], 11.0);
+        assert_eq!(a[(1, 1)], 14.0);
+        assert_eq!(a[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn principal_submatrix_selects() {
+        let m = Matrix::from_rows(&[
+            vec![1., 2., 3.],
+            vec![4., 5., 6.],
+            vec![7., 8., 9.],
+        ]);
+        let sub = m.principal_submatrix(&[0, 2]);
+        assert_eq!(sub, Matrix::from_rows(&[vec![1., 3.], vec![7., 9.]]));
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.1, 1.0]]);
+        assert!(!m.is_symmetric(1e-6));
+        assert!(m.is_symmetric(0.2));
+        m.symmetrize();
+        assert!(m.is_symmetric(0.0));
+        assert!((m[(0, 1)] - 2.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_col_diag_access() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m.col(2), vec![3., 6.]);
+        assert_eq!(m.diagonal(), vec![1., 5.]);
+    }
+
+    #[test]
+    fn col_vec_shape() {
+        let v = Matrix::col_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), (3, 1));
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut m = sample();
+        assert!(m.is_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn display_has_rows() {
+        let s = format!("{}", sample());
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests over the numeric kernels.
+
+use crate::*;
+use proptest::prelude::*;
+
+/// Strategy: a random `n x n` symmetric positive-definite matrix built as
+/// `BᵀB + εI` from a random `B`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0_f64..3.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.transpose().matmul(&b).unwrap();
+        a.add_diagonal(0.5);
+        a.symmetrize();
+        a
+    })
+}
+
+/// Strategy: a random symmetric matrix (not necessarily definite).
+fn sym_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0_f64..3.0, n * n).prop_map(move |data| {
+        let mut a = Matrix::from_vec(n, n, data);
+        a.symmetrize();
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_has_small_residual(a in spd_matrix(4), b in proptest::collection::vec(-5.0_f64..5.0, 4)) {
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let scale = a.max_abs().max(1.0) * (1.0 + x.iter().fold(0.0_f64, |m, v| m.max(v.abs())));
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_solve(a in spd_matrix(4), b in proptest::collection::vec(-5.0_f64..5.0, 4)) {
+        let xc = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let xl = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let scale = xl.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (c, l) in xc.iter().zip(&xl) {
+            prop_assert!((c - l).abs() < 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(5)) {
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(recon.sub(&a).unwrap().max_abs() < 1e-8 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn eigen_reconstructs_and_orthonormal(a in sym_matrix(4)) {
+        let e = jacobi_eigen(&a).unwrap();
+        let d = Matrix::diag(&e.values);
+        let recon = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(recon.sub(&a).unwrap().max_abs() < 1e-8 * a.max_abs().max(1.0));
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        prop_assert!(vtv.sub(&Matrix::identity(4)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending(a in sym_matrix(5)) {
+        let e = jacobi_eigen(&a).unwrap();
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs(data in proptest::collection::vec(-3.0_f64..3.0, 15)) {
+        let a = Matrix::from_vec(5, 3, data);
+        let s = svd_jacobi(&a).unwrap();
+        let d = Matrix::diag(&s.sigma);
+        let recon = s.u.matmul(&d).unwrap().matmul(&s.v.transpose()).unwrap();
+        prop_assert!(recon.sub(&a).unwrap().max_abs() < 1e-8 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn svd_sigma_nonnegative_descending(data in proptest::collection::vec(-3.0_f64..3.0, 12)) {
+        let a = Matrix::from_vec(4, 3, data);
+        let s = svd_jacobi(&a).unwrap();
+        prop_assert!(s.sigma.iter().all(|&v| v >= 0.0));
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_psd_is_psd_and_idempotent(a in sym_matrix(4)) {
+        let p = nearest_psd(&a, 0.0).unwrap();
+        let e = jacobi_eigen(&p).unwrap();
+        prop_assert!(e.values.iter().all(|&v| v >= -1e-8 * a.max_abs().max(1.0)));
+        let p2 = nearest_psd(&p, 0.0).unwrap();
+        prop_assert!(p2.sub(&p).unwrap().max_abs() < 1e-7 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn nearest_correlation_valid(a in sym_matrix(4)) {
+        let c = nearest_correlation(&a, 1e-9).unwrap();
+        for i in 0..4 {
+            prop_assert!((c[(i, i)] - 1.0).abs() < 1e-9);
+            for j in 0..4 {
+                prop_assert!(c[(i, j)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quad_form_nonnegative_on_spd(a in spd_matrix(4),
+                                    v in proptest::collection::vec(-5.0_f64..5.0, 4),
+                                    d in proptest::collection::vec(0.0_f64..2.0, 4)) {
+        let val = quad_form_inv(&a, &d, &v).unwrap();
+        prop_assert!(val >= -1e-9);
+    }
+
+    #[test]
+    fn quad_form_decreases_with_noise(a in spd_matrix(3),
+                                      v in proptest::collection::vec(-5.0_f64..5.0, 3)) {
+        let small = quad_form_inv(&a, &[0.01; 3], &v).unwrap();
+        let large = quad_form_inv(&a, &[10.0; 3], &v).unwrap();
+        prop_assert!(small >= large - 1e-9);
+    }
+
+    #[test]
+    fn lstsq_recovers_noiseless_model(
+        coefs in proptest::collection::vec(-3.0_f64..3.0, 2),
+        intercept in -5.0_f64..5.0,
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0_f64..10.0, 2), 8..20),
+    ) {
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| intercept + coefs[0] * r[0] + coefs[1] * r[1])
+            .collect();
+        let fit = lstsq_svd(&x, &y, 1e-10).unwrap();
+        // Only check prediction accuracy: coefficients may be non-unique
+        // when random rows are nearly collinear.
+        for (r, yy) in rows.iter().zip(&y) {
+            prop_assert!((fit.predict(r) - yy).abs() < 1e-5 * (1.0 + yy.abs()));
+        }
+    }
+
+    #[test]
+    fn dijkstra_triangle_inequality(weights in proptest::collection::vec(0.1_f64..5.0, 6)) {
+        // Complete graph on 4 nodes; distances must satisfy the triangle
+        // inequality.
+        let mut g = Graph::new(4);
+        let mut w = weights.into_iter();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j, w.next().unwrap());
+            }
+        }
+        let d: Vec<Vec<f64>> = (0..4).map(|s| shortest_paths(&g, s)).collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    prop_assert!(d[i][j] <= d[i][k] + d[k][j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associative(a in proptest::collection::vec(-2.0_f64..2.0, 9),
+                          b in proptest::collection::vec(-2.0_f64..2.0, 9),
+                          c in proptest::collection::vec(-2.0_f64..2.0, 9)) {
+        let a = Matrix::from_vec(3, 3, a);
+        let b = Matrix::from_vec(3, 3, b);
+        let c = Matrix::from_vec(3, 3, c);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.sub(&right).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn transpose_involution(data in proptest::collection::vec(-5.0_f64..5.0, 12)) {
+        let a = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,143 @@
+//! Projections to the positive-semidefinite cone.
+//!
+//! Small-sample covariance estimates and the paper's Table 5 correlation
+//! tables (rounded to two decimals, some entries estimated by shortest
+//! paths) are frequently slightly indefinite. Before sampling a calibrated
+//! Gaussian domain or Cholesky-solving a plan objective we project onto the
+//! nearest PSD matrix by eigenvalue clipping (Higham-style single step).
+
+use crate::{jacobi_eigen, Matrix, Result};
+
+/// Projects a symmetric matrix to the nearest (Frobenius) positive
+/// semidefinite matrix by clipping negative eigenvalues to `floor`
+/// (use `0.0` for plain PSD, a tiny positive value to guarantee PD).
+pub fn nearest_psd(a: &Matrix, floor: f64) -> Result<Matrix> {
+    let eig = jacobi_eigen(a)?;
+    let clipped: Vec<f64> = eig.values.iter().map(|&v| v.max(floor)).collect();
+    let d = Matrix::diag(&clipped);
+    let mut out = eig
+        .vectors
+        .matmul(&d)?
+        .matmul(&eig.vectors.transpose())?;
+    out.symmetrize();
+    Ok(out)
+}
+
+/// Projects a symmetric matrix to a valid correlation matrix: eigenvalues
+/// clipped to `floor`, then the diagonal rescaled back to exactly 1 (one
+/// alternating-projection step, which is plenty for matrices that are
+/// nearly valid already).
+pub fn nearest_correlation(a: &Matrix, floor: f64) -> Result<Matrix> {
+    let mut m = nearest_psd(a, floor)?;
+    let n = m.rows();
+    // Rescale rows/cols so the diagonal is exactly one.
+    let scales: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = m[(i, i)];
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] *= scales[i] * scales[j];
+        }
+    }
+    for i in 0..n {
+        m[(i, i)] = 1.0;
+    }
+    m.symmetrize();
+    Ok(m)
+}
+
+/// Returns true when every eigenvalue of the symmetric matrix is at least
+/// `-tol` (i.e. the matrix is PSD up to numerical noise).
+pub fn is_psd(a: &Matrix, tol: f64) -> Result<bool> {
+    let eig = jacobi_eigen(a)?;
+    Ok(eig.values.iter().all(|&v| v >= -tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psd_input_unchanged() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let p = nearest_psd(&a, 0.0).unwrap();
+        assert!(p.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_becomes_psd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigs 3, -1
+        let p = nearest_psd(&a, 0.0).unwrap();
+        assert!(is_psd(&p, 1e-10).unwrap());
+        // Projection keeps the positive part: eigenvalues {3, 0}.
+        let eig = jacobi_eigen(&p).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!(eig.values[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn floor_guarantees_positive_definite() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]); // singular
+        let p = nearest_psd(&a, 1e-6).unwrap();
+        assert!(crate::Cholesky::new(&p).is_ok());
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.9, -0.8],
+            vec![0.9, 1.0, 0.9],
+            vec![-0.8, 0.9, 1.0],
+        ]);
+        let p1 = nearest_psd(&a, 0.0).unwrap();
+        let p2 = nearest_psd(&p1, 0.0).unwrap();
+        assert!(p2.sub(&p1).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_correlation_has_unit_diagonal() {
+        // This correlation pattern (strong +,+,− triangle) is infeasible.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.9, -0.9],
+            vec![0.9, 1.0, 0.9],
+            vec![-0.9, 0.9, 1.0],
+        ]);
+        let c = nearest_correlation(&a, 1e-8).unwrap();
+        for i in 0..3 {
+            assert!((c[(i, i)] - 1.0).abs() < 1e-12);
+        }
+        assert!(is_psd(&c, 1e-8).unwrap());
+        // Off-diagonals stay in [-1, 1].
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(c[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn valid_correlation_untouched() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5, 0.2],
+            vec![0.5, 1.0, 0.3],
+            vec![0.2, 0.3, 1.0],
+        ]);
+        let c = nearest_correlation(&a, 0.0).unwrap();
+        assert!(c.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn is_psd_detects_both_cases() {
+        let good = Matrix::identity(3);
+        assert!(is_psd(&good, 0.0).unwrap());
+        let bad = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(!is_psd(&bad, 1e-10).unwrap());
+    }
+}

@@ -1,0 +1,301 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The paper learns its assembly regressions with SVD least squares
+//! ("we used a singular value decomposition (SVD) algorithm", §3.1). The
+//! one-sided Jacobi method orthogonalizes the columns of `A` directly; it is
+//! simple, accurate for small/skinny design matrices, and needs no
+//! bidiagonalization machinery.
+
+use crate::matrix::dot;
+use crate::{Matrix, MathError, Result};
+
+/// Thin SVD `A = U·Diag(σ)·Vᵀ` with `U: m x n`, `σ: n`, `V: n x n`
+/// (requires `m >= n`; callers with wide matrices should transpose).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns, `m x n`).
+    pub u: Matrix,
+    /// Singular values in descending order (length `n`).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (columns, `n x n`).
+    pub v: Matrix,
+}
+
+/// Maximum number of one-sided Jacobi sweeps.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the thin SVD of an `m x n` matrix with `m >= n`.
+pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(MathError::Empty);
+    }
+    if m < n {
+        return Err(MathError::ShapeMismatch {
+            expected: "rows >= cols".into(),
+            found: format!("{m}x{n}"),
+        });
+    }
+    if !a.is_finite() {
+        return Err(MathError::NonFinite);
+    }
+
+    // Work on column-major copies of the columns for cheap column ops.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|c| a.col(c)).collect();
+    let mut v = Matrix::identity(n);
+    let scale = a.max_abs().max(1e-300);
+    let tol = 1e-14 * scale * scale * (m as f64);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let alpha = dot(&cols[p], &cols[p]);
+                let beta = dot(&cols[q], &cols[q]);
+                let gamma = dot(&cols[p], &cols[q]);
+                if gamma.abs() <= tol || gamma.abs() <= 1e-15 * (alpha * beta).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation zeroing the (p,q) inner product.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    1.0 / (zeta - (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..m {
+                    let xp = cols[p][k];
+                    let xq = cols[q][k];
+                    cols[p][k] = c * xp - s * xq;
+                    cols[q][k] = s * xp + c * xq;
+                }
+                for k in 0..n {
+                    let vp = v[(k, p)];
+                    let vq = v[(k, q)];
+                    v[(k, p)] = c * vp - s * vq;
+                    v[(k, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(MathError::NoConvergence { sweeps: MAX_SWEEPS });
+    }
+
+    // Singular values are the column norms; normalize columns into U.
+    let mut entries: Vec<(f64, usize)> = cols
+        .iter()
+        .enumerate()
+        .map(|(i, col)| (dot(col, col).sqrt(), i))
+        .collect();
+    entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut sigma = vec![0.0; n];
+    let mut v_sorted = Matrix::zeros(n, n);
+    for (new_c, &(s, old_c)) in entries.iter().enumerate() {
+        sigma[new_c] = s;
+        if s > 0.0 {
+            for r in 0..m {
+                u[(r, new_c)] = cols[old_c][r] / s;
+            }
+        }
+        for r in 0..n {
+            v_sorted[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    Ok(Svd {
+        u,
+        sigma,
+        v: v_sorted,
+    })
+}
+
+impl Svd {
+    /// Numerical rank with relative tolerance `rel_tol` against σ_max.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.sigma.iter().filter(|&&s| s > rel_tol * smax).count()
+    }
+
+    /// Solves `min ‖A·x − b‖₂` via the pseudo-inverse, truncating singular
+    /// values below `rel_tol · σ_max`.
+    pub fn solve_least_squares(&self, b: &[f64], rel_tol: f64) -> Result<Vec<f64>> {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        if b.len() != m {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{m}x1"),
+                found: format!("{}x1", b.len()),
+            });
+        }
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        let cutoff = rel_tol * smax;
+        // x = V · Diag(1/σ) · Uᵀ · b, truncated.
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            let s = self.sigma[j];
+            if s <= cutoff || s == 0.0 {
+                continue;
+            }
+            let utb: f64 = (0..m).map(|r| self.u[(r, j)] * b[r]).sum();
+            let coeff = utb / s;
+            for i in 0..n {
+                x[i] += coeff * self.v[(i, j)];
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(s: &Svd) -> Matrix {
+        let d = Matrix::diag(&s.sigma);
+        s.u.matmul(&d).unwrap().matmul(&s.v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_singular_values() {
+        let a = Matrix::diag(&[3.0, -2.0, 1.0]);
+        let s = svd_jacobi(&a).unwrap();
+        assert!((s.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((s.sigma[1] - 2.0).abs() < 1e-12);
+        assert!((s.sigma[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_square() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 3.0, 2.0],
+            vec![0.3, 0.7, -2.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        assert!(reconstruct(&s).sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, -1.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        assert!(reconstruct(&s).sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_columns_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        let utu = s.u.transpose().matmul(&s.u).unwrap();
+        assert!(utu.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        let vtv = s.v.transpose().matmul(&s.v).unwrap();
+        assert!(vtv.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second column is twice the first.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        assert_eq!(s.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // Overdetermined but consistent: y = 2x.
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = svd_jacobi(&a).unwrap();
+        let x = s.solve_least_squares(&[2.0, 4.0, 6.0], 1e-12).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Fit y = a + b·x to points (0,1), (1,3), (2,4): ls solution
+        // b = 1.5, a = 7/6.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        let x = s.solve_least_squares(&[1.0, 3.0, 4.0], 1e-12).unwrap();
+        assert!((x[0] - 7.0 / 6.0).abs() < 1e-10);
+        assert!((x[1] - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_truncates_tiny_singular_values() {
+        // Duplicate predictor; with truncation the solution stays finite
+        // and splits the weight.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let s = svd_jacobi(&a).unwrap();
+        let x = s.solve_least_squares(&[2.0, 4.0, 6.0], 1e-10).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(svd_jacobi(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(svd_jacobi(&Matrix::zeros(0, 0)).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(svd_jacobi(&bad).is_err());
+        let a = Matrix::identity(2);
+        let s = svd_jacobi(&a).unwrap();
+        assert!(s.solve_least_squares(&[1.0], 1e-12).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_handled() {
+        let a = Matrix::zeros(3, 2);
+        let s = svd_jacobi(&a).unwrap();
+        assert_eq!(s.rank(1e-12), 0);
+        let x = s.solve_least_squares(&[1.0, 1.0, 1.0], 1e-12).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Angular distance between random variables (§4, following Towsley et
+//! al. \[29\]).
+//!
+//! In the inner-product space where vectors are (centered) random variables
+//! and the inner product is covariance, `Γ(X, Y) = arccos|ρ(X, Y)|` is a
+//! genuine distance function. Distances compose along a path via
+//! `cos(Γ₁ + Γ₂) = cos Γ₁ · cos Γ₂`, i.e. correlations multiply — which is
+//! what lets DisQ estimate unmeasured attribute–target correlations from
+//! measured ones by a shortest-path computation.
+
+/// Angular distance `Γ = arccos(|ρ|)` for a correlation `ρ` (clamped into
+/// `[-1, 1]` first). Ranges over `[0, π/2]`: 0 for perfectly (anti-)
+/// correlated variables, π/2 for uncorrelated ones.
+pub fn correlation_angle(rho: f64) -> f64 {
+    rho.abs().clamp(0.0, 1.0).acos()
+}
+
+/// Recovers the correlation magnitude from an angular distance:
+/// `|ρ| = cos Γ`, floored at 0 for angles beyond π/2 (paths through
+/// uncorrelated links carry no information).
+pub fn rho_from_angle(gamma: f64) -> f64 {
+    if gamma >= std::f64::consts::FRAC_PI_2 {
+        0.0
+    } else {
+        gamma.cos().clamp(0.0, 1.0)
+    }
+}
+
+/// Composes two angular distances along a path using the paper's rule
+/// `Γ₁ ⊕ Γ₂ = arccos(cos Γ₁ · cos Γ₂)`.
+pub fn compose_angles(g1: f64, g2: f64) -> f64 {
+    (rho_from_angle(g1) * rho_from_angle(g2)).clamp(0.0, 1.0).acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn angle_endpoints() {
+        assert_eq!(correlation_angle(1.0), 0.0);
+        assert_eq!(correlation_angle(-1.0), 0.0);
+        assert!((correlation_angle(0.0) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_clamps_out_of_range() {
+        assert_eq!(correlation_angle(1.7), 0.0);
+        assert!((correlation_angle(-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_rho_angle() {
+        for rho in [0.0, 0.1, 0.5, 0.77, 1.0] {
+            let g = correlation_angle(rho);
+            assert!((rho_from_angle(g) - rho).abs() < 1e-12, "rho {rho}");
+        }
+    }
+
+    #[test]
+    fn composition_multiplies_correlations() {
+        let g = compose_angles(correlation_angle(0.8), correlation_angle(0.5));
+        assert!((rho_from_angle(g) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composing_with_zero_angle_is_identity() {
+        let g = correlation_angle(0.63);
+        assert!((compose_angles(g, 0.0) - g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composing_with_uncorrelated_kills_signal() {
+        let g = compose_angles(correlation_angle(0.9), FRAC_PI_2);
+        assert!((rho_from_angle(g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_is_commutative_and_monotone() {
+        let a = correlation_angle(0.7);
+        let b = correlation_angle(0.4);
+        assert!((compose_angles(a, b) - compose_angles(b, a)).abs() < 1e-12);
+        // Composition can only increase distance (decrease |rho|).
+        assert!(compose_angles(a, b) >= a - 1e-12);
+        assert!(compose_angles(a, b) >= b - 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Descriptive statistics: batch and streaming (Welford) estimators.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); `0.0` with fewer than two
+/// samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+}
+
+/// Unbiased sample covariance between two equal-length slices; `0.0` with
+/// fewer than two samples.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (n - 1) as f64
+}
+
+/// Pearson correlation; `0.0` when either side has zero variance.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let c = covariance(xs, ys);
+    let vx = sample_variance(xs);
+    let vy = sample_variance(ys);
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (c / (vx * vy).sqrt()).clamp(-1.0, 1.0)
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased running variance (`0.0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Running standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Streaming covariance accumulator for a pair of variables.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineCovariance {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    c: f64,
+}
+
+impl OnlineCovariance {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one `(x, y)` observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / self.n as f64;
+        self.mean_y += (y - self.mean_y) / self.n as f64;
+        self.c += dx * (y - self.mean_y);
+    }
+
+    /// Number of pairs so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Unbiased running covariance (`0.0` with fewer than two pairs).
+    pub fn covariance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.c / (self.n - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var of {2, 4, 4, 4, 5, 5, 7, 9} with n-1 denominator = 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_degenerate() {
+        assert_eq!(sample_variance(&[5.0]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn covariance_known_value() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0]; // y = 2x
+        assert!((covariance(&xs, &ys) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_independent_constant() {
+        assert_eq!(covariance(&[1.0, 2.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn covariance_length_mismatch_panics() {
+        covariance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn correlation_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 1.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|&x| -x).collect();
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_zero_variance_is_zero() {
+        assert_eq!(correlation(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn online_moments_match_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = OnlineMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - sample_variance(&xs)).abs() < 1e-12);
+        assert!((acc.sd() - sample_variance(&xs).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_moments_empty() {
+        let acc = OnlineMoments::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn online_covariance_matches_batch() {
+        let xs = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let ys = [2.0, 1.0, 4.0, 4.0, 9.0];
+        let mut acc = OnlineCovariance::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            acc.push(x, y);
+        }
+        assert!((acc.covariance() - covariance(&xs, &ys)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_covariance_single_pair_is_zero() {
+        let mut acc = OnlineCovariance::new();
+        acc.push(1.0, 2.0);
+        assert_eq!(acc.covariance(), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Statistical estimation machinery for DisQ.
+//!
+//! The DisQ preprocessing phase (Laadan & Milo, EDBT 2015, §3.2.2) reduces
+//! every decision — which attribute to dismantle next, how to split the
+//! online budget, how to assemble answers — to a trio of statistics about
+//! the discovered attributes:
+//!
+//! * `S_c[a]` — how noisy one worker's answer to `a` is (expected answer
+//!   variance per object),
+//! * `S_o[a_t][a]` — how informative `a` is about query attribute `a_t`
+//!   (covariance between one worker's answer and the true target), and
+//! * `S_a[a_i][a_j]` — how redundant attributes are with each other
+//!   (covariance between worker answers to different attributes).
+//!
+//! This crate owns the trio ([`StatsTrio`]), the estimators that fill it
+//! from small samples (k answers per example object, with the `S_c/k`
+//! diagonal bias correction), the angular-distance machinery that
+//! extrapolates unmeasured `S_o` entries along correlation paths (§4,
+//! Eq. 11), the Bernoulli–Bayes "probability of a new dismantling answer"
+//! model (Eq. 4), and a Wald sequential probability ratio test used to
+//! verify crowd-suggested attributes.
+
+#![warn(missing_docs)]
+
+mod angular;
+mod descriptive;
+mod prnew;
+mod so_graph;
+mod sprt;
+mod trio;
+mod varest;
+
+pub use angular::{compose_angles, correlation_angle, rho_from_angle};
+pub use descriptive::{
+    correlation, covariance, mean, sample_variance, OnlineCovariance, OnlineMoments,
+};
+pub use prnew::NewAnswerModel;
+pub use so_graph::{SoGraphEstimator, SoSource};
+pub use sprt::{Sprt, SprtConfig, SprtDecision};
+pub use trio::{StatsTrio, TrioError};
+pub use varest::var_est_k;
+
+#[cfg(test)]
+mod proptests;

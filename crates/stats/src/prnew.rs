@@ -1,0 +1,124 @@
+//! The "probability of a new dismantling answer" model (Eq. 4).
+//!
+//! DisQ must predict whether asking one more dismantling question about
+//! attribute `a_j` will surface an attribute it has not seen yet. The paper
+//! assumes this depends only on the number of questions already asked about
+//! `a_j` and derives, from a Bernoulli–Bayes argument with a uniform prior,
+//!
+//! ```text
+//! Pr(new | a_j) = (n_j + 1) / (n_j² + 3·n_j + 2)
+//! ```
+//!
+//! which (since `n² + 3n + 2 = (n+1)(n+2)`) simplifies to `1/(n_j + 2)` —
+//! the classic Laplace rule-of-succession estimate for "an outcome not yet
+//! observed".
+
+/// Tracks, per attribute, how many dismantling questions have been asked,
+/// and evaluates Eq. 4.
+#[derive(Debug, Clone, Default)]
+pub struct NewAnswerModel {
+    asked: Vec<u32>,
+}
+
+impl NewAnswerModel {
+    /// Creates a model with no attributes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new attribute (with zero questions asked) and returns
+    /// its index.
+    pub fn add_attribute(&mut self) -> usize {
+        self.asked.push(0);
+        self.asked.len() - 1
+    }
+
+    /// Number of attributes tracked.
+    pub fn len(&self) -> usize {
+        self.asked.len()
+    }
+
+    /// True when no attributes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.asked.is_empty()
+    }
+
+    /// Records that one more dismantling question was asked about `attr`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range `attr`.
+    pub fn record_question(&mut self, attr: usize) {
+        self.asked[attr] += 1;
+    }
+
+    /// Dismantling questions asked about `attr` so far.
+    pub fn questions_asked(&self, attr: usize) -> u32 {
+        self.asked[attr]
+    }
+
+    /// Eq. 4: probability the next dismantling answer for `attr` is new.
+    pub fn pr_new(&self, attr: usize) -> f64 {
+        pr_new_after(self.asked[attr])
+    }
+}
+
+/// Eq. 4 as a pure function of the question count `n`.
+pub fn pr_new_after(n: u32) -> f64 {
+    let n = n as f64;
+    (n + 1.0) / (n * n + 3.0 * n + 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_simplification() {
+        for n in 0..200u32 {
+            let direct = pr_new_after(n);
+            let simple = 1.0 / (n as f64 + 2.0);
+            assert!((direct - simple).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn starts_at_one_half() {
+        assert!((pr_new_after(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strictly_decreasing() {
+        for n in 0..100u32 {
+            assert!(pr_new_after(n + 1) < pr_new_after(n));
+        }
+    }
+
+    #[test]
+    fn always_a_probability() {
+        for n in [0u32, 1, 5, 1000, u32::MAX / 2] {
+            let p = pr_new_after(n);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn model_tracks_counts_per_attribute() {
+        let mut m = NewAnswerModel::new();
+        let a = m.add_attribute();
+        let b = m.add_attribute();
+        assert_eq!(m.len(), 2);
+        m.record_question(a);
+        m.record_question(a);
+        assert_eq!(m.questions_asked(a), 2);
+        assert_eq!(m.questions_asked(b), 0);
+        assert!((m.pr_new(a) - 0.25).abs() < 1e-12);
+        assert!((m.pr_new(b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = NewAnswerModel::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the statistics layer.
+
+use crate::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn online_moments_match_batch(xs in proptest::collection::vec(-100.0_f64..100.0, 2..50)) {
+        let mut acc = OnlineMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        prop_assert!((acc.mean() - mean(&xs)).abs() < 1e-8);
+        prop_assert!((acc.variance() - sample_variance(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_covariance_matches_batch(pairs in proptest::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 2..50)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let mut acc = OnlineCovariance::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            acc.push(x, y);
+        }
+        prop_assert!((acc.covariance() - covariance(&xs, &ys)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_bounded(pairs in proptest::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 2..40)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = correlation(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn correlation_invariant_to_affine_transform(
+        pairs in proptest::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 3..30),
+        scale in 0.1_f64..10.0,
+        shift in -100.0_f64..100.0,
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let xs2: Vec<f64> = xs.iter().map(|&x| scale * x + shift).collect();
+        let r1 = correlation(&xs, &ys);
+        let r2 = correlation(&xs2, &ys);
+        prop_assert!((r1 - r2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn var_est_nonnegative(xs in proptest::collection::vec(-100.0_f64..100.0, 0..10)) {
+        prop_assert!(var_est_k(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn angle_roundtrip(rho in 0.0_f64..=1.0) {
+        let g = correlation_angle(rho);
+        prop_assert!((rho_from_angle(g) - rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_composition_associative(a in 0.01_f64..1.0, b in 0.01_f64..1.0, c in 0.01_f64..1.0) {
+        let (ga, gb, gc) = (correlation_angle(a), correlation_angle(b), correlation_angle(c));
+        let left = compose_angles(compose_angles(ga, gb), gc);
+        let right = compose_angles(ga, compose_angles(gb, gc));
+        prop_assert!((left - right).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pr_new_is_probability_and_decreasing(n in 0u32..1000) {
+        let p = pr_new_after_wrapper(n);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(pr_new_after_wrapper(n + 1) < p);
+    }
+
+    #[test]
+    fn trio_explained_variance_never_negative(
+        so in -2.0_f64..2.0,
+        var in 0.1_f64..4.0,
+        sc in 0.0_f64..2.0,
+        b in 0.5_f64..20.0,
+    ) {
+        let mut t = StatsTrio::new(1);
+        // Keep |rho| <= 1 so the setup is physically realizable.
+        let so = so.clamp(-var, var);
+        t.push_attribute(&[so], &[], var, sc).unwrap();
+        t.set_target_variance(0, var.max(so.abs())).unwrap();
+        let ev = t.explained_variance(0, &[b]).unwrap();
+        prop_assert!(ev >= -1e-9);
+    }
+
+    #[test]
+    fn trio_monotone_in_budget(
+        so in 0.1_f64..0.9,
+        sc in 0.1_f64..2.0,
+        b1 in 0.5_f64..5.0,
+        extra in 0.1_f64..5.0,
+    ) {
+        let mut t = StatsTrio::new(1);
+        t.push_attribute(&[so], &[], 1.0, sc).unwrap();
+        t.set_target_variance(0, 1.0).unwrap();
+        let lo = t.explained_variance(0, &[b1]).unwrap();
+        let hi = t.explained_variance(0, &[b1 + extra]).unwrap();
+        prop_assert!(hi >= lo - 1e-10);
+    }
+
+    #[test]
+    fn so_graph_estimates_never_exceed_edge_product_bound(
+        r1 in 0.1_f64..1.0,
+        r2 in 0.1_f64..1.0,
+    ) {
+        let mut g = SoGraphEstimator::new(1, 2);
+        g.add_target_edge(0, 0, r1);
+        g.add_attr_edge(0, 1, r2);
+        let (rho, _) = g.estimate(0, 1);
+        prop_assert!(rho <= r1.min(1.0) + 1e-12);
+        prop_assert!((rho - r1 * r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sprt_always_terminates(p in 0.0_f64..=1.0, seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Sprt::new(SprtConfig::relevance_default()).unwrap();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            prop_assert!(steps <= 16, "SPRT exceeded max_samples bound");
+            let yes = rng.random::<f64>() < p;
+            if s.feed(yes) != SprtDecision::Continue {
+                break;
+            }
+        }
+    }
+}
+
+fn pr_new_after_wrapper(n: u32) -> f64 {
+    crate::prnew::pr_new_after(n)
+}

@@ -1,0 +1,222 @@
+//! Shortest-path estimation of unmeasured `S_o` entries (§4, Eq. 11).
+//!
+//! In the multi-target setting DisQ deliberately skips measuring
+//! (attribute, target) pairs it believes are weak. The skipped
+//! correlations are later reconstructed on a graph whose nodes are query
+//! attributes and discovered attributes, with edges weighted by angular
+//! distance `Γ = arccos|ρ|`. Because distances compose by multiplying
+//! `cos`'s, the magnitude of the correlation along a path is the product of
+//! the edge correlation magnitudes — a shortest-path problem under additive
+//! weights `−ln|ρ|`.
+//!
+//! The paper's graph is bipartite (only measured target–attribute edges).
+//! Since `S_a` gives every attribute–attribute correlation for free, this
+//! implementation can optionally add those edges too
+//! (`include_attr_edges`), which strictly improves reachability; the
+//! bipartite-only behaviour remains available for fidelity/ablation.
+
+use disq_math::{shortest_paths, Graph};
+
+/// Minimum correlation magnitude that still counts as an edge; anything
+/// weaker carries no usable signal and would produce enormous weights.
+const MIN_RHO: f64 = 1e-3;
+
+/// Where an estimated correlation magnitude came from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SoSource {
+    /// The pair was measured directly.
+    Measured,
+    /// Estimated along a multi-edge shortest path.
+    PathEstimate,
+    /// No path exists; the correlation is taken as zero (Eq. 11's third
+    /// case).
+    NoPath,
+}
+
+/// Builder/solver for the correlation graph.
+#[derive(Debug, Clone)]
+pub struct SoGraphEstimator {
+    n_targets: usize,
+    n_attrs: usize,
+    graph: Graph,
+    /// `measured[t][a]` — |ρ| for directly measured pairs.
+    measured: Vec<Vec<Option<f64>>>,
+}
+
+impl SoGraphEstimator {
+    /// Creates an estimator over `n_targets` query attributes and
+    /// `n_attrs` discovered attributes.
+    pub fn new(n_targets: usize, n_attrs: usize) -> Self {
+        SoGraphEstimator {
+            n_targets,
+            n_attrs,
+            graph: Graph::new(n_targets + n_attrs),
+            measured: vec![vec![None; n_attrs]; n_targets],
+        }
+    }
+
+    fn attr_node(&self, a: usize) -> usize {
+        self.n_targets + a
+    }
+
+    fn weight(rho: f64) -> Option<f64> {
+        let r = rho.abs().clamp(0.0, 1.0);
+        if r < MIN_RHO {
+            None
+        } else {
+            Some(-(r.ln()))
+        }
+    }
+
+    /// Records a directly measured target–attribute correlation.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn add_target_edge(&mut self, target: usize, attr: usize, rho: f64) {
+        assert!(target < self.n_targets && attr < self.n_attrs, "index out of range");
+        self.measured[target][attr] = Some(rho.abs().clamp(0.0, 1.0));
+        if let Some(w) = Self::weight(rho) {
+            self.graph.add_edge(target, self.attr_node(attr), w);
+        }
+    }
+
+    /// Records an attribute–attribute correlation (from `S_a`). Only add
+    /// these when extending beyond the paper's bipartite graph.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or equal indices.
+    pub fn add_attr_edge(&mut self, i: usize, j: usize, rho: f64) {
+        assert!(i < self.n_attrs && j < self.n_attrs && i != j, "bad attr pair");
+        if let Some(w) = Self::weight(rho) {
+            self.graph.add_edge(self.attr_node(i), self.attr_node(j), w);
+        }
+    }
+
+    /// Estimates `|ρ(a_t, a)|` for every attribute, from one Dijkstra run
+    /// rooted at the target. Returns `(magnitude, source)` pairs.
+    pub fn estimate_for_target(&self, target: usize) -> Vec<(f64, SoSource)> {
+        assert!(target < self.n_targets, "target out of range");
+        let dist = shortest_paths(&self.graph, target);
+        (0..self.n_attrs)
+            .map(|a| {
+                if let Some(rho) = self.measured[target][a] {
+                    (rho, SoSource::Measured)
+                } else {
+                    let d = dist[self.attr_node(a)];
+                    if d.is_finite() {
+                        ((-d).exp().clamp(0.0, 1.0), SoSource::PathEstimate)
+                    } else {
+                        (0.0, SoSource::NoPath)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Convenience single-pair estimate.
+    pub fn estimate(&self, target: usize, attr: usize) -> (f64, SoSource) {
+        self.estimate_for_target(target)[attr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_pair_returned_exactly() {
+        let mut g = SoGraphEstimator::new(1, 2);
+        g.add_target_edge(0, 0, 0.8);
+        let (rho, src) = g.estimate(0, 0);
+        assert_eq!(src, SoSource::Measured);
+        assert!((rho - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_hop_bipartite_path() {
+        // t0 -- a0 measured 0.8; t1 -- a0 measured 0.5; t1 -- a1 measured 0.6.
+        // Unmeasured (t0, a1) should be 0.8 * 0.5 * 0.6 = 0.24 along the
+        // path t0 → a0 → t1 → a1.
+        let mut g = SoGraphEstimator::new(2, 2);
+        g.add_target_edge(0, 0, 0.8);
+        g.add_target_edge(1, 0, 0.5);
+        g.add_target_edge(1, 1, 0.6);
+        let (rho, src) = g.estimate(0, 1);
+        assert_eq!(src, SoSource::PathEstimate);
+        assert!((rho - 0.24).abs() < 1e-10, "rho {rho}");
+    }
+
+    #[test]
+    fn attr_edges_shorten_paths() {
+        // Without attr edges (t0, a1) is unreachable; with the a0–a1
+        // correlation it becomes 0.8 * 0.9.
+        let mut g = SoGraphEstimator::new(1, 2);
+        g.add_target_edge(0, 0, 0.8);
+        assert_eq!(g.estimate(0, 1).1, SoSource::NoPath);
+        g.add_attr_edge(0, 1, 0.9);
+        let (rho, src) = g.estimate(0, 1);
+        assert_eq!(src, SoSource::PathEstimate);
+        assert!((rho - 0.72).abs() < 1e-10);
+    }
+
+    #[test]
+    fn picks_strongest_path() {
+        // Two routes from t0 to a1: via a0 (0.9 * 0.9 = 0.81) or via a2
+        // (0.5 * 0.5 = 0.25). Shortest path must give 0.81.
+        let mut g = SoGraphEstimator::new(1, 3);
+        g.add_target_edge(0, 0, 0.9);
+        g.add_attr_edge(0, 1, 0.9);
+        g.add_target_edge(0, 2, 0.5);
+        g.add_attr_edge(2, 1, 0.5);
+        let (rho, _) = g.estimate(0, 1);
+        assert!((rho - 0.81).abs() < 1e-10);
+    }
+
+    #[test]
+    fn no_path_gives_zero() {
+        let g = SoGraphEstimator::new(1, 1);
+        let (rho, src) = g.estimate(0, 0);
+        assert_eq!(rho, 0.0);
+        assert_eq!(src, SoSource::NoPath);
+    }
+
+    #[test]
+    fn negligible_correlations_do_not_create_edges() {
+        let mut g = SoGraphEstimator::new(1, 2);
+        g.add_target_edge(0, 0, 1e-9);
+        g.add_attr_edge(0, 1, 0.9);
+        // The 1e-9 edge is dropped, so a1 stays unreachable...
+        assert_eq!(g.estimate(0, 1).1, SoSource::NoPath);
+        // ...but the measurement itself is still reported as measured.
+        let (rho, src) = g.estimate(0, 0);
+        assert_eq!(src, SoSource::Measured);
+        assert!(rho < 1e-8);
+    }
+
+    #[test]
+    fn negative_correlation_uses_magnitude() {
+        let mut g = SoGraphEstimator::new(1, 2);
+        g.add_target_edge(0, 0, -0.8);
+        g.add_attr_edge(0, 1, -0.5);
+        let (rho, _) = g.estimate(0, 1);
+        assert!((rho - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn estimate_for_target_covers_all_attrs() {
+        let mut g = SoGraphEstimator::new(1, 3);
+        g.add_target_edge(0, 1, 0.7);
+        let all = g.estimate_for_target(0);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].1, SoSource::NoPath);
+        assert_eq!(all[1].1, SoSource::Measured);
+        assert_eq!(all[2].1, SoSource::NoPath);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_target_edge_panics() {
+        let mut g = SoGraphEstimator::new(1, 1);
+        g.add_target_edge(1, 0, 0.5);
+    }
+}

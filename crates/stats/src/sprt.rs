@@ -1,0 +1,272 @@
+//! Wald's sequential probability ratio test (SPRT).
+//!
+//! DisQ verifies every crowd-suggested attribute with *dismantling
+//! verification questions* ("does knowing X help estimate Y?") and uses a
+//! sequential filtering algorithm in the style of CrowdScreen \[25\] /
+//! Wald \[31\] to decide how many workers to ask: answers arrive one at a
+//! time and the test stops as soon as the evidence crosses either decision
+//! boundary, minimizing the expected number of (paid) questions.
+
+/// Configuration of a binary SPRT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtConfig {
+    /// "Yes" probability under the null hypothesis (attribute irrelevant).
+    pub p0: f64,
+    /// "Yes" probability under the alternative (attribute relevant).
+    pub p1: f64,
+    /// Allowed probability of accepting a truly irrelevant attribute.
+    pub alpha: f64,
+    /// Allowed probability of rejecting a truly relevant attribute.
+    pub beta: f64,
+    /// Hard cap on the number of answers; when hit, the test decides by
+    /// which boundary is closer. Guards against pathological p0≈p1 setups
+    /// burning unbounded budget.
+    pub max_samples: u32,
+}
+
+impl SprtConfig {
+    /// A sensible default for relevance verification: irrelevant attributes
+    /// get "yes" from ~30% of workers, relevant ones from ~70%, with 10%
+    /// error rates and at most 15 workers.
+    pub fn relevance_default() -> Self {
+        SprtConfig {
+            p0: 0.3,
+            p1: 0.7,
+            alpha: 0.1,
+            beta: 0.1,
+            max_samples: 15,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.p0) || !(0.0..=1.0).contains(&self.p1) || self.p1 >= 1.0 {
+            return Err(format!("p0/p1 must lie strictly in (0,1): {self:?}"));
+        }
+        if self.p0 >= self.p1 {
+            return Err(format!("p0 must be < p1: {self:?}"));
+        }
+        if !(0.0..0.5).contains(&self.alpha) || !(0.0..0.5).contains(&self.beta)
+            || self.alpha <= 0.0 || self.beta <= 0.0
+        {
+            return Err(format!("alpha/beta must lie in (0, 0.5): {self:?}"));
+        }
+        if self.max_samples == 0 {
+            return Err("max_samples must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of feeding an answer to the test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtDecision {
+    /// Evidence favours the alternative: the attribute is relevant.
+    AcceptRelevant,
+    /// Evidence favours the null: the attribute is irrelevant.
+    RejectIrrelevant,
+    /// Not enough evidence yet; ask another worker.
+    Continue,
+}
+
+/// A running sequential probability ratio test.
+#[derive(Debug, Clone)]
+pub struct Sprt {
+    config: SprtConfig,
+    llr: f64,
+    upper: f64,
+    lower: f64,
+    step_yes: f64,
+    step_no: f64,
+    samples: u32,
+    decided: Option<SprtDecision>,
+}
+
+impl Sprt {
+    /// Starts a test with the given configuration.
+    ///
+    /// # Errors
+    /// Returns the validation message for an inconsistent configuration.
+    pub fn new(config: SprtConfig) -> Result<Self, String> {
+        config.validate()?;
+        let upper = ((1.0 - config.beta) / config.alpha).ln();
+        let lower = (config.beta / (1.0 - config.alpha)).ln();
+        let step_yes = (config.p1 / config.p0).ln();
+        let step_no = ((1.0 - config.p1) / (1.0 - config.p0)).ln();
+        Ok(Sprt {
+            config,
+            llr: 0.0,
+            upper,
+            lower,
+            step_yes,
+            step_no,
+            samples: 0,
+            decided: None,
+        })
+    }
+
+    /// Number of answers consumed so far.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// The decision, if one has been reached.
+    pub fn decision(&self) -> Option<SprtDecision> {
+        self.decided
+    }
+
+    /// Feeds one worker answer and returns the current decision state.
+    /// Feeding after a decision is a no-op that returns the decision.
+    pub fn feed(&mut self, yes: bool) -> SprtDecision {
+        if let Some(d) = self.decided {
+            return d;
+        }
+        self.samples += 1;
+        self.llr += if yes { self.step_yes } else { self.step_no };
+        let decision = if self.llr >= self.upper {
+            Some(SprtDecision::AcceptRelevant)
+        } else if self.llr <= self.lower {
+            Some(SprtDecision::RejectIrrelevant)
+        } else if self.samples >= self.config.max_samples {
+            // Forced decision: pick the closer boundary.
+            if (self.upper - self.llr) <= (self.llr - self.lower) {
+                Some(SprtDecision::AcceptRelevant)
+            } else {
+                Some(SprtDecision::RejectIrrelevant)
+            }
+        } else {
+            None
+        };
+        self.decided = decision;
+        decision.unwrap_or(SprtDecision::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn run_to_decision(sprt: &mut Sprt, p_yes: f64, rng: &mut StdRng) -> SprtDecision {
+        loop {
+            let yes = rng.random::<f64>() < p_yes;
+            match sprt.feed(yes) {
+                SprtDecision::Continue => continue,
+                d => return d,
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_yes_accepts_quickly() {
+        let mut s = Sprt::new(SprtConfig::relevance_default()).unwrap();
+        let mut d = SprtDecision::Continue;
+        for _ in 0..10 {
+            d = s.feed(true);
+            if d != SprtDecision::Continue {
+                break;
+            }
+        }
+        assert_eq!(d, SprtDecision::AcceptRelevant);
+        assert!(s.samples() <= 5, "took {} samples", s.samples());
+    }
+
+    #[test]
+    fn unanimous_no_rejects_quickly() {
+        let mut s = Sprt::new(SprtConfig::relevance_default()).unwrap();
+        let mut d = SprtDecision::Continue;
+        for _ in 0..10 {
+            d = s.feed(false);
+            if d != SprtDecision::Continue {
+                break;
+            }
+        }
+        assert_eq!(d, SprtDecision::RejectIrrelevant);
+    }
+
+    #[test]
+    fn feeding_after_decision_is_noop() {
+        let mut s = Sprt::new(SprtConfig::relevance_default()).unwrap();
+        while s.feed(true) == SprtDecision::Continue {}
+        let samples = s.samples();
+        assert_eq!(s.feed(false), SprtDecision::AcceptRelevant);
+        assert_eq!(s.samples(), samples);
+    }
+
+    #[test]
+    fn error_rates_roughly_respected() {
+        let cfg = SprtConfig::relevance_default();
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 2_000;
+        // True p = p1: should almost always accept.
+        let mut wrong = 0;
+        for _ in 0..trials {
+            let mut s = Sprt::new(cfg).unwrap();
+            if run_to_decision(&mut s, cfg.p1, &mut rng) == SprtDecision::RejectIrrelevant {
+                wrong += 1;
+            }
+        }
+        let miss_rate = wrong as f64 / trials as f64;
+        assert!(miss_rate < 0.15, "miss rate {miss_rate}");
+        // True p = p0: should almost always reject.
+        let mut wrong = 0;
+        for _ in 0..trials {
+            let mut s = Sprt::new(cfg).unwrap();
+            if run_to_decision(&mut s, cfg.p0, &mut rng) == SprtDecision::AcceptRelevant {
+                wrong += 1;
+            }
+        }
+        let fa_rate = wrong as f64 / trials as f64;
+        assert!(fa_rate < 0.15, "false-accept rate {fa_rate}");
+    }
+
+    #[test]
+    fn max_samples_forces_decision() {
+        let cfg = SprtConfig {
+            p0: 0.49,
+            p1: 0.51,
+            alpha: 0.01,
+            beta: 0.01,
+            max_samples: 10,
+        };
+        let mut s = Sprt::new(cfg).unwrap();
+        let mut d = SprtDecision::Continue;
+        for i in 0..10 {
+            d = s.feed(i % 2 == 0);
+        }
+        assert_ne!(d, SprtDecision::Continue);
+        assert_eq!(s.samples(), 10);
+    }
+
+    #[test]
+    fn average_sample_count_is_small() {
+        let cfg = SprtConfig::relevance_default();
+        let mut rng = StdRng::seed_from_u64(29);
+        let trials = 1_000;
+        let total: u32 = (0..trials)
+            .map(|_| {
+                let mut s = Sprt::new(cfg).unwrap();
+                run_to_decision(&mut s, cfg.p1, &mut rng);
+                s.samples()
+            })
+            .sum();
+        let avg = total as f64 / trials as f64;
+        assert!(avg < 8.0, "avg samples {avg}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = SprtConfig::relevance_default();
+        assert!(ok.validate().is_ok());
+        let bad_order = SprtConfig { p0: 0.7, p1: 0.3, ..ok };
+        assert!(bad_order.validate().is_err());
+        let bad_alpha = SprtConfig { alpha: 0.0, ..ok };
+        assert!(bad_alpha.validate().is_err());
+        let bad_p = SprtConfig { p1: 1.0, ..ok };
+        assert!(bad_p.validate().is_err());
+        let bad_max = SprtConfig { max_samples: 0, ..ok };
+        assert!(bad_max.validate().is_err());
+        assert!(Sprt::new(bad_order).is_err());
+    }
+}

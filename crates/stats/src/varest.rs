@@ -1,0 +1,68 @@
+//! `VarEst_k` — the per-object answer-variance estimator.
+//!
+//! §3.2.2 estimates `S_c[a] = E_O[Var(o.a^(1))]` by asking only `k` (= 2 in
+//! the paper) value questions per example object and averaging the unbiased
+//! per-object sample variances. With k=2 the estimator degenerates to
+//! `(x₁ − x₂)²/2`, which is exactly what `var_est_k` computes.
+
+use crate::descriptive::sample_variance;
+
+/// Unbiased estimate of the answer variance from `k` worker answers about
+/// one `(object, attribute)` pair. Returns `0.0` for fewer than two
+/// answers (no variance information).
+pub fn var_est_k(answers: &[f64]) -> f64 {
+    sample_variance(answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disq_math::NormalSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_answers_half_squared_diff() {
+        assert!((var_est_k(&[3.0, 7.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(var_est_k(&[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn single_answer_no_information() {
+        assert_eq!(var_est_k(&[42.0]), 0.0);
+        assert_eq!(var_est_k(&[]), 0.0);
+    }
+
+    #[test]
+    fn unbiased_in_expectation_for_k2() {
+        // Average of many k=2 estimates should converge to the true
+        // worker-noise variance.
+        let mut rng = StdRng::seed_from_u64(99);
+        let sampler = NormalSampler::new(10.0, 3.0).unwrap();
+        let trials = 20_000;
+        let avg = (0..trials)
+            .map(|_| var_est_k(&[sampler.sample(&mut rng), sampler.sample(&mut rng)]))
+            .sum::<f64>()
+            / trials as f64;
+        assert!((avg - 9.0).abs() < 0.3, "avg {avg}");
+    }
+
+    #[test]
+    fn more_answers_tighter_estimate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampler = NormalSampler::new(0.0, 2.0).unwrap();
+        let trials = 2_000;
+        let spread = |k: usize, rng: &mut StdRng| -> f64 {
+            let ests: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let xs: Vec<f64> = (0..k).map(|_| sampler.sample(rng)).collect();
+                    var_est_k(&xs)
+                })
+                .collect();
+            sample_variance(&ests)
+        };
+        let s2 = spread(2, &mut rng);
+        let s10 = spread(10, &mut rng);
+        assert!(s10 < s2, "k=10 spread {s10} should beat k=2 spread {s2}");
+    }
+}

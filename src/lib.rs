@@ -1,0 +1,23 @@
+//! # disq — Dismantling Complicated Query Attributes with Crowd
+//!
+//! Facade crate re-exporting the whole DisQ workspace (a reproduction of
+//! Laadan & Milo, EDBT 2015). Depend on this crate to get the complete
+//! public API under one root:
+//!
+//! * [`math`] — dense linear algebra kernels (Cholesky, SVD, eigen, …)
+//! * [`stats`] — the statistics trio `(S_o, S_a, S_c)`, angular-distance
+//!   estimation, sequential verification tests
+//! * [`crowd`] — the simulated crowdsourcing platform, pricing and budgets
+//! * [`domain`] — calibrated object/attribute domains and the query model
+//! * [`core`] — the DisQ preprocessing algorithm and online evaluator
+//! * [`baselines`] — the comparison strategies from the paper's evaluation
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use disq_baselines as baselines;
+pub use disq_core as core;
+pub use disq_crowd as crowd;
+pub use disq_domain as domain;
+pub use disq_math as math;
+pub use disq_stats as stats;

@@ -1,0 +1,137 @@
+//! Integration tests of the money flow: ledgers, caps, record/replay.
+
+use disq::core::{preprocess, DisqConfig, DisqError};
+use disq::crowd::{
+    CrowdConfig, CrowdPlatform, Money, PricingModel, QuestionKind, RecordingCrowd,
+    ReplayingCrowd, SimulatedCrowd,
+};
+use disq::domain::domains::pictures;
+use disq::domain::Population;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn crowd(cap: Money, seed: u64) -> (Population, SimulatedCrowd) {
+    let spec = Arc::new(pictures::spec());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::sample(spec, 700, &mut rng).unwrap();
+    let c = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), Some(cap), seed);
+    (pop, c)
+}
+
+#[test]
+fn per_kind_totals_sum_to_spend() {
+    let (_, mut c) = crowd(Money::from_dollars(20.0), 1);
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    let _ = preprocess(
+        &mut c,
+        &spec,
+        &[bmi],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        1,
+    )
+    .unwrap();
+    let ledger = c.ledger();
+    let per_kind: Money = QuestionKind::ALL.iter().map(|&k| ledger.total(k)).sum();
+    assert_eq!(per_kind, ledger.spent());
+    // All four paid question kinds actually got used.
+    assert!(ledger.count(QuestionKind::Example) > 0);
+    assert!(ledger.count(QuestionKind::Dismantle) > 0);
+    assert!(ledger.count(QuestionKind::Verify) > 0);
+    assert!(
+        ledger.count(QuestionKind::NumericValue) + ledger.count(QuestionKind::BinaryValue) > 0
+    );
+}
+
+#[test]
+fn spend_never_exceeds_cap_across_budgets() {
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    for dollars in [12.0, 18.0, 30.0] {
+        let cap = Money::from_dollars(dollars);
+        let (_, mut c) = crowd(cap, 7);
+        let out = preprocess(
+            &mut c,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            7,
+        )
+        .unwrap();
+        assert!(out.stats.spent <= cap, "spent {} of {cap}", out.stats.spent);
+        // Budgets are meant to be *used*: at least 80% consumed.
+        assert!(
+            out.stats.spent.as_dollars() > dollars * 0.8,
+            "only spent {} of {cap}",
+            out.stats.spent
+        );
+    }
+}
+
+#[test]
+fn too_small_budget_fails_without_spending_everything() {
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    let (_, mut c) = crowd(Money::from_dollars(0.5), 9);
+    let err = preprocess(
+        &mut c,
+        &spec,
+        &[bmi],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        9,
+    )
+    .unwrap_err();
+    assert!(matches!(err, DisqError::BudgetTooSmall { .. }));
+    // Failing early must not have burned the budget.
+    assert_eq!(c.ledger().spent(), Money::ZERO);
+}
+
+#[test]
+fn recorded_answers_replay_across_runs() {
+    // The §5.1 record-and-reuse discipline: a recorded session replays
+    // identically on a fresh (different-seed) crowd.
+    let (_, inner) = crowd(Money::from_dollars(20.0), 11);
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    let mut recorder = RecordingCrowd::new(inner);
+    let out1 = preprocess(
+        &mut recorder,
+        &spec,
+        &[bmi],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        11,
+    )
+    .unwrap();
+    let (log, _) = recorder.into_parts();
+    assert!(!log.is_empty());
+
+    let (_, fresh) = crowd(Money::from_dollars(20.0), 999); // different crowd seed
+    let mut replayer = ReplayingCrowd::new(log, fresh);
+    let out2 = preprocess(
+        &mut replayer,
+        &spec,
+        &[bmi],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        11,
+    )
+    .unwrap();
+    assert!(replayer.replayed() > 1000, "replayed {}", replayer.replayed());
+    assert_eq!(out1.pool_labels, out2.pool_labels);
+    assert_eq!(out1.budget, out2.budget);
+}

@@ -1,0 +1,132 @@
+//! Integration tests of the SQL-ish query path: parse → preprocess →
+//! evaluate, with predicate semantics checked against ground truth.
+
+use disq::core::{online, preprocess, DisqConfig};
+use disq::crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq::domain::domains::recipes;
+use disq::domain::{ObjectId, Population, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn setup(seed: u64) -> (Arc<disq::domain::DomainSpec>, Population, SimulatedCrowd) {
+    let spec = Arc::new(recipes::spec());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::sample(Arc::clone(&spec), 800, &mut rng).unwrap();
+    let crowd = SimulatedCrowd::new(
+        pop.clone(),
+        CrowdConfig::default(),
+        Some(Money::from_dollars(40.0)),
+        seed,
+    );
+    (spec, pop, crowd)
+}
+
+#[test]
+fn running_example_query_end_to_end() {
+    let (spec, pop, mut crowd) = setup(1);
+    let query = Query::parse(
+        "select calories, protein from cc where dessert = true",
+        spec.registry(),
+    )
+    .unwrap();
+    let targets = query.attributes();
+    assert_eq!(targets.len(), 3);
+
+    let out = preprocess(
+        &mut crowd,
+        &spec,
+        &targets,
+        Money::from_cents(6.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        1,
+    )
+    .unwrap();
+
+    let mut online_crowd = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), None, 2);
+    let objects: Vec<ObjectId> = (0..100).map(ObjectId).collect();
+    let result = online::evaluate_query(&mut online_crowd, &out.plan, &query, &objects).unwrap();
+
+    assert_eq!(result.scanned, 100);
+    assert!(!result.rows.is_empty(), "some desserts must match");
+    assert!(result.rows.len() < 100, "not everything is a dessert");
+    // Each row projects exactly the two selected attributes.
+    for row in &result.rows {
+        assert_eq!(row.values.len(), 2);
+    }
+    // Selection accuracy: most matched rows are true desserts.
+    let dessert = spec.id_of("Dessert").unwrap();
+    let correct = result
+        .rows
+        .iter()
+        .filter(|r| pop.value(r.object, dessert) >= 0.5)
+        .count();
+    let precision = correct as f64 / result.rows.len() as f64;
+    assert!(precision > 0.6, "precision {precision}");
+}
+
+#[test]
+fn numeric_range_predicates_filter() {
+    let (spec, pop, mut crowd) = setup(5);
+    let query = Query::parse("select calories where calories < 300", spec.registry()).unwrap();
+    let targets = query.attributes();
+    let out = preprocess(
+        &mut crowd,
+        &spec,
+        &targets,
+        Money::from_cents(6.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        5,
+    )
+    .unwrap();
+    let mut online_crowd = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), None, 6);
+    let objects: Vec<ObjectId> = (0..80).map(ObjectId).collect();
+    let result = online::evaluate_query(&mut online_crowd, &out.plan, &query, &objects).unwrap();
+    for row in &result.rows {
+        assert!(row.values[0] < 300.0, "estimate must satisfy the predicate");
+    }
+    // Recall sanity: truly low-calorie recipes are mostly found.
+    let calories = spec.id_of("Calories").unwrap();
+    let truly_low: Vec<ObjectId> = objects
+        .iter()
+        .copied()
+        .filter(|&o| pop.value(o, calories) < 150.0)
+        .collect();
+    if truly_low.len() >= 5 {
+        let found = truly_low
+            .iter()
+            .filter(|o| result.rows.iter().any(|r| r.object == **o))
+            .count();
+        assert!(
+            found as f64 / truly_low.len() as f64 > 0.5,
+            "recall of clearly-low-calorie recipes: {found}/{}",
+            truly_low.len()
+        );
+    }
+}
+
+#[test]
+fn query_with_unplanned_attribute_errors_cleanly() {
+    let (spec, pop, mut crowd) = setup(9);
+    let query = Query::parse("select protein", spec.registry()).unwrap();
+    let out = preprocess(
+        &mut crowd,
+        &spec,
+        &query.attributes(),
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        9,
+    )
+    .unwrap();
+    // A different query mentioning an attribute the plan does not cover.
+    let other = Query::parse("select healthy", spec.registry()).unwrap();
+    let mut online_crowd = SimulatedCrowd::new(pop, CrowdConfig::default(), None, 10);
+    let err = online::evaluate_query(&mut online_crowd, &out.plan, &other, &[ObjectId(0)]);
+    assert!(err.is_err());
+}
