@@ -208,6 +208,10 @@ pub fn run_baseline<P: CrowdPlatform>(
 /// independently with `B_prc/n` offline and `B_obj/n` online budget, then
 /// merge the plans. `make_platform` builds a fresh capped platform per
 /// target (each sub-run has its own ledger, as the paper's split implies).
+///
+/// Returns the merged plan together with the offline money actually
+/// charged, summed over every per-target sub-ledger — not the `B_prc`
+/// cap, which the sub-runs rarely exhaust.
 #[allow(clippy::too_many_arguments)] // experiment-harness surface
 pub fn totally_separated<P, F>(
     mut make_platform: F,
@@ -218,7 +222,7 @@ pub fn totally_separated<P, F>(
     config: &DisqConfig,
     pricing: &PricingModel,
     seed: u64,
-) -> Result<EvaluationPlan, DisqError>
+) -> Result<(EvaluationPlan, Money), DisqError>
 where
     P: CrowdPlatform,
     F: FnMut(Money) -> P,
@@ -230,6 +234,7 @@ where
     let sub_prc = Money::from_millicents(b_prc.millicents() / n);
     let sub_obj = Money::from_millicents(b_obj.millicents() / n);
     let mut plans = Vec::with_capacity(targets.len());
+    let mut offline_spent = Money::ZERO;
     for (i, &t) in targets.iter().enumerate() {
         let mut platform = make_platform(sub_prc);
         let out = preprocess(
@@ -242,9 +247,10 @@ where
             None,
             seed.wrapping_add(i as u64),
         )?;
+        offline_spent += platform.ledger().spent();
         plans.push(out.plan);
     }
-    Ok(EvaluationPlan::merge(&plans))
+    Ok((EvaluationPlan::merge(&plans), offline_spent))
 }
 
 #[cfg(test)]
@@ -417,7 +423,7 @@ mod tests {
         let age = s.id_of("Age").unwrap();
         let s2 = Arc::clone(&s);
         let mut seed = 10u64;
-        let plan = totally_separated(
+        let (plan, offline_spent) = totally_separated(
             move |cap| {
                 seed += 1;
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -436,5 +442,9 @@ mod tests {
         assert_eq!(plan.regressions.len(), 2);
         // Each sub-plan respected B_obj/2 = 4¢; the merged plan fits 8¢.
         assert!(plan.cost_per_object(&PricingModel::paper()) <= Money::from_cents(8.0));
+        // The reported offline spend is what the sub-ledgers actually
+        // charged: positive, but below the $40 cap.
+        assert!(offline_spent.is_positive());
+        assert!(offline_spent < Money::from_dollars(40.0));
     }
 }

@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks of the computational kernels: the greedy
+//! Micro-benchmarks of the computational kernels: the greedy
 //! budget-distribution solver (Eq. 2), SVD least squares, the symmetric
 //! eigendecomposition behind the PSD projection, and a full
 //! preprocessing run (the paper's "running time is polynomial in the two
 //! budgets" remark, measured).
+//!
+//! Timing is hand-rolled (median of repeated batches) because the
+//! environment cannot fetch `criterion`; output is one aligned line per
+//! kernel with median and total iteration count.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use disq_core::components::budget_dist::find_budget_distribution;
 use disq_core::{preprocess, DisqConfig};
 use disq_crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
@@ -15,6 +18,44 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Runs `f` in timed batches for ~0.5 s and prints the median batch time
+/// per iteration.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up + batch sizing: aim for batches of ≥ 1 ms.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while budget.elapsed() < Duration::from_millis(500) && samples.len() < 64 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let unit = if median >= 1e-3 {
+        format!("{:.3} ms", median * 1e3)
+    } else {
+        format!("{:.3} µs", median * 1e6)
+    };
+    println!(
+        "{name:<44} {unit:>12}   ({} samples x {iters} iters)",
+        samples.len()
+    );
+}
 
 fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
     Matrix::from_vec(
@@ -40,7 +81,7 @@ fn trio(n: usize, rng: &mut StdRng) -> StatsTrio {
     t
 }
 
-fn bench_budget_distribution(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     for n in [5usize, 10, 20] {
         let t = trio(n, &mut rng);
@@ -53,86 +94,63 @@ fn bench_budget_distribution(c: &mut Criterion) {
                 }
             })
             .collect();
-        c.bench_function(&format!("greedy_budget_distribution/{n}_attrs"), |b| {
-            b.iter(|| {
-                find_budget_distribution(
-                    black_box(&t),
-                    &[1.0],
-                    Money::from_cents(4.0),
-                    black_box(&costs),
-                )
-                .unwrap()
-            })
+        bench(&format!("greedy_budget_distribution/{n}_attrs"), || {
+            find_budget_distribution(
+                black_box(&t),
+                &[1.0],
+                Money::from_cents(4.0),
+                black_box(&costs),
+            )
+            .unwrap();
         });
     }
-}
 
-fn bench_svd(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     for (rows, cols) in [(50, 5), (100, 10), (200, 20)] {
         let a = random_matrix(&mut rng, rows, cols);
-        c.bench_function(&format!("svd_jacobi/{rows}x{cols}"), |b| {
-            b.iter(|| svd_jacobi(black_box(&a)).unwrap())
+        bench(&format!("svd_jacobi/{rows}x{cols}"), || {
+            svd_jacobi(black_box(&a)).unwrap();
         });
     }
-}
 
-fn bench_lstsq(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let x = random_matrix(&mut rng, 100, 8);
     let y: Vec<f64> = (0..100).map(|_| rng.random::<f64>()).collect();
-    c.bench_function("lstsq_svd/100x8", |b| {
-        b.iter(|| lstsq_svd(black_box(&x), black_box(&y), 1e-10).unwrap())
+    bench("lstsq_svd/100x8", || {
+        lstsq_svd(black_box(&x), black_box(&y), 1e-10).unwrap();
     });
-}
 
-fn bench_eigen(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     for n in [6usize, 12, 24] {
         let b_mat = random_matrix(&mut rng, n, n);
         let mut a = b_mat.transpose().matmul(&b_mat).unwrap();
         a.symmetrize();
-        c.bench_function(&format!("jacobi_eigen/{n}x{n}"), |bch| {
-            bch.iter(|| jacobi_eigen(black_box(&a)).unwrap())
+        bench(&format!("jacobi_eigen/{n}x{n}"), || {
+            jacobi_eigen(black_box(&a)).unwrap();
         });
     }
-}
 
-fn bench_preprocess(c: &mut Criterion) {
     let spec = Arc::new(pictures::spec());
     let bmi = spec.id_of("Bmi").unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     let pop = Population::sample(Arc::clone(&spec), 2_000, &mut rng).unwrap();
-    let mut group = c.benchmark_group("preprocess_end_to_end");
-    group.sample_size(10);
-    group.bench_function("pictures_bmi_bprc20", |b| {
-        b.iter_batched(
-            || SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), Some(Money::from_dollars(20.0)), 9),
-            |mut crowd| {
-                preprocess(
-                    &mut crowd,
-                    &spec,
-                    &[bmi],
-                    Money::from_cents(4.0),
-                    &DisqConfig::default(),
-                    &PricingModel::paper(),
-                    None,
-                    9,
-                )
-                .unwrap()
-            },
-            BatchSize::LargeInput,
+    bench("preprocess_end_to_end/pictures_bmi_bprc20", || {
+        let mut crowd = SimulatedCrowd::new(
+            pop.clone(),
+            CrowdConfig::default(),
+            Some(Money::from_dollars(20.0)),
+            9,
+        );
+        preprocess(
+            &mut crowd,
+            &spec,
+            &[bmi],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            9,
         )
+        .unwrap();
     });
-    group.finish();
 }
-
-criterion_group!(
-    kernels,
-    bench_budget_distribution,
-    bench_svd,
-    bench_lstsq,
-    bench_eigen,
-    bench_preprocess
-);
-criterion_main!(kernels);

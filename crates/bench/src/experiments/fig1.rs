@@ -10,11 +10,9 @@
 //! NaiveAverage is largest for the unintuitive Protein attribute; only
 //! DisQ improves with `B_prc`.
 
-use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_fixed, b_prc_sweep};
-use crate::report::{fmt_err, Table};
-use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_fixed, b_prc_sweep, SweepPlan};
+use crate::runner::{Cell, DomainKind, StrategyKind};
 use disq_baselines::Baseline;
-use disq_crowd::Money;
 
 const STRATEGIES: [StrategyKind; 3] = [
     StrategyKind::Baseline(Baseline::DisQ),
@@ -32,64 +30,34 @@ const QUERIES: [(&str, DomainKind, &[&str]); 3] = [
     ),
 ];
 
-/// One sweep table: rows are budget points, columns strategies.
-pub fn sweep(
-    title: &str,
-    domain: DomainKind,
-    targets: &[&'static str],
-    points: &[(String, Money, Money)], // (label, b_prc, b_obj)
-    reps: usize,
-) -> Table {
+/// Plans all six panels and runs them as one parallel sweep.
+pub fn run(reps: usize) -> String {
     let mut header = vec!["budget"];
     header.extend(STRATEGIES.iter().map(|s| s.name()));
-    let mut table = Table::new(title, &header);
-    for (label, b_prc, b_obj) in points {
-        let mut row = vec![label.clone()];
-        for s in STRATEGIES {
-            let cell = Cell::new(domain, targets, s, *b_prc, *b_obj);
-            row.push(fmt_err(run_cell_avg(&cell, reps)));
-        }
-        table.row(row);
-    }
-    table
-}
-
-/// Runs all six panels.
-pub fn run(reps: usize) -> String {
-    let mut out = String::new();
+    let mut plan = SweepPlan::new();
     for (name, domain, targets) in QUERIES {
         // Varying B_prc (top row of Figure 1).
-        let points: Vec<(String, Money, Money)> = b_prc_sweep()
-            .into_iter()
-            .map(|p| (format!("B_prc=${:.0}", p.as_dollars()), p, b_obj_fixed()))
-            .collect();
-        out.push_str(
-            &sweep(
-                &format!("Fig {name} — error vs B_prc (B_obj=4¢)"),
-                domain,
-                targets,
-                &points,
-                reps,
-            )
-            .render(),
+        let prc = b_prc_sweep();
+        plan.table(
+            &format!("Fig {name} — error vs B_prc (B_obj=4¢)"),
+            &header,
+            prc.iter()
+                .map(|p| vec![format!("B_prc=${:.0}", p.as_dollars())])
+                .collect(),
+            STRATEGIES.len(),
+            |r, c| Cell::new(domain, targets, STRATEGIES[c], prc[r], b_obj_fixed()),
         );
-        out.push('\n');
         // Varying B_obj (bottom row).
-        let points: Vec<(String, Money, Money)> = b_obj_sweep()
-            .into_iter()
-            .map(|o| (format!("B_obj={:.1}¢", o.as_cents()), b_prc_fixed(), o))
-            .collect();
-        out.push_str(
-            &sweep(
-                &format!("Fig {name} — error vs B_obj (B_prc=$30)"),
-                domain,
-                targets,
-                &points,
-                reps,
-            )
-            .render(),
+        let obj = b_obj_sweep();
+        plan.table(
+            &format!("Fig {name} — error vs B_obj (B_prc=$30)"),
+            &header,
+            obj.iter()
+                .map(|o| vec![format!("B_obj={:.1}¢", o.as_cents())])
+                .collect(),
+            STRATEGIES.len(),
+            |r, c| Cell::new(domain, targets, STRATEGIES[c], b_prc_fixed(), obj[r]),
         );
-        out.push('\n');
     }
-    out
+    plan.run("fig1", reps)
 }

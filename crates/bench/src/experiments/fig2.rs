@@ -7,8 +7,9 @@
 //! 0.067 on Bmi).
 
 use crate::experiments::{b_obj_sweep, b_prc_fixed};
+use crate::harness::run_experiment;
 use crate::report::Table;
-use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use crate::runner::{Cell, DomainKind, StrategyKind};
 use disq_baselines::Baseline;
 
 const STRATEGIES: [StrategyKind; 3] = [
@@ -17,25 +18,40 @@ const STRATEGIES: [StrategyKind; 3] = [
     StrategyKind::Baseline(Baseline::NaiveAverage),
 ];
 
-/// Error-vs-budget curve per strategy, then the inverted "necessary
-/// budget" table for a grid of target errors.
+/// Error-vs-budget curves per strategy (gathered in one parallel sweep),
+/// then the inverted "necessary budget" table for a grid of target
+/// errors.
 pub fn run(reps: usize) -> String {
-    let mut out = String::new();
-    for (name, domain, targets) in [
+    let queries = [
         ("pictures {Bmi}", DomainKind::Pictures, &["Bmi"][..]),
         ("recipes {Protein}", DomainKind::Recipes, &["Protein"][..]),
-    ] {
-        // Gather curves.
-        let sweep = b_obj_sweep();
-        let mut curves: Vec<Vec<Option<f64>>> = Vec::new();
+    ];
+    let sweep = b_obj_sweep();
+
+    // All curve points of both queries as one flat cell list:
+    // query-major, then strategy, then budget point.
+    let mut cells = Vec::new();
+    for (_, domain, targets) in &queries {
         for s in STRATEGIES {
-            let mut curve = Vec::new();
             for &b_obj in &sweep {
-                let cell = Cell::new(domain, targets, s, b_prc_fixed(), b_obj);
-                curve.push(run_cell_avg(&cell, reps).map(|(m, _)| m));
+                cells.push(Cell::new(*domain, targets, s, b_prc_fixed(), b_obj));
             }
-            curves.push(curve);
         }
+    }
+    let (results, timings) = run_experiment("fig2", &cells, reps);
+
+    let mut out = String::new();
+    let per_query = STRATEGIES.len() * sweep.len();
+    for (qi, (name, _, _)) in queries.iter().enumerate() {
+        let curves: Vec<Vec<Option<f64>>> = (0..STRATEGIES.len())
+            .map(|si| {
+                (0..sweep.len())
+                    .map(|pi| {
+                        results[qi * per_query + si * sweep.len() + pi].map(|(m, _)| m)
+                    })
+                    .collect()
+            })
+            .collect();
         // Target grid: geometric steps just above the best achievable
         // error. (An arithmetic grid over the full range would be
         // dominated by the enormous NaiveAverage errors at 0.4¢.)
@@ -66,5 +82,7 @@ pub fn run(reps: usize) -> String {
         out.push_str(&table.render());
         out.push('\n');
     }
+    out.push_str(&timings.render());
+    out.push('\n');
     out
 }

@@ -8,9 +8,8 @@
 //! gap widening as `B_prc` grows (enough budget to exploit the wider
 //! answer variety that recursive dismantling provides).
 
-use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_fixed, b_prc_sweep};
-use crate::report::{fmt_err, Table};
-use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_fixed, b_prc_sweep, SweepPlan};
+use crate::runner::{Cell, DomainKind, StrategyKind};
 use disq_baselines::Baseline;
 
 const STRATEGIES: [StrategyKind; 2] = [
@@ -18,39 +17,34 @@ const STRATEGIES: [StrategyKind; 2] = [
     StrategyKind::Baseline(Baseline::OnlyQueryAttributes),
 ];
 
-/// Runs both panels.
+/// Plans both panels and runs them as one parallel sweep.
 pub fn run(reps: usize) -> String {
-    let mut out = String::new();
     let domain = DomainKind::Recipes;
     let targets = ["Protein"];
+    let header = ["budget", "DisQ", "OnlyQueryAttributes"];
+    let mut plan = SweepPlan::new();
 
-    let mut table = Table::new(
+    let prc = b_prc_sweep();
+    plan.table(
         "Fig 3a — error vs B_prc (recipes {Protein}, B_obj=4¢)",
-        &["budget", "DisQ", "OnlyQueryAttributes"],
+        &header,
+        prc.iter()
+            .map(|p| vec![format!("B_prc=${:.0}", p.as_dollars())])
+            .collect(),
+        STRATEGIES.len(),
+        |r, c| Cell::new(domain, &targets, STRATEGIES[c], prc[r], b_obj_fixed()),
     );
-    for b_prc in b_prc_sweep() {
-        let mut row = vec![format!("B_prc=${:.0}", b_prc.as_dollars())];
-        for s in STRATEGIES {
-            let cell = Cell::new(domain, &targets, s, b_prc, b_obj_fixed());
-            row.push(fmt_err(run_cell_avg(&cell, reps)));
-        }
-        table.row(row);
-    }
-    out.push_str(&table.render());
-    out.push('\n');
 
-    let mut table = Table::new(
+    let obj = b_obj_sweep();
+    plan.table(
         "Fig 3b — error vs B_obj (recipes {Protein}, B_prc=$30)",
-        &["budget", "DisQ", "OnlyQueryAttributes"],
+        &header,
+        obj.iter()
+            .map(|o| vec![format!("B_obj={:.1}¢", o.as_cents())])
+            .collect(),
+        STRATEGIES.len(),
+        |r, c| Cell::new(domain, &targets, STRATEGIES[c], b_prc_fixed(), obj[r]),
     );
-    for b_obj in b_obj_sweep() {
-        let mut row = vec![format!("B_obj={:.1}¢", b_obj.as_cents())];
-        for s in STRATEGIES {
-            let cell = Cell::new(domain, &targets, s, b_prc_fixed(), b_obj);
-            row.push(fmt_err(run_cell_avg(&cell, reps)));
-        }
-        table.row(row);
-    }
-    out.push_str(&table.render());
-    out
+
+    plan.run("fig3", reps)
 }

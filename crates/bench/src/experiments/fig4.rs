@@ -12,9 +12,8 @@
 //! never worse than OneConnection except marginally at very low budgets;
 //! NaiveEstimations always below DisQ.
 
-use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_sweep};
-use crate::report::{fmt_err, Table};
-use crate::runner::{run_cell_avg, Cell, DomainKind, StrategyKind};
+use crate::experiments::{b_obj_fixed, b_obj_sweep, b_prc_sweep, SweepPlan};
+use crate::runner::{Cell, DomainKind, StrategyKind};
 use disq_baselines::Baseline;
 use disq_crowd::Money;
 
@@ -32,39 +31,44 @@ fn header() -> Vec<&'static str> {
     h
 }
 
-/// Runs both panels.
+/// Plans both panels and runs them as one parallel sweep.
 pub fn run(reps: usize) -> String {
-    let mut out = String::new();
     let domain = DomainKind::Pictures;
     let targets = ["Bmi", "Age"];
+    let mut plan = SweepPlan::new();
 
-    let mut table = Table::new(
+    let prc: Vec<Money> = b_prc_sweep()
+        .into_iter()
+        .chain([Money::from_dollars(50.0)])
+        .collect();
+    plan.table(
         "Fig 4a — error vs B_prc (pictures {Bmi, Age}, B_obj=4¢)",
         &header(),
+        prc.iter()
+            .map(|p| vec![format!("B_prc=${:.0}", p.as_dollars())])
+            .collect(),
+        STRATEGIES.len(),
+        |r, c| Cell::new(domain, &targets, STRATEGIES[c], prc[r], b_obj_fixed()),
     );
-    for b_prc in b_prc_sweep().into_iter().chain([Money::from_dollars(50.0)]) {
-        let mut row = vec![format!("B_prc=${:.0}", b_prc.as_dollars())];
-        for s in STRATEGIES {
-            let cell = Cell::new(domain, &targets, s, b_prc, b_obj_fixed());
-            row.push(fmt_err(run_cell_avg(&cell, reps)));
-        }
-        table.row(row);
-    }
-    out.push_str(&table.render());
-    out.push('\n');
 
-    let mut table = Table::new(
+    let obj = b_obj_sweep();
+    plan.table(
         "Fig 4b — error vs B_obj (pictures {Bmi, Age}, B_prc=$50)",
         &header(),
+        obj.iter()
+            .map(|o| vec![format!("B_obj={:.1}¢", o.as_cents())])
+            .collect(),
+        STRATEGIES.len(),
+        |r, c| {
+            Cell::new(
+                domain,
+                &targets,
+                STRATEGIES[c],
+                Money::from_dollars(50.0),
+                obj[r],
+            )
+        },
     );
-    for b_obj in b_obj_sweep() {
-        let mut row = vec![format!("B_obj={:.1}¢", b_obj.as_cents())];
-        for s in STRATEGIES {
-            let cell = Cell::new(domain, &targets, s, Money::from_dollars(50.0), b_obj);
-            row.push(fmt_err(run_cell_avg(&cell, reps)));
-        }
-        table.row(row);
-    }
-    out.push_str(&table.render());
-    out
+
+    plan.run("fig4", reps)
 }

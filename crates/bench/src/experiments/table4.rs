@@ -52,25 +52,26 @@ fn domain_rows(domain: DomainKind, attrs: &[&str], seed: u64) -> Table {
     table
 }
 
-/// Regenerates both halves of Table 4.
+/// Regenerates both halves of Table 4, one pool unit per domain.
 pub fn run(_reps: usize) -> String {
-    let mut out = String::new();
-    out.push_str(
-        &domain_rows(
+    let halves: [(DomainKind, &[&str], u64); 2] = [
+        (
             DomainKind::Pictures,
             &["Bmi", "Height", "Age", "Attractive"],
             41,
-        )
-        .render(),
-    );
-    out.push('\n');
-    out.push_str(
-        &domain_rows(
+        ),
+        (
             DomainKind::Recipes,
             &["Calories", "Protein", "Healthy", "Easy to Make"],
             42,
-        )
-        .render(),
-    );
+        ),
+    ];
+    let (tables, timings) = crate::harness::run_units("table4", halves.len(), 1, None, |i| {
+        let (domain, attrs, seed) = halves[i];
+        domain_rows(domain, attrs, seed).render()
+    });
+    let mut out = tables.join("\n");
+    out.push_str(&timings.render());
+    out.push('\n');
     out
 }

@@ -1,0 +1,313 @@
+//! Wall-clock instrumentation and machine-readable records for the
+//! parallel experiment harness.
+//!
+//! Every experiment that sweeps cells through
+//! [`crate::runner::run_cells_parallel`] goes through [`run_experiment`],
+//! which times the sweep, renders a human-readable `harness:` line for
+//! the report footer, and appends/updates a record in
+//! `BENCH_harness.json` at the repository root (override the path with
+//! the `DISQ_HARNESS_JSON` environment variable). Records are keyed by
+//! `experiment@t<threads>` so runs at different thread counts coexist —
+//! that is how the serial-vs-parallel speedup of a figure is kept on
+//! disk.
+
+use crate::runner::{run_cells_parallel_with, Cell};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Timing and throughput facts of one harness sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessTimings {
+    /// Experiment name, e.g. `"fig1"`.
+    pub experiment: String,
+    /// Worker threads the pool used.
+    pub threads: usize,
+    /// Number of experimental cells in the sweep.
+    pub cells: usize,
+    /// Repetitions per cell.
+    pub reps: usize,
+    /// `(cell, rep)` units executed (`cells × reps`).
+    pub units: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// World-cache lookups served from an existing slot.
+    pub cache_hits: usize,
+    /// World-cache lookups that sampled a fresh population.
+    pub cache_misses: usize,
+}
+
+impl HarnessTimings {
+    /// Cells completed per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cells as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// `(cell, rep)` units completed per wall-clock second.
+    pub fn units_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.units as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of world lookups served from cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Record key: experiment name qualified by thread count, so the
+    /// same figure measured serially and in parallel keeps both rows.
+    pub fn key(&self) -> String {
+        format!("{}@t{}", self.experiment, self.threads)
+    }
+
+    /// The human-readable footer line appended to report output.
+    pub fn render(&self) -> String {
+        format!(
+            "harness: {} cells x {} reps = {} units in {:.2}s \
+             ({:.2} cells/s, {:.2} units/s) on {} thread{}; \
+             world cache {:.0}% hits ({}/{})",
+            self.cells,
+            self.reps,
+            self.units,
+            self.wall_secs,
+            self.cells_per_sec(),
+            self.units_per_sec(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            100.0 * self.cache_hit_rate(),
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+
+    /// One-line JSON object for `BENCH_harness.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"experiment\":\"{}\",\"threads\":{},\"cells\":{},\"reps\":{},\
+             \"units\":{},\"wall_secs\":{:.4},\"cells_per_sec\":{:.4},\
+             \"units_per_sec\":{:.4},\"cache_hits\":{},\"cache_misses\":{},\
+             \"cache_hit_rate\":{:.4}}}",
+            self.key(),
+            self.threads,
+            self.cells,
+            self.reps,
+            self.units,
+            self.wall_secs,
+            self.cells_per_sec(),
+            self.units_per_sec(),
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+        );
+        s
+    }
+}
+
+/// Where harness records go: `DISQ_HARNESS_JSON` when set, else
+/// `BENCH_harness.json` at the repository root.
+pub fn harness_json_path() -> PathBuf {
+    std::env::var("DISQ_HARNESS_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_harness.json"
+            ))
+        })
+}
+
+/// Merges a record into the JSON file: the file is a JSON array with one
+/// object per line, and records are replaced by [`HarnessTimings::key`]
+/// so re-running an experiment updates its row in place.
+pub fn record(timings: &HarnessTimings) -> std::io::Result<()> {
+    record_at(&harness_json_path(), timings)
+}
+
+fn record_at(path: &std::path::Path, timings: &HarnessTimings) -> std::io::Result<()> {
+    let key_marker = format!("\"experiment\":\"{}\"", timings.key());
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with('{') && !line.contains(&key_marker) {
+                entries.push(line.to_string());
+            }
+        }
+    }
+    entries.push(timings.to_json());
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Runs a named experiment's cells through the parallel harness:
+/// executes every `(cell, rep)` unit on the configured worker count,
+/// persists a timing record, and returns per-cell aggregates plus the
+/// timings (whose [`HarnessTimings::render`] line the caller appends to
+/// its report).
+///
+/// Unit tests skip the persistence unless `DISQ_HARNESS_JSON` is set,
+/// so test runs never dirty the checked-in benchmark file.
+pub fn run_experiment(
+    name: &str,
+    cells: &[Cell],
+    reps: usize,
+) -> (Vec<Option<(f64, f64)>>, HarnessTimings) {
+    let threads = crate::pool::configured_threads();
+    let start = Instant::now();
+    let outcome = run_cells_parallel_with(cells, reps, threads);
+    let timings = HarnessTimings {
+        experiment: name.to_string(),
+        threads: outcome.threads,
+        cells: cells.len(),
+        reps,
+        units: outcome.units,
+        wall_secs: start.elapsed().as_secs_f64(),
+        cache_hits: outcome.cache_hits,
+        cache_misses: outcome.cache_misses,
+    };
+    persist(&timings);
+    (outcome.results, timings)
+}
+
+/// Times an arbitrary pool fan-out for experiments whose units are not
+/// [`Cell`]s (coverage, Tables 4/5) and persists the record like
+/// [`run_experiment`]. `f(i)` receives the flat unit index
+/// `0..cells * reps`; when the experiment shares worlds, pass its
+/// [`crate::world::WorldCache`] so the record carries the cache stats.
+pub fn run_units<T, F>(
+    name: &str,
+    cells: usize,
+    reps: usize,
+    cache: Option<&crate::world::WorldCache>,
+    f: F,
+) -> (Vec<T>, HarnessTimings)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = crate::pool::configured_threads();
+    let units = cells * reps;
+    let start = Instant::now();
+    let out = crate::pool::run_indexed(units, threads, f);
+    let timings = HarnessTimings {
+        experiment: name.to_string(),
+        threads,
+        cells,
+        reps,
+        units,
+        wall_secs: start.elapsed().as_secs_f64(),
+        cache_hits: cache.map_or(0, |c| c.hits()),
+        cache_misses: cache.map_or(0, |c| c.misses()),
+    };
+    persist(&timings);
+    (out, timings)
+}
+
+/// Best-effort persistence: unit tests skip it unless `DISQ_HARNESS_JSON`
+/// is set, so test runs never dirty the checked-in benchmark file.
+fn persist(timings: &HarnessTimings) {
+    if !cfg!(test) || std::env::var("DISQ_HARNESS_JSON").is_ok() {
+        if let Err(e) = record(timings) {
+            eprintln!(
+                "warning: could not write {}: {e}",
+                harness_json_path().display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, threads: usize) -> HarnessTimings {
+        HarnessTimings {
+            experiment: name.to_string(),
+            threads,
+            cells: 6,
+            reps: 4,
+            units: 24,
+            wall_secs: 2.0,
+            cache_hits: 20,
+            cache_misses: 4,
+        }
+    }
+
+    #[test]
+    fn rates_and_key() {
+        let t = sample("fig1", 4);
+        assert_eq!(t.key(), "fig1@t4");
+        assert!((t.cells_per_sec() - 3.0).abs() < 1e-12);
+        assert!((t.units_per_sec() - 12.0).abs() < 1e-12);
+        assert!((t.cache_hit_rate() - 20.0 / 24.0).abs() < 1e-12);
+        let line = t.render();
+        assert!(line.contains("6 cells x 4 reps"), "{line}");
+        assert!(line.contains("4 threads"), "{line}");
+    }
+
+    #[test]
+    fn zero_wall_time_is_finite() {
+        let mut t = sample("fig1", 1);
+        t.wall_secs = 0.0;
+        assert_eq!(t.cells_per_sec(), 0.0);
+        assert_eq!(t.units_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_fields() {
+        let j = sample("fig2", 2).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"experiment\":\"fig2@t2\""), "{j}");
+        assert!(j.contains("\"cache_hits\":20"), "{j}");
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn record_merges_by_key() {
+        let dir = std::env::temp_dir().join(format!(
+            "disq-harness-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+
+        record_at(&path, &sample("fig1", 1)).unwrap();
+        record_at(&path, &sample("fig1", 4)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("fig1@t1") && text.contains("fig1@t4"), "{text}");
+
+        // Re-recording the same key replaces, not appends.
+        let mut faster = sample("fig1", 4);
+        faster.wall_secs = 1.0;
+        record_at(&path, &faster).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("fig1@t4").count(), 1, "{text}");
+        assert!(text.contains("\"wall_secs\":1.0000"), "{text}");
+        assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,8 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod world;
 
 /// Repetitions per cell: `DISQ_REPS` env var, defaulting to the paper's
 /// 30.

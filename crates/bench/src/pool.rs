@@ -1,0 +1,135 @@
+//! A tiny fixed-size worker pool for fanning experiment units across
+//! cores.
+//!
+//! Built on `std::thread::scope` + an atomic work index + per-slot
+//! `OnceLock` results (the sandboxed build environment has no access to
+//! crossbeam or rayon, and needs none: the workload is a static list of
+//! independent, coarse-grained units). Results come back in *input index
+//! order* regardless of which worker ran what, which is what makes the
+//! parallel harness aggregation deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: the `DISQ_THREADS` environment variable when set to a
+/// positive integer, otherwise the machine's available parallelism
+/// (falling back to 1 when even that is unknown).
+pub fn configured_threads() -> usize {
+    threads_from(std::env::var("DISQ_THREADS").ok().as_deref())
+}
+
+/// Pure core of [`configured_threads`], split out for testing.
+pub(crate) fn threads_from(var: Option<&str>) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        })
+}
+
+/// Evaluates `f(0..n)` on up to `threads` workers and returns the results
+/// in index order.
+///
+/// Work is handed out through a shared atomic counter, so long units
+/// don't stall the queue behind them. A panic in any unit propagates out
+/// of the scope after the other workers finish their current unit — the
+/// same fail-fast behaviour as running the units serially.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n);
+    // Per-unit result slots. Each slot is written exactly once (the
+    // atomic counter hands every index to exactly one worker), so the
+    // mutexes are never contended; they exist to make `T: Send` enough.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    if workers == 1 {
+        // Serial fast path: no threads, exact submission order.
+        for (i, slot) in slots.iter().enumerate() {
+            *slot.lock().unwrap() = Some(f(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(f(i));
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every unit ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_in_index_order() {
+        for threads in [1, 2, 4, 16] {
+            let out = run_indexed(33, threads, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(100, 8, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_units() {
+        let out = run_indexed(3, 64, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        run_indexed(64, 4, |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            // Give other workers a chance to pick up units.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn thread_parsing() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 8 ")), 8);
+        // Invalid or non-positive values fall back to auto-detection.
+        assert!(threads_from(Some("0")) >= 1);
+        assert!(threads_from(Some("nope")) >= 1);
+        assert!(threads_from(None) >= 1);
+    }
+}

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Which calibrated world a cell runs in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DomainKind {
     /// Human pictures (Table 4a/5a calibration).
     Pictures,
@@ -140,22 +140,49 @@ pub fn eval_weights(spec: &DomainSpec, targets: &[AttributeId]) -> Vec<f64> {
         .collect()
 }
 
+/// Seed of the `(rep)`-th sampled world. The seed is a pure function of
+/// the repetition — never of the strategy or budgets — so that every
+/// strategy of a repetition faces statistically identical objects, and so
+/// that a cached world is interchangeable with a freshly sampled one.
+pub fn world_seed(rep: u64) -> u64 {
+    rep.wrapping_mul(0x9E37_79B9).wrapping_add(17)
+}
+
+/// Samples the repetition's world: [`POPULATION`] objects drawn with
+/// [`world_seed`]`(rep)`. The single source of truth shared by the serial
+/// path and [`crate::world::WorldCache`].
+pub fn sample_population(spec: &Arc<DomainSpec>, rep: u64) -> Result<Population, DisqError> {
+    let mut rng = StdRng::seed_from_u64(world_seed(rep));
+    Population::sample(Arc::clone(spec), POPULATION, &mut rng)
+        .map_err(|e| DisqError::Config(format!("population sampling failed: {e}")))
+}
+
 /// Runs one repetition of a cell. `rep` seeds both the sampled world and
 /// the crowd so that every strategy sees statistically identical settings
 /// (the §5.1 record-and-reuse discipline, achieved here by seeding).
 pub fn run_cell(cell: &Cell, rep: u64) -> Result<CellOutcome, DisqError> {
     let spec = Arc::new(cell.domain.spec());
+    let population = sample_population(&spec, rep)?;
+    run_cell_in_world(cell, rep, &spec, &population)
+}
+
+/// Runs one repetition inside an already-sampled world. `population` must
+/// be the [`sample_population`] world of `(cell.domain, rep)` — the
+/// parallel harness passes cached worlds here; the `Population` handle is
+/// `Arc`-backed, so the clones below share storage.
+pub fn run_cell_in_world(
+    cell: &Cell,
+    rep: u64,
+    spec: &Arc<DomainSpec>,
+    population: &Population,
+) -> Result<CellOutcome, DisqError> {
     let targets: Vec<AttributeId> = cell
         .targets
         .iter()
         .map(|n| spec.id_of(n).unwrap_or_else(|| panic!("unknown target {n}")))
         .collect();
-    let weights = eval_weights(&spec, &targets);
+    let weights = eval_weights(spec, &targets);
     let pricing = cell.crowd.pricing;
-
-    let mut rng = StdRng::seed_from_u64(rep.wrapping_mul(0x9E37_79B9).wrapping_add(17));
-    let population = Population::sample(Arc::clone(&spec), POPULATION, &mut rng)
-        .map_err(|e| DisqError::Config(format!("population sampling failed: {e}")))?;
 
     // ---- Offline phase ----------------------------------------------------
     let (plan, stats, offline_spent) = match cell.strategy {
@@ -188,7 +215,7 @@ pub fn run_cell(cell: &Cell, rep: u64) -> Result<CellOutcome, DisqError> {
             let mut sub = 0u64;
             let pop = population.clone();
             let crowd_cfg = cell.crowd.clone();
-            let plan = totally_separated(
+            let (plan, spent) = totally_separated(
                 move |cap| {
                     sub += 1;
                     SimulatedCrowd::new(
@@ -206,9 +233,7 @@ pub fn run_cell(cell: &Cell, rep: u64) -> Result<CellOutcome, DisqError> {
                 &pricing,
                 rep,
             )?;
-            // Per-target ledgers are internal to the closure; report the
-            // cap as an upper bound.
-            (plan, None, cell.b_prc)
+            (plan, None, spent)
         }
     };
 
@@ -267,10 +292,92 @@ pub fn run_cell_avg(cell: &Cell, reps: usize) -> Option<(f64, f64)> {
     if errors.is_empty() {
         return None;
     }
+    Some(mean_sd(&errors))
+}
+
+/// Mean and population standard deviation, matching the [`run_cell_avg`]
+/// aggregation exactly (same summation order).
+fn mean_sd(errors: &[f64]) -> (f64, f64) {
     let n = errors.len() as f64;
     let mean = errors.iter().sum::<f64>() / n;
     let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
-    Some((mean, var.sqrt()))
+    (mean, var.sqrt())
+}
+
+/// What a parallel sweep produced: per-cell aggregates plus the cache and
+/// pool statistics the harness reports.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// One entry per input cell, in input order: `Some((mean, sd))` over
+    /// the feasible repetitions, `None` when every repetition was
+    /// infeasible — exactly what [`run_cell_avg`] returns for that cell.
+    pub results: Vec<Option<(f64, f64)>>,
+    /// Number of `(cell, rep)` units executed.
+    pub units: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// World-cache lookups served from an existing slot.
+    pub cache_hits: usize,
+    /// World-cache lookups that had to sample a fresh population.
+    pub cache_misses: usize,
+}
+
+/// Runs every `(cell, rep)` unit of a sweep across
+/// [`crate::pool::configured_threads`] workers, sharing each
+/// `(domain, rep)` world through a [`crate::world::WorldCache`].
+///
+/// Results are aggregated in deterministic `(cell, rep)` order and are
+/// bit-identical to calling [`run_cell_avg`] per cell, at any thread
+/// count: worlds are pure functions of `(domain, rep)`, crowds are seeded
+/// per `(cell, rep)`, and the pool returns units in input order.
+pub fn run_cells_parallel(cells: &[Cell], reps: usize) -> ParallelOutcome {
+    run_cells_parallel_with(cells, reps, crate::pool::configured_threads())
+}
+
+/// [`run_cells_parallel`] with an explicit worker count.
+pub fn run_cells_parallel_with(cells: &[Cell], reps: usize, threads: usize) -> ParallelOutcome {
+    if cells.is_empty() || reps == 0 {
+        return ParallelOutcome {
+            results: vec![None; cells.len()],
+            units: 0,
+            threads,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+    }
+    let cache = crate::world::WorldCache::new();
+    let units = cells.len() * reps;
+    let errors: Vec<Option<f64>> = crate::pool::run_indexed(units, threads, |i| {
+        let cell = &cells[i / reps];
+        let rep = (i % reps) as u64;
+        let population = cache
+            .population(cell.domain, rep)
+            .unwrap_or_else(|e| panic!("world ({}, rep {rep}) failed: {e}", cell.domain.name()));
+        let spec = population.spec_arc();
+        match run_cell_in_world(cell, rep, &spec, &population) {
+            Ok(outcome) => Some(outcome.error),
+            Err(DisqError::BudgetTooSmall { .. }) => None,
+            Err(e) => panic!("cell {:?} failed: {e}", cell.strategy.name()),
+        }
+    });
+    let results = errors
+        .chunks(reps)
+        .map(|unit_errors| {
+            let feasible: Vec<f64> = unit_errors.iter().flatten().copied().collect();
+            if feasible.is_empty() {
+                None
+            } else {
+                Some(mean_sd(&feasible))
+            }
+        })
+        .collect();
+    ParallelOutcome {
+        results,
+        units,
+        threads,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    }
 }
 
 #[cfg(test)]

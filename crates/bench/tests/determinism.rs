@@ -1,0 +1,68 @@
+//! The parallel harness contract: results are bit-identical to the
+//! serial reference path (`run_cell_avg`) at every thread count,
+//! because worlds are pure functions of `(domain, rep)` and crowds are
+//! seeded per `(cell, rep)`.
+
+use disq_baselines::Baseline;
+use disq_bench::runner::{
+    run_cell_avg, run_cells_parallel_with, Cell, DomainKind, StrategyKind,
+};
+use disq_crowd::Money;
+
+fn cells() -> Vec<Cell> {
+    vec![
+        // Two strategies sharing the same pictures worlds.
+        Cell::new(
+            DomainKind::Pictures,
+            &["Bmi"],
+            StrategyKind::Baseline(Baseline::SimpleDisQ),
+            Money::from_dollars(15.0),
+            Money::from_cents(2.0),
+        ),
+        Cell::new(
+            DomainKind::Pictures,
+            &["Bmi"],
+            StrategyKind::Baseline(Baseline::NaiveAverage),
+            Money::ZERO,
+            Money::from_cents(4.0),
+        ),
+        // A different domain in the same sweep.
+        Cell::new(
+            DomainKind::Recipes,
+            &["Protein"],
+            StrategyKind::Baseline(Baseline::SimpleDisQ),
+            Money::from_dollars(12.0),
+            Money::from_cents(2.0),
+        ),
+        // Hopeless B_prc: must come back None on both paths.
+        Cell::new(
+            DomainKind::Pictures,
+            &["Bmi"],
+            StrategyKind::Baseline(Baseline::DisQ),
+            Money::from_cents(50.0),
+            Money::from_cents(4.0),
+        ),
+    ]
+}
+
+#[test]
+fn parallel_is_bit_identical_to_serial_at_1_and_4_threads() {
+    let cells = cells();
+    let reps = 2;
+    let serial: Vec<Option<(f64, f64)>> =
+        cells.iter().map(|c| run_cell_avg(c, reps)).collect();
+    assert!(serial[3].is_none(), "the hopeless cell should be infeasible");
+    for threads in [1, 4] {
+        let out = run_cells_parallel_with(&cells, reps, threads);
+        assert_eq!(out.results, serial, "thread count {threads}");
+        assert_eq!(out.units, cells.len() * reps);
+        // Worlds are shared across the cells of a domain/rep, so there
+        // must be strictly fewer builds than lookups.
+        assert!(
+            out.cache_misses < out.units,
+            "expected world sharing: {} misses / {} units",
+            out.cache_misses,
+            out.units
+        );
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::DisqError;
 use disq_crowd::Money;
-use disq_stats::StatsTrio;
+use disq_stats::{EvalWorkspace, StatsTrio};
 
 /// Gains below this are considered numerical noise and stop the greedy
 /// loop (prevents burning budget on zero-signal attributes).
@@ -46,6 +46,9 @@ pub fn find_budget_distribution(
     let mut b_f: Vec<f64> = vec![0.0; n];
     let mut remaining = budget;
     let mut current = 0.0;
+    // One workspace serves every candidate evaluation of every greedy
+    // iteration: no per-candidate submatrix clone or factor allocation.
+    let mut ws = EvalWorkspace::new();
 
     loop {
         let mut best: Option<(usize, f64, f64)> = None; // (attr, gain/cent, objective)
@@ -55,7 +58,7 @@ pub fn find_budget_distribution(
                 continue;
             }
             b_f[a] += 1.0;
-            let obj = trio.explained_variance_weighted(weights, &b_f)?;
+            let obj = trio.explained_variance_weighted_ws(weights, &b_f, &mut ws)?;
             b_f[a] -= 1.0;
             let gain = obj - current;
             if gain <= MIN_GAIN {

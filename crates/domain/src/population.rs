@@ -11,11 +11,15 @@ use rand::Rng;
 use std::sync::Arc;
 
 /// A set of objects with ground-truth values for every domain attribute.
+///
+/// The value table is behind an [`Arc`], so `Clone` is O(1): the bench
+/// harness hands one sampled world to many concurrently-running strategy
+/// evaluations without duplicating the (objects × attributes) matrix.
 #[derive(Debug, Clone)]
 pub struct Population {
     spec: Arc<DomainSpec>,
     /// `values[object][attribute]`.
-    values: Vec<Vec<f64>>,
+    values: Arc<Vec<Vec<f64>>>,
 }
 
 impl Population {
@@ -53,7 +57,10 @@ impl Population {
                 }
             }
         }
-        Ok(Population { spec, values })
+        Ok(Population {
+            spec,
+            values: Arc::new(values),
+        })
     }
 
     /// Builds a population from explicit value rows (mainly for tests and
@@ -69,7 +76,10 @@ impl Population {
                 )));
             }
         }
-        Ok(Population { spec, values })
+        Ok(Population {
+            spec,
+            values: Arc::new(values),
+        })
     }
 
     /// The domain this population realizes.
@@ -240,6 +250,14 @@ mod tests {
         assert_eq!(pop.value(ObjectId(1), AttributeId(0)), 4.0);
         assert_eq!(pop.column(AttributeId(2)), vec![0.3, 0.9]);
         assert_eq!(pop.object_ids().count(), 2);
+    }
+
+    #[test]
+    fn clone_shares_value_storage() {
+        let s = spec();
+        let pop = Population::from_values(s, vec![vec![1.0, 2.0, 0.3]]).unwrap();
+        let copy = pop.clone();
+        assert!(Arc::ptr_eq(&pop.values, &copy.values));
     }
 
     #[test]

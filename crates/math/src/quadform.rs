@@ -5,15 +5,256 @@
 //! candidate budget distribution is scored by this form. The greedy
 //! forward-selection solver evaluates it thousands of times, always on
 //! small principal submatrices (attributes with non-zero budget).
+//!
+//! Because the matrix `S_a + D` is symmetric and identical across the
+//! query targets of one evaluation, the hot path is *factorize once,
+//! solve per target*: [`QuadFormWorkspace`] stores the packed lower
+//! triangle (n(n+1)/2 doubles instead of n² plus a cloned input), runs an
+//! in-place Cholesky on it, and then answers any number of
+//! [`QuadFormWorkspace::quad_form`] queries against the cached factor
+//! without further allocation.
 
-use crate::{Cholesky, Lu, Matrix, MathError, Result};
+use crate::{Lu, Matrix, MathError, Result};
 
-/// Evaluates `vᵀ · (m + Diag(d))⁻¹ · v`.
+/// Index of entry `(i, j)`, `j ≤ i`, in a packed lower triangle.
+#[inline]
+fn packed(i: usize, j: usize) -> usize {
+    i * (i + 1) / 2 + j
+}
+
+/// In-place Cholesky on a packed lower triangle: on entry `fac` holds the
+/// lower triangle of SPD `A`, on success it holds the factor `L` with
+/// `A = L·Lᵀ`. Arithmetic (summation order, division, sqrt) mirrors
+/// [`crate::Cholesky::new`] exactly, so results are bit-identical to the
+/// dense factorization.
+fn cholesky_packed_in_place(fac: &mut [f64], n: usize) -> Result<()> {
+    for i in 0..n {
+        let ri = i * (i + 1) / 2;
+        for j in 0..=i {
+            let rj = j * (j + 1) / 2;
+            let mut sum = fac[ri + j];
+            for k in 0..j {
+                sum -= fac[ri + k] * fac[rj + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(MathError::NotPositiveDefinite { index: i });
+                }
+                fac[ri + i] = sum.sqrt();
+            } else {
+                fac[ri + j] = sum / fac[rj + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Which factorization the workspace currently holds.
+#[derive(Debug, Clone)]
+enum FactorState {
+    /// No successful `factorize` call yet.
+    Unfactored,
+    /// `fac` holds the packed Cholesky factor of the (possibly jittered)
+    /// matrix.
+    Cholesky,
+    /// The matrix was too broken for Cholesky even with jitter; a dense LU
+    /// of the symmetric reconstruction stands in.
+    Lu(Lu),
+}
+
+/// Reusable evaluator of `vᵀ (M + Diag(d))⁻¹ v` for a fixed `(M, d)` and
+/// many right-hand sides `v`.
+///
+/// All buffers are retained across [`QuadFormWorkspace::factorize`] calls,
+/// so a solver loop that scores thousands of candidate budget
+/// distributions performs no per-candidate heap allocation once the
+/// buffers have grown to the working dimension.
+#[derive(Debug, Clone)]
+pub struct QuadFormWorkspace {
+    n: usize,
+    /// Packed lower triangle of `M + Diag(d)` (kept pristine for jitter
+    /// retries).
+    base: Vec<f64>,
+    /// Packed factor `L`, or scratch during retries.
+    fac: Vec<f64>,
+    /// Forward-substitution scratch.
+    y: Vec<f64>,
+    /// Back-substitution scratch.
+    x: Vec<f64>,
+    state: FactorState,
+}
+
+impl Default for QuadFormWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuadFormWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        QuadFormWorkspace {
+            n: 0,
+            base: Vec::new(),
+            fac: Vec::new(),
+            y: Vec::new(),
+            x: Vec::new(),
+            state: FactorState::Unfactored,
+        }
+    }
+
+    /// Dimension of the currently factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Factorizes `M + Diag(d)` where the symmetric `M` is given entry-wise
+    /// by `entry(i, j)` for `j ≤ i` (only the lower triangle is read).
+    ///
+    /// Follows the same rescue ladder as the one-shot evaluator: plain
+    /// Cholesky, then diagonal jitter growing from `1e-10·max|A|` to
+    /// `1e-4·max|A|`, then a dense LU of the symmetric reconstruction.
+    pub fn factorize_with(
+        &mut self,
+        n: usize,
+        d: &[f64],
+        mut entry: impl FnMut(usize, usize) -> f64,
+    ) -> Result<()> {
+        if d.len() != n {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{n}x1"),
+                found: format!("{}x1", d.len()),
+            });
+        }
+        self.n = n;
+        self.state = FactorState::Unfactored;
+        if n == 0 {
+            return Ok(());
+        }
+        let len = packed(n - 1, n - 1) + 1;
+        self.base.clear();
+        self.base.reserve(len);
+        for i in 0..n {
+            for j in 0..i {
+                self.base.push(entry(i, j));
+            }
+            self.base.push(entry(i, i) + d[i]);
+        }
+        self.y.resize(n, 0.0);
+        self.x.resize(n, 0.0);
+
+        if self.base.iter().all(|v| v.is_finite()) {
+            self.fac.clear();
+            self.fac.extend_from_slice(&self.base);
+            match cholesky_packed_in_place(&mut self.fac, n) {
+                Ok(()) => {
+                    self.state = FactorState::Cholesky;
+                    return Ok(());
+                }
+                Err(MathError::NotPositiveDefinite { .. }) => {
+                    // Jitter ladder, restarting from the pristine matrix each
+                    // attempt (matching `Cholesky::new_with_jitter`).
+                    let scale = self
+                        .base
+                        .iter()
+                        .fold(0.0_f64, |m, &v| m.max(v.abs()))
+                        .max(1e-300);
+                    let mut jitter = 1e-10 * scale;
+                    let max_jitter = 1e-4 * scale;
+                    loop {
+                        self.fac.clear();
+                        self.fac.extend_from_slice(&self.base);
+                        for i in 0..n {
+                            self.fac[packed(i, i)] += jitter;
+                        }
+                        match cholesky_packed_in_place(&mut self.fac, n) {
+                            Ok(()) => {
+                                self.state = FactorState::Cholesky;
+                                return Ok(());
+                            }
+                            Err(MathError::NotPositiveDefinite { .. }) if jitter < max_jitter => {
+                                jitter *= 10.0;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        // Last resort: dense LU on the symmetric reconstruction.
+        let mut full = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.base[packed(i, j)];
+                full[(i, j)] = v;
+                full[(j, i)] = v;
+            }
+        }
+        self.state = FactorState::Lu(Lu::new(&full)?);
+        Ok(())
+    }
+
+    /// Factorizes `m + Diag(d)` from a dense symmetric matrix.
+    pub fn factorize(&mut self, m: &Matrix, d: &[f64]) -> Result<()> {
+        if !m.is_square() {
+            return Err(MathError::NotSquare {
+                rows: m.rows(),
+                cols: m.cols(),
+            });
+        }
+        self.factorize_with(m.rows(), d, |i, j| m[(i, j)])
+    }
+
+    /// Evaluates `vᵀ (M + Diag(d))⁻¹ v` against the cached factorization.
+    pub fn quad_form(&mut self, v: &[f64]) -> Result<f64> {
+        if v.len() != self.n {
+            return Err(MathError::ShapeMismatch {
+                expected: format!("{}x1", self.n),
+                found: format!("{}x1", v.len()),
+            });
+        }
+        if self.n == 0 {
+            return Ok(0.0);
+        }
+        match &self.state {
+            FactorState::Unfactored => Err(MathError::Empty),
+            FactorState::Cholesky => {
+                let n = self.n;
+                // Forward: L·y = v.
+                for i in 0..n {
+                    let ri = i * (i + 1) / 2;
+                    let mut sum = v[i];
+                    for j in 0..i {
+                        sum -= self.fac[ri + j] * self.y[j];
+                    }
+                    self.y[i] = sum / self.fac[ri + i];
+                }
+                // Backward: Lᵀ·x = y.
+                for i in (0..n).rev() {
+                    let mut sum = self.y[i];
+                    for j in (i + 1)..n {
+                        sum -= self.fac[packed(j, i)] * self.x[j];
+                    }
+                    self.x[i] = sum / self.fac[packed(i, i)];
+                }
+                Ok(v.iter().zip(&self.x).map(|(&a, &b)| a * b).sum())
+            }
+            FactorState::Lu(lu) => {
+                let x = lu.solve(v)?;
+                Ok(v.iter().zip(&x).map(|(&a, &b)| a * b).sum())
+            }
+        }
+    }
+}
+
+/// Evaluates `vᵀ · (m + Diag(d))⁻¹ · v` in one shot.
 ///
 /// `m` must be square and match the lengths of `v` and `d`. Tries a
 /// Cholesky solve first (the matrix is a covariance plus positive diagonal,
 /// hence SPD in the common case), falls back to jittered Cholesky and then
-/// LU so slightly broken estimates still yield a usable score.
+/// LU so slightly broken estimates still yield a usable score. Callers in
+/// hot loops should keep a [`QuadFormWorkspace`] instead.
 pub fn quad_form_inv(m: &Matrix, d: &[f64], v: &[f64]) -> Result<f64> {
     let n = m.rows();
     if !m.is_square() {
@@ -28,18 +269,9 @@ pub fn quad_form_inv(m: &Matrix, d: &[f64], v: &[f64]) -> Result<f64> {
             found: format!("{}x1 / {}x1", d.len(), v.len()),
         });
     }
-    if n == 0 {
-        return Ok(0.0);
-    }
-    let mut a = m.clone();
-    for i in 0..n {
-        a[(i, i)] += d[i];
-    }
-    let x = match Cholesky::new_with_jitter(&a) {
-        Ok(c) => c.solve(v)?,
-        Err(_) => Lu::new(&a)?.solve(v)?,
-    };
-    Ok(v.iter().zip(&x).map(|(&a, &b)| a * b).sum())
+    let mut ws = QuadFormWorkspace::new();
+    ws.factorize(m, d)?;
+    ws.quad_form(v)
 }
 
 #[cfg(test)]
@@ -122,5 +354,69 @@ mod tests {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
         let val = quad_form_inv(&m, &[0.0, 0.0], &[1.0, 1.0]).unwrap();
         assert!(val.is_finite());
+    }
+
+    #[test]
+    fn workspace_matches_dense_cholesky_bitwise() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ]);
+        let d = [0.25, 0.5, 0.125];
+        let v = [1.0, -2.0, 0.5];
+        let mut a = m.clone();
+        for i in 0..3 {
+            a[(i, i)] += d[i];
+        }
+        let x = crate::Cholesky::new(&a).unwrap().solve(&v).unwrap();
+        let expect: f64 = v.iter().zip(&x).map(|(&a, &b)| a * b).sum();
+        let mut ws = QuadFormWorkspace::new();
+        ws.factorize(&m, &d).unwrap();
+        // Bit-identical, not merely close: same arithmetic sequence.
+        assert_eq!(ws.quad_form(&v).unwrap(), expect);
+    }
+
+    #[test]
+    fn workspace_factorize_once_solve_many() {
+        let m = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]);
+        let d = [0.3, 0.7];
+        let mut ws = QuadFormWorkspace::new();
+        ws.factorize(&m, &d).unwrap();
+        for v in [[1.0, -1.0], [0.0, 2.0], [3.0, 0.5]] {
+            let got = ws.quad_form(&v).unwrap();
+            let expect = quad_form_inv(&m, &d, &v).unwrap();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn workspace_reusable_across_dimensions() {
+        let mut ws = QuadFormWorkspace::new();
+        ws.factorize(&Matrix::identity(3), &[0.0; 3]).unwrap();
+        assert!((ws.quad_form(&[1.0, 2.0, 2.0]).unwrap() - 9.0).abs() < 1e-12);
+        ws.factorize(&Matrix::identity(1), &[1.0]).unwrap();
+        assert!((ws.quad_form(&[2.0]).unwrap() - 2.0).abs() < 1e-12);
+        // Wrong-length right-hand side is rejected.
+        assert!(ws.quad_form(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn workspace_unfactored_rejected() {
+        let mut ws = QuadFormWorkspace::new();
+        assert!(ws.quad_form(&[]).is_ok()); // 0-dim is trivially 0
+        let mut ws = QuadFormWorkspace::new();
+        ws.factorize(&Matrix::identity(2), &[0.0, 0.0]).unwrap();
+        assert!(ws.quad_form(&[1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn workspace_lu_fallback_matches_one_shot() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        let mut ws = QuadFormWorkspace::new();
+        ws.factorize(&m, &[0.0, 0.0]).unwrap();
+        let got = ws.quad_form(&[1.0, 1.0]).unwrap();
+        let expect = quad_form_inv(&m, &[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        assert_eq!(got, expect);
     }
 }

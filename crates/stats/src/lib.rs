@@ -37,7 +37,7 @@ pub use descriptive::{
 pub use prnew::NewAnswerModel;
 pub use so_graph::{SoGraphEstimator, SoSource};
 pub use sprt::{Sprt, SprtConfig, SprtDecision};
-pub use trio::{StatsTrio, TrioError};
+pub use trio::{EvalWorkspace, StatsTrio, TrioError};
 pub use varest::var_est_k;
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! the pairing rule). The trio also tracks the targets' own variances,
 //! needed by Eq. 11 and the error-normalizing weights `ω_t = 1/Var(a_t)`.
 
-use disq_math::{quad_form_inv, MathError, Matrix};
+use disq_math::{MathError, Matrix, QuadFormWorkspace};
 use std::fmt;
 
 /// Errors raised by [`StatsTrio`] operations.
@@ -72,6 +72,31 @@ impl std::error::Error for TrioError {}
 impl From<MathError> for TrioError {
     fn from(e: MathError) -> Self {
         TrioError::Math(e)
+    }
+}
+
+/// Reusable scratch for the Eq. 2 / Eq. 10 objective evaluations.
+///
+/// The greedy budget-distribution solver scores thousands of candidate
+/// allocations; each score needs the active-attribute set, the noise
+/// diagonal `S_c/b`, the per-target signal vector, and a factorization of
+/// `S_a + Diag(S_c/b)`. Holding them here (including the packed-triangle
+/// [`QuadFormWorkspace`]) removes every per-candidate heap allocation, and
+/// the factorization is shared by all targets of a multi-target query —
+/// the matrix does not depend on the target, only the right-hand side
+/// does.
+#[derive(Debug, Clone, Default)]
+pub struct EvalWorkspace {
+    active: Vec<usize>,
+    d: Vec<f64>,
+    v: Vec<f64>,
+    qf: QuadFormWorkspace,
+}
+
+impl EvalWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -283,7 +308,35 @@ impl StatsTrio {
     /// `budget[a]` is the (possibly fractional) number of value questions
     /// allocated to attribute `a`; its length must equal `n_attrs()`.
     pub fn explained_variance(&self, target: usize, budget: &[f64]) -> Result<f64, TrioError> {
+        self.explained_variance_ws(target, budget, &mut EvalWorkspace::new())
+    }
+
+    /// [`StatsTrio::explained_variance`] with caller-provided scratch: no
+    /// heap allocation once the workspace buffers have grown.
+    pub fn explained_variance_ws(
+        &self,
+        target: usize,
+        budget: &[f64],
+        ws: &mut EvalWorkspace,
+    ) -> Result<f64, TrioError> {
         self.check_target(target)?;
+        self.prepare_factorization(budget, ws)?;
+        if ws.active.is_empty() {
+            return Ok(0.0);
+        }
+        self.fill_signal(target, ws);
+        Ok(ws.qf.quad_form(&ws.v)?)
+    }
+
+    /// Selects the positive-budget attributes, builds the noise diagonal
+    /// `S_c/b`, and factorizes `S_a + Diag(S_c/b)` into the workspace. The
+    /// factor is target-independent and serves every subsequent
+    /// right-hand-side solve.
+    fn prepare_factorization(
+        &self,
+        budget: &[f64],
+        ws: &mut EvalWorkspace,
+    ) -> Result<(), TrioError> {
         if budget.len() != self.n_attrs() {
             return Err(TrioError::BadLength {
                 what: "budget",
@@ -291,24 +344,32 @@ impl StatsTrio {
                 found: budget.len(),
             });
         }
-        let active: Vec<usize> = (0..self.n_attrs()).filter(|&a| budget[a] > 0.0).collect();
-        if active.is_empty() {
-            return Ok(0.0);
+        ws.active.clear();
+        ws.active
+            .extend((0..self.n_attrs()).filter(|&a| budget[a] > 0.0));
+        if ws.active.is_empty() {
+            return Ok(());
         }
-        let m = self.s_a_submatrix(&active);
-        let d: Vec<f64> = active.iter().map(|&a| self.s_c[a] / budget[a]).collect();
-        let v: Vec<f64> = active
-            .iter()
-            .map(|&a| {
-                let so = self.s_o[target][a];
-                if so.is_nan() {
-                    0.0
-                } else {
-                    so
-                }
-            })
-            .collect();
-        Ok(quad_form_inv(&m, &d, &v)?)
+        ws.d.clear();
+        ws.d
+            .extend(ws.active.iter().map(|&a| self.s_c[a] / budget[a]));
+        let (qf, active, d) = (&mut ws.qf, &ws.active, &ws.d);
+        qf.factorize_with(active.len(), d, |i, j| self.s_a[active[i]][active[j]])?;
+        Ok(())
+    }
+
+    /// Fills the workspace signal vector `S_o[target]` over the active set
+    /// (NaN entries — never measured — contribute no signal).
+    fn fill_signal(&self, target: usize, ws: &mut EvalWorkspace) {
+        ws.v.clear();
+        ws.v.extend(ws.active.iter().map(|&a| {
+            let so = self.s_o[target][a];
+            if so.is_nan() {
+                0.0
+            } else {
+                so
+            }
+        }));
     }
 
     /// Weighted multi-target objective (Eq. 10): `Σ_t ω_t · EV(t, b)`.
@@ -317,6 +378,18 @@ impl StatsTrio {
         weights: &[f64],
         budget: &[f64],
     ) -> Result<f64, TrioError> {
+        self.explained_variance_weighted_ws(weights, budget, &mut EvalWorkspace::new())
+    }
+
+    /// [`StatsTrio::explained_variance_weighted`] with caller-provided
+    /// scratch. `S_a + Diag(S_c/b)` is factorized once and shared by all
+    /// targets — only the right-hand side changes between them.
+    pub fn explained_variance_weighted_ws(
+        &self,
+        weights: &[f64],
+        budget: &[f64],
+        ws: &mut EvalWorkspace,
+    ) -> Result<f64, TrioError> {
         if weights.len() != self.n_targets() {
             return Err(TrioError::BadLength {
                 what: "weights",
@@ -324,10 +397,15 @@ impl StatsTrio {
                 found: weights.len(),
             });
         }
+        self.prepare_factorization(budget, ws)?;
+        if ws.active.is_empty() {
+            return Ok(0.0);
+        }
         let mut total = 0.0;
         for (t, &w) in weights.iter().enumerate() {
             if w != 0.0 {
-                total += w * self.explained_variance(t, budget)?;
+                self.fill_signal(t, ws);
+                total += w * ws.qf.quad_form(&ws.v)?;
             }
         }
         Ok(total)
@@ -505,6 +583,31 @@ mod tests {
         t.push_attribute(&[0.0], &[0.5], 1.0, 0.1).unwrap();
         assert!((t.attr_correlation(0, 1) - 0.5).abs() < 1e-12);
         assert_eq!(t.attr_correlation(0, 0), 1.0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let mut t = StatsTrio::new(2);
+        t.push_attribute(&[1.0, 0.5], &[], 1.0, 1.0).unwrap();
+        t.push_attribute(&[0.3, 0.9], &[0.4], 2.0, 0.5).unwrap();
+        t.set_target_variance(0, 1.0).unwrap();
+        t.set_target_variance(1, 1.0).unwrap();
+        let mut ws = EvalWorkspace::new();
+        // Reuse one workspace across budgets and both entry points; every
+        // value must equal the allocate-fresh reference bit-for-bit.
+        for b in [[1.0, 2.0], [3.0, 0.0], [0.5, 0.5]] {
+            for target in 0..2 {
+                assert_eq!(
+                    t.explained_variance_ws(target, &b, &mut ws).unwrap(),
+                    t.explained_variance(target, &b).unwrap(),
+                );
+            }
+            let w = [1.0, 2.0];
+            assert_eq!(
+                t.explained_variance_weighted_ws(&w, &b, &mut ws).unwrap(),
+                t.explained_variance_weighted(&w, &b).unwrap(),
+            );
+        }
     }
 
     #[test]
