@@ -132,9 +132,7 @@ pub fn naive_average(
         if questions == 0 {
             let spent: Money = attributes
                 .iter()
-                .map(|p: &PlannedAttribute| {
-                    pricing.value_price(p.kind) * i64::from(p.questions)
-                })
+                .map(|p: &PlannedAttribute| pricing.value_price(p.kind) * i64::from(p.questions))
                 .sum();
             if spent + price <= b_obj {
                 questions = 1;
@@ -160,8 +158,7 @@ pub fn naive_average(
     let keep: Vec<usize> = (0..attributes.len())
         .filter(|&i| attributes[i].questions > 0)
         .collect();
-    let kept_attrs: Vec<PlannedAttribute> =
-        keep.iter().map(|&i| attributes[i].clone()).collect();
+    let kept_attrs: Vec<PlannedAttribute> = keep.iter().map(|&i| attributes[i].clone()).collect();
     let regressions = regressions
         .into_iter()
         .map(|r| TargetRegression {
@@ -332,7 +329,13 @@ mod tests {
         let s = spec();
         let bmi = s.id_of("Bmi").unwrap();
         assert!(matches!(
-            naive_average(&s, &[], Money::from_cents(4.0), &PricingModel::paper(), None),
+            naive_average(
+                &s,
+                &[],
+                Money::from_cents(4.0),
+                &PricingModel::paper(),
+                None
+            ),
             Err(DisqError::EmptyQuery)
         ));
         assert!(naive_average(
@@ -351,7 +354,10 @@ mod tests {
         assert!(Baseline::NaiveAverage.config(&base).is_none());
         assert!(!Baseline::SimpleDisQ.config(&base).unwrap().dismantling);
         assert_eq!(
-            Baseline::OnlyQueryAttributes.config(&base).unwrap().selection,
+            Baseline::OnlyQueryAttributes
+                .config(&base)
+                .unwrap()
+                .selection,
             SelectionStrategy::QueryOnly
         );
         assert_eq!(

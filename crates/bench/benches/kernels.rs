@@ -61,7 +61,9 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
     Matrix::from_vec(
         rows,
         cols,
-        (0..rows * cols).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect(),
+        (0..rows * cols)
+            .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+            .collect(),
     )
 }
 

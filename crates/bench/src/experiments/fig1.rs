@@ -21,8 +21,16 @@ const STRATEGIES: [StrategyKind; 3] = [
 ];
 
 const QUERIES: [(&str, DomainKind, &[&str]); 3] = [
-    ("1a/1d  A(Q)={Bmi}, pictures", DomainKind::Pictures, &["Bmi"]),
-    ("1b/1e  A(Q)={Protein}, recipes", DomainKind::Recipes, &["Protein"]),
+    (
+        "1a/1d  A(Q)={Bmi}, pictures",
+        DomainKind::Pictures,
+        &["Bmi"],
+    ),
+    (
+        "1b/1e  A(Q)={Protein}, recipes",
+        DomainKind::Recipes,
+        &["Protein"],
+    ),
     (
         "1c/1f  A(Q)={Bmi, Age}, pictures",
         DomainKind::Pictures,

@@ -46,9 +46,7 @@ pub fn run(reps: usize) -> String {
         let curves: Vec<Vec<Option<f64>>> = (0..STRATEGIES.len())
             .map(|si| {
                 (0..sweep.len())
-                    .map(|pi| {
-                        results[qi * per_query + si * sweep.len() + pi].map(|(m, _)| m)
-                    })
+                    .map(|pi| results[qi * per_query + si * sweep.len() + pi].map(|(m, _)| m))
                     .collect()
             })
             .collect();

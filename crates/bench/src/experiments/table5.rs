@@ -17,19 +17,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn stats_table(
-    domain: DomainKind,
-    targets: &[&str],
-    attrs: &[&str],
-    seed: u64,
-) -> Table {
+fn stats_table(domain: DomainKind, targets: &[&str], attrs: &[&str], seed: u64) -> Table {
     let spec = Arc::new(domain.spec());
     let mut rng = StdRng::seed_from_u64(seed);
     let pop = Population::sample(Arc::clone(&spec), 3_000, &mut rng).unwrap();
     let mut crowd = SimulatedCrowd::new(pop, CrowdConfig::default(), None, seed);
 
     let target_ids: Vec<_> = targets.iter().map(|n| spec.id_of(n).unwrap()).collect();
-    let mut collector = StatisticsCollector::collect_examples(&mut crowd, &target_ids, 200).unwrap();
+    let mut collector =
+        StatisticsCollector::collect_examples(&mut crowd, &target_ids, 200).unwrap();
     let mut trio = StatsTrio::new(targets.len());
     for &name in attrs {
         let attr = spec.id_of(name).unwrap();
@@ -39,7 +35,8 @@ fn stats_table(
         collector.update_trio(&mut trio, idx, 2, true, 0.0).unwrap();
     }
     for t in 0..targets.len() {
-        trio.set_target_variance(t, collector.target_variance(t)).unwrap();
+        trio.set_target_variance(t, collector.target_variance(t))
+            .unwrap();
     }
 
     let mut header: Vec<String> = vec!["attribute".into(), "S_c".into()];
@@ -69,13 +66,27 @@ pub fn run(_reps: usize) -> String {
         (
             DomainKind::Pictures,
             &["Bmi", "Age"],
-            &["Bmi", "Weight", "Heavy", "Attractive", "Works Out", "Wrinkles"],
+            &[
+                "Bmi",
+                "Weight",
+                "Heavy",
+                "Attractive",
+                "Works Out",
+                "Wrinkles",
+            ],
             51,
         ),
         (
             DomainKind::Recipes,
             &["Calories", "Protein"],
-            &["Calories", "Low Calorie", "Dessert", "Healthy", "Vegetarian", "Has Eggs"],
+            &[
+                "Calories",
+                "Low Calorie",
+                "Dessert",
+                "Healthy",
+                "Vegetarian",
+                "Has Eggs",
+            ],
             52,
         ),
     ];

@@ -35,6 +35,9 @@ pub struct HarnessTimings {
     pub cache_hits: usize,
     /// World-cache lookups that sampled a fresh population.
     pub cache_misses: usize,
+    /// Trace counters and kernel-timer histograms accumulated during the
+    /// sweep (the delta of the process-global [`disq_trace`] registry).
+    pub summary: disq_trace::RunSummary,
 }
 
 impl HarnessTimings {
@@ -72,9 +75,11 @@ impl HarnessTimings {
         format!("{}@t{}", self.experiment, self.threads)
     }
 
-    /// The human-readable footer line appended to report output.
+    /// The human-readable footer appended to report output: the
+    /// `harness:` line, plus the `trace:` block when the sweep recorded
+    /// any trace activity.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "harness: {} cells x {} reps = {} units in {:.2}s \
              ({:.2} cells/s, {:.2} units/s) on {} thread{}; \
              world cache {:.0}% hits ({}/{})",
@@ -89,7 +94,12 @@ impl HarnessTimings {
             100.0 * self.cache_hit_rate(),
             self.cache_hits,
             self.cache_hits + self.cache_misses,
-        )
+        );
+        if !self.summary.is_empty() {
+            line.push('\n');
+            line.push_str(self.summary.render().trim_end());
+        }
+        line
     }
 
     /// One-line JSON object for `BENCH_harness.json`.
@@ -113,6 +123,10 @@ impl HarnessTimings {
             self.cache_misses,
             self.cache_hit_rate(),
         );
+        if !self.summary.is_empty() {
+            s.pop(); // strip the closing brace
+            let _ = write!(s, ",\"run_summary\":{}}}", self.summary.to_json());
+        }
         s
     }
 }
@@ -175,6 +189,8 @@ pub fn run_experiment(
     reps: usize,
 ) -> (Vec<Option<(f64, f64)>>, HarnessTimings) {
     let threads = crate::pool::configured_threads();
+    disq_trace::init_from_env();
+    let trace_before = disq_trace::summary();
     let start = Instant::now();
     let outcome = run_cells_parallel_with(cells, reps, threads);
     let timings = HarnessTimings {
@@ -186,6 +202,7 @@ pub fn run_experiment(
         wall_secs: start.elapsed().as_secs_f64(),
         cache_hits: outcome.cache_hits,
         cache_misses: outcome.cache_misses,
+        summary: disq_trace::summary().delta_since(&trace_before),
     };
     persist(&timings);
     (outcome.results, timings)
@@ -209,6 +226,8 @@ where
 {
     let threads = crate::pool::configured_threads();
     let units = cells * reps;
+    disq_trace::init_from_env();
+    let trace_before = disq_trace::summary();
     let start = Instant::now();
     let out = crate::pool::run_indexed(units, threads, f);
     let timings = HarnessTimings {
@@ -220,6 +239,7 @@ where
         wall_secs: start.elapsed().as_secs_f64(),
         cache_hits: cache.map_or(0, |c| c.hits()),
         cache_misses: cache.map_or(0, |c| c.misses()),
+        summary: disq_trace::summary().delta_since(&trace_before),
     };
     persist(&timings);
     (out, timings)
@@ -252,6 +272,7 @@ mod tests {
             wall_secs: 2.0,
             cache_hits: 20,
             cache_misses: 4,
+            summary: disq_trace::RunSummary::default(),
         }
     }
 
@@ -285,6 +306,21 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_run_summary_only_when_nonempty() {
+        let empty = sample("fig9", 1);
+        assert!(!empty.to_json().contains("run_summary"));
+
+        let before = disq_trace::summary();
+        disq_trace::count(disq_trace::Counter::DismantleChoices);
+        let mut t = sample("fig9", 1);
+        t.summary = disq_trace::summary().delta_since(&before);
+        let j = t.to_json();
+        assert!(j.contains("\"run_summary\":{"), "{j}");
+        assert!(j.contains("dismantle_choices"), "{j}");
+        assert!(j.ends_with("}}"), "{j}");
+    }
+
+    #[test]
     fn record_merges_by_key() {
         let dir = std::env::temp_dir().join(format!(
             "disq-harness-{}-{:?}",
@@ -297,7 +333,10 @@ mod tests {
         record_at(&path, &sample("fig1", 1)).unwrap();
         record_at(&path, &sample("fig1", 4)).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("fig1@t1") && text.contains("fig1@t4"), "{text}");
+        assert!(
+            text.contains("fig1@t1") && text.contains("fig1@t4"),
+            "{text}"
+        );
 
         // Re-recording the same key replaces, not appends.
         let mut faster = sample("fig1", 4);

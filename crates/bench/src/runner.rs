@@ -179,7 +179,10 @@ pub fn run_cell_in_world(
     let targets: Vec<AttributeId> = cell
         .targets
         .iter()
-        .map(|n| spec.id_of(n).unwrap_or_else(|| panic!("unknown target {n}")))
+        .map(|n| {
+            spec.id_of(n)
+                .unwrap_or_else(|| panic!("unknown target {n}"))
+        })
         .collect();
     let weights = eval_weights(spec, &targets);
     let pricing = cell.crowd.pricing;
@@ -187,7 +190,7 @@ pub fn run_cell_in_world(
     // ---- Offline phase ----------------------------------------------------
     let (plan, stats, offline_spent) = match cell.strategy {
         StrategyKind::Baseline(Baseline::NaiveAverage) => {
-            let plan = naive_average(&spec, &targets, cell.b_obj, &pricing, Some(&weights))?;
+            let plan = naive_average(spec, &targets, cell.b_obj, &pricing, Some(&weights))?;
             (plan, None, Money::ZERO)
         }
         StrategyKind::Baseline(b) => {
@@ -200,7 +203,7 @@ pub fn run_cell_in_world(
             let (plan, out) = run_baseline(
                 b,
                 &mut platform,
-                &spec,
+                spec,
                 &targets,
                 cell.b_obj,
                 &cell.config,
@@ -225,7 +228,7 @@ pub fn run_cell_in_world(
                         rep.wrapping_add(2000 + sub),
                     )
                 },
-                &spec,
+                spec,
                 &targets,
                 cell.b_obj,
                 cell.b_prc,

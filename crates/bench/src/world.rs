@@ -61,11 +61,7 @@ impl WorldCache {
     /// The first caller per key builds (a miss); everyone else gets the
     /// same `Arc` (a hit), possibly after blocking on the in-flight
     /// build.
-    pub fn population(
-        &self,
-        domain: DomainKind,
-        rep: u64,
-    ) -> Result<Arc<Population>, DisqError> {
+    pub fn population(&self, domain: DomainKind, rep: u64) -> Result<Arc<Population>, DisqError> {
         let key = (domain, rep);
         // Bind the fast-path lookup to its own statement so the read
         // guard is dropped before the write lock is taken (an `if let`
@@ -77,9 +73,7 @@ impl WorldCache {
             None => {
                 let mut worlds = self.worlds.write().unwrap();
                 match worlds.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        (Arc::clone(e.get()), false)
-                    }
+                    std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         (Arc::clone(e.insert(Arc::new(OnceLock::new()))), true)
                     }
@@ -184,9 +178,8 @@ mod tests {
     #[test]
     fn concurrent_same_key_builds_once() {
         let cache = WorldCache::new();
-        let arcs: Vec<Arc<Population>> = crate::pool::run_indexed(8, 4, |_| {
-            cache.population(DomainKind::Pictures, 7).unwrap()
-        });
+        let arcs: Vec<Arc<Population>> =
+            crate::pool::run_indexed(8, 4, |_| cache.population(DomainKind::Pictures, 7).unwrap());
         for w in &arcs[1..] {
             assert!(Arc::ptr_eq(&arcs[0], w));
         }

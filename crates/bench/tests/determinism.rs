@@ -4,9 +4,7 @@
 //! seeded per `(cell, rep)`.
 
 use disq_baselines::Baseline;
-use disq_bench::runner::{
-    run_cell_avg, run_cells_parallel_with, Cell, DomainKind, StrategyKind,
-};
+use disq_bench::runner::{run_cell_avg, run_cells_parallel_with, Cell, DomainKind, StrategyKind};
 use disq_crowd::Money;
 
 fn cells() -> Vec<Cell> {
@@ -49,9 +47,11 @@ fn cells() -> Vec<Cell> {
 fn parallel_is_bit_identical_to_serial_at_1_and_4_threads() {
     let cells = cells();
     let reps = 2;
-    let serial: Vec<Option<(f64, f64)>> =
-        cells.iter().map(|c| run_cell_avg(c, reps)).collect();
-    assert!(serial[3].is_none(), "the hopeless cell should be infeasible");
+    let serial: Vec<Option<(f64, f64)>> = cells.iter().map(|c| run_cell_avg(c, reps)).collect();
+    assert!(
+        serial[3].is_none(),
+        "the hopeless cell should be infeasible"
+    );
     for threads in [1, 4] {
         let out = run_cells_parallel_with(&cells, reps, threads);
         assert_eq!(out.results, serial, "thread count {threads}");

@@ -12,6 +12,7 @@
 use crate::DisqError;
 use disq_crowd::Money;
 use disq_stats::{EvalWorkspace, StatsTrio};
+use disq_trace::{Counter, TraceEvent};
 
 /// Gains below this are considered numerical noise and stop the greedy
 /// loop (prevents burning budget on zero-signal attributes).
@@ -25,11 +26,39 @@ const MIN_GAIN: f64 = 1e-12;
 /// * `costs` — per-attribute value-question price.
 ///
 /// Returns `(b, objective)` with `b[a]` = questions for attribute `a`.
+///
+/// This untraced entry point also serves the next-attribute scorer's
+/// inner loss probes (via [`greedy_objective`]), which run once per
+/// candidate per dismantle step — tracing them would bury the decisions
+/// that matter. Top-level distribution calls use
+/// [`find_budget_distribution_labeled`] instead.
 pub fn find_budget_distribution(
     trio: &StatsTrio,
     weights: &[f64],
     budget: Money,
     costs: &[Money],
+) -> Result<(Vec<u32>, f64), DisqError> {
+    find_budget_distribution_inner(trio, weights, budget, costs, None)
+}
+
+/// [`find_budget_distribution`], with each greedy grant and the final
+/// allocation emitted as trace events under `label`.
+pub fn find_budget_distribution_labeled(
+    trio: &StatsTrio,
+    weights: &[f64],
+    budget: Money,
+    costs: &[Money],
+    label: &str,
+) -> Result<(Vec<u32>, f64), DisqError> {
+    find_budget_distribution_inner(trio, weights, budget, costs, Some(label))
+}
+
+fn find_budget_distribution_inner(
+    trio: &StatsTrio,
+    weights: &[f64],
+    budget: Money,
+    costs: &[Money],
+    label: Option<&str>,
 ) -> Result<(Vec<u32>, f64), DisqError> {
     let n = trio.n_attrs();
     if costs.len() != n {
@@ -75,9 +104,25 @@ pub fn find_budget_distribution(
                 b_f[a] += 1.0;
                 remaining -= costs[a];
                 current = obj;
+                if let Some(label) = label {
+                    disq_trace::count(Counter::BudgetSteps);
+                    disq_trace::emit(|| TraceEvent::BudgetStep {
+                        label: label.to_string(),
+                        attr: a as u32,
+                        question: b[a],
+                        objective: obj,
+                    });
+                }
             }
             None => break,
         }
+    }
+    if let Some(label) = label {
+        disq_trace::emit(|| TraceEvent::BudgetChosen {
+            label: label.to_string(),
+            allocation: b.clone(),
+            objective: current,
+        });
     }
     Ok((b, current))
 }

@@ -53,11 +53,7 @@ pub fn completion_cost(
 /// Upper bound on one more dismantling iteration: the dismantling question,
 /// a full verification run, and — if the answer is new — `k·N₁` value
 /// questions on one paired target's example set at the numeric price.
-pub fn iteration_cost(
-    n1: usize,
-    config: &DisqConfig,
-    pricing: &PricingModel,
-) -> Money {
+pub fn iteration_cost(n1: usize, config: &DisqConfig, pricing: &PricingModel) -> Money {
     pricing.dismantle
         + pricing.verify * i64::from(config.sprt.max_samples)
         + pricing.numeric_value * ((config.k * n1) as i64)
@@ -79,9 +75,7 @@ fn initial_cost(
     let examples = pricing.example * ((n1 * t) as i64);
     let stats: Money = targets
         .iter()
-        .map(|&a| {
-            pricing.value_price(spec.attr(a).kind) * ((config.k * n1 * t) as i64)
-        })
+        .map(|&a| pricing.value_price(spec.attr(a).kind) * ((config.k * n1 * t) as i64))
         .sum();
     examples + stats + completion_cost(t, t, n1, b_obj, config, pricing)
 }
@@ -189,7 +183,14 @@ mod tests {
     #[test]
     fn refinement_reserve_disabled_with_zero_rounds() {
         let pricing = PricingModel::paper();
-        let with = completion_cost(5, 1, 200, Money::from_cents(4.0), &DisqConfig::default(), &pricing);
+        let with = completion_cost(
+            5,
+            1,
+            200,
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &pricing,
+        );
         let without = completion_cost(
             5,
             1,

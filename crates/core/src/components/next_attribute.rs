@@ -18,6 +18,7 @@ use crate::components::budget_dist::greedy_objective;
 use crate::{AttributePool, DisqConfig, DisqError, SelectionStrategy};
 use disq_crowd::Money;
 use disq_stats::{NewAnswerModel, StatsTrio};
+use disq_trace::{CandidateScore, Counter, TraceEvent};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -42,6 +43,11 @@ pub fn choose_dismantle_target(
         SelectionStrategy::QueryOnly => pool.query_indices(),
         SelectionStrategy::Random => {
             let i = rng.random_range(0..pool.len());
+            disq_trace::count(Counter::DismantleChoices);
+            disq_trace::emit(|| TraceEvent::DismantleChoice {
+                chosen: Some(i as u32),
+                scores: Vec::new(),
+            });
             return Ok(Some(i));
         }
     };
@@ -70,6 +76,8 @@ pub fn choose_dismantle_target(
 
     let rho2 = config.rho_assumption * config.rho_assumption;
     let mut best: Option<(usize, f64)> = None;
+    // Per-candidate score breakdown, assembled only while tracing.
+    let mut traced: Vec<CandidateScore> = Vec::new();
     for &j in &candidates {
         let sigma2 = trio.s_a(j, j).max(1e-12);
         let mut value = 0.0;
@@ -83,11 +91,27 @@ pub fn choose_dismantle_target(
             value += w * (g - losses[t]);
         }
         let score = model.pr_new(j) * value;
+        if disq_trace::active() {
+            traced.push(CandidateScore {
+                index: j as u32,
+                pr_new: model.pr_new(j),
+                value,
+                score,
+            });
+        }
         if score > 0.0 && best.is_none_or(|(_, s)| score > s) {
             best = Some((j, score));
         }
     }
-    Ok(best.map(|(j, _)| j))
+    let chosen = best.map(|(j, _)| j);
+    if chosen.is_some() {
+        disq_trace::count(Counter::DismantleChoices);
+    }
+    disq_trace::emit(|| TraceEvent::DismantleChoice {
+        chosen: chosen.map(|j| j as u32),
+        scores: traced,
+    });
+    Ok(chosen)
 }
 
 #[cfg(test)]
@@ -117,7 +141,8 @@ mod tests {
             if let crate::Resolution::New(d) = pool.resolve(name, &spec) {
                 pool.insert(d);
             }
-            trio.push_attribute(&[so[i]], &vec![0.0; i], 1.0, sc[i]).unwrap();
+            trio.push_attribute(&[so[i]], &vec![0.0; i], 1.0, sc[i])
+                .unwrap();
             model.add_attribute();
         }
         trio.set_target_variance(0, 1.0).unwrap();
@@ -177,7 +202,14 @@ mod tests {
             ..Default::default()
         };
         let choice = choose_dismantle_target(
-            &trio, &pool, &model, &[1.0], cents(4.0), &costs, &config, &mut rng,
+            &trio,
+            &pool,
+            &model,
+            &[1.0],
+            cents(4.0),
+            &costs,
+            &config,
+            &mut rng,
         )
         .unwrap();
         // Index 1 has the stronger signal but is not a query attribute.
@@ -196,7 +228,14 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             let c = choose_dismantle_target(
-                &trio, &pool, &model, &[1.0], cents(4.0), &costs, &config, &mut rng,
+                &trio,
+                &pool,
+                &model,
+                &[1.0],
+                cents(4.0),
+                &costs,
+                &config,
+                &mut rng,
             )
             .unwrap();
             seen.insert(c.unwrap());

@@ -15,10 +15,13 @@
 //! if noisier, plan.
 
 use crate::components::statistics::StatisticsCollector;
-use crate::{AttributePool, DisqConfig, DisqError, EvaluationPlan, PlannedAttribute, TargetRegression};
+use crate::{
+    AttributePool, DisqConfig, DisqError, EvaluationPlan, PlannedAttribute, TargetRegression,
+};
 use disq_crowd::{CrowdError, CrowdPlatform};
 use disq_math::{lstsq_svd, Matrix};
 use disq_stats::mean;
+use disq_trace::{Counter, TraceEvent};
 
 /// Learns the per-target regressions for a computed budget distribution
 /// `b` (per pool attribute) and assembles the final [`EvaluationPlan`].
@@ -50,7 +53,15 @@ pub fn learn_regressions<P: CrowdPlatform>(
             if ex.target_idx != t || rows[t].len() >= n2 {
                 continue;
             }
-            match build_row(platform, collector, pool, &active, b, Some(e_idx), ex.object) {
+            match build_row(
+                platform,
+                collector,
+                pool,
+                &active,
+                b,
+                Some(e_idx),
+                ex.object,
+            ) {
                 Ok(avgs) => rows[t].push((avgs, ex.target_value)),
                 Err(DisqError::Crowd(CrowdError::BudgetExhausted { .. })) => {
                     exhausted = true;
@@ -149,6 +160,13 @@ pub fn learn_regressions<P: CrowdPlatform>(
                 training_mse: fit.training_mse,
             }
         };
+        disq_trace::count(Counter::RegressionFits);
+        disq_trace::emit(|| TraceEvent::RegressionFit {
+            target: regression.target.0 as u32,
+            label: regression.label.clone(),
+            training_mse: regression.training_mse,
+            rows: data.len() as u32,
+        });
         regressions.push(regression);
     }
 
@@ -246,10 +264,7 @@ mod tests {
     }
 
     /// Sets up Bmi (target) + Weight + Heavy with stats collected.
-    fn setup(
-        c: &mut SimulatedCrowd,
-        n1: usize,
-    ) -> (AttributePool, StatisticsCollector) {
+    fn setup(c: &mut SimulatedCrowd, n1: usize) -> (AttributePool, StatisticsCollector) {
         let spec = pictures::spec();
         let bmi = spec.id_of("Bmi").unwrap();
         let weight = spec.id_of("Weight").unwrap();
@@ -306,7 +321,11 @@ mod tests {
         assert!(plan.attributes.is_empty());
         let r = &plan.regressions[0];
         // Intercept near the Bmi mean of 25.
-        assert!((r.intercept - 25.0).abs() < 3.0, "intercept {}", r.intercept);
+        assert!(
+            (r.intercept - 25.0).abs() < 3.0,
+            "intercept {}",
+            r.intercept
+        );
         assert_eq!(plan.predict(0, &[]), r.intercept);
     }
 
@@ -357,6 +376,7 @@ mod tests {
         let b = vec![4u32, 3, 8]; // needs fresh questions even on reused rows
         let plan = learn_regressions(&mut c2, &coll2, &pool2, &b, &config, true).unwrap();
         assert_eq!(plan.regressions.len(), 1);
-        let _ = pool; let _ = coll;
+        let _ = pool;
+        let _ = coll;
     }
 }

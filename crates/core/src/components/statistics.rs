@@ -207,7 +207,8 @@ impl StatisticsCollector {
             "unknown attribute"
         );
         let avg = |cell: &Option<Vec<f64>>| -> Option<f64> {
-            cell.as_ref().map(|a| a.iter().sum::<f64>() / a.len() as f64)
+            cell.as_ref()
+                .map(|a| a.iter().sum::<f64>() / a.len() as f64)
         };
 
         // Own variance and S_c first — the covariance coherence clamps
@@ -217,8 +218,7 @@ impl StatisticsCollector {
         let cells: Vec<&Vec<f64>> = self.answers[idx].iter().flatten().collect();
         if !cells.is_empty() {
             let s_c = cells.iter().map(|a| var_est_k(a)).sum::<f64>() / cells.len() as f64;
-            let mean_k =
-                cells.iter().map(|a| a.len()).sum::<usize>() as f64 / cells.len() as f64;
+            let mean_k = cells.iter().map(|a| a.len()).sum::<usize>() as f64 / cells.len() as f64;
             let own_var = if bias_correction {
                 self.signal_variance(idx)
                     .unwrap_or(raw_var - s_c / mean_k)
@@ -292,7 +292,8 @@ impl StatisticsCollector {
         assert!(new_idx < self.n_attrs(), "collect answers before updating");
 
         let avg = |cell: &Option<Vec<f64>>| -> Option<f64> {
-            cell.as_ref().map(|a| a.iter().sum::<f64>() / a.len() as f64)
+            cell.as_ref()
+                .map(|a| a.iter().sum::<f64>() / a.len() as f64)
         };
 
         // S_o per target over that target's examples. The raw sample
@@ -332,7 +333,8 @@ impl StatisticsCollector {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
             for e in 0..self.examples.len() {
-                if let (Some(a), Some(b)) = (avg(&self.answers[new_idx][e]), avg(&self.answers[i][e]))
+                if let (Some(a), Some(b)) =
+                    (avg(&self.answers[new_idx][e]), avg(&self.answers[i][e]))
                 {
                     xs.push(a);
                     ys.push(b);
@@ -466,22 +468,35 @@ mod tests {
         coll.update_trio(&mut trio, i0, 4, true, 1.0).unwrap();
         let i1 = coll.add_attribute(&mut c, heavy, vec![true], 4).unwrap();
         coll.update_trio(&mut trio, i1, 4, true, 1.0).unwrap();
-        trio.set_target_variance(0, coll.target_variance(0)).unwrap();
+        trio.set_target_variance(0, coll.target_variance(0))
+            .unwrap();
 
         // S_c estimates: Bmi ≈ 90 (see the pictures calibration note),
         // Heavy ≈ 0.14 — but Heavy answers are
         // clamped into [0,1], which shrinks the realized noise below the
         // nominal value; just check the ordering and rough scale.
-        assert!((trio.s_c(0) - 90.0).abs() < 20.0, "S_c[Bmi] {}", trio.s_c(0));
+        assert!(
+            (trio.s_c(0) - 90.0).abs() < 20.0,
+            "S_c[Bmi] {}",
+            trio.s_c(0)
+        );
         assert!(trio.s_c(1) < 0.2, "S_c[Heavy] {}", trio.s_c(1));
         assert!(trio.s_c(0) > 100.0 * trio.s_c(1));
         // S_o[Bmi] ≈ Var(Bmi) ≈ 20.25.
-        assert!((trio.s_o(0, 0) - 20.25).abs() < 8.0, "S_o {}", trio.s_o(0, 0));
+        assert!(
+            (trio.s_o(0, 0) - 20.25).abs() < 8.0,
+            "S_o {}",
+            trio.s_o(0, 0)
+        );
         // Bmi–Heavy correlation strongly positive.
         assert!(trio.attr_correlation(0, 1) > 0.5);
         // Diagonal de-biased: own variance below raw answer variance and
         // in the ballpark of the true 20.25.
-        assert!((trio.s_a(0, 0) - 20.25).abs() < 10.0, "var {}", trio.s_a(0, 0));
+        assert!(
+            (trio.s_a(0, 0) - 20.25).abs() < 10.0,
+            "var {}",
+            trio.s_a(0, 0)
+        );
     }
 
     #[test]
@@ -521,8 +536,10 @@ mod tests {
         let mut half = StatisticsCollector::collect_examples(&mut c2, &[bmi, age], 50).unwrap();
         let before1 = c1.ledger().spent();
         let before2 = c2.ledger().spent();
-        full.add_attribute(&mut c1, heavy, vec![true, true], 2).unwrap();
-        half.add_attribute(&mut c2, heavy, vec![true, false], 2).unwrap();
+        full.add_attribute(&mut c1, heavy, vec![true, true], 2)
+            .unwrap();
+        half.add_attribute(&mut c2, heavy, vec![true, false], 2)
+            .unwrap();
         let cost_full = c1.ledger().spent() - before1;
         let cost_half = c2.ledger().spent() - before2;
         assert_eq!(cost_full.millicents(), 2 * cost_half.millicents());
@@ -540,7 +557,9 @@ mod tests {
         let mut trio = StatsTrio::new(2);
         // Heavy on Bmi's examples only; Wrinkles on Age's only → no shared
         // examples → covariance must fall back to 0.
-        let i0 = coll.add_attribute(&mut c, heavy, vec![true, false], 2).unwrap();
+        let i0 = coll
+            .add_attribute(&mut c, heavy, vec![true, false], 2)
+            .unwrap();
         coll.update_trio(&mut trio, i0, 2, true, 1.0).unwrap();
         let i1 = coll
             .add_attribute(&mut c, wrinkles, vec![false, true], 2)

@@ -162,7 +162,10 @@ impl DisqConfig {
             return Err("k must be at least 1".into());
         }
         if !(0.0..=1.0).contains(&self.rho_assumption) {
-            return Err(format!("rho_assumption {} outside [0,1]", self.rho_assumption));
+            return Err(format!(
+                "rho_assumption {} outside [0,1]",
+                self.rho_assumption
+            ));
         }
         if !(0.0..=1.0).contains(&self.pairing_threshold) {
             return Err(format!(

@@ -93,7 +93,11 @@ pub struct BooleanQuality {
 /// # Panics
 /// Panics on length mismatch.
 pub fn boolean_quality(estimates: &[f64], truth: &[f64]) -> BooleanQuality {
-    assert_eq!(estimates.len(), truth.len(), "boolean quality arity mismatch");
+    assert_eq!(
+        estimates.len(),
+        truth.len(),
+        "boolean quality arity mismatch"
+    );
     let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
     for (&e, &t) in estimates.iter().zip(truth) {
         match (e >= 0.5, t >= 0.5) {
@@ -103,7 +107,13 @@ pub fn boolean_quality(estimates: &[f64], truth: &[f64]) -> BooleanQuality {
             (false, false) => tn += 1,
         }
     }
-    let ratio = |num: u64, den: u64| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     let precision = ratio(tp, tp + fp);
     let recall = ratio(tp, tp + fn_);
     let f1 = if precision + recall == 0.0 {

@@ -9,6 +9,7 @@
 use crate::{DisqError, EvaluationPlan};
 use disq_crowd::{filter_spam, CrowdPlatform};
 use disq_domain::{ObjectId, Query};
+use disq_trace::{Counter, TraceEvent};
 
 /// Per-object estimates for every plan target: `estimates[i][t]` is the
 /// estimate of target `t` for `objects[i]`.
@@ -36,7 +37,24 @@ pub fn estimate_object<P: CrowdPlatform>(
             answers.push(platform.ask_value(object, p.attr)?);
         }
         let kept = filter_spam(&answers);
-        let used = if kept.is_empty() { &answers } else { &kept };
+        disq_trace::count_n(
+            Counter::SpamAnswersDropped,
+            (answers.len() - kept.len()) as u64,
+        );
+        let used = if kept.is_empty() {
+            // The filter rejected every answer; fall back to the raw set
+            // rather than dividing by zero. This used to happen silently
+            // — now each occurrence is counted and traceable.
+            disq_trace::count(Counter::SpamFallbacks);
+            disq_trace::emit(|| TraceEvent::SpamFallback {
+                object: object.0 as u64,
+                attr: p.attr.0 as u32,
+                answers: answers.len() as u32,
+            });
+            &answers
+        } else {
+            &kept
+        };
         averages.push(used.iter().sum::<f64>() / used.len() as f64);
     }
     Ok((0..plan.regressions.len())
@@ -102,7 +120,11 @@ pub fn evaluate_query<P: CrowdPlatform>(
         if passes {
             rows.push(ResultRow {
                 object: o,
-                values: query.select.iter().map(|&a| lookup(a, &estimates)).collect(),
+                values: query
+                    .select
+                    .iter()
+                    .map(|&a| lookup(a, &estimates))
+                    .collect(),
             });
         }
     }

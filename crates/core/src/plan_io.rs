@@ -122,7 +122,9 @@ pub fn plan_from_str(text: &str) -> Result<EvaluationPlan, DisqError> {
                     .next()
                     .and_then(|p| p.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad training mse"))?;
-                let coef_text = parts.next().ok_or_else(|| parse_err(line, "missing coefficients"))?;
+                let coef_text = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line, "missing coefficients"))?;
                 let coefficients: Vec<f64> = if coef_text.is_empty() {
                     Vec::new()
                 } else {
@@ -153,7 +155,9 @@ pub fn plan_from_str(text: &str) -> Result<EvaluationPlan, DisqError> {
     }
 
     if !version_seen {
-        return Err(DisqError::Config("plan parse error: missing version".into()));
+        return Err(DisqError::Config(
+            "plan parse error: missing version".into(),
+        ));
     }
     for r in &regressions {
         if r.coefficients.len() != attributes.len() {

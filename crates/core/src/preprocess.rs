@@ -18,7 +18,7 @@
 //! afford and when dismantling must stop to leave room for the regression
 //! training set.
 
-use crate::components::budget_dist::find_budget_distribution;
+use crate::components::budget_dist::find_budget_distribution_labeled;
 use crate::components::budgeting;
 use crate::components::next_attribute::choose_dismantle_target;
 use crate::components::regression::learn_regressions;
@@ -27,11 +27,35 @@ use crate::{
     AttributePool, DisqConfig, DisqError, EstimationPolicy, EvaluationPlan, PairingPolicy,
     Resolution,
 };
-use disq_crowd::{CrowdPlatform, Money, PricingModel};
+use disq_crowd::{CrowdPlatform, LedgerSnapshot, Money, PricingModel};
 use disq_domain::{AttributeId, DomainSpec};
 use disq_stats::{NewAnswerModel, SoGraphEstimator, Sprt, SprtDecision, StatsTrio};
+use disq_trace::{Counter, KindSpend, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Emits a `phase_spend` event attributing the ledger delta since
+/// `earlier` to the named preprocessing phase. Free when no sink is
+/// installed (the closure never runs).
+fn trace_phase_spend(phase: &str, now: &LedgerSnapshot, earlier: &LedgerSnapshot) {
+    disq_trace::emit(|| {
+        let delta = now.delta_since(earlier);
+        TraceEvent::PhaseSpend {
+            phase: phase.to_string(),
+            spent_millicents: now.spent().millicents(),
+            delta_millicents: delta.spent().millicents(),
+            delta_questions: delta.questions(),
+            by_kind: delta
+                .by_kind()
+                .map(|(kind, questions, money)| KindSpend {
+                    kind: kind.to_string(),
+                    questions,
+                    millicents: money.millicents(),
+                })
+                .collect(),
+        }
+    });
+}
 
 /// Diagnostics of one preprocessing run.
 #[derive(Debug, Clone, Default)]
@@ -111,6 +135,16 @@ pub fn preprocess<P: CrowdPlatform>(
     let n_targets = targets.len();
     let mut rng = StdRng::seed_from_u64(seed);
 
+    disq_trace::init_from_env();
+    disq_trace::emit(|| TraceEvent::RunStart {
+        label: {
+            let ids: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+            format!("preprocess targets=[{}]", ids.join(","))
+        },
+        seed,
+    });
+    let phase_start = platform.ledger().snapshot();
+
     // ---- N₁ sizing and example collection -------------------------------
     let available = platform.ledger().remaining();
     let n1 = budgeting::choose_n1(spec, targets, b_obj, available, config, pricing).ok_or_else(
@@ -128,13 +162,15 @@ pub fn preprocess<P: CrowdPlatform>(
     let mut trio = StatsTrio::new(n_targets);
     let mut model = NewAnswerModel::new();
     for i in 0..n_targets {
-        let idx = collector.add_attribute(
-            platform,
-            pool.get(i).attr,
-            vec![true; n_targets],
+        let idx =
+            collector.add_attribute(platform, pool.get(i).attr, vec![true; n_targets], config.k)?;
+        collector.update_trio(
+            &mut trio,
+            idx,
             config.k,
+            config.diag_bias_correction,
+            config.so_shrinkage,
         )?;
-        collector.update_trio(&mut trio, idx, config.k, config.diag_bias_correction, config.so_shrinkage)?;
         model.add_attribute();
     }
     for t in 0..n_targets {
@@ -145,6 +181,12 @@ pub fn preprocess<P: CrowdPlatform>(
         (0..n_targets)
             .map(|t| 1.0 / trio.target_variance(t).max(1e-9))
             .collect()
+    });
+    let phase_examples = platform.ledger().snapshot();
+    trace_phase_spend("examples", &phase_examples, &phase_start);
+    disq_trace::emit(|| TraceEvent::TrioSize {
+        n_targets: trio.n_targets() as u32,
+        n_attrs: trio.n_attrs() as u32,
     });
 
     // ---- Dismantling loop ------------------------------------------------
@@ -207,17 +249,29 @@ pub fn preprocess<P: CrowdPlatform>(
                 pool.insert(d);
                 model.add_attribute();
                 let idx = collector.add_attribute(platform, attr, paired, config.k)?;
-                collector.update_trio(&mut trio, idx, config.k, config.diag_bias_correction, config.so_shrinkage)?;
+                collector.update_trio(
+                    &mut trio,
+                    idx,
+                    config.k,
+                    config.diag_bias_correction,
+                    config.so_shrinkage,
+                )?;
+                disq_trace::emit(|| TraceEvent::TrioSize {
+                    n_targets: trio.n_targets() as u32,
+                    n_attrs: trio.n_attrs() as u32,
+                });
             }
         }
     }
+    let phase_dismantle = platform.ledger().snapshot();
+    trace_phase_spend("dismantle", &phase_dismantle, &phase_examples);
 
     // ---- Fill unmeasured S_o entries (§4 estimation) ---------------------
     fill_missing_s_o(&mut trio, config)?;
 
     // ---- Budget distribution (+ two-stage refinement) --------------------
     let costs = value_costs(&pool, pricing);
-    let (mut budget, _) = find_budget_distribution(&trio, &weights, b_obj, &costs)?;
+    let (mut budget, _) = find_budget_distribution_labeled(&trio, &weights, b_obj, &costs, "main")?;
     for _ in 0..config.refine_rounds {
         let selected: Vec<usize> = (0..pool.len()).filter(|&i| budget[i] > 0).collect();
         if selected.is_empty() {
@@ -234,8 +288,7 @@ pub fn preprocess<P: CrowdPlatform>(
                 pricing.value_price(pool.get(i).kind) * ((config.k * n1 * paired) as i64)
             })
             .sum();
-        let reserve =
-            budgeting::completion_cost(pool.len(), n_targets, n1, b_obj, config, pricing);
+        let reserve = budgeting::completion_cost(pool.len(), n_targets, n1, b_obj, config, pricing);
         if platform.ledger().remaining() < refresh_cost + reserve {
             break;
         }
@@ -251,13 +304,16 @@ pub fn preprocess<P: CrowdPlatform>(
         // Refresh overwrites the pinned exact self-statistics of any
         // selected query attribute; restore them.
         pin_query_attr_stats(&mut trio, &collector, n_targets)?;
-        let (new_budget, _) = find_budget_distribution(&trio, &weights, b_obj, &costs)?;
+        let (new_budget, _) =
+            find_budget_distribution_labeled(&trio, &weights, b_obj, &costs, "refine")?;
         let stable = new_budget == budget;
         budget = new_budget;
         if stable {
             break;
         }
     }
+    let phase_refine = platform.ledger().snapshot();
+    trace_phase_spend("refine", &phase_refine, &phase_dismantle);
     let mut plan = learn_regressions(platform, &collector, &pool, &budget, config, false)?;
 
     // ---- Plan validation against the query-only fallback ------------------
@@ -276,7 +332,8 @@ pub fn preprocess<P: CrowdPlatform>(
             }
         })
         .collect();
-    let (fb_budget, _) = find_budget_distribution(&trio, &weights, b_obj, &fallback_costs)?;
+    let (fb_budget, _) =
+        find_budget_distribution_labeled(&trio, &weights, b_obj, &fallback_costs, "fallback")?;
     if fb_budget != budget {
         let realized_a = weighted_training_error(&plan, &weights, config);
         let fb_f64: Vec<f64> = fb_budget.iter().map(|&b| b as f64).collect();
@@ -285,8 +342,7 @@ pub fn preprocess<P: CrowdPlatform>(
             predicted_fb += w * trio.predicted_error(t, &fb_f64)?;
         }
         if realized_a > predicted_fb * 1.05 {
-            let plan_b =
-                learn_regressions(platform, &collector, &pool, &fb_budget, config, false)?;
+            let plan_b = learn_regressions(platform, &collector, &pool, &fb_budget, config, false)?;
             let realized_b = weighted_training_error(&plan_b, &weights, config);
             if realized_b < realized_a {
                 plan = plan_b;
@@ -303,6 +359,10 @@ pub fn preprocess<P: CrowdPlatform>(
     {
         plan = improved;
     }
+
+    let phase_regression = platform.ledger().snapshot();
+    trace_phase_spend("regression", &phase_regression, &phase_refine);
+    disq_trace::flush();
 
     stats.spent = platform.ledger().spent();
     Ok(PreprocessOutput {
@@ -372,11 +432,24 @@ fn run_verification<P: CrowdPlatform>(
     let mut sprt = Sprt::new(config.sprt).map_err(DisqError::Config)?;
     loop {
         let yes = platform.ask_verify(candidate, of)?;
-        match sprt.feed(yes) {
-            SprtDecision::AcceptRelevant => return Ok(true),
-            SprtDecision::RejectIrrelevant => return Ok(false),
-            SprtDecision::Continue => {}
-        }
+        let accepted = match sprt.feed(yes) {
+            SprtDecision::AcceptRelevant => true,
+            SprtDecision::RejectIrrelevant => false,
+            SprtDecision::Continue => continue,
+        };
+        disq_trace::count(if accepted {
+            Counter::SprtAccepted
+        } else {
+            Counter::SprtRejected
+        });
+        disq_trace::count_n(Counter::SprtSamples, sprt.samples() as u64);
+        disq_trace::emit(|| TraceEvent::SprtVerdict {
+            candidate: candidate.to_string(),
+            parent: of.0 as u32,
+            accepted,
+            samples: sprt.samples(),
+        });
+        return Ok(accepted);
     }
 }
 
@@ -439,8 +512,7 @@ fn attribute_stat_cost(
 fn fill_missing_s_o(trio: &mut StatsTrio, config: &DisqConfig) -> Result<(), DisqError> {
     let n_targets = trio.n_targets();
     let n_attrs = trio.n_attrs();
-    let any_missing = (0..n_targets)
-        .any(|t| (0..n_attrs).any(|a| trio.s_o_missing(t, a)));
+    let any_missing = (0..n_targets).any(|t| (0..n_attrs).any(|a| trio.s_o_missing(t, a)));
     if !any_missing {
         return Ok(());
     }

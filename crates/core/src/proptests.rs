@@ -7,8 +7,13 @@ use proptest::prelude::*;
 
 /// Strategy: an arbitrary (well-formed) evaluation plan.
 fn arb_plan() -> impl Strategy<Value = EvaluationPlan> {
-    let attr = (0usize..100, any::<bool>(), 1u32..30, "[A-Za-z][A-Za-z0-9 ]{0,12}").prop_map(
-        |(idx, boolean, questions, label)| PlannedAttribute {
+    let attr = (
+        0usize..100,
+        any::<bool>(),
+        1u32..30,
+        "[A-Za-z][A-Za-z0-9 ]{0,12}",
+    )
+        .prop_map(|(idx, boolean, questions, label)| PlannedAttribute {
             attr: AttributeId(idx),
             // The text format trims line ends, so labels cannot carry
             // trailing whitespace.
@@ -19,8 +24,7 @@ fn arb_plan() -> impl Strategy<Value = EvaluationPlan> {
                 AttributeKind::Numeric
             },
             questions,
-        },
-    );
+        });
     proptest::collection::vec(attr, 0..6).prop_flat_map(|attrs| {
         let n = attrs.len();
         let reg = (
@@ -29,13 +33,15 @@ fn arb_plan() -> impl Strategy<Value = EvaluationPlan> {
             proptest::collection::vec(-10.0_f64..10.0, n..=n),
             "[A-Za-z]{1,8}",
         )
-            .prop_map(move |(target, intercept, coefficients, label)| TargetRegression {
-                target: AttributeId(target),
-                label,
-                intercept,
-                coefficients,
-                training_mse: 0.5,
-            });
+            .prop_map(
+                move |(target, intercept, coefficients, label)| TargetRegression {
+                    target: AttributeId(target),
+                    label,
+                    intercept,
+                    coefficients,
+                    training_mse: 0.5,
+                },
+            );
         (Just(attrs), proptest::collection::vec(reg, 1..4)).prop_map(|(attributes, regressions)| {
             EvaluationPlan {
                 attributes,

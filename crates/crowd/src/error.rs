@@ -44,6 +44,8 @@ mod tests {
             remaining: Money::from_cents(1.0),
         };
         assert!(e.to_string().contains("budget exhausted"));
-        assert!(CrowdError::EmptyPopulation.to_string().contains("no example"));
+        assert!(CrowdError::EmptyPopulation
+            .to_string()
+            .contains("no example"));
     }
 }

@@ -4,8 +4,14 @@
 //! answer is produced. The ledger enforces an optional hard cap (the
 //! preprocessing budget `B_prc`) and keeps per-question-type counts and
 //! totals so experiments can report exactly where the money went.
+//!
+//! [`BudgetLedger::snapshot`] freezes that state; two snapshots subtract
+//! into a [`SpendDelta`], which is how the preprocessing driver
+//! attributes spend to its phases (examples / dismantle / verify /
+//! regression) instead of only reporting totals.
 
 use crate::{CrowdError, Money, QuestionKind};
+use disq_trace::Counter;
 
 /// Tracks crowd spending with an optional cap.
 #[derive(Debug, Clone)]
@@ -86,6 +92,17 @@ impl BudgetLedger {
         let i = kind_index(kind);
         self.counts[i] += 1;
         self.totals[i] += price;
+        // Trace visibility: every charged question bumps the global
+        // per-kind counters (relaxed atomics — see the disq-trace
+        // overhead contract).
+        disq_trace::count(match kind {
+            QuestionKind::BinaryValue => Counter::QuestionsBinary,
+            QuestionKind::NumericValue => Counter::QuestionsNumeric,
+            QuestionKind::Dismantle => Counter::QuestionsDismantle,
+            QuestionKind::Verify => Counter::QuestionsVerify,
+            QuestionKind::Example => Counter::QuestionsExample,
+        });
+        disq_trace::count_n(Counter::SpendMillicents, price.millicents().max(0) as u64);
         Ok(())
     }
 
@@ -103,6 +120,98 @@ impl BudgetLedger {
     pub fn total_questions(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Freezes the current spend state. Two snapshots bracket a phase;
+    /// [`LedgerSnapshot::delta_since`] yields the phase's spend.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            spent: self.spent,
+            counts: self.counts,
+            totals: self.totals,
+        }
+    }
+}
+
+/// A frozen view of a ledger's spend state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    spent: Money,
+    counts: [u64; 5],
+    totals: [Money; 5],
+}
+
+impl LedgerSnapshot {
+    /// Total spent at snapshot time.
+    pub fn spent(&self) -> Money {
+        self.spent
+    }
+
+    /// Questions of a kind charged by snapshot time.
+    pub fn count(&self, kind: QuestionKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
+    /// The spend between `earlier` and this snapshot. Both must come
+    /// from the same ledger, with `earlier` taken first (a ledger only
+    /// ever grows, so a negative component means misuse and panics in
+    /// debug via `Money` underflow checks).
+    pub fn delta_since(&self, earlier: &LedgerSnapshot) -> SpendDelta {
+        let mut counts = [0u64; 5];
+        let mut totals = [Money::ZERO; 5];
+        for i in 0..5 {
+            counts[i] = self.counts[i] - earlier.counts[i];
+            totals[i] = self.totals[i] - earlier.totals[i];
+        }
+        SpendDelta {
+            spent: self.spent - earlier.spent,
+            counts,
+            totals,
+        }
+    }
+}
+
+/// Spend attributable to one bracketed interval (a preprocessing
+/// phase): total plus the per-question-kind breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpendDelta {
+    spent: Money,
+    counts: [u64; 5],
+    totals: [Money; 5],
+}
+
+impl SpendDelta {
+    /// Money spent during the interval.
+    pub fn spent(&self) -> Money {
+        self.spent
+    }
+
+    /// Questions asked during the interval.
+    pub fn questions(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Questions of one kind asked during the interval.
+    pub fn count(&self, kind: QuestionKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
+    /// Money spent on one kind during the interval.
+    pub fn total(&self, kind: QuestionKind) -> Money {
+        self.totals[kind_index(kind)]
+    }
+
+    /// True when nothing was charged during the interval.
+    pub fn is_zero(&self) -> bool {
+        self.questions() == 0 && self.spent == Money::ZERO
+    }
+
+    /// The non-zero `(kind, questions, money)` components.
+    pub fn by_kind(&self) -> impl Iterator<Item = (QuestionKind, u64, Money)> + '_ {
+        QuestionKind::ALL
+            .into_iter()
+            .filter(|&k| self.count(k) > 0 || self.total(k) != Money::ZERO)
+            .map(|k| (k, self.count(k), self.total(k)))
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +222,8 @@ mod tests {
     fn unlimited_never_refuses() {
         let mut l = BudgetLedger::unlimited();
         for _ in 0..1000 {
-            l.charge(QuestionKind::Example, Money::from_dollars(1.0)).unwrap();
+            l.charge(QuestionKind::Example, Money::from_dollars(1.0))
+                .unwrap();
         }
         assert_eq!(l.spent(), Money::from_dollars(1000.0));
         assert_eq!(l.count(QuestionKind::Example), 1000);
@@ -124,7 +234,8 @@ mod tests {
         let mut l = BudgetLedger::with_cap(Money::from_cents(1.0));
         // Ten binary questions at 0.1¢ fit exactly.
         for _ in 0..10 {
-            l.charge(QuestionKind::BinaryValue, Money::from_cents(0.1)).unwrap();
+            l.charge(QuestionKind::BinaryValue, Money::from_cents(0.1))
+                .unwrap();
         }
         assert_eq!(l.remaining(), Money::ZERO);
         let err = l
@@ -139,9 +250,12 @@ mod tests {
     #[test]
     fn conservation_across_kinds() {
         let mut l = BudgetLedger::with_cap(Money::from_dollars(1.0));
-        l.charge(QuestionKind::Dismantle, Money::from_cents(1.5)).unwrap();
-        l.charge(QuestionKind::Verify, Money::from_cents(0.1)).unwrap();
-        l.charge(QuestionKind::NumericValue, Money::from_cents(0.4)).unwrap();
+        l.charge(QuestionKind::Dismantle, Money::from_cents(1.5))
+            .unwrap();
+        l.charge(QuestionKind::Verify, Money::from_cents(0.1))
+            .unwrap();
+        l.charge(QuestionKind::NumericValue, Money::from_cents(0.4))
+            .unwrap();
         let sum: Money = QuestionKind::ALL.iter().map(|&k| l.total(k)).sum();
         assert_eq!(sum, l.spent());
         assert_eq!(l.total_questions(), 3);
@@ -149,11 +263,59 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_delta_attributes_phase_spend() {
+        let mut l = BudgetLedger::with_cap(Money::from_dollars(1.0));
+        l.charge(QuestionKind::Example, Money::from_cents(2.0))
+            .unwrap();
+        let after_examples = l.snapshot();
+        l.charge(QuestionKind::Dismantle, Money::from_cents(1.5))
+            .unwrap();
+        l.charge(QuestionKind::Verify, Money::from_cents(0.1))
+            .unwrap();
+        l.charge(QuestionKind::Verify, Money::from_cents(0.1))
+            .unwrap();
+        let after_dismantle = l.snapshot();
+
+        let phase = after_dismantle.delta_since(&after_examples);
+        assert_eq!(phase.questions(), 3);
+        assert_eq!(phase.spent(), Money::from_cents(1.7));
+        assert_eq!(phase.count(QuestionKind::Dismantle), 1);
+        assert_eq!(phase.count(QuestionKind::Verify), 2);
+        assert_eq!(phase.count(QuestionKind::Example), 0);
+        assert_eq!(phase.total(QuestionKind::Verify), Money::from_cents(0.2));
+
+        // Per-kind breakdown skips untouched kinds and sums back to the
+        // phase total.
+        let kinds: Vec<_> = phase.by_kind().collect();
+        assert_eq!(kinds.len(), 2);
+        let sum: Money = kinds.iter().map(|&(_, _, m)| m).sum();
+        assert_eq!(sum, phase.spent());
+    }
+
+    #[test]
+    fn snapshot_delta_of_idle_interval_is_zero() {
+        let mut l = BudgetLedger::unlimited();
+        l.charge(QuestionKind::BinaryValue, Money::from_cents(0.1))
+            .unwrap();
+        let a = l.snapshot();
+        let b = l.snapshot();
+        let delta = b.delta_since(&a);
+        assert!(delta.is_zero());
+        assert_eq!(delta.by_kind().count(), 0);
+        // A snapshot is frozen: later charges don't retroactively change it.
+        l.charge(QuestionKind::BinaryValue, Money::from_cents(0.1))
+            .unwrap();
+        assert_eq!(a.count(QuestionKind::BinaryValue), 1);
+        assert_eq!(a.spent(), Money::from_cents(0.1));
+    }
+
+    #[test]
     fn can_afford_matches_charge() {
         let mut l = BudgetLedger::with_cap(Money::from_cents(0.5));
         assert!(l.can_afford(Money::from_cents(0.5)));
         assert!(!l.can_afford(Money::from_cents(0.6)));
-        l.charge(QuestionKind::Verify, Money::from_cents(0.5)).unwrap();
+        l.charge(QuestionKind::Verify, Money::from_cents(0.5))
+            .unwrap();
         assert!(!l.can_afford(Money::from_cents(0.1)));
         assert!(l.can_afford(Money::ZERO));
     }

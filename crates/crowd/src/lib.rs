@@ -36,7 +36,7 @@ mod spam;
 mod proptests;
 
 pub use error::CrowdError;
-pub use ledger::BudgetLedger;
+pub use ledger::{BudgetLedger, LedgerSnapshot, SpendDelta};
 pub use money::Money;
 pub use platform::{CrowdConfig, CrowdPlatform, SimulatedCrowd};
 pub use pricing::PricingModel;

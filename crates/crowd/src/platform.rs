@@ -25,6 +25,7 @@
 use crate::{BudgetLedger, CrowdError, Money, PricingModel, QuestionKind};
 use disq_domain::{AttributeId, AttributeKind, ObjectId, Population};
 use disq_math::standard_normal;
+use disq_trace::Timer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -146,92 +147,96 @@ impl SimulatedCrowd {
 
 impl CrowdPlatform for SimulatedCrowd {
     fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
-        let (qk, price) = self.value_kind(a);
-        self.ledger.charge(qk, price)?;
-        let spec = self.population.spec().attr(a);
-        let truth = self.population.value(o, a);
-        let spamming =
-            self.config.spam_rate > 0.0 && self.rng.random::<f64>() < self.config.spam_rate;
-        Ok(match spec.kind {
-            // Boolean questions get a yes/no vote: Bernoulli on the
-            // object's yes-propensity. E[vote | truth] = truth, so the
-            // paper's unbiased-independent-noise model holds exactly, with
-            // per-object variance q(1−q).
-            AttributeKind::Boolean => {
-                let p = if spamming {
-                    0.5
-                } else {
-                    truth.clamp(0.0, 1.0)
-                };
-                if self.rng.random::<f64>() < p {
-                    1.0
-                } else {
-                    0.0
+        disq_trace::time(Timer::CrowdQuestion, || {
+            let (qk, price) = self.value_kind(a);
+            self.ledger.charge(qk, price)?;
+            let spec = self.population.spec().attr(a);
+            let truth = self.population.value(o, a);
+            let spamming =
+                self.config.spam_rate > 0.0 && self.rng.random::<f64>() < self.config.spam_rate;
+            Ok(match spec.kind {
+                // Boolean questions get a yes/no vote: Bernoulli on the
+                // object's yes-propensity. E[vote | truth] = truth, so the
+                // paper's unbiased-independent-noise model holds exactly, with
+                // per-object variance q(1−q).
+                AttributeKind::Boolean => {
+                    let p = if spamming { 0.5 } else { truth.clamp(0.0, 1.0) };
+                    if self.rng.random::<f64>() < p {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 }
-            }
-            AttributeKind::Numeric => {
-                if spamming {
-                    // Spam: uniform garbage over a wide plausible range.
-                    let span = (4.0 * spec.sd).max(1.0);
-                    spec.mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
-                } else {
-                    truth + spec.worker_sd * standard_normal(&mut self.rng)
+                AttributeKind::Numeric => {
+                    if spamming {
+                        // Spam: uniform garbage over a wide plausible range.
+                        let span = (4.0 * spec.sd).max(1.0);
+                        spec.mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
+                    } else {
+                        truth + spec.worker_sd * standard_normal(&mut self.rng)
+                    }
                 }
-            }
+            })
         })
     }
 
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
-        self.ledger
-            .charge(QuestionKind::Dismantle, self.config.pricing.dismantle)?;
-        let spec = self.population.spec();
-        let keep = (1.0 - self.config.junk_rate_boost).clamp(0.0, 1.0);
-        let mut u: f64 = self.rng.random();
-        for &(ans, p) in spec.dismantle_distribution(a) {
-            let p = p * keep;
-            if u < p {
-                let attr = spec.attr(ans);
-                // Optionally phrase the answer as a synonym.
-                if !attr.synonyms.is_empty()
-                    && self.config.synonym_rate > 0.0
-                    && self.rng.random::<f64>() < self.config.synonym_rate
-                {
-                    let i = self.rng.random_range(0..attr.synonyms.len());
-                    return Ok(attr.synonyms[i].clone());
+        disq_trace::time(Timer::CrowdQuestion, || {
+            self.ledger
+                .charge(QuestionKind::Dismantle, self.config.pricing.dismantle)?;
+            let spec = self.population.spec();
+            let keep = (1.0 - self.config.junk_rate_boost).clamp(0.0, 1.0);
+            let mut u: f64 = self.rng.random();
+            for &(ans, p) in spec.dismantle_distribution(a) {
+                let p = p * keep;
+                if u < p {
+                    let attr = spec.attr(ans);
+                    // Optionally phrase the answer as a synonym.
+                    if !attr.synonyms.is_empty()
+                        && self.config.synonym_rate > 0.0
+                        && self.rng.random::<f64>() < self.config.synonym_rate
+                    {
+                        let i = self.rng.random_range(0..attr.synonyms.len());
+                        return Ok(attr.synonyms[i].clone());
+                    }
+                    return Ok(attr.name.clone());
                 }
-                return Ok(attr.name.clone());
+                u -= p;
             }
-            u -= p;
-        }
-        // Leftover mass: an irrelevant answer.
-        let i = self.rng.random_range(0..JUNK_PHRASES.len());
-        Ok(JUNK_PHRASES[i].to_string())
+            // Leftover mass: an irrelevant answer.
+            let i = self.rng.random_range(0..JUNK_PHRASES.len());
+            Ok(JUNK_PHRASES[i].to_string())
+        })
     }
 
     fn ask_verify(&mut self, candidate: &str, of: AttributeId) -> Result<bool, CrowdError> {
-        self.ledger
-            .charge(QuestionKind::Verify, self.config.pricing.verify)?;
-        let spec = self.population.spec();
-        let p_yes = match spec.id_of(candidate) {
-            Some(c) => {
-                let rho = spec.correlation(c, of).abs();
-                (0.2 + 1.1 * rho).clamp(0.05, 0.95)
-            }
-            // Junk the crowd does not recognize as related.
-            None => 0.15,
-        };
-        Ok(self.rng.random::<f64>() < p_yes)
+        disq_trace::time(Timer::CrowdQuestion, || {
+            self.ledger
+                .charge(QuestionKind::Verify, self.config.pricing.verify)?;
+            let spec = self.population.spec();
+            let p_yes = match spec.id_of(candidate) {
+                Some(c) => {
+                    let rho = spec.correlation(c, of).abs();
+                    (0.2 + 1.1 * rho).clamp(0.05, 0.95)
+                }
+                // Junk the crowd does not recognize as related.
+                None => 0.15,
+            };
+            Ok(self.rng.random::<f64>() < p_yes)
+        })
     }
 
     fn ask_example(&mut self, attrs: &[AttributeId]) -> Result<(ObjectId, Vec<f64>), CrowdError> {
-        self.ledger
-            .charge(QuestionKind::Example, self.config.pricing.example)?;
-        if self.population.n_objects() == 0 {
-            return Err(CrowdError::EmptyPopulation);
-        }
-        let o = ObjectId(self.rng.random_range(0..self.population.n_objects()));
-        let values = attrs.iter().map(|&a| self.population.value(o, a)).collect();
-        Ok((o, values))
+        disq_trace::time(Timer::CrowdQuestion, || {
+            self.ledger
+                .charge(QuestionKind::Example, self.config.pricing.example)?;
+            if self.population.n_objects() == 0 {
+                return Err(CrowdError::EmptyPopulation);
+            }
+            let o = ObjectId(self.rng.random_range(0..self.population.n_objects()));
+            let values = attrs.iter().map(|&a| self.population.value(o, a)).collect();
+            Ok((o, values))
+        })
     }
 
     fn ledger(&self) -> &BudgetLedger {
@@ -374,7 +379,9 @@ mod tests {
         let spec = c.population().spec();
         let bmi = spec.id_of("Bmi").unwrap();
         let n = 500;
-        let yes_weight = (0..n).filter(|_| c.ask_verify("Weight", bmi).unwrap()).count();
+        let yes_weight = (0..n)
+            .filter(|_| c.ask_verify("Weight", bmi).unwrap())
+            .count();
         let yes_junk = (0..n)
             .filter(|_| c.ask_verify("phase of the moon", bmi).unwrap())
             .count();
@@ -434,7 +441,9 @@ mod tests {
         );
         let height = spec.id_of("Height").unwrap();
         let spread = |mut c: SimulatedCrowd| {
-            let xs: Vec<f64> = (0..2000).map(|_| c.ask_value(ObjectId(0), height).unwrap()).collect();
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| c.ask_value(ObjectId(0), height).unwrap())
+                .collect();
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
         };

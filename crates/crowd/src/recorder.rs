@@ -12,6 +12,7 @@
 
 use crate::{BudgetLedger, CrowdError, CrowdPlatform};
 use disq_domain::{AttributeId, ObjectId};
+use disq_trace::Counter;
 use std::collections::HashMap;
 
 /// Keys identifying repeatable questions.
@@ -156,6 +157,18 @@ impl<P: CrowdPlatform> ReplayingCrowd<P> {
     }
 }
 
+/// Marks one answer as replayed-from-log in the global trace counters.
+fn note_replayed<T>(v: T) -> T {
+    disq_trace::count(Counter::ReplayServed);
+    v
+}
+
+/// Marks one answer as fallen-through-to-live (log dry or key unseen).
+fn note_fell_through<T>(v: T) -> T {
+    disq_trace::count(Counter::ReplayFellThrough);
+    v
+}
+
 impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
     fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
         // Charge (and burn a live answer) regardless, for budget fidelity.
@@ -166,10 +179,10 @@ impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
             if *cursor < answers.len() {
                 let v = answers[*cursor];
                 *cursor += 1;
-                return Ok(v);
+                return Ok(note_replayed(v));
             }
         }
-        Ok(live)
+        Ok(note_fell_through(live))
     }
 
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
@@ -180,10 +193,10 @@ impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
             if *cursor < answers.len() {
                 let v = answers[*cursor].clone();
                 *cursor += 1;
-                return Ok(v);
+                return Ok(note_replayed(v));
             }
         }
-        Ok(live)
+        Ok(note_fell_through(live))
     }
 
     fn ask_verify(&mut self, candidate: &str, of: AttributeId) -> Result<bool, CrowdError> {
@@ -194,10 +207,10 @@ impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
             if *cursor < answers.len() {
                 let v = answers[*cursor];
                 *cursor += 1;
-                return Ok(v);
+                return Ok(note_replayed(v));
             }
         }
-        Ok(live)
+        Ok(note_fell_through(live))
     }
 
     fn ask_example(&mut self, attrs: &[AttributeId]) -> Result<(ObjectId, Vec<f64>), CrowdError> {
@@ -206,10 +219,10 @@ impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
             let (logged_attrs, o, vals) = &self.log.examples[self.cursor_e];
             if logged_attrs == attrs {
                 self.cursor_e += 1;
-                return Ok((*o, vals.clone()));
+                return Ok(note_replayed((*o, vals.clone())));
             }
         }
-        Ok(live)
+        Ok(note_fell_through(live))
     }
 
     fn ledger(&self) -> &BudgetLedger {
@@ -268,6 +281,70 @@ mod tests {
         // BOTH questions hit the inner ledger — replay preserves budget
         // flow exactly.
         assert_eq!(rep.ledger().total_questions(), 2);
+    }
+
+    #[test]
+    fn dismantle_replay_falls_through_when_log_dry() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        let logged = rec.ask_dismantle(bmi).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(2));
+        assert_eq!(rep.ask_dismantle(bmi).unwrap(), logged);
+        // Log exhausted: the next answer comes from the live platform
+        // but is still charged like any other question.
+        let _ = rep.ask_dismantle(bmi).unwrap();
+        assert_eq!(rep.replayed(), 1);
+        assert_eq!(rep.ledger().total_questions(), 2);
+        // An attribute never recorded at all also falls through.
+        let _ = rep.ask_dismantle(AttributeId(1)).unwrap();
+        assert_eq!(rep.replayed(), 1);
+    }
+
+    #[test]
+    fn verify_replay_falls_through_when_log_dry() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        let logged = rec.ask_verify("Weight", bmi).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(2));
+        assert_eq!(rep.ask_verify("Weight", bmi).unwrap(), logged);
+        let _ = rep.ask_verify("Weight", bmi).unwrap(); // dry → live
+        assert_eq!(rep.replayed(), 1);
+        // A different candidate string is a different key: live too.
+        let _ = rep.ask_verify("Height", bmi).unwrap();
+        assert_eq!(rep.replayed(), 1);
+        assert_eq!(rep.ledger().total_questions(), 3);
+    }
+
+    #[test]
+    fn example_replay_falls_through_when_log_dry() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let attrs = vec![AttributeId(0)];
+        let (o, vals) = rec.ask_example(&attrs).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(2));
+        assert_eq!(rep.ask_example(&attrs).unwrap(), (o, vals));
+        let _ = rep.ask_example(&attrs).unwrap(); // dry → live
+        assert_eq!(rep.replayed(), 1);
+        assert_eq!(rep.ledger().total_questions(), 2);
+    }
+
+    #[test]
+    fn replay_counters_track_served_and_fell_through() {
+        let before = disq_trace::summary();
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        rec.ask_value(ObjectId(0), bmi).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(2));
+        let _ = rep.ask_value(ObjectId(0), bmi).unwrap();
+        let _ = rep.ask_value(ObjectId(0), bmi).unwrap();
+        let delta = disq_trace::summary().delta_since(&before);
+        // Counters are process-global and other tests may run
+        // concurrently, so assert lower bounds only.
+        assert!(delta.counter(disq_trace::Counter::ReplayServed) >= 1);
+        assert!(delta.counter(disq_trace::Counter::ReplayFellThrough) >= 1);
     }
 
     #[test]

@@ -16,9 +16,19 @@ pub fn spec() -> DomainSpec {
         .attribute(AttributeSpec::numeric("Size", 1500.0, 500.0, 300.0))
         .attribute(AttributeSpec::numeric("Crime Rate", 3.6, 8.6, 4.0))
         .attribute(AttributeSpec::numeric("Age of House", 68.0, 28.0, 20.0))
-        .attribute(AttributeSpec::numeric("Distance to Employment", 3.8, 2.1, 1.5))
+        .attribute(AttributeSpec::numeric(
+            "Distance to Employment",
+            3.8,
+            2.1,
+            1.5,
+        ))
         .attribute(AttributeSpec::numeric("Tax Rate", 408.0, 168.0, 100.0))
-        .attribute(AttributeSpec::numeric("Pupil Teacher Ratio", 18.4, 2.2, 2.0))
+        .attribute(AttributeSpec::numeric(
+            "Pupil Teacher Ratio",
+            18.4,
+            2.2,
+            2.0,
+        ))
         .attribute(AttributeSpec::numeric("Air Pollution", 0.55, 0.12, 0.2))
         .attribute(AttributeSpec::numeric("Lower Status Pct", 12.6, 7.1, 5.0))
         .attribute(AttributeSpec::boolean("River Front", 0.07, 0.05_f64.sqrt()))

@@ -23,7 +23,11 @@ pub fn spec() -> DomainSpec {
         .attribute(AttributeSpec::boolean("Has Ssd", 0.70, 0.05_f64.sqrt()).with_synonyms(&["ssd"]))
         .attribute(AttributeSpec::numeric("Gpu Quality", 0.5, 0.25, 0.2))
         .attribute(AttributeSpec::numeric("Age of Model", 2.0, 1.5, 1.0))
-        .attribute(AttributeSpec::boolean("Build Quality", 0.50, 0.15_f64.sqrt()))
+        .attribute(AttributeSpec::boolean(
+            "Build Quality",
+            0.50,
+            0.15_f64.sqrt(),
+        ))
         .correlation("Price", "Cpu Speed", 0.60)
         .correlation("Price", "Ram", 0.65)
         .correlation("Price", "Storage", 0.50)

@@ -35,33 +35,56 @@ pub fn spec() -> DomainSpec {
         // published ordering (Weight noisier in absolute terms, booleans
         // far more reliable than numerics).
         .attribute(AttributeSpec::numeric("Bmi", 25.0, 4.5, 90.0_f64.sqrt()))
-        .attribute(AttributeSpec::numeric("Weight", 75.0, 15.0, 189.0_f64.sqrt()))
+        .attribute(AttributeSpec::numeric(
+            "Weight",
+            75.0,
+            15.0,
+            189.0_f64.sqrt(),
+        ))
         .attribute(AttributeSpec::numeric("Height", 172.0, 10.0, 5.0))
         .attribute(AttributeSpec::numeric("Age", 35.0, 14.0, 7.0))
         .attribute(AttributeSpec::numeric("Shoe Size", 42.0, 3.0, 2.0))
         .attribute(
-            AttributeSpec::boolean("Heavy", 0.40, 0.14_f64.sqrt())
-                .with_synonyms(&["big", "large", "overweight looking"]),
+            AttributeSpec::boolean("Heavy", 0.40, 0.14_f64.sqrt()).with_synonyms(&[
+                "big",
+                "large",
+                "overweight looking",
+            ]),
         )
         .attribute(
-            AttributeSpec::boolean("Attractive", 0.50, 0.13_f64.sqrt())
-                .with_synonyms(&["good looking", "pretty", "handsome"]),
+            AttributeSpec::boolean("Attractive", 0.50, 0.13_f64.sqrt()).with_synonyms(&[
+                "good looking",
+                "pretty",
+                "handsome",
+            ]),
         )
         .attribute(
             AttributeSpec::boolean("Works Out", 0.40, 0.11_f64.sqrt())
                 .with_synonyms(&["athletic", "fit looking"]),
         )
         .attribute(AttributeSpec::boolean("Wrinkles", 0.30, 0.16_f64.sqrt()))
-        .attribute(AttributeSpec::boolean("Taller Than You", 0.50, 0.15_f64.sqrt()))
+        .attribute(AttributeSpec::boolean(
+            "Taller Than You",
+            0.50,
+            0.15_f64.sqrt(),
+        ))
         .attribute(
             AttributeSpec::boolean("Gray Hair", 0.25, 0.08_f64.sqrt())
                 .with_synonyms(&["grey hair", "white hair"]),
         )
         .attribute(AttributeSpec::boolean("Old", 0.30, 0.12_f64.sqrt()).with_synonyms(&["elderly"]))
         .attribute(AttributeSpec::boolean("Children", 0.50, 0.20_f64.sqrt()))
-        .attribute(AttributeSpec::boolean("Good Facial Features", 0.50, 0.18_f64.sqrt()))
+        .attribute(AttributeSpec::boolean(
+            "Good Facial Features",
+            0.50,
+            0.18_f64.sqrt(),
+        ))
         .attribute(AttributeSpec::boolean("Fat", 0.35, 0.12_f64.sqrt()).with_synonyms(&["chubby"]))
-        .attribute(AttributeSpec::boolean("Has Good Style", 0.50, 0.20_f64.sqrt()))
+        .attribute(AttributeSpec::boolean(
+            "Has Good Style",
+            0.50,
+            0.20_f64.sqrt(),
+        ))
         .attribute(AttributeSpec::boolean("Tall", 0.50, 0.12_f64.sqrt()))
         // Table 5a S_a block (signs added). Bmi–Weight is reduced from the
         // published 0.94 to 0.88: together with Weight–Height ≈ 0.4 and
@@ -160,12 +183,30 @@ pub fn spec() -> DomainSpec {
         // analogous sets for Bmi and Age.
         .gold_standard(
             "Height",
-            &["Age", "Shoe Size", "Taller Than You", "Weight", "Tall", "Heavy", "Fat"],
+            &[
+                "Age",
+                "Shoe Size",
+                "Taller Than You",
+                "Weight",
+                "Tall",
+                "Heavy",
+                "Fat",
+            ],
         )
-        .gold_standard("Weight", &["Heavy", "Fat", "Height", "Bmi", "Works Out", "Attractive"])
+        .gold_standard(
+            "Weight",
+            &["Heavy", "Fat", "Height", "Bmi", "Works Out", "Attractive"],
+        )
         .gold_standard(
             "Bmi",
-            &["Weight", "Height", "Heavy", "Fat", "Attractive", "Works Out"],
+            &[
+                "Weight",
+                "Height",
+                "Heavy",
+                "Fat",
+                "Attractive",
+                "Works Out",
+            ],
         )
         .gold_standard("Age", &["Wrinkles", "Gray Hair", "Old", "Children"])
         .build()
@@ -228,9 +269,17 @@ mod tests {
         let d = spec();
         let age = d.id_of("Age").unwrap();
         let gold = d.gold_standard(age).unwrap().to_vec();
-        let direct: Vec<_> = d.dismantle_distribution(age).iter().map(|(a, _)| *a).collect();
+        let direct: Vec<_> = d
+            .dismantle_distribution(age)
+            .iter()
+            .map(|(a, _)| *a)
+            .collect();
         for g in gold {
-            assert!(direct.contains(&g), "{} not directly reachable", d.attr(g).name);
+            assert!(
+                direct.contains(&g),
+                "{} not directly reachable",
+                d.attr(g).name
+            );
         }
     }
 }

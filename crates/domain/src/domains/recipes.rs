@@ -22,7 +22,12 @@ use crate::{AttributeSpec, DomainSpec, DomainSpecBuilder};
 /// Builds the calibrated recipes domain.
 pub fn spec() -> DomainSpec {
     DomainSpecBuilder::new("recipes")
-        .attribute(AttributeSpec::numeric("Calories", 400.0, 250.0, 80_707.0_f64.sqrt()))
+        .attribute(AttributeSpec::numeric(
+            "Calories",
+            400.0,
+            250.0,
+            80_707.0_f64.sqrt(),
+        ))
         // Protein is the paper's example of an attribute "so difficult or
         // un-intuitive for the crowd that the convergence to the final
         // answer might be slow and thus require high budget" (§1): direct
@@ -31,12 +36,23 @@ pub fn spec() -> DomainSpec {
         // S_c of 80 707 likewise exceeds its value variance).
         .attribute(AttributeSpec::numeric("Protein", 15.0, 12.0, 34.0))
         .attribute(
-            AttributeSpec::boolean("Low Calorie", 0.30, 0.06_f64.sqrt())
-                .with_synonyms(&["low calories", "dietetic", "diet friendly"]),
+            AttributeSpec::boolean("Low Calorie", 0.30, 0.06_f64.sqrt()).with_synonyms(&[
+                "low calories",
+                "dietetic",
+                "diet friendly",
+            ]),
         )
-        .attribute(AttributeSpec::boolean("Dessert", 0.30, 0.08_f64.sqrt()).with_synonyms(&["sweet dish"]))
-        .attribute(AttributeSpec::boolean("Healthy", 0.40, 0.20_f64.sqrt()).with_synonyms(&["good for you"]))
-        .attribute(AttributeSpec::boolean("Vegetarian", 0.35, 0.13_f64.sqrt()).with_synonyms(&["meatless"]))
+        .attribute(
+            AttributeSpec::boolean("Dessert", 0.30, 0.08_f64.sqrt()).with_synonyms(&["sweet dish"]),
+        )
+        .attribute(
+            AttributeSpec::boolean("Healthy", 0.40, 0.20_f64.sqrt())
+                .with_synonyms(&["good for you"]),
+        )
+        .attribute(
+            AttributeSpec::boolean("Vegetarian", 0.35, 0.13_f64.sqrt())
+                .with_synonyms(&["meatless"]),
+        )
         .attribute(
             AttributeSpec::boolean("Has Eggs", 0.40, 0.05_f64.sqrt())
                 .with_synonyms(&["eggs", "contains eggs"]),
@@ -52,7 +68,11 @@ pub fn spec() -> DomainSpec {
                 .with_synonyms(&["meat quantity", "amount of meat"]),
         )
         .attribute(AttributeSpec::numeric("Number of Eggs", 1.2, 1.3, 1.0))
-        .attribute(AttributeSpec::boolean("High Protein", 0.30, 0.10_f64.sqrt()))
+        .attribute(AttributeSpec::boolean(
+            "High Protein",
+            0.30,
+            0.10_f64.sqrt(),
+        ))
         .attribute(AttributeSpec::boolean("Low Salt", 0.30, 0.15_f64.sqrt()))
         .attribute(AttributeSpec::boolean("Natural", 0.40, 0.18_f64.sqrt()))
         .attribute(
@@ -60,12 +80,26 @@ pub fn spec() -> DomainSpec {
                 .with_synonyms(&["grams of fat", "fatty"]),
         )
         .attribute(AttributeSpec::boolean("Bitter", 0.10, 0.08_f64.sqrt()))
-        .attribute(AttributeSpec::numeric("Number of Ingredients", 9.0, 4.0, 6.0_f64.sqrt()))
+        .attribute(AttributeSpec::numeric(
+            "Number of Ingredients",
+            9.0,
+            4.0,
+            6.0_f64.sqrt(),
+        ))
         .attribute(AttributeSpec::boolean("Fast", 0.40, 0.12_f64.sqrt()).with_synonyms(&["quick"]))
-        .attribute(AttributeSpec::boolean("Tasty", 0.60, 0.20_f64.sqrt()).with_synonyms(&["delicious"]))
+        .attribute(
+            AttributeSpec::boolean("Tasty", 0.60, 0.20_f64.sqrt()).with_synonyms(&["delicious"]),
+        )
         .attribute(AttributeSpec::boolean("Expensive", 0.25, 0.12_f64.sqrt()))
-        .attribute(AttributeSpec::boolean("Easy to Make", 0.50, 0.15_f64.sqrt()).with_synonyms(&["simple"]))
-        .attribute(AttributeSpec::boolean("Good for Kids", 0.50, 0.16_f64.sqrt()))
+        .attribute(
+            AttributeSpec::boolean("Easy to Make", 0.50, 0.15_f64.sqrt())
+                .with_synonyms(&["simple"]),
+        )
+        .attribute(AttributeSpec::boolean(
+            "Good for Kids",
+            0.50,
+            0.16_f64.sqrt(),
+        ))
         // Table 5b S_a block (signs added).
         .correlation("Calories", "Low Calorie", -0.20)
         .correlation("Calories", "Dessert", 0.07)
@@ -185,11 +219,24 @@ pub fn spec() -> DomainSpec {
         // Gold standards (§5.3.1: expert dietitian for Protein/Calories).
         .gold_standard(
             "Protein",
-            &["Has Meat", "Number of Eggs", "High Protein", "Vegetarian", "Has Eggs", "Grams of Meat"],
+            &[
+                "Has Meat",
+                "Number of Eggs",
+                "High Protein",
+                "Vegetarian",
+                "Has Eggs",
+                "Grams of Meat",
+            ],
         )
         .gold_standard(
             "Calories",
-            &["Has Eggs", "Low Calorie", "Dessert", "Healthy", "Fat Amount"],
+            &[
+                "Has Eggs",
+                "Low Calorie",
+                "Dessert",
+                "Healthy",
+                "Fat Amount",
+            ],
         )
         .gold_standard(
             "Easy to Make",

@@ -134,7 +134,8 @@ pub fn spec(config: &SyntheticConfig, seed: u64) -> DomainSpec {
         }
     }
 
-    b.build().expect("synthetic generator produces valid domains")
+    b.build()
+        .expect("synthetic generator produces valid domains")
 }
 
 #[cfg(test)]

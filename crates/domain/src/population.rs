@@ -221,8 +221,9 @@ mod tests {
             .map(|(&x, &y)| (x - mx) * (y - my))
             .sum::<f64>()
             / xs.len() as f64;
-        let rho = cov / (pop.empirical_variance(AttributeId(0)).sqrt()
-            * pop.empirical_variance(AttributeId(1)).sqrt());
+        let rho = cov
+            / (pop.empirical_variance(AttributeId(0)).sqrt()
+                * pop.empirical_variance(AttributeId(1)).sqrt());
         assert!((rho - 0.8).abs() < 0.05, "rho {rho}");
     }
 
@@ -245,8 +246,8 @@ mod tests {
     #[test]
     fn value_access() {
         let s = spec();
-        let pop = Population::from_values(s, vec![vec![1.0, 2.0, 0.3], vec![4.0, 5.0, 0.9]])
-            .unwrap();
+        let pop =
+            Population::from_values(s, vec![vec![1.0, 2.0, 0.3], vec![4.0, 5.0, 0.9]]).unwrap();
         assert_eq!(pop.value(ObjectId(1), AttributeId(0)), 4.0);
         assert_eq!(pop.column(AttributeId(2)), vec![0.3, 0.9]);
         assert_eq!(pop.object_ids().count(), 2);

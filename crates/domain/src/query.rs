@@ -121,7 +121,11 @@ impl Query {
     /// projection attributes first.
     pub fn attributes(&self) -> Vec<AttributeId> {
         let mut out = Vec::new();
-        for &a in self.select.iter().chain(self.predicates.iter().map(|p| &p.attr)) {
+        for &a in self
+            .select
+            .iter()
+            .chain(self.predicates.iter().map(|p| &p.attr))
+        {
             if !out.contains(&a) {
                 out.push(a);
             }
@@ -277,10 +281,7 @@ mod tests {
     #[test]
     fn parse_errors() {
         let r = registry();
-        assert_eq!(
-            Query::parse("calories", &r),
-            Err(ParseError::MissingSelect)
-        );
+        assert_eq!(Query::parse("calories", &r), Err(ParseError::MissingSelect));
         assert_eq!(Query::parse("select ", &r), Err(ParseError::MissingSelect));
         assert!(matches!(
             Query::parse("select unknown_thing", &r),

@@ -275,7 +275,8 @@ impl DomainSpecBuilder {
     /// Declares that dismantling `from` yields the answer `to` with the
     /// given probability (Table 4 rows).
     pub fn dismantle(mut self, from: &str, to: &str, prob: f64) -> Self {
-        self.dismantles.push((from.to_string(), to.to_string(), prob));
+        self.dismantles
+            .push((from.to_string(), to.to_string(), prob));
         self
     }
 

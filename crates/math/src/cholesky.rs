@@ -6,7 +6,7 @@
 //! sane, and a Cholesky solve is both the fastest and the most numerically
 //! honest way to evaluate the form.
 
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
 #[derive(Debug, Clone)]
@@ -21,6 +21,10 @@ impl Cholesky {
     /// triangle is the caller's responsibility (covariance builders in
     /// `disq-stats` always produce exactly symmetric matrices).
     pub fn new(a: &Matrix) -> Result<Self> {
+        disq_trace::time(disq_trace::Timer::CholeskyFactorize, || Self::new_impl(a))
+    }
+
+    fn new_impl(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(MathError::NotSquare {
                 rows: a.rows(),

@@ -5,7 +5,7 @@
 //! numerically stable, and gives orthogonal eigenvectors to machine
 //! precision — exactly what the nearest-PSD projection needs.
 
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// Result of a symmetric eigendecomposition `A = V·Diag(λ)·Vᵀ`.
 #[derive(Debug, Clone)]

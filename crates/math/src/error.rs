@@ -55,7 +55,10 @@ impl fmt::Display for MathError {
                 write!(f, "matrix is singular at pivot {pivot}")
             }
             MathError::NotPositiveDefinite { index } => {
-                write!(f, "matrix is not positive definite at diagonal index {index}")
+                write!(
+                    f,
+                    "matrix is not positive definite at diagonal index {index}"
+                )
             }
             MathError::NoConvergence { sweeps } => {
                 write!(f, "iteration failed to converge after {sweeps} sweeps")
@@ -86,7 +89,10 @@ mod tests {
                 MathError::NotSquare { rows: 2, cols: 3 },
                 "matrix must be square, got 2x3",
             ),
-            (MathError::Singular { pivot: 1 }, "matrix is singular at pivot 1"),
+            (
+                MathError::Singular { pivot: 1 },
+                "matrix is singular at pivot 1",
+            ),
             (
                 MathError::NotPositiveDefinite { index: 0 },
                 "matrix is not positive definite at diagonal index 0",

@@ -5,7 +5,7 @@
 //! assembly formula `a_t ≈ l₀ + Σ l(a_i)·x_i` that minimizes squared error
 //! over the training examples.
 
-use crate::{svd_jacobi, Matrix, MathError, Result};
+use crate::{svd_jacobi, MathError, Matrix, Result};
 
 /// A fitted linear model `y ≈ intercept + coefficients · x`.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,11 +24,7 @@ impl LeastSquaresFit {
     /// # Panics
     /// Panics if `x.len()` differs from the number of coefficients.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(
-            x.len(),
-            self.coefficients.len(),
-            "predictor count mismatch"
-        );
+        assert_eq!(x.len(), self.coefficients.len(), "predictor count mismatch");
         self.intercept
             + self
                 .coefficients
@@ -130,9 +126,7 @@ mod tests {
             vec![2.0, 1.0],
             vec![1.0, 3.0],
         ]);
-        let y: Vec<f64> = (0..4)
-            .map(|i| 3.0 + 2.0 * x[(i, 0)] - x[(i, 1)])
-            .collect();
+        let y: Vec<f64> = (0..4).map(|i| 3.0 + 2.0 * x[(i, 0)] - x[(i, 1)]).collect();
         let fit = lstsq_svd(&x, &y, 1e-10).unwrap();
         assert!((fit.intercept - 3.0).abs() < 1e-10);
         assert!((fit.coefficients[0] - 2.0).abs() < 1e-10);

@@ -3,7 +3,7 @@
 //! Used as the general-purpose fallback solver when a covariance matrix is
 //! not numerically positive definite (the Cholesky path is preferred).
 
-use crate::{Matrix, MathError, Result, EPS};
+use crate::{MathError, Matrix, Result, EPS};
 
 /// LU decomposition `P·A = L·U` with partial pivoting.
 #[derive(Debug, Clone)]
@@ -203,7 +203,10 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert!(matches!(Lu::new(&Matrix::zeros(0, 0)), Err(MathError::Empty)));
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(0, 0)),
+            Err(MathError::Empty)
+        ));
     }
 
     #[test]

@@ -137,7 +137,9 @@ impl Matrix {
 
     /// The main diagonal as a vector.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Returns the transpose.
@@ -184,9 +186,7 @@ impl Matrix {
                 found: format!("{}x1", v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| dot(self.row(r), v))
-            .collect())
+        Ok((0..self.rows).map(|r| dot(self.row(r), v)).collect())
     }
 
     /// Element-wise sum `self + other`.
@@ -426,11 +426,7 @@ mod tests {
 
     #[test]
     fn principal_submatrix_selects() {
-        let m = Matrix::from_rows(&[
-            vec![1., 2., 3.],
-            vec![4., 5., 6.],
-            vec![7., 8., 9.],
-        ]);
+        let m = Matrix::from_rows(&[vec![1., 2., 3.], vec![4., 5., 6.], vec![7., 8., 9.]]);
         let sub = m.principal_submatrix(&[0, 2]);
         assert_eq!(sub, Matrix::from_rows(&[vec![1., 3.], vec![7., 9.]]));
     }

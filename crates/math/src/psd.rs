@@ -15,10 +15,7 @@ pub fn nearest_psd(a: &Matrix, floor: f64) -> Result<Matrix> {
     let eig = jacobi_eigen(a)?;
     let clipped: Vec<f64> = eig.values.iter().map(|&v| v.max(floor)).collect();
     let d = Matrix::diag(&clipped);
-    let mut out = eig
-        .vectors
-        .matmul(&d)?
-        .matmul(&eig.vectors.transpose())?;
+    let mut out = eig.vectors.matmul(&d)?.matmul(&eig.vectors.transpose())?;
     out.symmetrize();
     Ok(out)
 }

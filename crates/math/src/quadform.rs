@@ -14,7 +14,8 @@
 //! [`QuadFormWorkspace::quad_form`] queries against the cached factor
 //! without further allocation.
 
-use crate::{Lu, Matrix, MathError, Result};
+use crate::{Lu, MathError, Matrix, Result};
+use disq_trace::Timer;
 
 /// Index of entry `(i, j)`, `j ≤ i`, in a packed lower triangle.
 #[inline]
@@ -118,6 +119,17 @@ impl QuadFormWorkspace {
         &mut self,
         n: usize,
         d: &[f64],
+        entry: impl FnMut(usize, usize) -> f64,
+    ) -> Result<()> {
+        disq_trace::time(Timer::QuadFormFactorize, || {
+            self.factorize_with_impl(n, d, entry)
+        })
+    }
+
+    fn factorize_with_impl(
+        &mut self,
+        n: usize,
+        d: &[f64],
         mut entry: impl FnMut(usize, usize) -> f64,
     ) -> Result<()> {
         if d.len() != n {
@@ -208,6 +220,10 @@ impl QuadFormWorkspace {
 
     /// Evaluates `vᵀ (M + Diag(d))⁻¹ v` against the cached factorization.
     pub fn quad_form(&mut self, v: &[f64]) -> Result<f64> {
+        disq_trace::time(Timer::QuadFormSolve, || self.quad_form_impl(v))
+    }
+
+    fn quad_form_impl(&mut self, v: &[f64]) -> Result<f64> {
         if v.len() != self.n {
             return Err(MathError::ShapeMismatch {
                 expected: format!("{}x1", self.n),

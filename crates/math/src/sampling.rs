@@ -5,7 +5,7 @@
 //! allowed dependency set has `rand` but not `rand_distr`, so the normal
 //! sampler (Marsaglia polar method) is implemented here.
 
-use crate::{nearest_psd, Cholesky, Matrix, MathError, Result};
+use crate::{nearest_psd, Cholesky, MathError, Matrix, Result};
 use rand::{Rng, RngExt};
 
 /// Draws one standard-normal variate using the Marsaglia polar method.
@@ -130,9 +130,7 @@ mod tests {
     fn standard_normal_symmetric_tails() {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 40_000;
-        let pos = (0..n)
-            .filter(|_| standard_normal(&mut rng) > 0.0)
-            .count() as f64;
+        let pos = (0..n).filter(|_| standard_normal(&mut rng) > 0.0).count() as f64;
         assert!((pos / n as f64 - 0.5).abs() < 0.02);
     }
 

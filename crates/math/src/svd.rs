@@ -7,7 +7,7 @@
 //! bidiagonalization machinery.
 
 use crate::matrix::dot;
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// Thin SVD `A = U·Diag(σ)·Vᵀ` with `U: m x n`, `σ: n`, `V: n x n`
 /// (requires `m >= n`; callers with wide matrices should transpose).
@@ -202,11 +202,7 @@ mod tests {
 
     #[test]
     fn u_columns_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let s = svd_jacobi(&a).unwrap();
         let utu = s.u.transpose().matmul(&s.u).unwrap();
         assert!(utu.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
@@ -214,11 +210,7 @@ mod tests {
 
     #[test]
     fn v_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let s = svd_jacobi(&a).unwrap();
         let vtv = s.v.transpose().matmul(&s.v).unwrap();
         assert!(vtv.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
@@ -227,11 +219,7 @@ mod tests {
     #[test]
     fn rank_deficient_detected() {
         // Second column is twice the first.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let s = svd_jacobi(&a).unwrap();
         assert_eq!(s.rank(1e-10), 1);
     }
@@ -249,11 +237,7 @@ mod tests {
     fn least_squares_minimizes_residual() {
         // Fit y = a + b·x to points (0,1), (1,3), (2,4): ls solution
         // b = 1.5, a = 7/6.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
         let s = svd_jacobi(&a).unwrap();
         let x = s.solve_least_squares(&[1.0, 3.0, 4.0], 1e-12).unwrap();
         assert!((x[0] - 7.0 / 6.0).abs() < 1e-10);
@@ -264,11 +248,7 @@ mod tests {
     fn least_squares_truncates_tiny_singular_values() {
         // Duplicate predictor; with truncation the solution stays finite
         // and splits the weight.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let s = svd_jacobi(&a).unwrap();
         let x = s.solve_least_squares(&[2.0, 4.0, 6.0], 1e-10).unwrap();
         assert!(x.iter().all(|v| v.is_finite()));

@@ -480,6 +480,7 @@ macro_rules! proptest {
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                 // Bodies may bail out of a case early with `return Ok(())`,
                 // mirroring upstream proptest's Result-valued test bodies.
+                #[allow(clippy::redundant_closure_call)]
                 let case: ::std::result::Result<(), ::std::string::String> = (|| {
                     $body
                     #[allow(unreachable_code)]
@@ -495,8 +496,8 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig,
-        Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig, Strategy,
+        TestRng,
     };
 }
 
@@ -550,8 +551,7 @@ mod tests {
         let doubled = (1usize..5).prop_map(|v| v * 2);
         let v = Strategy::generate(&doubled, &mut rng);
         assert!([2, 4, 6, 8].contains(&v));
-        let dependent =
-            (1usize..4).prop_flat_map(|n| collection::vec(0.0_f64..1.0, n..=n));
+        let dependent = (1usize..4).prop_flat_map(|n| collection::vec(0.0_f64..1.0, n..=n));
         let xs = Strategy::generate(&dependent, &mut rng);
         assert!((1..4).contains(&xs.len()));
     }

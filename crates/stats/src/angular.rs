@@ -29,7 +29,9 @@ pub fn rho_from_angle(gamma: f64) -> f64 {
 /// Composes two angular distances along a path using the paper's rule
 /// `Γ₁ ⊕ Γ₂ = arccos(cos Γ₁ · cos Γ₂)`.
 pub fn compose_angles(g1: f64, g2: f64) -> f64 {
-    (rho_from_angle(g1) * rho_from_angle(g2)).clamp(0.0, 1.0).acos()
+    (rho_from_angle(g1) * rho_from_angle(g2))
+        .clamp(0.0, 1.0)
+        .acos()
 }
 
 #[cfg(test)]

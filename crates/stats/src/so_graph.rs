@@ -73,7 +73,10 @@ impl SoGraphEstimator {
     /// # Panics
     /// Panics on out-of-range indices.
     pub fn add_target_edge(&mut self, target: usize, attr: usize, rho: f64) {
-        assert!(target < self.n_targets && attr < self.n_attrs, "index out of range");
+        assert!(
+            target < self.n_targets && attr < self.n_attrs,
+            "index out of range"
+        );
         self.measured[target][attr] = Some(rho.abs().clamp(0.0, 1.0));
         if let Some(w) = Self::weight(rho) {
             self.graph.add_edge(target, self.attr_node(attr), w);
@@ -86,7 +89,10 @@ impl SoGraphEstimator {
     /// # Panics
     /// Panics on out-of-range or equal indices.
     pub fn add_attr_edge(&mut self, i: usize, j: usize, rho: f64) {
-        assert!(i < self.n_attrs && j < self.n_attrs && i != j, "bad attr pair");
+        assert!(
+            i < self.n_attrs && j < self.n_attrs && i != j,
+            "bad attr pair"
+        );
         if let Some(w) = Self::weight(rho) {
             self.graph.add_edge(self.attr_node(i), self.attr_node(j), w);
         }

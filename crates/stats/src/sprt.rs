@@ -46,8 +46,10 @@ impl SprtConfig {
         if self.p0 >= self.p1 {
             return Err(format!("p0 must be < p1: {self:?}"));
         }
-        if !(0.0..0.5).contains(&self.alpha) || !(0.0..0.5).contains(&self.beta)
-            || self.alpha <= 0.0 || self.beta <= 0.0
+        if !(0.0..0.5).contains(&self.alpha)
+            || !(0.0..0.5).contains(&self.beta)
+            || self.alpha <= 0.0
+            || self.beta <= 0.0
         {
             return Err(format!("alpha/beta must lie in (0, 0.5): {self:?}"));
         }
@@ -259,13 +261,20 @@ mod tests {
     fn config_validation() {
         let ok = SprtConfig::relevance_default();
         assert!(ok.validate().is_ok());
-        let bad_order = SprtConfig { p0: 0.7, p1: 0.3, ..ok };
+        let bad_order = SprtConfig {
+            p0: 0.7,
+            p1: 0.3,
+            ..ok
+        };
         assert!(bad_order.validate().is_err());
         let bad_alpha = SprtConfig { alpha: 0.0, ..ok };
         assert!(bad_alpha.validate().is_err());
         let bad_p = SprtConfig { p1: 1.0, ..ok };
         assert!(bad_p.validate().is_err());
-        let bad_max = SprtConfig { max_samples: 0, ..ok };
+        let bad_max = SprtConfig {
+            max_samples: 0,
+            ..ok
+        };
         assert!(bad_max.validate().is_err());
         assert!(Sprt::new(bad_order).is_err());
     }

@@ -351,8 +351,7 @@ impl StatsTrio {
             return Ok(());
         }
         ws.d.clear();
-        ws.d
-            .extend(ws.active.iter().map(|&a| self.s_c[a] / budget[a]));
+        ws.d.extend(ws.active.iter().map(|&a| self.s_c[a] / budget[a]));
         let (qf, active, d) = (&mut ws.qf, &ws.active, &ws.d);
         qf.factorize_with(active.len(), d, |i, j| self.s_a[active[i]][active[j]])?;
         Ok(())
@@ -536,9 +535,7 @@ mod tests {
         // less explained variance than an independent one of equal signal.
         let mut redundant = StatsTrio::new(1);
         redundant.push_attribute(&[0.8], &[], 1.0, 0.5).unwrap();
-        redundant
-            .push_attribute(&[0.8], &[0.9], 1.0, 0.5)
-            .unwrap();
+        redundant.push_attribute(&[0.8], &[0.9], 1.0, 0.5).unwrap();
         redundant.set_target_variance(0, 1.0).unwrap();
 
         let mut indep = StatsTrio::new(1);

@@ -1,0 +1,67 @@
+//! Validates a `DISQ_TRACE` JSONL file: every line must parse back into
+//! a typed [`disq_trace::TraceEvent`].
+//!
+//! Usage: `cargo run -p disq-trace --example trace_check -- <file>
+//! [--require-coverage]`
+//!
+//! With `--require-coverage` (the CI smoke mode) the file must contain
+//! at least one dismantle decision, one SPRT verdict and one budget
+//! phase transition — the acceptance surface of the observability layer.
+
+use disq_trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.jsonl> [--require-coverage]");
+        return ExitCode::FAILURE;
+    };
+    let require_coverage = args.any(|a| a == "--require-coverage");
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::parse(line) {
+            Ok(event) => {
+                *counts.entry(event.name()).or_default() += 1;
+                total += 1;
+            }
+            Err(e) => {
+                eprintln!("trace_check: {path}:{}: {e}\n  {line}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("trace_check: {path}: {total} events parsed");
+    for (name, n) in &counts {
+        println!("  {name:>18} {n}");
+    }
+
+    if total == 0 {
+        eprintln!("trace_check: {path} holds no events");
+        return ExitCode::FAILURE;
+    }
+    if require_coverage {
+        for required in ["dismantle_choice", "sprt_verdict", "phase_spend"] {
+            if !counts.contains_key(required) {
+                eprintln!("trace_check: {path} has no {required} events");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

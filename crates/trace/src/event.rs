@@ -1,0 +1,557 @@
+//! The typed event taxonomy and its JSONL encoding.
+//!
+//! One [`TraceEvent`] is one line of a trace: a decision or phase
+//! transition the DisQ pipeline took. Events serialize to single-line
+//! JSON objects tagged `"event"` and parse back exactly (floats use
+//! Rust's shortest round-trip formatting; non-finite values encode as
+//! `null` and decode as NaN).
+
+use crate::json::{self, write_f64, write_str, Json};
+use std::fmt::Write as _;
+
+/// Per-candidate term of one dismantle-target choice: the Eq. 8/9 score
+/// `Pr(new | a_j) · Σ_t ω_t [G − L]` and its factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Pool index of the candidate attribute.
+    pub index: u32,
+    /// `Pr(new | a_j) = 1/(n_j + 2)` (Eq. 4).
+    pub pr_new: f64,
+    /// The weighted gain-minus-loss sum `Σ_t ω_t [G − L]`.
+    pub value: f64,
+    /// The product actually ranked.
+    pub score: f64,
+}
+
+/// Per-question-kind component of a phase's spend delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindSpend {
+    /// Question kind label (the ledger's display name).
+    pub kind: String,
+    /// Questions of that kind asked during the phase.
+    pub questions: u64,
+    /// Milli-cents spent on that kind during the phase.
+    pub millicents: i64,
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A preprocessing run began.
+    RunStart {
+        /// Free-form run label (domain / query description).
+        label: String,
+        /// The algorithm seed.
+        seed: u64,
+    },
+    /// A `B_prc` phase boundary: ledger delta since the previous boundary.
+    PhaseSpend {
+        /// Phase that just ended (`examples`, `dismantle`, `refine`,
+        /// `regression`).
+        phase: String,
+        /// Cumulative ledger spend at the boundary, in milli-cents.
+        spent_millicents: i64,
+        /// Spend attributable to this phase, in milli-cents.
+        delta_millicents: i64,
+        /// Questions asked during this phase.
+        delta_questions: u64,
+        /// Non-zero per-kind breakdown of the delta.
+        by_kind: Vec<KindSpend>,
+    },
+    /// One `GetNextAttribute` decision with every candidate's score.
+    DismantleChoice {
+        /// Chosen pool index, or `None` when no candidate had positive
+        /// expected value (a stopping signal).
+        chosen: Option<u32>,
+        /// Scores of all scored candidates (empty under the `Random`
+        /// strategy, which skips scoring).
+        scores: Vec<CandidateScore>,
+    },
+    /// An SPRT verification dialogue concluded.
+    SprtVerdict {
+        /// The crowd-suggested attribute text under verification.
+        candidate: String,
+        /// Pool attribute it was suggested for (raw attribute id).
+        parent: u32,
+        /// `true` = accepted as relevant.
+        accepted: bool,
+        /// Worker answers the test consumed before deciding.
+        samples: u32,
+    },
+    /// Statistics-trio growth after an attribute was measured.
+    TrioSize {
+        /// Query targets tracked.
+        n_targets: u32,
+        /// Attributes currently in the trio.
+        n_attrs: u32,
+    },
+    /// One grant of the greedy budget-distribution loop.
+    BudgetStep {
+        /// Which top-level distribution call this belongs to (`main`,
+        /// `refine`, `fallback`).
+        label: String,
+        /// Pool index granted one more question.
+        attr: u32,
+        /// That attribute's question count after the grant.
+        question: u32,
+        /// Objective value after the grant.
+        objective: f64,
+    },
+    /// A finished greedy budget distribution.
+    BudgetChosen {
+        /// Same labels as [`TraceEvent::BudgetStep`].
+        label: String,
+        /// Final questions per pool attribute.
+        allocation: Vec<u32>,
+        /// Final objective value.
+        objective: f64,
+    },
+    /// A per-target regression was fitted.
+    RegressionFit {
+        /// Target index within the plan.
+        target: u32,
+        /// Target label.
+        label: String,
+        /// Realized training MSE (the plan-validation residual).
+        training_mse: f64,
+        /// Training rows the fit used.
+        rows: u32,
+    },
+    /// The online spam filter rejected an entire answer batch and the
+    /// estimator fell back to the unfiltered answers.
+    SpamFallback {
+        /// Object being estimated.
+        object: u64,
+        /// Attribute whose batch was wiped (raw attribute id).
+        attr: u32,
+        /// Batch size that was entirely rejected.
+        answers: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The `"event"` tag of the JSON encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::PhaseSpend { .. } => "phase_spend",
+            TraceEvent::DismantleChoice { .. } => "dismantle_choice",
+            TraceEvent::SprtVerdict { .. } => "sprt_verdict",
+            TraceEvent::TrioSize { .. } => "trio_size",
+            TraceEvent::BudgetStep { .. } => "budget_step",
+            TraceEvent::BudgetChosen { .. } => "budget_chosen",
+            TraceEvent::RegressionFit { .. } => "regression_fit",
+            TraceEvent::SpamFallback { .. } => "spam_fallback",
+        }
+    }
+
+    /// Serializes to one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"event\":");
+        write_str(&mut s, self.name());
+        match self {
+            TraceEvent::RunStart { label, seed } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(s, ",\"seed\":{seed}");
+            }
+            TraceEvent::PhaseSpend {
+                phase,
+                spent_millicents,
+                delta_millicents,
+                delta_questions,
+                by_kind,
+            } => {
+                s.push_str(",\"phase\":");
+                write_str(&mut s, phase);
+                let _ = write!(
+                    s,
+                    ",\"spent_millicents\":{spent_millicents},\
+                     \"delta_millicents\":{delta_millicents},\
+                     \"delta_questions\":{delta_questions},\"by_kind\":["
+                );
+                for (i, k) in by_kind.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"kind\":");
+                    write_str(&mut s, &k.kind);
+                    let _ = write!(
+                        s,
+                        ",\"questions\":{},\"millicents\":{}}}",
+                        k.questions, k.millicents
+                    );
+                }
+                s.push(']');
+            }
+            TraceEvent::DismantleChoice { chosen, scores } => {
+                match chosen {
+                    Some(c) => {
+                        let _ = write!(s, ",\"chosen\":{c}");
+                    }
+                    None => s.push_str(",\"chosen\":null"),
+                }
+                s.push_str(",\"scores\":[");
+                for (i, c) in scores.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{{\"index\":{},\"pr_new\":", c.index);
+                    write_f64(&mut s, c.pr_new);
+                    s.push_str(",\"value\":");
+                    write_f64(&mut s, c.value);
+                    s.push_str(",\"score\":");
+                    write_f64(&mut s, c.score);
+                    s.push('}');
+                }
+                s.push(']');
+            }
+            TraceEvent::SprtVerdict {
+                candidate,
+                parent,
+                accepted,
+                samples,
+            } => {
+                s.push_str(",\"candidate\":");
+                write_str(&mut s, candidate);
+                let _ = write!(
+                    s,
+                    ",\"parent\":{parent},\"accepted\":{accepted},\"samples\":{samples}"
+                );
+            }
+            TraceEvent::TrioSize { n_targets, n_attrs } => {
+                let _ = write!(s, ",\"n_targets\":{n_targets},\"n_attrs\":{n_attrs}");
+            }
+            TraceEvent::BudgetStep {
+                label,
+                attr,
+                question,
+                objective,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(s, ",\"attr\":{attr},\"question\":{question},\"objective\":");
+                write_f64(&mut s, *objective);
+            }
+            TraceEvent::BudgetChosen {
+                label,
+                allocation,
+                objective,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                s.push_str(",\"allocation\":[");
+                for (i, b) in allocation.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{b}");
+                }
+                s.push_str("],\"objective\":");
+                write_f64(&mut s, *objective);
+            }
+            TraceEvent::RegressionFit {
+                target,
+                label,
+                training_mse,
+                rows,
+            } => {
+                let _ = write!(s, ",\"target\":{target},\"label\":");
+                write_str(&mut s, label);
+                s.push_str(",\"training_mse\":");
+                write_f64(&mut s, *training_mse);
+                let _ = write!(s, ",\"rows\":{rows}");
+            }
+            TraceEvent::SpamFallback {
+                object,
+                attr,
+                answers,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"object\":{object},\"attr\":{attr},\"answers\":{answers}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line back into an event.
+    pub fn parse(line: &str) -> Result<TraceEvent, String> {
+        let v = json::parse(line)?;
+        let tag = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or("missing \"event\" tag")?;
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{tag}: missing string {name:?}"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{tag}: missing integer {name:?}"))
+        };
+        let u32_field = |name: &str| -> Result<u32, String> {
+            u64_field(name)?
+                .try_into()
+                .map_err(|_| format!("{tag}: {name:?} out of range"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{tag}: missing number {name:?}"))
+        };
+        match tag {
+            "run_start" => Ok(TraceEvent::RunStart {
+                label: str_field("label")?,
+                seed: u64_field("seed")?,
+            }),
+            "phase_spend" => {
+                let mut by_kind = Vec::new();
+                for k in v
+                    .get("by_kind")
+                    .and_then(Json::as_arr)
+                    .ok_or("phase_spend: missing by_kind")?
+                {
+                    by_kind.push(KindSpend {
+                        kind: k
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .ok_or("by_kind: missing kind")?
+                            .to_string(),
+                        questions: k
+                            .get("questions")
+                            .and_then(Json::as_u64)
+                            .ok_or("by_kind: missing questions")?,
+                        millicents: k
+                            .get("millicents")
+                            .and_then(Json::as_i64)
+                            .ok_or("by_kind: missing millicents")?,
+                    });
+                }
+                Ok(TraceEvent::PhaseSpend {
+                    phase: str_field("phase")?,
+                    spent_millicents: v
+                        .get("spent_millicents")
+                        .and_then(Json::as_i64)
+                        .ok_or("phase_spend: missing spent_millicents")?,
+                    delta_millicents: v
+                        .get("delta_millicents")
+                        .and_then(Json::as_i64)
+                        .ok_or("phase_spend: missing delta_millicents")?,
+                    delta_questions: u64_field("delta_questions")?,
+                    by_kind,
+                })
+            }
+            "dismantle_choice" => {
+                let chosen = match v.get("chosen") {
+                    Some(Json::Null) => None,
+                    Some(j) => Some(
+                        j.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("dismantle_choice: bad chosen")?,
+                    ),
+                    None => return Err("dismantle_choice: missing chosen".into()),
+                };
+                let mut scores = Vec::new();
+                for c in v
+                    .get("scores")
+                    .and_then(Json::as_arr)
+                    .ok_or("dismantle_choice: missing scores")?
+                {
+                    let num = |name: &str| -> Result<f64, String> {
+                        c.get(name)
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("scores: missing {name:?}"))
+                    };
+                    scores.push(CandidateScore {
+                        index: c
+                            .get("index")
+                            .and_then(Json::as_u64)
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("scores: missing index")?,
+                        pr_new: num("pr_new")?,
+                        value: num("value")?,
+                        score: num("score")?,
+                    });
+                }
+                Ok(TraceEvent::DismantleChoice { chosen, scores })
+            }
+            "sprt_verdict" => Ok(TraceEvent::SprtVerdict {
+                candidate: str_field("candidate")?,
+                parent: u32_field("parent")?,
+                accepted: v
+                    .get("accepted")
+                    .and_then(Json::as_bool)
+                    .ok_or("sprt_verdict: missing accepted")?,
+                samples: u32_field("samples")?,
+            }),
+            "trio_size" => Ok(TraceEvent::TrioSize {
+                n_targets: u32_field("n_targets")?,
+                n_attrs: u32_field("n_attrs")?,
+            }),
+            "budget_step" => Ok(TraceEvent::BudgetStep {
+                label: str_field("label")?,
+                attr: u32_field("attr")?,
+                question: u32_field("question")?,
+                objective: f64_field("objective")?,
+            }),
+            "budget_chosen" => {
+                let mut allocation = Vec::new();
+                for b in v
+                    .get("allocation")
+                    .and_then(Json::as_arr)
+                    .ok_or("budget_chosen: missing allocation")?
+                {
+                    allocation.push(
+                        b.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("budget_chosen: bad allocation entry")?,
+                    );
+                }
+                Ok(TraceEvent::BudgetChosen {
+                    label: str_field("label")?,
+                    allocation,
+                    objective: f64_field("objective")?,
+                })
+            }
+            "regression_fit" => Ok(TraceEvent::RegressionFit {
+                target: u32_field("target")?,
+                label: str_field("label")?,
+                training_mse: f64_field("training_mse")?,
+                rows: u32_field("rows")?,
+            }),
+            "spam_fallback" => Ok(TraceEvent::SpamFallback {
+                object: u64_field("object")?,
+                attr: u32_field("attr")?,
+                answers: u32_field("answers")?,
+            }),
+            other => Err(format!("unknown event tag {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStart {
+                label: "pictures / {Bmi}".into(),
+                seed: 42,
+            },
+            TraceEvent::PhaseSpend {
+                phase: "examples".into(),
+                spent_millicents: 123_456,
+                delta_millicents: 123_456,
+                delta_questions: 40,
+                by_kind: vec![KindSpend {
+                    kind: "example".into(),
+                    questions: 40,
+                    millicents: 123_456,
+                }],
+            },
+            TraceEvent::DismantleChoice {
+                chosen: Some(2),
+                scores: vec![
+                    CandidateScore {
+                        index: 0,
+                        pr_new: 0.5,
+                        value: 1.0 / 3.0,
+                        score: 1.0 / 6.0,
+                    },
+                    CandidateScore {
+                        index: 2,
+                        pr_new: 0.25,
+                        value: 2.0,
+                        score: 0.5,
+                    },
+                ],
+            },
+            TraceEvent::DismantleChoice {
+                chosen: None,
+                scores: vec![],
+            },
+            TraceEvent::SprtVerdict {
+                candidate: "Has \"Meat\"".into(),
+                parent: 3,
+                accepted: true,
+                samples: 7,
+            },
+            TraceEvent::TrioSize {
+                n_targets: 2,
+                n_attrs: 5,
+            },
+            TraceEvent::BudgetStep {
+                label: "main".into(),
+                attr: 1,
+                question: 3,
+                objective: 0.725,
+            },
+            TraceEvent::BudgetChosen {
+                label: "main".into(),
+                allocation: vec![5, 10, 0, 3],
+                objective: 0.81,
+            },
+            TraceEvent::RegressionFit {
+                target: 0,
+                label: "Bmi".into(),
+                training_mse: 4.25,
+                rows: 58,
+            },
+            TraceEvent::SpamFallback {
+                object: 17,
+                attr: 4,
+                answers: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for event in samples() {
+            let line = event.to_json();
+            assert!(!line.contains('\n'), "{line}");
+            let back =
+                TraceEvent::parse(&line).unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(back, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for event in samples() {
+            seen.insert(event.name());
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn non_finite_mse_encodes_as_null() {
+        let event = TraceEvent::RegressionFit {
+            target: 0,
+            label: "Bmi".into(),
+            training_mse: f64::INFINITY,
+            rows: 0,
+        };
+        let line = event.to_json();
+        assert!(line.contains("\"training_mse\":null"), "{line}");
+        match TraceEvent::parse(&line).unwrap() {
+            TraceEvent::RegressionFit { training_mse, .. } => assert!(training_mse.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(TraceEvent::parse("{\"event\":\"nope\"}").is_err());
+        assert!(TraceEvent::parse("not json").is_err());
+        assert!(TraceEvent::parse("{\"no_tag\":1}").is_err());
+    }
+}

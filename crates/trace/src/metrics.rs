@@ -1,0 +1,511 @@
+//! Always-on counters and opt-in kernel-timing histograms, aggregated
+//! into a [`RunSummary`].
+//!
+//! Counters are process-global relaxed atomics: incrementing one costs a
+//! few nanoseconds, far below the cost of any crowd question or linear
+//! solve it annotates, so they stay on even when no trace sink is
+//! installed — that is what makes silent behaviours (spam-filter
+//! fallbacks, replay fall-throughs) visible in every run. Timers wrap
+//! the `disq-math` kernels and *are* gated on an installed sink, because
+//! two `Instant::now` calls per tiny Cholesky solve would be measurable
+//! in the greedy loop.
+//!
+//! [`RunSummary`] snapshots are plain data; `later.delta_since(&earlier)`
+//! scopes a summary to one experiment, mirroring the crowd ledger's
+//! snapshot/delta pattern.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` holds durations in
+/// `[2^(i−1), 2^i)` nanoseconds (bucket 0 holds 0–1 ns).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Process-global event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Binary value questions charged.
+    QuestionsBinary,
+    /// Numeric value questions charged.
+    QuestionsNumeric,
+    /// Dismantle questions charged.
+    QuestionsDismantle,
+    /// Verification questions charged.
+    QuestionsVerify,
+    /// Example questions charged.
+    QuestionsExample,
+    /// Total milli-cents charged across all questions.
+    SpendMillicents,
+    /// Individual answers discarded by the online spam filter.
+    SpamAnswersDropped,
+    /// Answer batches the spam filter rejected entirely, forcing the
+    /// estimator to average the unfiltered answers.
+    SpamFallbacks,
+    /// `GetNextAttribute` decisions taken.
+    DismantleChoices,
+    /// SPRT verifications that accepted the candidate.
+    SprtAccepted,
+    /// SPRT verifications that rejected the candidate.
+    SprtRejected,
+    /// Worker answers consumed across all SPRT dialogues.
+    SprtSamples,
+    /// Question grants made by the greedy budget-distribution loop
+    /// (top-level calls only, not the loss-term probes).
+    BudgetSteps,
+    /// Per-target regressions fitted.
+    RegressionFits,
+    /// Answers served from a replay log.
+    ReplayServed,
+    /// Replay lookups that fell through to the live platform because the
+    /// log was exhausted (or keyed differently).
+    ReplayFellThrough,
+}
+
+/// Number of counters.
+pub const COUNTER_COUNT: usize = 16;
+
+impl Counter {
+    /// Every counter, in `RunSummary` order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::QuestionsBinary,
+        Counter::QuestionsNumeric,
+        Counter::QuestionsDismantle,
+        Counter::QuestionsVerify,
+        Counter::QuestionsExample,
+        Counter::SpendMillicents,
+        Counter::SpamAnswersDropped,
+        Counter::SpamFallbacks,
+        Counter::DismantleChoices,
+        Counter::SprtAccepted,
+        Counter::SprtRejected,
+        Counter::SprtSamples,
+        Counter::BudgetSteps,
+        Counter::RegressionFits,
+        Counter::ReplayServed,
+        Counter::ReplayFellThrough,
+    ];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::QuestionsBinary => "questions_binary",
+            Counter::QuestionsNumeric => "questions_numeric",
+            Counter::QuestionsDismantle => "questions_dismantle",
+            Counter::QuestionsVerify => "questions_verify",
+            Counter::QuestionsExample => "questions_example",
+            Counter::SpendMillicents => "spend_millicents",
+            Counter::SpamAnswersDropped => "spam_answers_dropped",
+            Counter::SpamFallbacks => "spam_fallbacks",
+            Counter::DismantleChoices => "dismantle_choices",
+            Counter::SprtAccepted => "sprt_accepted",
+            Counter::SprtRejected => "sprt_rejected",
+            Counter::SprtSamples => "sprt_samples",
+            Counter::BudgetSteps => "budget_steps",
+            Counter::RegressionFits => "regression_fits",
+            Counter::ReplayServed => "replay_served",
+            Counter::ReplayFellThrough => "replay_fell_through",
+        }
+    }
+}
+
+/// Timed kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Timer {
+    /// `QuadFormWorkspace::factorize_with` (packed Cholesky + rescue
+    /// ladder).
+    QuadFormFactorize,
+    /// `QuadFormWorkspace::quad_form` (triangular solves).
+    QuadFormSolve,
+    /// Dense `Cholesky::new` factorization.
+    CholeskyFactorize,
+    /// One crowd question end to end (any kind).
+    CrowdQuestion,
+}
+
+/// Number of timers.
+pub const TIMER_COUNT: usize = 4;
+
+impl Timer {
+    /// Every timer, in `RunSummary` order.
+    pub const ALL: [Timer; TIMER_COUNT] = [
+        Timer::QuadFormFactorize,
+        Timer::QuadFormSolve,
+        Timer::CholeskyFactorize,
+        Timer::CrowdQuestion,
+    ];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Timer::QuadFormFactorize => "quadform_factorize",
+            Timer::QuadFormSolve => "quadform_solve",
+            Timer::CholeskyFactorize => "cholesky_factorize",
+            Timer::CrowdQuestion => "crowd_question",
+        }
+    }
+}
+
+struct AtomicHist {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl AtomicHist {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHist {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            buckets: [ZERO; HIST_BUCKETS],
+        }
+    }
+
+    fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index of a nanosecond duration: `⌈log₂(ns+1)⌉`, capped.
+fn bucket_of(ns: u64) -> usize {
+    ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+struct Registry {
+    counters: [AtomicU64; COUNTER_COUNT],
+    timers: [AtomicHist; TIMER_COUNT],
+}
+
+static REGISTRY: Registry = {
+    #[allow(clippy::declare_interior_mutable_const)] // array-init seeds
+    const C: AtomicU64 = AtomicU64::new(0);
+    #[allow(clippy::declare_interior_mutable_const)]
+    const H: AtomicHist = AtomicHist::new();
+    Registry {
+        counters: [C; COUNTER_COUNT],
+        timers: [H; TIMER_COUNT],
+    }
+};
+
+/// Increments a counter by one.
+#[inline]
+pub fn count(counter: Counter) {
+    count_n(counter, 1);
+}
+
+/// Increments a counter by `n`.
+#[inline]
+pub fn count_n(counter: Counter, n: u64) {
+    REGISTRY.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one timed kernel invocation. Callers gate on
+/// [`crate::active`]; see [`crate::time`].
+pub fn record_timer(timer: Timer, elapsed: Duration) {
+    let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    REGISTRY.timers[timer as usize].record_ns(ns);
+}
+
+/// Frozen state of one timer's histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Invocations recorded.
+    pub count: u64,
+    /// Sum of recorded durations, nanoseconds.
+    pub total_ns: u64,
+    /// Power-of-two nanosecond buckets (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl TimerStats {
+    fn zero() -> Self {
+        TimerStats {
+            count: 0,
+            total_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Mean duration in nanoseconds (0 when nothing was recorded).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// the `q`-th recorded duration (`0 < q ≤ 1`).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+}
+
+/// A frozen view of every counter and timer — either absolute (since
+/// process start) from [`crate::summary`], or scoped to an interval via
+/// [`RunSummary::delta_since`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    counters: [u64; COUNTER_COUNT],
+    timers: Vec<TimerStats>,
+}
+
+impl Default for RunSummary {
+    fn default() -> Self {
+        RunSummary {
+            counters: [0; COUNTER_COUNT],
+            timers: vec![TimerStats::zero(); TIMER_COUNT],
+        }
+    }
+}
+
+/// Snapshots the global registry.
+pub fn summary() -> RunSummary {
+    let mut out = RunSummary::default();
+    for (i, c) in REGISTRY.counters.iter().enumerate() {
+        out.counters[i] = c.load(Ordering::Relaxed);
+    }
+    for (i, h) in REGISTRY.timers.iter().enumerate() {
+        out.timers[i].count = h.count.load(Ordering::Relaxed);
+        out.timers[i].total_ns = h.total_ns.load(Ordering::Relaxed);
+        for (j, b) in h.buckets.iter().enumerate() {
+            out.timers[i].buckets[j] = b.load(Ordering::Relaxed);
+        }
+    }
+    out
+}
+
+impl RunSummary {
+    /// The value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// The stats of one timer.
+    pub fn timer(&self, t: Timer) -> &TimerStats {
+        &self.timers[t as usize]
+    }
+
+    /// Total questions of all kinds.
+    pub fn total_questions(&self) -> u64 {
+        Counter::ALL[..5].iter().map(|&c| self.counter(c)).sum()
+    }
+
+    /// Counter-wise and bucket-wise saturating difference: the activity
+    /// between `earlier` and `self`.
+    pub fn delta_since(&self, earlier: &RunSummary) -> RunSummary {
+        let mut out = self.clone();
+        for i in 0..COUNTER_COUNT {
+            out.counters[i] = out.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        for i in 0..TIMER_COUNT {
+            let e = &earlier.timers[i];
+            let t = &mut out.timers[i];
+            t.count = t.count.saturating_sub(e.count);
+            t.total_ns = t.total_ns.saturating_sub(e.total_ns);
+            for j in 0..HIST_BUCKETS {
+                t.buckets[j] = t.buckets[j].saturating_sub(e.buckets[j]);
+            }
+        }
+        out
+    }
+
+    /// True when nothing was counted or timed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0) && self.timers.iter().all(|t| t.count == 0)
+    }
+
+    /// Human-readable multi-line block for report footers; every line is
+    /// prefixed `trace:`. Zero sections are omitted.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let q = self.total_questions();
+        if q > 0 {
+            let _ = write!(
+                out,
+                "trace: {} questions (binary {}, numeric {}, dismantle {}, verify {}, \
+                 example {}); spend {}mc",
+                q,
+                self.counter(Counter::QuestionsBinary),
+                self.counter(Counter::QuestionsNumeric),
+                self.counter(Counter::QuestionsDismantle),
+                self.counter(Counter::QuestionsVerify),
+                self.counter(Counter::QuestionsExample),
+                self.counter(Counter::SpendMillicents),
+            );
+            out.push('\n');
+        }
+        let decisions = [
+            (Counter::DismantleChoices, "dismantle choices"),
+            (Counter::SprtAccepted, "sprt accepts"),
+            (Counter::SprtRejected, "sprt rejects"),
+            (Counter::SprtSamples, "sprt samples"),
+            (Counter::BudgetSteps, "budget steps"),
+            (Counter::RegressionFits, "regression fits"),
+            (Counter::SpamAnswersDropped, "spam drops"),
+            (Counter::SpamFallbacks, "spam fallbacks"),
+            (Counter::ReplayServed, "replayed"),
+            (Counter::ReplayFellThrough, "replay fall-throughs"),
+        ];
+        let parts: Vec<String> = decisions
+            .iter()
+            .filter(|&&(c, _)| self.counter(c) > 0)
+            .map(|&(c, label)| format!("{label} {}", self.counter(c)))
+            .collect();
+        if !parts.is_empty() {
+            let _ = write!(out, "trace: {}", parts.join(", "));
+            out.push('\n');
+        }
+        for t in Timer::ALL {
+            let stats = self.timer(t);
+            if stats.count > 0 {
+                let _ = write!(
+                    out,
+                    "trace: kernel {} n={} mean={:.0}ns p50≤{}ns p99≤{}ns",
+                    t.name(),
+                    stats.count,
+                    stats.mean_ns(),
+                    stats.quantile_ns(0.5),
+                    stats.quantile_ns(0.99),
+                );
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// One-line JSON object (non-zero counters and timers only), the
+    /// `run_summary` block merged into `BENCH_harness.json` records.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        let mut first = true;
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v > 0 {
+                if !first {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{v}", c.name());
+                first = false;
+            }
+        }
+        s.push_str("},\"timers\":{");
+        let mut first = true;
+        for t in Timer::ALL {
+            let stats = self.timer(t);
+            if stats.count > 0 {
+                if !first {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\"{}\":{{\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                    t.name(),
+                    stats.count,
+                    stats.total_ns,
+                    stats.quantile_ns(0.5),
+                    stats.quantile_ns(0.99),
+                );
+                first = false;
+            }
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let before = summary();
+        count(Counter::SpamFallbacks);
+        count_n(Counter::SpamAnswersDropped, 3);
+        let delta = summary().delta_since(&before);
+        assert_eq!(delta.counter(Counter::SpamFallbacks), 1);
+        assert_eq!(delta.counter(Counter::SpamAnswersDropped), 3);
+    }
+
+    #[test]
+    fn timer_stats_quantiles() {
+        let mut stats = TimerStats::zero();
+        // 90 fast (bucket 4: ≤16ns), 10 slow (bucket 11: ≤2048ns).
+        stats.buckets[4] = 90;
+        stats.buckets[11] = 10;
+        stats.count = 100;
+        stats.total_ns = 90 * 10 + 10 * 1500;
+        assert_eq!(stats.quantile_ns(0.5), 16);
+        assert_eq!(stats.quantile_ns(0.99), 2048);
+        assert!((stats.mean_ns() - 159.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_timer_lands_in_summary() {
+        let before = summary();
+        record_timer(Timer::CholeskyFactorize, Duration::from_nanos(100));
+        let delta = summary().delta_since(&before);
+        let stats = delta.timer(Timer::CholeskyFactorize);
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.total_ns, 100);
+        assert_eq!(stats.buckets[bucket_of(100)], 1);
+    }
+
+    #[test]
+    fn render_and_json_skip_zero_sections() {
+        let empty = RunSummary::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.render(), "");
+        assert_eq!(empty.to_json(), "{\"counters\":{},\"timers\":{}}");
+
+        let mut s = RunSummary::default();
+        s.counters[Counter::QuestionsBinary as usize] = 7;
+        s.counters[Counter::SpendMillicents as usize] = 700;
+        let rendered = s.render();
+        assert!(rendered.contains("7 questions"), "{rendered}");
+        assert!(rendered.contains("spend 700mc"), "{rendered}");
+        let json = s.to_json();
+        assert!(json.contains("\"questions_binary\":7"), "{json}");
+        assert!(!json.contains("questions_numeric"), "{json}");
+    }
+
+    #[test]
+    fn counter_names_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            assert!(seen.insert(c.name()));
+        }
+        for t in Timer::ALL {
+            assert!(seen.insert(t.name()));
+        }
+    }
+}

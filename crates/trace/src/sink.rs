@@ -1,0 +1,158 @@
+//! Where events go: the [`TraceSink`] trait and its three
+//! implementations.
+//!
+//! * [`NullSink`] — discards everything; the default. The global emit
+//!   path never even constructs an event while no sink is installed, so
+//!   the instrumented hot paths cost one relaxed atomic load.
+//! * [`MemorySink`] — collects events in memory; for tests and
+//!   programmatic inspection.
+//! * [`JsonlSink`] — appends one JSON line per event to a file; selected
+//!   by `DISQ_TRACE=<path>`.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for trace events.
+///
+/// Sinks receive shared references because the pipeline emits from
+/// multiple bench worker threads; implementations synchronize
+/// internally.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &TraceEvent);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: &TraceEvent) {}
+}
+
+/// Collects events in memory, preserving emission order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything collected so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drains and returns everything collected so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, event: &TraceEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Writes one JSON line per event to a file.
+///
+/// Lines are flushed on every emit: the sink lives in a global for the
+/// process lifetime, so destructor-based flushing would silently lose
+/// the tail of the trace. Tracing runs are diagnostic, not benchmarked,
+/// so the extra write syscalls are acceptable.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{}", event.to_json());
+        let _ = out.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(n: u32) -> TraceEvent {
+        TraceEvent::TrioSize {
+            n_targets: 1,
+            n_attrs: n,
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        for n in 0..5 {
+            sink.emit(&event(n));
+        }
+        assert_eq!(sink.len(), 5);
+        let events = sink.take();
+        assert_eq!(events[4], event(4));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        NullSink.emit(&event(1));
+        NullSink.flush();
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_disk() {
+        let path = std::env::temp_dir().join(format!(
+            "disq-trace-sink-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        for n in 0..3 {
+            sink.emit(&event(n));
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::parse(l).unwrap())
+            .collect();
+        assert_eq!(parsed, vec![event(0), event(1), event(2)]);
+        std::fs::remove_file(&path).ok();
+    }
+}

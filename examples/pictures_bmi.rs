@@ -66,7 +66,11 @@ fn main() {
                 .collect();
             total += metrics::query_error(&est, &truth, &weights);
         }
-        println!("{:<14} avg weighted error = {:.4}", baseline.name(), total / reps as f64);
+        println!(
+            "{:<14} avg weighted error = {:.4}",
+            baseline.name(),
+            total / reps as f64
+        );
         println!("               e.g. {example_formula}\n");
     }
     println!("(lower is better; DisQ assembles cheap boolean judgements like Heavy/Fat\n into the Bmi estimate instead of burning the budget on direct numeric guesses)");

@@ -16,6 +16,11 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
+    // Honour DISQ_TRACE=<path> (structured JSONL event log); counters
+    // below work either way.
+    disq::trace::init_from_env();
+    let trace_start = disq::trace::summary();
+
     // A 15-attribute synthetic world; attribute 0 will be our query.
     let spec = Arc::new(synthetic::spec(
         &SyntheticConfig {
@@ -84,4 +89,12 @@ fn main() {
         (se / objects.len() as f64).sqrt(),
         spec.attr(target).sd
     );
+
+    // Run summary: what the observability layer counted along the way.
+    let summary = disq::trace::summary().delta_since(&trace_start);
+    if !summary.is_empty() {
+        println!();
+        print!("{}", summary.render());
+    }
+    disq::trace::flush();
 }

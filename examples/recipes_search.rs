@@ -29,7 +29,13 @@ fn main() {
     )
     .expect("query parses");
     let targets = query.attributes();
-    println!("A(Q) = {:?}\n", targets.iter().map(|&a| &spec.attr(a).name).collect::<Vec<_>>());
+    println!(
+        "A(Q) = {:?}\n",
+        targets
+            .iter()
+            .map(|&a| &spec.attr(a).name)
+            .collect::<Vec<_>>()
+    );
 
     // The "500 most popular recipes".
     let mut rng = StdRng::seed_from_u64(2015);

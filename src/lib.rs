@@ -11,6 +11,8 @@
 //! * [`domain`] — calibrated object/attribute domains and the query model
 //! * [`core`] — the DisQ preprocessing algorithm and online evaluator
 //! * [`baselines`] — the comparison strategies from the paper's evaluation
+//! * [`trace`] — structured trace events, counters and kernel timers
+//!   (enable JSONL capture with `DISQ_TRACE=<path>`)
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -21,3 +23,4 @@ pub use disq_crowd as crowd;
 pub use disq_domain as domain;
 pub use disq_math as math;
 pub use disq_stats as stats;
+pub use disq_trace as trace;

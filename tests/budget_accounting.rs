@@ -2,8 +2,8 @@
 
 use disq::core::{preprocess, DisqConfig, DisqError};
 use disq::crowd::{
-    CrowdConfig, CrowdPlatform, Money, PricingModel, QuestionKind, RecordingCrowd,
-    ReplayingCrowd, SimulatedCrowd,
+    CrowdConfig, CrowdPlatform, Money, PricingModel, QuestionKind, RecordingCrowd, ReplayingCrowd,
+    SimulatedCrowd,
 };
 use disq::domain::domains::pictures;
 use disq::domain::Population;
@@ -42,9 +42,7 @@ fn per_kind_totals_sum_to_spend() {
     assert!(ledger.count(QuestionKind::Example) > 0);
     assert!(ledger.count(QuestionKind::Dismantle) > 0);
     assert!(ledger.count(QuestionKind::Verify) > 0);
-    assert!(
-        ledger.count(QuestionKind::NumericValue) + ledger.count(QuestionKind::BinaryValue) > 0
-    );
+    assert!(ledger.count(QuestionKind::NumericValue) + ledger.count(QuestionKind::BinaryValue) > 0);
 }
 
 #[test]
@@ -131,7 +129,11 @@ fn recorded_answers_replay_across_runs() {
         11,
     )
     .unwrap();
-    assert!(replayer.replayed() > 1000, "replayed {}", replayer.replayed());
+    assert!(
+        replayer.replayed() > 1000,
+        "replayed {}",
+        replayer.replayed()
+    );
     assert_eq!(out1.pool_labels, out2.pool_labels);
     assert_eq!(out1.budget, out2.budget);
 }

@@ -9,11 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn world(
-    spec: Arc<disq::domain::DomainSpec>,
-    n: usize,
-    seed: u64,
-) -> (Population, SimulatedCrowd) {
+fn world(spec: Arc<disq::domain::DomainSpec>, n: usize, seed: u64) -> (Population, SimulatedCrowd) {
     let mut rng = StdRng::seed_from_u64(seed);
     let pop = Population::sample(Arc::clone(&spec), n, &mut rng).unwrap();
     let crowd = SimulatedCrowd::new(

@@ -35,10 +35,7 @@ fn run_with(crowd_config: CrowdConfig, algo_config: DisqConfig, seed: u64) -> f6
     let mut online_crowd = SimulatedCrowd::new(pop.clone(), crowd_config, None, seed + 1);
     let objects: Vec<ObjectId> = (0..120).map(ObjectId).collect();
     let est = online::estimate_objects(&mut online_crowd, &out.plan, &objects).unwrap();
-    let truth: Vec<Vec<f64>> = objects
-        .iter()
-        .map(|&o| vec![pop.value(o, bmi)])
-        .collect();
+    let truth: Vec<Vec<f64>> = objects.iter().map(|&o| vec![pop.value(o, bmi)]).collect();
     disq::core::metrics::query_error(&est, &truth, &weights)
 }
 

@@ -1,0 +1,180 @@
+//! End-to-end observability: a real preprocessing run traced through a
+//! sink must (a) leave the algorithm's output bit-identical, (b) emit a
+//! typed event for every dismantle decision, SPRT verdict and budget
+//! phase transition, and (c) round-trip through the JSONL format.
+//!
+//! The trace sink is process-global, so every test here serializes on
+//! one mutex.
+
+use disq::core::{preprocess, DisqConfig, PreprocessOutput};
+use disq::crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq::domain::{domains::pictures, Population};
+use disq::trace::{self, Counter, MemorySink, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+static GLOBAL_SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn run_preprocess(seed: u64) -> PreprocessOutput {
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::sample(Arc::clone(&spec), 2_000, &mut rng).unwrap();
+    let mut crowd = SimulatedCrowd::new(
+        pop,
+        CrowdConfig::default(),
+        Some(Money::from_dollars(20.0)),
+        seed,
+    );
+    preprocess(
+        &mut crowd,
+        &spec,
+        &[bmi],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        seed,
+    )
+    .unwrap()
+}
+
+#[test]
+fn traced_run_is_bit_identical_and_covers_all_decisions() {
+    let _guard = GLOBAL_SINK_LOCK.lock().unwrap();
+    trace::uninstall();
+
+    let baseline = run_preprocess(11);
+
+    let sink = Arc::new(MemorySink::new());
+    let before = trace::summary();
+    trace::install(sink.clone());
+    let traced = run_preprocess(11);
+    trace::uninstall();
+    let delta = trace::summary().delta_since(&before);
+    let events = sink.take();
+
+    // (a) Observation must not perturb the algorithm.
+    assert_eq!(baseline.plan, traced.plan);
+    assert_eq!(baseline.budget, traced.budget);
+    assert_eq!(baseline.stats.discovered, traced.stats.discovered);
+    assert_eq!(baseline.stats.spent, traced.stats.spent);
+
+    // (b) Event coverage.
+    let count = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+    assert!(
+        count(&|e| matches!(e, TraceEvent::RunStart { .. })) == 1,
+        "exactly one run_start"
+    );
+    let phases: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PhaseSpend { phase, .. } => Some(phase.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(phases, ["examples", "dismantle", "refine", "regression"]);
+    // Every dismantle question the stats counted corresponds to a
+    // dismantle_choice decision event (Random strategy aside, the
+    // default Optimal strategy emits one per chosen question).
+    let choices = count(&|e| {
+        matches!(
+            e,
+            TraceEvent::DismantleChoice {
+                chosen: Some(_),
+                ..
+            }
+        )
+    });
+    assert_eq!(choices as u32, traced.stats.dismantle_questions);
+    // Every verification dialogue ends in exactly one verdict. The stats
+    // can undercount by one: an accepted candidate whose statistics are
+    // no longer affordable is dropped after its verdict.
+    let verdicts = count(&|e| matches!(e, TraceEvent::SprtVerdict { .. })) as u32;
+    let expected_verdicts =
+        traced.stats.discovered.len() as u32 + traced.stats.rejected + traced.stats.junk;
+    assert!(
+        verdicts == expected_verdicts || verdicts == expected_verdicts + 1,
+        "verdicts {verdicts} vs stats {expected_verdicts}"
+    );
+    // Chosen-candidate scores carry the Eq. 8 ingredients.
+    let has_scored_choice = events.iter().any(|e| match e {
+        TraceEvent::DismantleChoice { scores, .. } => {
+            scores.iter().any(|s| s.score.is_finite() && s.pr_new > 0.0)
+        }
+        _ => false,
+    });
+    assert!(has_scored_choice, "no candidate score breakdown captured");
+    // The budget distribution ran and granted questions.
+    let grants = count(&|e| matches!(e, TraceEvent::BudgetStep { .. }));
+    assert!(grants > 0, "no budget_step events");
+    let chosen_allocs: Vec<&Vec<u32>> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::BudgetChosen {
+                label, allocation, ..
+            } if label == "main" => Some(allocation),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(chosen_allocs.len(), 1);
+    assert_eq!(chosen_allocs[0].len(), traced.budget.len());
+    assert!(count(&|e| matches!(e, TraceEvent::TrioSize { .. })) >= 1);
+    assert!(count(&|e| matches!(e, TraceEvent::RegressionFit { .. })) >= 1);
+
+    // (c) Counters moved in lockstep with the events.
+    assert!(delta.counter(Counter::DismantleChoices) >= choices as u64);
+    assert!(
+        delta.counter(Counter::SprtAccepted) + delta.counter(Counter::SprtRejected)
+            >= verdicts as u64
+    );
+    assert!(delta.counter(Counter::QuestionsDismantle) >= traced.stats.dismantle_questions as u64);
+    assert!(delta.total_questions() > 0);
+    // Kernel timers only tick while a sink is installed, and the greedy
+    // loop factorizes constantly.
+    assert!(delta.timer(disq::trace::Timer::QuadFormFactorize).count > 0);
+    assert!(delta.timer(disq::trace::Timer::CrowdQuestion).count > 0);
+}
+
+#[test]
+fn jsonl_sink_round_trips_every_event() {
+    let _guard = GLOBAL_SINK_LOCK.lock().unwrap();
+    trace::uninstall();
+
+    let dir = std::env::temp_dir().join(format!("disq-trace-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+
+    let sink = Arc::new(trace::JsonlSink::create(&path).unwrap());
+    trace::install(sink);
+    let _ = run_preprocess(12);
+    trace::uninstall();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut parsed = Vec::new();
+    for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        match TraceEvent::parse(line) {
+            Ok(e) => parsed.push(e),
+            Err(e) => panic!("line {}: {e}\n  {line}", i + 1),
+        }
+    }
+    assert!(!parsed.is_empty());
+    // Re-serializing each parsed event reproduces the original line:
+    // floats round-trip bit-exactly through Rust's shortest Display.
+    for (line, event) in text.lines().filter(|l| !l.trim().is_empty()).zip(&parsed) {
+        assert_eq!(line, event.to_json());
+    }
+    // The acceptance surface is present in file form too.
+    assert!(parsed
+        .iter()
+        .any(|e| matches!(e, TraceEvent::DismantleChoice { .. })));
+    assert!(parsed
+        .iter()
+        .any(|e| matches!(e, TraceEvent::SprtVerdict { .. })));
+    assert!(parsed
+        .iter()
+        .any(|e| matches!(e, TraceEvent::PhaseSpend { .. })));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
