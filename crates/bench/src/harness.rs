@@ -99,6 +99,14 @@ impl HarnessTimings {
             line.push('\n');
             line.push_str(self.summary.render().trim_end());
         }
+        if let Ok(path) = std::env::var(disq_trace::TRACE_ENV_VAR) {
+            if !path.is_empty() {
+                let _ = write!(
+                    line,
+                    "\ntrace: events in {path}; analyze with `disq-insight report {path}`"
+                );
+            }
+        }
         line
     }
 
@@ -146,27 +154,80 @@ pub fn harness_json_path() -> PathBuf {
 
 /// Merges a record into the JSON file: the file is a JSON array with one
 /// object per line, and records are replaced by [`HarnessTimings::key`]
-/// so re-running an experiment updates its row in place.
+/// so re-running an experiment updates its row in place. Every displaced
+/// row is appended to the sibling `*.history.jsonl` file, so the main
+/// file stays bounded (one row per key) without losing measurements.
 pub fn record(timings: &HarnessTimings) -> std::io::Result<()> {
     record_at(&harness_json_path(), timings)
 }
 
+/// The append-only sibling of a harness file where displaced rows go,
+/// e.g. `BENCH_harness.json` → `BENCH_harness.history.jsonl`.
+pub fn history_path(path: &std::path::Path) -> PathBuf {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH_harness");
+    path.with_file_name(format!("{stem}.history.jsonl"))
+}
+
+/// Extracts the exact record key (`"fig1@t4"`) of one harness row by
+/// parsing it as JSON — substring matching would make `fig1@t1` claim
+/// `fig1@t16` rows too.
+fn row_key(line: &str) -> Option<String> {
+    match disq_trace::json::parse(line).ok()? {
+        disq_trace::json::Json::Obj(map) => match map.get("experiment") {
+            Some(disq_trace::json::Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 fn record_at(path: &std::path::Path, timings: &HarnessTimings) -> std::io::Result<()> {
-    let key_marker = format!("\"experiment\":\"{}\"", timings.key());
-    let mut entries: Vec<String> = Vec::new();
+    let mut rows: Vec<(Option<String>, String)> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
         for line in existing.lines() {
             let line = line.trim().trim_end_matches(',');
-            if line.starts_with('{') && !line.contains(&key_marker) {
-                entries.push(line.to_string());
+            if line.starts_with('{') {
+                rows.push((row_key(line), line.to_string()));
             }
         }
     }
-    entries.push(timings.to_json());
+    rows.push((Some(timings.key()), timings.to_json()));
+
+    // Keep only the last row per key (unparseable rows are preserved
+    // verbatim); everything displaced moves to the history file.
+    let mut last: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for (i, (key, _)) in rows.iter().enumerate() {
+        if let Some(key) = key {
+            last.insert(key, i);
+        }
+    }
+    let mut kept: Vec<&str> = Vec::new();
+    let mut displaced: Vec<&str> = Vec::new();
+    for (i, (key, row)) in rows.iter().enumerate() {
+        match key {
+            Some(key) if last[key.as_str()] != i => displaced.push(row),
+            _ => kept.push(row),
+        }
+    }
+
+    if !displaced.is_empty() {
+        use std::io::Write as _;
+        let mut hist = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history_path(path))?;
+        for row in &displaced {
+            writeln!(hist, "{row}")?;
+        }
+    }
+
     let mut out = String::from("[\n");
-    for (i, e) in entries.iter().enumerate() {
+    for (i, e) in kept.iter().enumerate() {
         out.push_str(e);
-        if i + 1 < entries.len() {
+        if i + 1 < kept.len() {
             out.push(',');
         }
         out.push('\n');
@@ -346,6 +407,100 @@ mod tests {
         assert_eq!(text.matches("fig1@t4").count(), 1, "{text}");
         assert!(text.contains("\"wall_secs\":1.0000"), "{text}");
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_key_match_is_exact_not_prefix() {
+        let dir = std::env::temp_dir().join(format!(
+            "disq-harness-prefix-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+
+        record_at(&path, &sample("fig1", 16)).unwrap();
+        // "fig1@t1" is a string prefix of "fig1@t16": recording it must
+        // not displace the t16 row.
+        record_at(&path, &sample("fig1", 1)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\":\"fig1@t16\""), "{text}");
+        assert!(text.contains("\"experiment\":\"fig1@t1\""), "{text}");
+        assert!(!history_path(&path).exists(), "nothing was displaced");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn displaced_rows_accumulate_in_history() {
+        let dir = std::env::temp_dir().join(format!(
+            "disq-harness-history-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        assert_eq!(
+            history_path(&path),
+            dir.join("bench.history.jsonl"),
+            "history sits next to the main file"
+        );
+
+        let mut first = sample("fig1", 4);
+        first.wall_secs = 9.0;
+        record_at(&path, &first).unwrap();
+        let mut second = sample("fig1", 4);
+        second.wall_secs = 5.0;
+        record_at(&path, &second).unwrap();
+        record_at(&path, &sample("fig1", 4)).unwrap();
+
+        let main = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(main.matches("fig1@t4").count(), 1, "{main}");
+        assert!(main.contains("\"wall_secs\":2.0000"), "latest kept: {main}");
+
+        let hist = std::fs::read_to_string(history_path(&path)).unwrap();
+        assert_eq!(hist.lines().count(), 2, "{hist}");
+        assert!(hist.contains("\"wall_secs\":9.0000"), "{hist}");
+        assert!(hist.contains("\"wall_secs\":5.0000"), "{hist}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn preexisting_duplicate_keys_are_collapsed_to_latest() {
+        let dir = std::env::temp_dir().join(format!(
+            "disq-harness-dupes-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+
+        // A file grown by the old substring-matching code: duplicate
+        // rows for one key, plus an unparseable row that must survive.
+        let mut old = sample("fig2", 2);
+        old.wall_secs = 7.0;
+        let newer = sample("fig2", 2);
+        std::fs::write(
+            &path,
+            format!(
+                "[\n{},\n{{\"broken\": tru\n{}\n]\n",
+                old.to_json(),
+                newer.to_json()
+            ),
+        )
+        .unwrap();
+
+        record_at(&path, &sample("fig3", 2)).unwrap();
+        let main = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(main.matches("fig2@t2").count(), 1, "{main}");
+        assert!(main.contains("\"wall_secs\":2.0000"), "{main}");
+        assert!(main.contains("fig3@t2"), "{main}");
+        assert!(main.contains("{\"broken\": tru"), "{main}");
+        let hist = std::fs::read_to_string(history_path(&path)).unwrap();
+        assert!(hist.contains("\"wall_secs\":7.0000"), "{hist}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

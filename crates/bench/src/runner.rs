@@ -188,7 +188,7 @@ pub fn run_cell_in_world(
     let pricing = cell.crowd.pricing;
 
     // ---- Offline phase ----------------------------------------------------
-    let (plan, stats, offline_spent) = match cell.strategy {
+    let (plan, preprocess, offline_spent) = match cell.strategy {
         StrategyKind::Baseline(Baseline::NaiveAverage) => {
             let plan = naive_average(spec, &targets, cell.b_obj, &pricing, Some(&weights))?;
             (plan, None, Money::ZERO)
@@ -212,7 +212,7 @@ pub fn run_cell_in_world(
                 rep,
             )?;
             let spent = platform.ledger().spent();
-            (plan, out.map(|o| o.stats), spent)
+            (plan, out, spent)
         }
         StrategyKind::TotallySeparated => {
             let mut sub = 0u64;
@@ -272,11 +272,56 @@ pub fn run_cell_in_world(
         .collect();
     let error = metrics::query_error(&estimates, &truth, &weights);
 
+    // ---- Calibration trace ------------------------------------------------
+    // One self-contained event per query target joining the Eq. 2
+    // *predicted* Err(b) against the regression's training MSE and the
+    // *realized* per-object MSE, so `disq-insight calib` can score the
+    // error model without cross-event joins (parallel sweeps interleave
+    // worker events arbitrarily).
+    if disq_trace::active() {
+        if let Some(out) = &preprocess {
+            let b_f64: Vec<f64> = out.budget.iter().map(|&q| q as f64).collect();
+            let label = format!(
+                "{}/{}/{}",
+                cell.domain.name(),
+                cell.targets.join("+"),
+                cell.strategy.name()
+            );
+            for (qi, name) in cell.targets.iter().enumerate() {
+                let predicted_mse = out.trio.predicted_error(qi, &b_f64).unwrap_or(f64::NAN);
+                let training_mse = plan.regressions[order[qi]].training_mse;
+                let n_objects = estimates.len();
+                let realized_mse = if n_objects == 0 {
+                    0.0
+                } else {
+                    estimates
+                        .iter()
+                        .zip(&truth)
+                        .map(|(e, t)| {
+                            let d = e[qi] - t[qi];
+                            d * d
+                        })
+                        .sum::<f64>()
+                        / n_objects as f64
+                };
+                disq_trace::emit(|| disq_trace::TraceEvent::EvalCalibration {
+                    label: label.clone(),
+                    seed: rep,
+                    target: (*name).to_string(),
+                    predicted_mse,
+                    training_mse,
+                    realized_mse,
+                    n_objects: n_objects as u32,
+                });
+            }
+        }
+    }
+
     Ok(CellOutcome {
         error,
         offline_spent,
         plan,
-        stats,
+        stats: preprocess.map(|o| o.stats),
     })
 }
 

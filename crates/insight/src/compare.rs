@@ -1,0 +1,355 @@
+//! Perf-regression gating over `BENCH_harness.json` snapshots.
+//!
+//! [`load_rows`] parses a harness file into keyed rows
+//! (`experiment@t<threads>`); [`compare`] matches a baseline snapshot
+//! against a current one and flags rows whose wall time or throughput
+//! regressed past configurable thresholds, plus — when the workload is
+//! identical — any drift in the deterministic trace counters (questions,
+//! spend, decision counts must be bit-identical for the same seeds).
+//! The CLI exits non-zero when any regression is found, which is what
+//! lets CI gate merges on it.
+
+use disq_trace::json::Json;
+use disq_trace::{Counter, RunSummary};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One parsed harness row.
+#[derive(Debug, Clone)]
+pub struct HarnessRow {
+    /// Record key, e.g. `fig1@t4`.
+    pub key: String,
+    /// Experimental cells in the sweep.
+    pub cells: u64,
+    /// Repetitions per cell.
+    pub reps: u64,
+    /// `(cell, rep)` units executed.
+    pub units: u64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Units per wall-clock second.
+    pub units_per_sec: f64,
+    /// Embedded trace summary, when the row carries one.
+    pub summary: Option<RunSummary>,
+}
+
+/// Parses a `BENCH_harness.json` file into rows keyed by
+/// `experiment@t<threads>`.
+pub fn load_rows(path: &Path) -> Result<BTreeMap<String, HarnessRow>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_rows(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parses the harness file body (a JSON array of row objects).
+pub fn parse_rows(text: &str) -> Result<BTreeMap<String, HarnessRow>, String> {
+    let doc = disq_trace::json::parse(text)?;
+    let arr = doc.as_arr().ok_or("harness file is not a JSON array")?;
+    let mut rows = BTreeMap::new();
+    for (i, row) in arr.iter().enumerate() {
+        let field = |name: &str| -> Result<f64, String> {
+            row.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing number {name:?}"))
+        };
+        let key = row
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing \"experiment\""))?
+            .to_string();
+        let summary = match row.get("run_summary") {
+            Some(v) => Some(RunSummary::from_json(v).map_err(|e| format!("row {i}: {e}"))?),
+            None => None,
+        };
+        let parsed = HarnessRow {
+            key: key.clone(),
+            cells: field("cells")? as u64,
+            reps: field("reps")? as u64,
+            units: field("units")? as u64,
+            wall_secs: field("wall_secs")?,
+            units_per_sec: field("units_per_sec")?,
+            summary,
+        };
+        rows.insert(key, parsed);
+    }
+    Ok(rows)
+}
+
+/// Thresholds for [`compare`]. Ratios are multiplicative: `1.5` allows
+/// the current run to be up to 50% slower before flagging.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Max allowed `current.wall_secs / baseline.wall_secs` when the
+    /// workloads (units) match.
+    pub max_wall_slowdown: f64,
+    /// Max allowed `baseline.units_per_sec / current.units_per_sec`
+    /// (workload-normalized, so it applies even when reps differ).
+    pub max_throughput_drop: f64,
+    /// Check deterministic counter drift when the workload matches.
+    pub check_counters: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig {
+            max_wall_slowdown: 1.5,
+            max_throughput_drop: 1.5,
+            check_counters: true,
+        }
+    }
+}
+
+/// One flagged regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Row key.
+    pub key: String,
+    /// Metric that regressed (`wall_secs`, `units_per_sec`,
+    /// `counter:<name>`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Human-readable verdict.
+    pub message: String,
+}
+
+/// The outcome of one comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Keys compared (present in both snapshots).
+    pub compared: Vec<String>,
+    /// Keys present in only one snapshot (informational).
+    pub unmatched: Vec<String>,
+    /// Regressions found.
+    pub regressions: Vec<Regression>,
+}
+
+impl CompareOutcome {
+    /// True when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compared {} row(s); {} unmatched\n",
+            self.compared.len(),
+            self.unmatched.len()
+        ));
+        for key in &self.unmatched {
+            out.push_str(&format!("  note: {key} present in only one snapshot\n"));
+        }
+        if self.regressions.is_empty() {
+            out.push_str("PASS: no regressions\n");
+        } else {
+            out.push_str(&format!("FAIL: {} regression(s)\n", self.regressions.len()));
+            for r in &self.regressions {
+                out.push_str(&format!("  {}\n", r.message));
+            }
+        }
+        out
+    }
+}
+
+/// The deterministic counters compared when workloads match exactly.
+/// Timer histograms and wall-clock-adjacent counters are excluded — only
+/// quantities that are pure functions of `(workload, seeds)` belong
+/// here.
+const DETERMINISTIC_COUNTERS: [Counter; 13] = [
+    Counter::QuestionsBinary,
+    Counter::QuestionsNumeric,
+    Counter::QuestionsDismantle,
+    Counter::QuestionsVerify,
+    Counter::QuestionsExample,
+    Counter::SpendMillicents,
+    Counter::SpamAnswersDropped,
+    Counter::SpamFallbacks,
+    Counter::DismantleChoices,
+    Counter::SprtAccepted,
+    Counter::SprtRejected,
+    Counter::SprtSamples,
+    Counter::RegressionFits,
+];
+
+/// Compares two harness snapshots row by row.
+pub fn compare(
+    baseline: &BTreeMap<String, HarnessRow>,
+    current: &BTreeMap<String, HarnessRow>,
+    cfg: &CompareConfig,
+) -> CompareOutcome {
+    let mut outcome = CompareOutcome::default();
+    for key in baseline.keys().chain(current.keys()) {
+        if (!baseline.contains_key(key) || !current.contains_key(key))
+            && !outcome.unmatched.contains(key)
+        {
+            outcome.unmatched.push(key.clone());
+        }
+    }
+    for (key, base) in baseline {
+        let Some(cur) = current.get(key) else {
+            continue;
+        };
+        outcome.compared.push(key.clone());
+        let same_workload = base.units == cur.units && base.reps == cur.reps;
+
+        if same_workload && base.wall_secs > 0.0 && cur.wall_secs > 0.0 {
+            let ratio = cur.wall_secs / base.wall_secs;
+            if ratio > cfg.max_wall_slowdown {
+                outcome.regressions.push(Regression {
+                    key: key.clone(),
+                    metric: "wall_secs".into(),
+                    baseline: base.wall_secs,
+                    current: cur.wall_secs,
+                    message: format!(
+                        "{key}: wall_secs {:.3}s -> {:.3}s ({ratio:.2}x > {:.2}x allowed)",
+                        base.wall_secs, cur.wall_secs, cfg.max_wall_slowdown
+                    ),
+                });
+            }
+        }
+
+        if base.units_per_sec > 0.0 && cur.units_per_sec > 0.0 {
+            let drop = base.units_per_sec / cur.units_per_sec;
+            if drop > cfg.max_throughput_drop {
+                outcome.regressions.push(Regression {
+                    key: key.clone(),
+                    metric: "units_per_sec".into(),
+                    baseline: base.units_per_sec,
+                    current: cur.units_per_sec,
+                    message: format!(
+                        "{key}: throughput {:.2} -> {:.2} units/s \
+                         ({drop:.2}x drop > {:.2}x allowed)",
+                        base.units_per_sec, cur.units_per_sec, cfg.max_throughput_drop
+                    ),
+                });
+            }
+        }
+
+        if cfg.check_counters && same_workload {
+            if let (Some(bs), Some(cs)) = (&base.summary, &cur.summary) {
+                for c in DETERMINISTIC_COUNTERS {
+                    let (b, n) = (bs.counter(c), cs.counter(c));
+                    if b != n {
+                        outcome.regressions.push(Regression {
+                            key: key.clone(),
+                            metric: format!("counter:{}", c.name()),
+                            baseline: b as f64,
+                            current: n as f64,
+                            message: format!(
+                                "{key}: deterministic counter {} drifted {b} -> {n} \
+                                 on an identical workload",
+                                c.name()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(key: &str, wall: f64, units: u64) -> String {
+        format!(
+            "{{\"experiment\":\"{key}\",\"threads\":1,\"cells\":6,\"reps\":4,\
+             \"units\":{units},\"wall_secs\":{wall:.4},\"cells_per_sec\":1.0,\
+             \"units_per_sec\":{:.4},\"cache_hits\":0,\"cache_misses\":0,\
+             \"cache_hit_rate\":0.0}}",
+            units as f64 / wall
+        )
+    }
+
+    fn snapshot(rows: &[String]) -> BTreeMap<String, HarnessRow> {
+        parse_rows(&format!("[\n{}\n]", rows.join(",\n"))).unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let rows = snapshot(&[row("fig1@t1", 2.0, 24), row("fig1@t4", 0.7, 24)]);
+        let outcome = compare(&rows, &rows, &CompareConfig::default());
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.compared.len(), 2);
+        assert!(outcome.render().contains("PASS"));
+    }
+
+    #[test]
+    fn two_x_slowdown_fails() {
+        let base = snapshot(&[row("fig1@t1", 2.0, 24)]);
+        let cur = snapshot(&[row("fig1@t1", 4.0, 24)]);
+        let outcome = compare(&base, &cur, &CompareConfig::default());
+        assert!(!outcome.passed());
+        // Both the wall and throughput checks trip on the same row.
+        assert!(outcome.regressions.iter().any(|r| r.metric == "wall_secs"));
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.metric == "units_per_sec"));
+        assert!(outcome.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn different_workload_compares_throughput_only() {
+        let base = snapshot(&[row("fig1@t2", 4.0, 48)]); // 12 units/s
+        let cur = snapshot(&[row("fig1@t2", 2.0, 24)]); // 12 units/s
+        let outcome = compare(&base, &cur, &CompareConfig::default());
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+
+        let slow = snapshot(&[row("fig1@t2", 8.0, 24)]); // 3 units/s
+        let outcome = compare(&base, &slow, &CompareConfig::default());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "units_per_sec");
+    }
+
+    #[test]
+    fn speedups_and_unmatched_keys_are_not_failures() {
+        let base = snapshot(&[row("fig1@t1", 4.0, 24), row("fig9@t1", 1.0, 24)]);
+        let cur = snapshot(&[row("fig1@t1", 1.0, 24), row("fig2@t1", 1.0, 24)]);
+        let outcome = compare(&base, &cur, &CompareConfig::default());
+        assert!(outcome.passed());
+        assert_eq!(outcome.compared, vec!["fig1@t1".to_string()]);
+        assert_eq!(outcome.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn counter_drift_on_identical_workload_fails() {
+        let with_summary = |spend: u64| {
+            format!(
+                "{{\"experiment\":\"fig1@t1\",\"threads\":1,\"cells\":6,\"reps\":4,\
+                 \"units\":24,\"wall_secs\":2.0,\"cells_per_sec\":3.0,\
+                 \"units_per_sec\":12.0,\"cache_hits\":0,\"cache_misses\":0,\
+                 \"cache_hit_rate\":0.0,\"run_summary\":{{\"counters\":{{\
+                 \"spend_millicents\":{spend}}},\"timers\":{{}}}}}}"
+            )
+        };
+        let base = snapshot(&[with_summary(1000)]);
+        let cur = snapshot(&[with_summary(1234)]);
+        let outcome = compare(&base, &cur, &CompareConfig::default());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "counter:spend_millicents");
+
+        let lax = CompareConfig {
+            check_counters: false,
+            ..CompareConfig::default()
+        };
+        assert!(compare(&base, &cur, &lax).passed());
+    }
+
+    #[test]
+    fn malformed_files_error_cleanly() {
+        assert!(parse_rows("not json").is_err());
+        assert!(parse_rows("{\"not\":\"array\"}").is_err());
+        assert!(
+            parse_rows("[{\"experiment\":\"x\"}]").is_err(),
+            "missing fields"
+        );
+        assert!(load_rows(Path::new("/nonexistent/bench.json")).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `disq-insight`: post-hoc analytics over DisQ's observability surface.
+//!
+//! The `disq-trace` crate records what the pipeline *did* — JSONL event
+//! streams, always-on counters, kernel-timer histograms embedded in
+//! `BENCH_harness.json`. This crate turns those artifacts into answers:
+//!
+//! * [`report`] — streams a JSONL trace (crash-tolerant) into one
+//!   aggregated [`report::RunReport`]: budget attribution by phase and
+//!   question kind, dismantle-decision tables with every candidate's
+//!   Eq. 8/9 score, SPRT verdict/sample summaries, and kernel-timer
+//!   histogram renderings with p50/p90/p99.
+//! * [`calib`] — scores the Eq. 2 error model: joins predicted `Err(b)`
+//!   against realized per-object MSE, reporting correlation, bias and
+//!   the worst-calibrated attributes.
+//! * [`compare`] — a perf-regression gate between two
+//!   `BENCH_harness.json` snapshots with configurable slowdown
+//!   thresholds and deterministic-counter drift checks; the CLI exits
+//!   non-zero on regression so CI can gate on it.
+//!
+//! The `disq-insight` binary wraps all three as subcommands. Everything
+//! is std-only, matching the rest of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod compare;
+pub mod report;
+pub mod table;
+
+pub use calib::{CalibReport, CalibSample};
+pub use compare::{compare, load_rows, CompareConfig, CompareOutcome, HarnessRow, Regression};
+pub use report::{render_timers, RunReport};

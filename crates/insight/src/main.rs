@@ -1,0 +1,160 @@
+//! The `disq-insight` CLI: run reports, Err(b) calibration scoring and
+//! perf-regression gating over DisQ trace artifacts.
+
+use disq_insight::{calib, compare, report};
+use disq_trace::TraceReader;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+disq-insight: analytics over DisQ trace files and harness benchmarks
+
+usage:
+  disq-insight report <trace.jsonl> [--harness <BENCH_harness.json> --key <experiment@tN>]
+      Aggregate a JSONL trace into a run report: budget attribution,
+      dismantle decisions, SPRT summary, derived counters. With
+      --harness/--key, also render that row's kernel-timer histograms.
+
+  disq-insight calib <trace.jsonl>
+      Score the Err(b) error model against realized per-object MSE
+      (requires eval_calibration events from a traced bench run).
+
+  disq-insight compare --baseline <a.json> --current <b.json>
+                       [--max-slowdown <ratio>] [--no-counters]
+      Gate on performance: exit 1 when any row of <current> regressed
+      past the threshold (default 1.5x) relative to <baseline>, or when
+      deterministic counters drifted on an identical workload.
+
+  disq-insight serve <trace.jsonl> is not a thing: live metrics come
+      from the traced process itself via DISQ_METRICS_ADDR=127.0.0.1:PORT.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("calib") => cmd_calib(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            out(USAGE);
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".into()),
+    }
+}
+
+/// Write to stdout, swallowing `BrokenPipe` so `disq-insight report | head`
+/// truncates cleanly instead of panicking (exit codes stay meaningful).
+fn out(text: &str) {
+    let _ = std::io::stdout().lock().write_all(text.as_bytes());
+}
+
+fn open_report(path: &Path) -> Result<report::RunReport, String> {
+    let reader =
+        TraceReader::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    Ok(report::RunReport::from_reader(reader))
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut harness: Option<PathBuf> = None;
+    let mut key: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--harness" => harness = Some(next_value(&mut it, "--harness")?.into()),
+            "--key" => key = Some(next_value(&mut it, "--key")?),
+            _ if trace.is_none() => trace = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let trace = trace.ok_or("report: missing <trace.jsonl>")?;
+    let report = open_report(&trace)?;
+    out(&report.render());
+    match (harness, key) {
+        (Some(harness), Some(key)) => {
+            let rows = compare::load_rows(&harness)?;
+            let row = rows
+                .get(&key)
+                .ok_or_else(|| format!("key {key:?} not found in {}", harness.display()))?;
+            match &row.summary {
+                Some(summary) => out(&format!("\n{}", report::render_timers(summary))),
+                None => out(&format!(
+                    "\nrow {key} carries no run_summary (re-run with DISQ_TRACE)\n"
+                )),
+            }
+        }
+        (None, None) => {}
+        _ => return Err("--harness and --key must be given together".into()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_calib(args: &[String]) -> Result<ExitCode, String> {
+    let [trace] = args else {
+        return Err("calib: expected exactly <trace.jsonl>".into());
+    };
+    let report = open_report(Path::new(trace))?;
+    if let Some(w) = &report.skip_warning {
+        eprintln!("{w}");
+    }
+    out(&calib::CalibReport::build(&report.calibrations).render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut cfg = compare::CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = Some(next_value(&mut it, "--baseline")?.into()),
+            "--current" => current = Some(next_value(&mut it, "--current")?.into()),
+            "--max-slowdown" => {
+                let v: f64 = next_value(&mut it, "--max-slowdown")?
+                    .parse()
+                    .map_err(|e| format!("--max-slowdown: {e}"))?;
+                if v.is_nan() || v < 1.0 {
+                    return Err("--max-slowdown must be >= 1.0".into());
+                }
+                cfg.max_wall_slowdown = v;
+                cfg.max_throughput_drop = v;
+            }
+            "--no-counters" => cfg.check_counters = false,
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let baseline = baseline.ok_or("compare: missing --baseline")?;
+    let current = current.ok_or("compare: missing --current")?;
+    let outcome = compare::compare(
+        &compare::load_rows(&baseline)?,
+        &compare::load_rows(&current)?,
+        &cfg,
+    );
+    out(&outcome.render());
+    Ok(if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,701 @@
+//! Typed aggregation of a JSONL trace into a per-run report.
+//!
+//! [`RunReport::from_reader`] folds the event stream once, in constant
+//! memory per aggregate, into: budget attribution by phase and question
+//! kind, the dismantle-decision tables (every candidate's Eq. 8/9
+//! `Pr(new|a_j)·Σω[G−L]` score against the chosen one), SPRT verdict and
+//! sample totals, budget-distribution and regression summaries, and the
+//! Err(b) calibration samples consumed by [`crate::calib`].
+//!
+//! [`RunReport::derived_counters`] re-derives the always-on
+//! [`Counter`] totals *from events alone*; for an offline (preprocessing)
+//! run these are bit-exact against the in-process [`RunSummary`] delta —
+//! the end-to-end test proves it — which is what makes the report
+//! trustworthy: if the stream lost events, the totals would disagree.
+
+use crate::calib::CalibSample;
+use crate::table::{Align, Table};
+use disq_trace::{CandidateScore, Counter, RunSummary, Timer, TraceEvent, TraceReader};
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Detailed dismantle decisions retained verbatim (counts stay exact).
+pub const MAX_DECISIONS: usize = 8;
+/// Detailed SPRT verdicts retained verbatim (counts stay exact).
+pub const MAX_VERDICTS: usize = 12;
+
+/// Spend attribution of one preprocessing phase, aggregated over runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseAgg {
+    /// Phase name (`examples`, `dismantle`, `refine`, `regression`).
+    pub phase: String,
+    /// Times the phase boundary was crossed (= runs covering it).
+    pub occurrences: u64,
+    /// Total milli-cents attributed to the phase.
+    pub millicents: i64,
+    /// Total questions attributed to the phase.
+    pub questions: u64,
+    /// Per-kind `(questions, millicents)` breakdown.
+    pub by_kind: std::collections::BTreeMap<String, (u64, i64)>,
+}
+
+/// One retained `GetNextAttribute` decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Chosen pool index (`None` = stop signal).
+    pub chosen: Option<u32>,
+    /// Every scored candidate.
+    pub scores: Vec<CandidateScore>,
+}
+
+/// One retained SPRT verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Candidate attribute text.
+    pub candidate: String,
+    /// Accepted as relevant?
+    pub accepted: bool,
+    /// Worker answers consumed.
+    pub samples: u32,
+}
+
+/// Everything aggregated out of one trace stream.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// `run_start` labels with their seeds, in stream order.
+    pub runs: Vec<(String, u64)>,
+    /// Phase aggregates in first-seen order.
+    pub phases: Vec<PhaseAgg>,
+    /// Dismantle decisions that chose an attribute.
+    pub dismantle_choices: u64,
+    /// Dismantle decisions that signalled stop (`chosen = null`).
+    pub dismantle_stops: u64,
+    /// First [`MAX_DECISIONS`] decisions, verbatim.
+    pub decisions: Vec<Decision>,
+    /// SPRT verdicts accepting the candidate.
+    pub sprt_accepted: u64,
+    /// SPRT verdicts rejecting the candidate.
+    pub sprt_rejected: u64,
+    /// Worker answers consumed across all SPRT dialogues.
+    pub sprt_samples: u64,
+    /// First [`MAX_VERDICTS`] verdicts, verbatim.
+    pub verdicts: Vec<Verdict>,
+    /// Greedy budget-distribution grants.
+    pub budget_steps: u64,
+    /// Finished distributions: `(label, granted attrs, questions, objective)`.
+    pub budget_chosen: Vec<(String, usize, u64, f64)>,
+    /// Regression fits: `(label, training_mse, rows)`.
+    pub regressions: Vec<(String, f64, u32)>,
+    /// Whole-batch online spam rejections.
+    pub spam_fallbacks: u64,
+    /// Peak statistics-trio shape seen.
+    pub trio_peak: (u32, u32),
+    /// Err(b) calibration samples (see [`crate::calib`]).
+    pub calibrations: Vec<CalibSample>,
+    /// Events parsed.
+    pub parsed: usize,
+    /// Corrupt lines skipped by the reader.
+    pub skipped: usize,
+    /// The reader's one-line skip warning, when any line was skipped.
+    pub skip_warning: Option<String>,
+}
+
+impl RunReport {
+    /// Aggregates every event of `reader`, then captures its skip stats.
+    pub fn from_reader<R: BufRead>(mut reader: TraceReader<R>) -> RunReport {
+        let mut report = RunReport::default();
+        for event in reader.by_ref() {
+            report.absorb(event);
+        }
+        report.parsed = reader.parsed();
+        report.skipped = reader.skipped();
+        report.skip_warning = reader.skip_warning();
+        report
+    }
+
+    /// Folds one event into the aggregates.
+    pub fn absorb(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::RunStart { label, seed } => self.runs.push((label, seed)),
+            TraceEvent::PhaseSpend {
+                phase,
+                delta_millicents,
+                delta_questions,
+                by_kind,
+                ..
+            } => {
+                let agg = match self.phases.iter_mut().find(|p| p.phase == phase) {
+                    Some(agg) => agg,
+                    None => {
+                        self.phases.push(PhaseAgg {
+                            phase,
+                            ..PhaseAgg::default()
+                        });
+                        self.phases.last_mut().unwrap()
+                    }
+                };
+                agg.occurrences += 1;
+                agg.millicents += delta_millicents;
+                agg.questions += delta_questions;
+                for k in by_kind {
+                    let slot = agg.by_kind.entry(k.kind).or_insert((0, 0));
+                    slot.0 += k.questions;
+                    slot.1 += k.millicents;
+                }
+            }
+            TraceEvent::DismantleChoice { chosen, scores } => {
+                match chosen {
+                    Some(_) => self.dismantle_choices += 1,
+                    None => self.dismantle_stops += 1,
+                }
+                if self.decisions.len() < MAX_DECISIONS {
+                    self.decisions.push(Decision { chosen, scores });
+                }
+            }
+            TraceEvent::SprtVerdict {
+                candidate,
+                accepted,
+                samples,
+                ..
+            } => {
+                if accepted {
+                    self.sprt_accepted += 1;
+                } else {
+                    self.sprt_rejected += 1;
+                }
+                self.sprt_samples += u64::from(samples);
+                if self.verdicts.len() < MAX_VERDICTS {
+                    self.verdicts.push(Verdict {
+                        candidate,
+                        accepted,
+                        samples,
+                    });
+                }
+            }
+            TraceEvent::TrioSize { n_targets, n_attrs } => {
+                self.trio_peak.0 = self.trio_peak.0.max(n_targets);
+                self.trio_peak.1 = self.trio_peak.1.max(n_attrs);
+            }
+            TraceEvent::BudgetStep { .. } => self.budget_steps += 1,
+            TraceEvent::BudgetChosen {
+                label,
+                allocation,
+                objective,
+            } => {
+                let granted = allocation.iter().filter(|&&q| q > 0).count();
+                let questions: u64 = allocation.iter().map(|&q| u64::from(q)).sum();
+                self.budget_chosen
+                    .push((label, granted, questions, objective));
+            }
+            TraceEvent::RegressionFit {
+                label,
+                training_mse,
+                rows,
+                ..
+            } => self.regressions.push((label, training_mse, rows)),
+            TraceEvent::SpamFallback { .. } => self.spam_fallbacks += 1,
+            TraceEvent::EvalCalibration {
+                label,
+                seed,
+                target,
+                predicted_mse,
+                training_mse,
+                realized_mse,
+                n_objects,
+            } => self.calibrations.push(CalibSample {
+                label,
+                seed,
+                target,
+                predicted_mse,
+                training_mse,
+                realized_mse,
+                n_objects,
+            }),
+        }
+    }
+
+    /// Re-derives the always-on counter totals from events alone. Each
+    /// pair `(counter, value)` uses the counter's exact increment
+    /// semantics (e.g. [`Counter::DismantleChoices`] bumps only when an
+    /// attribute was chosen, while a stop decision still emits an
+    /// event). For offline runs — where every charged question crosses a
+    /// `phase_spend` boundary — these equal the in-process
+    /// [`RunSummary`] delta bit-for-bit.
+    pub fn derived_counters(&self) -> Vec<(Counter, u64)> {
+        let kind_total = |kind: &str| -> u64 {
+            self.phases
+                .iter()
+                .filter_map(|p| p.by_kind.get(kind))
+                .map(|&(q, _)| q)
+                .sum()
+        };
+        let spend: i64 = self.phases.iter().map(|p| p.millicents).sum();
+        vec![
+            (Counter::QuestionsBinary, kind_total("binary value")),
+            (Counter::QuestionsNumeric, kind_total("numeric value")),
+            (Counter::QuestionsDismantle, kind_total("dismantle")),
+            (Counter::QuestionsVerify, kind_total("verify")),
+            (Counter::QuestionsExample, kind_total("example")),
+            (Counter::SpendMillicents, spend.max(0) as u64),
+            (Counter::DismantleChoices, self.dismantle_choices),
+            (Counter::SprtAccepted, self.sprt_accepted),
+            (Counter::SprtRejected, self.sprt_rejected),
+            (Counter::SprtSamples, self.sprt_samples),
+            (Counter::BudgetSteps, self.budget_steps),
+            (Counter::RegressionFits, self.regressions.len() as u64),
+            (Counter::SpamFallbacks, self.spam_fallbacks),
+        ]
+    }
+
+    /// Renders the full human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events parsed{}",
+            self.parsed,
+            match self.skipped {
+                0 => String::new(),
+                n => format!(", {n} corrupt lines skipped"),
+            }
+        );
+        if let Some(w) = &self.skip_warning {
+            let _ = writeln!(out, "{w}");
+        }
+        match self.runs.len() {
+            0 => {}
+            1 => {
+                let _ = writeln!(out, "run: {} (seed {})", self.runs[0].0, self.runs[0].1);
+            }
+            n => {
+                let _ = writeln!(out, "runs: {n} (first: {})", self.runs[0].0);
+            }
+        }
+        if self.trio_peak != (0, 0) {
+            let _ = writeln!(
+                out,
+                "trio peak: {} target(s) x {} attribute(s)",
+                self.trio_peak.0, self.trio_peak.1
+            );
+        }
+
+        if !self.phases.is_empty() {
+            out.push_str("\nbudget attribution (B_prc by phase):\n");
+            let mut t = Table::new(&["phase", "runs", "questions", "spend", "by kind"]).aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Left,
+            ]);
+            for p in &self.phases {
+                let kinds: Vec<String> = p
+                    .by_kind
+                    .iter()
+                    .map(|(k, &(q, mc))| format!("{k}: {q}q/{}", fmt_millicents(mc)))
+                    .collect();
+                t.row(vec![
+                    p.phase.clone(),
+                    p.occurrences.to_string(),
+                    p.questions.to_string(),
+                    fmt_millicents(p.millicents),
+                    kinds.join(", "),
+                ]);
+            }
+            let total_mc: i64 = self.phases.iter().map(|p| p.millicents).sum();
+            let total_q: u64 = self.phases.iter().map(|p| p.questions).sum();
+            t.row(vec![
+                "total".into(),
+                String::new(),
+                total_q.to_string(),
+                fmt_millicents(total_mc),
+                String::new(),
+            ]);
+            out.push_str(&t.render());
+        }
+
+        let total_decisions = self.dismantle_choices + self.dismantle_stops;
+        if total_decisions > 0 {
+            let _ = writeln!(
+                out,
+                "\ndismantle decisions: {} chosen, {} stop signals",
+                self.dismantle_choices, self.dismantle_stops
+            );
+            let mut t = Table::new(&[
+                "decision",
+                "candidate",
+                "Pr(new|a_j)",
+                "Σω[G−L]",
+                "score",
+                "",
+            ])
+            .aligns(&[
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Left,
+            ]);
+            for (i, d) in self.decisions.iter().enumerate() {
+                if d.scores.is_empty() {
+                    t.row(vec![
+                        format!("#{}", i + 1),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        match d.chosen {
+                            Some(c) => format!("chose a{c} (unscored)"),
+                            None => "stop".into(),
+                        },
+                    ]);
+                    continue;
+                }
+                for s in &d.scores {
+                    let mark = if d.chosen == Some(s.index) {
+                        "<- chosen"
+                    } else {
+                        ""
+                    };
+                    t.row(vec![
+                        format!("#{}", i + 1),
+                        format!("a{}", s.index),
+                        fmt_f64(s.pr_new),
+                        fmt_f64(s.value),
+                        fmt_f64(s.score),
+                        mark.into(),
+                    ]);
+                }
+                if d.chosen.is_none() {
+                    t.row(vec![
+                        format!("#{}", i + 1),
+                        "-".into(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        "stop (no positive score)".into(),
+                    ]);
+                }
+            }
+            out.push_str(&t.render());
+            if total_decisions as usize > self.decisions.len() {
+                let _ = writeln!(
+                    out,
+                    "(first {} of {} decisions shown)",
+                    self.decisions.len(),
+                    total_decisions
+                );
+            }
+        }
+
+        if self.sprt_accepted + self.sprt_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "\nSPRT verification: {} accepted, {} rejected, {} samples \
+                 ({:.1} samples/verdict)",
+                self.sprt_accepted,
+                self.sprt_rejected,
+                self.sprt_samples,
+                self.sprt_samples as f64 / (self.sprt_accepted + self.sprt_rejected) as f64,
+            );
+            let mut t = Table::new(&["candidate", "verdict", "samples"]).aligns(&[
+                Align::Left,
+                Align::Left,
+                Align::Right,
+            ]);
+            for v in &self.verdicts {
+                t.row(vec![
+                    v.candidate.clone(),
+                    if v.accepted { "accept" } else { "reject" }.into(),
+                    v.samples.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+            if (self.sprt_accepted + self.sprt_rejected) as usize > self.verdicts.len() {
+                let _ = writeln!(
+                    out,
+                    "(first {} of {} verdicts shown)",
+                    self.verdicts.len(),
+                    self.sprt_accepted + self.sprt_rejected
+                );
+            }
+        }
+
+        if self.budget_steps > 0 || !self.budget_chosen.is_empty() {
+            let _ = writeln!(out, "\nbudget distribution: {} grants", self.budget_steps);
+            let mut t = Table::new(&["call", "attrs granted", "questions", "objective"]).aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+            for (label, granted, questions, objective) in &self.budget_chosen {
+                t.row(vec![
+                    label.clone(),
+                    granted.to_string(),
+                    questions.to_string(),
+                    fmt_f64(*objective),
+                ]);
+            }
+            if !t.is_empty() {
+                out.push_str(&t.render());
+            }
+        }
+
+        if !self.regressions.is_empty() {
+            out.push_str("\nregressions fitted:\n");
+            let mut t = Table::new(&["target", "training MSE", "rows"]).aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+            ]);
+            for (label, mse, rows) in &self.regressions {
+                t.row(vec![label.clone(), fmt_f64(*mse), rows.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+
+        if self.spam_fallbacks > 0 {
+            let _ = writeln!(
+                out,
+                "\nspam-filter fallbacks: {} whole-batch rejections",
+                self.spam_fallbacks
+            );
+        }
+
+        out.push_str("\ncounters derived from events:\n");
+        let mut t = Table::new(&["counter", "value"]).aligns(&[Align::Left, Align::Right]);
+        for (c, v) in self.derived_counters() {
+            t.row(vec![c.name().to_string(), v.to_string()]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+/// Renders the kernel-timer histograms of a [`RunSummary`] (as embedded
+/// in a `BENCH_harness.json` row) with p50/p90/p99 and a log₂ bar chart.
+pub fn render_timers(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    let mut t = Table::new(&["kernel", "count", "p50", "p90", "p99", "mean"]).aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for timer in Timer::ALL {
+        let stats = summary.timer(timer);
+        if stats.count == 0 {
+            continue;
+        }
+        t.row(vec![
+            timer.name().to_string(),
+            stats.count.to_string(),
+            fmt_ns(stats.p50_ns()),
+            fmt_ns(stats.p90_ns()),
+            fmt_ns(stats.p99_ns()),
+            fmt_ns(stats.total_ns / stats.count),
+        ]);
+    }
+    if t.is_empty() {
+        return "no kernel timer samples recorded\n".into();
+    }
+    out.push_str("kernel timers:\n");
+    out.push_str(&t.render());
+    for timer in Timer::ALL {
+        let stats = summary.timer(timer);
+        if stats.count == 0 {
+            continue;
+        }
+        let max = stats.buckets.iter().copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(out, "\n{} (log2 ns buckets):", timer.name());
+        for (i, &b) in stats.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let upper = if i == 0 { 1u64 } else { 1u64 << i.min(63) };
+            let bar = "#".repeat(((b * 40).div_ceil(max)) as usize);
+            let _ = writeln!(out, "  <= {:>8}  {:>8}  {}", fmt_ns(upper), b, bar);
+        }
+    }
+    out
+}
+
+/// Milli-cents rendered as cents or dollars.
+pub fn fmt_millicents(mc: i64) -> String {
+    let cents = mc as f64 / 1000.0;
+    if cents.abs() >= 100.0 {
+        format!("${:.2}", cents / 100.0)
+    } else {
+        format!("{cents:.2}c")
+    }
+}
+
+/// Nanoseconds rendered at a human scale.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Compact float rendering for tables.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disq_trace::KindSpend;
+
+    fn phase(phase: &str, kind: &str, questions: u64, mc: i64) -> TraceEvent {
+        TraceEvent::PhaseSpend {
+            phase: phase.into(),
+            spent_millicents: mc,
+            delta_millicents: mc,
+            delta_questions: questions,
+            by_kind: vec![KindSpend {
+                kind: kind.into(),
+                questions,
+                millicents: mc,
+            }],
+        }
+    }
+
+    #[test]
+    fn phases_aggregate_across_runs() {
+        let mut r = RunReport::default();
+        r.absorb(phase("examples", "example", 10, 4000));
+        r.absorb(phase("examples", "example", 6, 2500));
+        r.absorb(phase("dismantle", "dismantle", 3, 1500));
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].phase, "examples");
+        assert_eq!(r.phases[0].occurrences, 2);
+        assert_eq!(r.phases[0].questions, 16);
+        assert_eq!(r.phases[0].millicents, 6500);
+        assert_eq!(r.phases[0].by_kind["example"], (16, 6500));
+        let derived = r.derived_counters();
+        let get = |c: Counter| derived.iter().find(|(k, _)| *k == c).unwrap().1;
+        assert_eq!(get(Counter::QuestionsExample), 16);
+        assert_eq!(get(Counter::QuestionsDismantle), 3);
+        assert_eq!(get(Counter::SpendMillicents), 8000);
+    }
+
+    #[test]
+    fn dismantle_stop_counts_event_but_not_choice() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::DismantleChoice {
+            chosen: Some(1),
+            scores: vec![],
+        });
+        r.absorb(TraceEvent::DismantleChoice {
+            chosen: None,
+            scores: vec![],
+        });
+        assert_eq!(r.dismantle_choices, 1);
+        assert_eq!(r.dismantle_stops, 1);
+        let derived = r.derived_counters();
+        let choices = derived
+            .iter()
+            .find(|(c, _)| *c == Counter::DismantleChoices)
+            .unwrap()
+            .1;
+        assert_eq!(choices, 1, "stop signals do not bump the counter");
+    }
+
+    #[test]
+    fn sprt_totals_and_render() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::SprtVerdict {
+            candidate: "Has Meat".into(),
+            parent: 2,
+            accepted: true,
+            samples: 9,
+        });
+        r.absorb(TraceEvent::SprtVerdict {
+            candidate: "Junk".into(),
+            parent: 2,
+            accepted: false,
+            samples: 4,
+        });
+        assert_eq!(r.sprt_accepted, 1);
+        assert_eq!(r.sprt_rejected, 1);
+        assert_eq!(r.sprt_samples, 13);
+        let text = r.render();
+        assert!(
+            text.contains("1 accepted, 1 rejected, 13 samples"),
+            "{text}"
+        );
+        assert!(text.contains("Has Meat"), "{text}");
+    }
+
+    #[test]
+    fn report_from_reader_carries_skip_stats() {
+        let good = TraceEvent::RunStart {
+            label: "x".into(),
+            seed: 1,
+        }
+        .to_json();
+        let text = format!("{good}\ngarbage\n");
+        let r = RunReport::from_reader(TraceReader::new(text.as_bytes()));
+        assert_eq!(r.parsed, 1);
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.runs.len(), 1);
+        assert!(r.render().contains("1 corrupt lines skipped"));
+    }
+
+    #[test]
+    fn decision_table_marks_chosen_candidate() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::DismantleChoice {
+            chosen: Some(2),
+            scores: vec![
+                CandidateScore {
+                    index: 0,
+                    pr_new: 0.5,
+                    value: 0.2,
+                    score: 0.1,
+                },
+                CandidateScore {
+                    index: 2,
+                    pr_new: 0.25,
+                    value: 2.0,
+                    score: 0.5,
+                },
+            ],
+        });
+        let text = r.render();
+        let chosen_line = text
+            .lines()
+            .find(|l| l.contains("<- chosen"))
+            .expect("chosen marked");
+        assert!(chosen_line.contains("a2"), "{chosen_line}");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_millicents(2500), "2.50c");
+        assert_eq!(fmt_millicents(12_345_678), "$123.46");
+        assert_eq!(fmt_ns(512), "512ns");
+        assert_eq!(fmt_ns(2_048), "2.0us");
+        assert_eq!(fmt_ns(3_000_000), "3.0ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

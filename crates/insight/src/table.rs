@@ -1,0 +1,120 @@
+//! A minimal fixed-width text table renderer for terminal reports.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (labels).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple text table: headers, a dashed rule, aligned rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given headers, all columns left-aligned.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment (must match the header count).
+    pub fn aligns(mut self, aligns: &[Align]) -> Table {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert!(cells.len() <= self.headers.len());
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders headers, a dashed rule and every row, columns padded to
+    /// their widest cell, two spaces between columns.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < n {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+                if i + 1 < n {
+                    out.push_str("  ");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        render_row(&mut out, &rule);
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_and_pad() {
+        let mut t = Table::new(&["phase", "spend"]).aligns(&[Align::Left, Align::Right]);
+        t.row(vec!["examples".into(), "12".into()]);
+        t.row(vec!["x".into(), "1234".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "phase     spend");
+        assert_eq!(lines[1], "--------  -----");
+        assert_eq!(lines[2], "examples     12");
+        assert_eq!(lines[3], "x          1234");
+    }
+
+    #[test]
+    fn short_rows_padded_and_no_trailing_spaces() {
+        let mut t = Table::new(&["a", "bb", "c"]);
+        t.row(vec!["x".into()]);
+        for line in t.render().lines() {
+            assert_eq!(line.trim_end(), line);
+        }
+    }
+}

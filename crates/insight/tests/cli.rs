@@ -1,0 +1,210 @@
+//! Black-box tests of the `disq-insight` binary: exit codes are the
+//! contract CI gates on (compare: 0 = pass, 1 = regression, 2 = usage).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_disq-insight")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().unwrap()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("disq-insight-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn harness_row(key: &str, wall: f64) -> String {
+    format!(
+        "{{\"experiment\":\"{key}\",\"threads\":2,\"cells\":6,\"reps\":2,\
+         \"units\":12,\"wall_secs\":{wall:.4},\"cells_per_sec\":1.0,\
+         \"units_per_sec\":{:.4},\"cache_hits\":8,\"cache_misses\":4,\
+         \"cache_hit_rate\":0.6667}}",
+        12.0 / wall
+    )
+}
+
+fn write_harness(path: &Path, rows: &[String]) {
+    std::fs::write(path, format!("[\n{}\n]\n", rows.join(",\n"))).unwrap();
+}
+
+#[test]
+fn compare_exits_zero_on_identical_and_one_on_2x_slowdown() {
+    let dir = tempdir("compare");
+    let base = dir.join("base.json");
+    let same = dir.join("same.json");
+    let slow = dir.join("slow.json");
+    write_harness(&base, &[harness_row("fig1@t2", 2.0)]);
+    write_harness(&same, &[harness_row("fig1@t2", 2.0)]);
+    write_harness(&slow, &[harness_row("fig1@t2", 4.0)]); // injected 2x
+
+    let ok = run(&[
+        "compare",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        same.to_str().unwrap(),
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("PASS"));
+
+    let fail = run(&[
+        "compare",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        slow.to_str().unwrap(),
+    ]);
+    assert_eq!(fail.status.code(), Some(1), "{fail:?}");
+    let stdout = String::from_utf8_lossy(&fail.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("fig1@t2"), "{stdout}");
+
+    // A generous threshold lets the same slowdown through.
+    let lax = run(&[
+        "compare",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        slow.to_str().unwrap(),
+        "--max-slowdown",
+        "3.0",
+    ]);
+    assert_eq!(lax.status.code(), Some(0), "{lax:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_renders_a_generated_trace() {
+    use disq_trace::{KindSpend, TraceEvent};
+    let dir = tempdir("report");
+    let trace = dir.join("run.jsonl");
+    let events = [
+        TraceEvent::RunStart {
+            label: "pictures / {Bmi}".into(),
+            seed: 7,
+        },
+        TraceEvent::PhaseSpend {
+            phase: "examples".into(),
+            spent_millicents: 4000,
+            delta_millicents: 4000,
+            delta_questions: 10,
+            by_kind: vec![KindSpend {
+                kind: "example".into(),
+                questions: 10,
+                millicents: 4000,
+            }],
+        },
+        TraceEvent::EvalCalibration {
+            label: "pictures/Bmi/DisQ".into(),
+            seed: 0,
+            target: "Bmi".into(),
+            predicted_mse: 4.0,
+            training_mse: 4.2,
+            realized_mse: 4.4,
+            n_objects: 150,
+        },
+        TraceEvent::EvalCalibration {
+            label: "pictures/Bmi/DisQ".into(),
+            seed: 1,
+            target: "Bmi".into(),
+            predicted_mse: 3.0,
+            training_mse: 3.1,
+            realized_mse: 3.2,
+            n_objects: 150,
+        },
+    ];
+    let mut text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+    text.push_str("corrupt tail without a closing brace");
+    std::fs::write(&trace, text).unwrap();
+
+    let report = run(&["report", trace.to_str().unwrap()]);
+    assert_eq!(report.status.code(), Some(0), "{report:?}");
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(stdout.contains("4 events parsed"), "{stdout}");
+    assert!(stdout.contains("1 corrupt lines skipped"), "{stdout}");
+    assert!(stdout.contains("budget attribution"), "{stdout}");
+    assert!(stdout.contains("examples"), "{stdout}");
+
+    let calib = run(&["calib", trace.to_str().unwrap()]);
+    assert_eq!(calib.status.code(), Some(0), "{calib:?}");
+    let stdout = String::from_utf8_lossy(&calib.stdout);
+    assert!(stdout.contains("2 scored sample(s)"), "{stdout}");
+    assert!(stdout.contains("pearson(predicted, realized)"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_with_harness_key_renders_timer_histograms() {
+    let dir = tempdir("timers");
+    let trace = dir.join("run.jsonl");
+    std::fs::write(
+        &trace,
+        disq_trace::TraceEvent::RunStart {
+            label: "x".into(),
+            seed: 1,
+        }
+        .to_json()
+            + "\n",
+    )
+    .unwrap();
+    let harness = dir.join("bench.json");
+    // A row whose run_summary carries one timer histogram.
+    std::fs::write(
+        &harness,
+        "[\n{\"experiment\":\"fig1@t2\",\"threads\":2,\"cells\":6,\"reps\":2,\
+         \"units\":12,\"wall_secs\":2.0,\"cells_per_sec\":3.0,\"units_per_sec\":6.0,\
+         \"cache_hits\":0,\"cache_misses\":0,\"cache_hit_rate\":0.0,\
+         \"run_summary\":{\"counters\":{\"budget_steps\":5},\"timers\":{\
+         \"cholesky_factorize\":{\"count\":100,\"total_ns\":15900,\"mean_ns\":159,\
+         \"p50_ns\":16,\"p90_ns\":2048,\"p99_ns\":2048,\"max_ns\":2048,\
+         \"buckets\":[[4,90],[11,10]]}}}}\n]\n",
+    )
+    .unwrap();
+
+    let out = run(&[
+        "report",
+        trace.to_str().unwrap(),
+        "--harness",
+        harness.to_str().unwrap(),
+        "--key",
+        "fig1@t2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernel timers:"), "{stdout}");
+    assert!(stdout.contains("cholesky_factorize"), "{stdout}");
+    assert!(stdout.contains("p99"), "{stdout}");
+
+    // Unknown key is a clean usage error, not a panic.
+    let bad = run(&[
+        "report",
+        trace.to_str().unwrap(),
+        "--harness",
+        harness.to_str().unwrap(),
+        "--key",
+        "nope@t1",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(run(&[]).status.code(), Some(2));
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["compare", "--baseline", "/nope.json"]).status.code(),
+        Some(2)
+    );
+    let help = run(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&help.stdout).contains("usage:"));
+}

@@ -1,0 +1,80 @@
+//! The acceptance proof for `disq-insight report`: totals derived from
+//! the JSONL event stream alone must be *bit-exact* against the
+//! in-process `RunSummary` footer of the same run. If the stream ever
+//! lost or duplicated an event, these totals would disagree — so this
+//! equality is what makes the post-hoc report trustworthy.
+
+use disq_core::{preprocess, DisqConfig};
+use disq_crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq_domain::{domains::pictures, Population};
+use disq_insight::RunReport;
+use disq_trace as trace;
+use disq_trace::TraceReader;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn report_totals_are_bit_exact_against_run_summary_footer() {
+    // The trace sink is process-global; this is the only test in this
+    // binary, so no lock is needed.
+    trace::uninstall();
+
+    let dir = std::env::temp_dir().join(format!("disq-insight-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+
+    let spec = Arc::new(pictures::spec());
+    let bmi = spec.id_of("Bmi").unwrap();
+    let mut rng = StdRng::seed_from_u64(23);
+    let pop = Population::sample(Arc::clone(&spec), 2_000, &mut rng).unwrap();
+    let mut crowd = SimulatedCrowd::new(
+        pop,
+        CrowdConfig::default(),
+        Some(Money::from_dollars(20.0)),
+        23,
+    );
+
+    let before = trace::summary();
+    trace::install(Arc::new(trace::JsonlSink::create(&path).unwrap()));
+    preprocess(
+        &mut crowd,
+        &spec,
+        &[bmi],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        23,
+    )
+    .unwrap();
+    trace::uninstall();
+    let delta = trace::summary().delta_since(&before);
+
+    let report = RunReport::from_reader(TraceReader::open(&path).unwrap());
+    assert_eq!(report.skipped, 0, "{:?}", report.skip_warning);
+    assert!(report.parsed > 0);
+    assert_eq!(report.runs.len(), 1);
+
+    // Every derivable counter matches the in-process footer exactly.
+    for (counter, derived) in report.derived_counters() {
+        assert_eq!(
+            derived,
+            delta.counter(counter),
+            "counter {} drifted between events and RunSummary",
+            counter.name()
+        );
+    }
+
+    // The rendering mentions the same totals (spot-check the footer
+    // numbers appear verbatim).
+    let text = report.render();
+    assert!(
+        text.contains(&delta.counter(trace::Counter::SprtSamples).to_string()),
+        "{text}"
+    );
+    assert!(text.contains("budget attribution"), "{text}");
+    assert!(text.contains("<- chosen"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

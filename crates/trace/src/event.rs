@@ -127,6 +127,29 @@ pub enum TraceEvent {
         /// Batch size that was entirely rejected.
         answers: u32,
     },
+    /// One target's Err(b) calibration sample, emitted by the bench
+    /// runner after scoring a plan against ground truth: the paper's
+    /// predicted plan error joined with the realized per-object MSE.
+    /// Self-contained (no cross-event join key needed) because parallel
+    /// sweeps interleave events from many runs in one JSONL stream.
+    EvalCalibration {
+        /// Cell identity: domain, query, strategy and budgets.
+        label: String,
+        /// Repetition seed of the run.
+        seed: u64,
+        /// Target attribute label.
+        target: String,
+        /// `Err(b) = Var(a_t) − S_oᵀ(S_a + Diag(S_c/b))⁻¹S_o` at the
+        /// chosen budget (NaN when the strategy has no trio, e.g.
+        /// NaiveAverage).
+        predicted_mse: f64,
+        /// The plan regression's realized training MSE.
+        training_mse: f64,
+        /// Realized per-object MSE against bench ground truth.
+        realized_mse: f64,
+        /// Held-out objects the realized MSE averaged over.
+        n_objects: u32,
+    },
 }
 
 impl TraceEvent {
@@ -142,6 +165,7 @@ impl TraceEvent {
             TraceEvent::BudgetChosen { .. } => "budget_chosen",
             TraceEvent::RegressionFit { .. } => "regression_fit",
             TraceEvent::SpamFallback { .. } => "spam_fallback",
+            TraceEvent::EvalCalibration { .. } => "eval_calibration",
         }
     }
 
@@ -271,6 +295,27 @@ impl TraceEvent {
                     s,
                     ",\"object\":{object},\"attr\":{attr},\"answers\":{answers}"
                 );
+            }
+            TraceEvent::EvalCalibration {
+                label,
+                seed,
+                target,
+                predicted_mse,
+                training_mse,
+                realized_mse,
+                n_objects,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(s, ",\"seed\":{seed},\"target\":");
+                write_str(&mut s, target);
+                s.push_str(",\"predicted_mse\":");
+                write_f64(&mut s, *predicted_mse);
+                s.push_str(",\"training_mse\":");
+                write_f64(&mut s, *training_mse);
+                s.push_str(",\"realized_mse\":");
+                write_f64(&mut s, *realized_mse);
+                let _ = write!(s, ",\"n_objects\":{n_objects}");
             }
         }
         s.push('}');
@@ -430,6 +475,15 @@ impl TraceEvent {
                 attr: u32_field("attr")?,
                 answers: u32_field("answers")?,
             }),
+            "eval_calibration" => Ok(TraceEvent::EvalCalibration {
+                label: str_field("label")?,
+                seed: u64_field("seed")?,
+                target: str_field("target")?,
+                predicted_mse: f64_field("predicted_mse")?,
+                training_mse: f64_field("training_mse")?,
+                realized_mse: f64_field("realized_mse")?,
+                n_objects: u32_field("n_objects")?,
+            }),
             other => Err(format!("unknown event tag {other:?}")),
         }
     }
@@ -509,6 +563,15 @@ mod tests {
                 attr: 4,
                 answers: 6,
             },
+            TraceEvent::EvalCalibration {
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                seed: 3,
+                target: "Bmi".into(),
+                predicted_mse: 3.75,
+                training_mse: 4.25,
+                realized_mse: 4.5,
+                n_objects: 150,
+            },
         ]
     }
 
@@ -529,7 +592,7 @@ mod tests {
         for event in samples() {
             seen.insert(event.name());
         }
-        assert_eq!(seen.len(), 9);
+        assert_eq!(seen.len(), 10);
     }
 
     #[test]

@@ -120,11 +120,17 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Maximum container nesting the parser accepts. Deeper documents return
+/// an error instead of recursing toward a stack overflow — trace files
+/// are adversarially treated (they may be truncated or corrupted on
+/// disk), so the parser must fail, never crash.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document, requiring it to span the whole input.
 pub fn parse(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -138,12 +144,15 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
+        Some(b'{') => parse_obj(b, pos, depth),
+        Some(b'[') => parse_arr(b, pos, depth),
         Some(b'"') => parse_str(b, pos).map(Json::Str),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -167,9 +176,15 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|e| format!("bad number {text:?}: {e}"))
+    let v: f64 = text
+        .parse()
+        .map_err(|e| format!("bad number {text:?}: {e}"))?;
+    // Overflowing literals like `1e999` parse to ±inf; the writer encodes
+    // non-finite floats as `null`, so a non-finite literal is corruption.
+    if !v.is_finite() {
+        return Err(format!("non-finite number {text:?}"));
+    }
+    Ok(Json::Num(v))
 }
 
 fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -218,7 +233,7 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -227,7 +242,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -240,7 +255,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     *pos += 1; // '{'
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -259,7 +274,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Err(format!("expected ':' at byte {pos}"));
         }
         *pos += 1;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -328,5 +343,81 @@ mod tests {
         assert!(parse("\"unterminated").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    /// Every truncation of a representative document must error, never
+    /// panic — JSONL traces are routinely cut short by crashes.
+    #[test]
+    fn every_prefix_of_a_document_is_rejected_cleanly() {
+        let doc = r#"{"event":"x","s":"aé\n","n":[1,-2.5e3,null],"b":true}"#;
+        for end in 0..doc.len() {
+            if !doc.is_char_boundary(end) {
+                continue;
+            }
+            let prefix = &doc[..end];
+            assert!(parse(prefix).is_err(), "prefix {prefix:?} parsed");
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn invalid_escapes_rejected() {
+        for bad in [
+            r#""\q""#,        // unknown escape
+            r#""\u12""#,      // truncated \u
+            r#""\u12g4""#,    // non-hex digit
+            r#""\ud800""#,    // lone surrogate → from_u32 fails
+            r#""\u{1f4a9}""#, // rust-style escape is not JSON
+            "\"\\",           // backslash at end of input
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} accepted");
+        }
+        // Valid \u escapes still work.
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+    }
+
+    #[test]
+    fn non_finite_literals_rejected() {
+        for bad in [
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "inf",
+            "nan",
+            "1e999",
+            "-1e999",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} accepted");
+        }
+        // ...but the writer's encoding of non-finite floats (null) parses.
+        assert!(parse("null").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        for bad in ["+", "-", ".", "e5", "1..2", "--3", "1e", "0x10"] {
+            assert!(parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // One level under the cap parses fine.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // Ten thousand levels must return an error, not blow the stack.
+        let evil = format!("{}0{}", "[".repeat(10_000), "]".repeat(10_000));
+        let err = parse(&evil).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Same for objects.
+        let evil_obj = "{\"k\":".repeat(10_000);
+        assert!(parse(&evil_obj).is_err());
+    }
+
+    #[test]
+    fn object_without_string_key_rejected() {
+        assert!(parse("{1:2}").is_err());
+        assert!(parse("{\"a\" 2}").is_err());
+        assert!(parse("{\"a\":2,}").is_err());
     }
 }

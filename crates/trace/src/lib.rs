@@ -20,6 +20,12 @@
 //! * **[`RunSummary`]** — a snapshot/delta aggregate of counters and
 //!   timers, rendered into bench report footers and merged into
 //!   `BENCH_harness.json`.
+//! * **Post-hoc analysis** — [`TraceReader`] streams events back out of
+//!   a JSONL file (crash-tolerant: corrupt lines are counted and
+//!   skipped), [`prometheus_text`] renders a [`RunSummary`] in
+//!   Prometheus exposition format, and [`MetricsServer`] serves that
+//!   rendering live over HTTP (`DISQ_METRICS_ADDR=127.0.0.1:PORT`).
+//!   The `disq-insight` crate builds its reports on these pieces.
 //!
 //! The build environment has no crates.io access, so everything —
 //! including the JSON writer/parser used for the JSONL format — is
@@ -36,15 +42,21 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod expo;
 pub mod json;
 mod metrics;
+pub mod reader;
+pub mod serve;
 mod sink;
 
 pub use event::{CandidateScore, KindSpend, TraceEvent};
+pub use expo::prometheus_text;
 pub use metrics::{
     count, count_n, record_timer, summary, Counter, RunSummary, Timer, TimerStats, COUNTER_COUNT,
     HIST_BUCKETS, TIMER_COUNT,
 };
+pub use reader::{SkippedLine, TraceReader, MAX_SKIP_DETAILS};
+pub use serve::{MetricsServer, METRICS_ENV_VAR};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,12 +102,14 @@ pub fn uninstall() -> Option<Arc<dyn TraceSink>> {
     old
 }
 
-/// Installs a [`JsonlSink`] at the path named by `DISQ_TRACE`, once per
-/// process. Idempotent and cheap to call from every entry point
-/// (`preprocess`, the bench harness, examples); does nothing when the
-/// variable is unset, or when a sink was already installed manually.
+/// Installs a [`JsonlSink`] at the path named by `DISQ_TRACE` and starts
+/// the metrics endpoint named by `DISQ_METRICS_ADDR`, once per process.
+/// Idempotent and cheap to call from every entry point (`preprocess`,
+/// the bench harness, examples); does nothing when the variables are
+/// unset, or when a sink was already installed manually.
 pub fn init_from_env() {
     ENV_INIT.call_once(|| {
+        serve::init_from_env();
         let Ok(path) = std::env::var(TRACE_ENV_VAR) else {
             return;
         };

@@ -248,14 +248,29 @@ impl TimerStats {
             return 0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
+            seen = seen.saturating_add(b);
             if seen >= rank {
                 return if i == 0 { 1 } else { 1u64 << i };
             }
         }
         1u64 << (HIST_BUCKETS - 1)
+    }
+
+    /// Median duration upper bound, nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.5)
+    }
+
+    /// 90th-percentile duration upper bound, nanoseconds.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.9)
+    }
+
+    /// 99th-percentile duration upper bound, nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
     }
 }
 
@@ -328,6 +343,12 @@ impl RunSummary {
         out
     }
 
+    /// Overwrites one timer's stats (test fixture construction).
+    #[cfg(test)]
+    pub(crate) fn set_timer_for_test(&mut self, t: Timer, stats: TimerStats) {
+        self.timers[t as usize] = stats;
+    }
+
     /// True when nothing was counted or timed.
     pub fn is_empty(&self) -> bool {
         self.counters.iter().all(|&c| c == 0) && self.timers.iter().all(|t| t.count == 0)
@@ -394,6 +415,9 @@ impl RunSummary {
 
     /// One-line JSON object (non-zero counters and timers only), the
     /// `run_summary` block merged into `BENCH_harness.json` records.
+    /// Timers carry their full sparse bucket list (`[[index, count], …]`)
+    /// so downstream tooling (`disq-insight`) can re-render the log₂
+    /// histograms and recompute any percentile.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"counters\":{");
         let mut first = true;
@@ -417,18 +441,84 @@ impl RunSummary {
                 }
                 let _ = write!(
                     s,
-                    "\"{}\":{{\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                    "\"{}\":{{\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\
+                     \"p99_ns\":{},\"buckets\":[",
                     t.name(),
                     stats.count,
                     stats.total_ns,
-                    stats.quantile_ns(0.5),
-                    stats.quantile_ns(0.99),
+                    stats.p50_ns(),
+                    stats.p90_ns(),
+                    stats.p99_ns(),
                 );
+                let mut first_bucket = true;
+                for (i, &b) in stats.buckets.iter().enumerate() {
+                    if b > 0 {
+                        if !first_bucket {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "[{i},{b}]");
+                        first_bucket = false;
+                    }
+                }
+                s.push_str("]}");
                 first = false;
             }
         }
         s.push_str("}}");
         s
+    }
+
+    /// Parses a [`RunSummary::to_json`] object back (absent counters and
+    /// timers read as zero; the legacy pre-bucket timer encoding is
+    /// accepted with empty buckets). Unknown counter or timer names are
+    /// an error — they indicate a version mismatch worth surfacing.
+    pub fn from_json(v: &crate::json::Json) -> Result<RunSummary, String> {
+        use crate::json::Json;
+        let mut out = RunSummary::default();
+        if let Some(Json::Obj(counters)) = v.get("counters") {
+            for (name, value) in counters {
+                let c = Counter::ALL
+                    .iter()
+                    .find(|c| c.name() == name)
+                    .ok_or_else(|| format!("unknown counter {name:?}"))?;
+                out.counters[*c as usize] = value
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {name:?} is not an integer"))?;
+            }
+        }
+        if let Some(Json::Obj(timers)) = v.get("timers") {
+            for (name, value) in timers {
+                let t = Timer::ALL
+                    .iter()
+                    .find(|t| t.name() == name)
+                    .ok_or_else(|| format!("unknown timer {name:?}"))?;
+                let stats = &mut out.timers[*t as usize];
+                let int = |field: &str| -> Result<u64, String> {
+                    value
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("timer {name:?}: missing integer {field:?}"))
+                };
+                stats.count = int("count")?;
+                stats.total_ns = int("total_ns")?;
+                if let Some(buckets) = value.get("buckets").and_then(Json::as_arr) {
+                    for pair in buckets {
+                        let pair = pair
+                            .as_arr()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| format!("timer {name:?}: bad bucket entry"))?;
+                        let i = pair[0]
+                            .as_u64()
+                            .filter(|&i| (i as usize) < HIST_BUCKETS)
+                            .ok_or_else(|| format!("timer {name:?}: bucket index out of range"))?;
+                        stats.buckets[i as usize] = pair[1]
+                            .as_u64()
+                            .ok_or_else(|| format!("timer {name:?}: bad bucket count"))?;
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -496,6 +586,131 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("\"questions_binary\":7"), "{json}");
         assert!(!json.contains("questions_numeric"), "{json}");
+    }
+
+    #[test]
+    fn percentile_accessors_on_empty_histogram() {
+        let stats = TimerStats::zero();
+        assert_eq!(stats.p50_ns(), 0);
+        assert_eq!(stats.p90_ns(), 0);
+        assert_eq!(stats.p99_ns(), 0);
+        assert_eq!(stats.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn percentile_accessors_on_single_bucket() {
+        let mut stats = TimerStats::zero();
+        stats.buckets[7] = 1_000; // every sample in (64, 128] ns
+        stats.count = 1_000;
+        stats.total_ns = 100_000;
+        assert_eq!(stats.p50_ns(), 128);
+        assert_eq!(stats.p90_ns(), 128);
+        assert_eq!(stats.p99_ns(), 128);
+    }
+
+    #[test]
+    fn percentile_accessors_spread_across_buckets() {
+        let mut stats = TimerStats::zero();
+        stats.buckets[4] = 50; // ≤16ns
+        stats.buckets[8] = 45; // ≤256ns
+        stats.buckets[20] = 5; // ≤2^20ns
+        stats.count = 100;
+        assert_eq!(stats.p50_ns(), 16);
+        assert_eq!(stats.p90_ns(), 256);
+        assert_eq!(stats.p99_ns(), 1 << 20);
+    }
+
+    #[test]
+    fn percentile_accessors_on_saturated_histogram() {
+        // Everything lands in the terminal bucket (durations beyond
+        // 2^30ns), with counts large enough to stress the rank math.
+        let mut stats = TimerStats::zero();
+        stats.buckets[HIST_BUCKETS - 1] = u64::MAX / 2;
+        stats.count = u64::MAX / 2;
+        stats.total_ns = u64::MAX;
+        let cap = 1u64 << (HIST_BUCKETS - 1);
+        assert_eq!(stats.p50_ns(), cap);
+        assert_eq!(stats.p99_ns(), cap);
+        // Bucket-zero only histogram reports the 1ns floor.
+        let mut zeroes = TimerStats::zero();
+        zeroes.buckets[0] = 3;
+        zeroes.count = 3;
+        assert_eq!(zeroes.p50_ns(), 1);
+        assert_eq!(zeroes.p99_ns(), 1);
+    }
+
+    #[test]
+    fn summary_json_round_trips_through_parser() {
+        let mut s = RunSummary::default();
+        s.counters[Counter::QuestionsBinary as usize] = 41;
+        s.counters[Counter::SpendMillicents as usize] = 123_456;
+        s.timers[Timer::CrowdQuestion as usize] = TimerStats {
+            count: 100,
+            total_ns: 5_000,
+            buckets: {
+                let mut b = [0u64; HIST_BUCKETS];
+                b[4] = 90;
+                b[11] = 10;
+                b
+            },
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"p90_ns\":16"), "{json}");
+        assert!(json.contains("\"buckets\":[[4,90],[11,10]]"), "{json}");
+        let parsed = crate::json::parse(&json).unwrap();
+        let back = RunSummary::from_json(&parsed).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn summary_from_json_rejects_unknown_names() {
+        let bad = crate::json::parse("{\"counters\":{\"bogus\":1},\"timers\":{}}").unwrap();
+        assert!(RunSummary::from_json(&bad).is_err());
+        let bad = crate::json::parse("{\"counters\":{},\"timers\":{\"bogus\":{}}}").unwrap();
+        assert!(RunSummary::from_json(&bad).is_err());
+    }
+
+    /// Satellite: snapshot/delta arithmetic must stay consistent while
+    /// other threads are hammering the counters.
+    #[test]
+    fn concurrent_increments_keep_deltas_consistent() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let before = summary();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        count(Counter::ReplayServed);
+                        count_n(Counter::ReplayFellThrough, 2);
+                    }
+                });
+            }
+            // Snapshots taken mid-flight must be monotone in every
+            // counter and never exceed the final totals.
+            let mut last = summary();
+            for _ in 0..50 {
+                let now = summary();
+                for c in Counter::ALL {
+                    assert!(now.counter(c) >= last.counter(c), "{:?} regressed", c);
+                }
+                last = now;
+            }
+        });
+        let delta = summary().delta_since(&before);
+        assert_eq!(
+            delta.counter(Counter::ReplayServed),
+            (THREADS as u64) * PER_THREAD
+        );
+        assert_eq!(
+            delta.counter(Counter::ReplayFellThrough),
+            (THREADS as u64) * PER_THREAD * 2
+        );
+        // A delta of a summary against itself is empty on those counters.
+        let now = summary();
+        let self_delta = now.delta_since(&now);
+        assert_eq!(self_delta.counter(Counter::ReplayServed), 0);
+        assert_eq!(self_delta.counter(Counter::ReplayFellThrough), 0);
     }
 
     #[test]

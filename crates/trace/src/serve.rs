@@ -1,0 +1,240 @@
+//! A live metrics exposition endpoint on `std::net`.
+//!
+//! [`MetricsServer::start`] binds a [`TcpListener`] and answers every
+//! HTTP request with the Prometheus text rendering (see [`crate::expo`])
+//! of the process-global counters and timer histograms, so a
+//! long-running harness or query server can be scraped while it works.
+//! Opt-in via `DISQ_METRICS_ADDR=127.0.0.1:PORT` (port `0` picks a free
+//! port, printed at startup) or programmatically.
+//!
+//! The accept loop runs on one spawned thread; shutdown is graceful:
+//! [`MetricsServer::shutdown`] flips a flag and unblocks the accept call
+//! with a loopback connection, then joins the thread — no request in
+//! flight is severed mid-response, and dropping the handle shuts down
+//! the same way.
+
+use crate::expo::prometheus_text;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable naming the exposition listen address.
+pub const METRICS_ENV_VAR: &str = "DISQ_METRICS_ADDR";
+
+/// A running exposition endpoint. Dropping it stops the listener.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
+    pub fn start(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("disq-metrics".into())
+            .spawn(move || accept_loop(listener, &thread_stop))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the listener and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call; the loop sees the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match stream {
+            Ok(stream) => serve_one(stream),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Answers one HTTP exchange. Any HTTP/1.x request line gets a 200 with
+/// the current exposition; malformed input still gets the metrics (the
+/// endpoint is read-only — there is nothing to protect).
+fn serve_one(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Drain the request head (best effort — scrapers send tiny GETs).
+    let mut buf = [0u8; 4096];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 64 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = prometheus_text(&crate::summary());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Starts the endpoint at the address named by [`METRICS_ENV_VAR`], once
+/// per process, keeping the server alive for the process lifetime.
+/// Returns the bound address when a server is (already) running. Called
+/// from [`crate::init_from_env`], so every traced entry point serves
+/// metrics with zero extra wiring.
+pub fn init_from_env() -> Option<SocketAddr> {
+    use std::sync::OnceLock;
+    static SERVER: OnceLock<Option<MetricsServer>> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let addr = std::env::var(METRICS_ENV_VAR).ok()?;
+            if addr.is_empty() {
+                return None;
+            }
+            match MetricsServer::start(&addr) {
+                Ok(server) => {
+                    eprintln!(
+                        "disq-trace: serving Prometheus metrics at http://{}/metrics",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("warning: {METRICS_ENV_VAR}={addr}: cannot bind: {e}");
+                    None
+                }
+            }
+        })
+        .as_ref()
+        .map(MetricsServer::local_addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{count_n, Counter};
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_parseable_prometheus_text() {
+        count_n(Counter::ReplayServed, 5);
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let response = scrape(server.local_addr());
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        // Well-formed exposition: every non-comment line is `name value`.
+        let mut families = 0;
+        for line in body.lines() {
+            if line.starts_with("# TYPE") {
+                families += 1;
+            } else if !line.starts_with('#') {
+                let (_, value) = line.rsplit_once(' ').unwrap();
+                assert!(value.parse::<f64>().is_ok(), "{line}");
+            }
+        }
+        assert!(families >= 16, "all counter families exposed");
+        assert!(body.contains("disq_replay_served_total"));
+        // Content-Length matches the body exactly.
+        let len: usize = response
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrapes_see_counter_growth() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let parse_counter = |body: &str| -> u64 {
+            body.lines()
+                .find_map(|l| l.strip_prefix("disq_replay_fell_through_total "))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let first = parse_counter(&scrape(server.local_addr()));
+        count_n(Counter::ReplayFellThrough, 7);
+        let second = parse_counter(&scrape(server.local_addr()));
+        assert!(second >= first + 7, "{first} -> {second}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent_via_drop() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        drop(server); // Drop path must join the thread too.
+                      // The listener is gone: connecting now either fails outright or
+                      // yields no HTTP response.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 16];
+                // Server thread exited, so nothing answers.
+                assert!(!matches!(s.read(&mut buf), Ok(n) if n > 0));
+            }
+        }
+        // A fresh server can bind the same port afterwards.
+        let again = MetricsServer::start(addr).unwrap();
+        again.shutdown();
+    }
+}
