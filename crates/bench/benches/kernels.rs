@@ -8,21 +8,33 @@
 //! environment cannot fetch `criterion`; output is one aligned line per
 //! kernel with median and total iteration count.
 
-use disq_core::components::budget_dist::find_budget_distribution;
+use disq_bench::harness::{record, HarnessTimings};
+use disq_core::components::budget_dist::{find_budget_distribution, with_engine, SolverEngine};
 use disq_core::{preprocess, DisqConfig};
 use disq_crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
 use disq_domain::{domains::pictures, Population};
-use disq_math::{jacobi_eigen, lstsq_svd, svd_jacobi, Matrix};
-use disq_stats::StatsTrio;
+use disq_math::{jacobi_eigen, lstsq_svd, rank1, svd_jacobi, Matrix};
+use disq_stats::{GreedyEval, StatsTrio};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Runs `f` in timed batches for ~0.5 s and prints the median batch time
-/// per iteration.
-fn bench(name: &str, mut f: impl FnMut()) {
+/// One measured kernel: the median per-iteration time plus the raw
+/// totals, so callers can persist a throughput row.
+struct Timing {
+    /// Median seconds per iteration across batches.
+    median_secs: f64,
+    /// Iterations executed during the sampling phase.
+    iters: u64,
+    /// Wall-clock seconds of the sampling phase.
+    wall_secs: f64,
+}
+
+/// Runs `f` in timed batches for ~0.5 s, prints the median batch time
+/// per iteration, and returns the measurement.
+fn bench(name: &str, mut f: impl FnMut()) -> Timing {
     // Warm-up + batch sizing: aim for batches of ≥ 1 ms.
     let mut iters = 1u64;
     loop {
@@ -36,13 +48,16 @@ fn bench(name: &str, mut f: impl FnMut()) {
         iters *= 2;
     }
     let mut samples = Vec::new();
+    let mut wall = 0.0;
     let budget = Instant::now();
     while budget.elapsed() < Duration::from_millis(500) && samples.len() < 64 {
         let t = Instant::now();
         for _ in 0..iters {
             f();
         }
-        samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        let secs = t.elapsed().as_secs_f64();
+        wall += secs;
+        samples.push(secs / iters as f64);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = samples[samples.len() / 2];
@@ -55,6 +70,11 @@ fn bench(name: &str, mut f: impl FnMut()) {
         "{name:<44} {unit:>12}   ({} samples x {iters} iters)",
         samples.len()
     );
+    Timing {
+        median_secs: median,
+        iters: samples.len() as u64 * iters,
+        wall_secs: wall,
+    }
 }
 
 fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
@@ -83,6 +103,42 @@ fn trio(n: usize, rng: &mut StdRng) -> StatsTrio {
     t
 }
 
+/// A diagonally-dominant trio (`|off-diag| row sums < 1 = diag`), so
+/// `S_a` stays SPD at every size and the engine comparison never routes
+/// through the dense fallback — the rows measure the incremental path.
+fn dominant_trio(n: usize, rng: &mut StdRng) -> StatsTrio {
+    let mut t = StatsTrio::new(1);
+    for i in 0..n {
+        let cov: Vec<f64> = (0..i).map(|j| 0.15 / (1.0 + (i - j) as f64)).collect();
+        t.push_attribute(
+            &[0.2 + rng.random::<f64>() * 0.6],
+            &cov,
+            1.0,
+            0.2 + rng.random::<f64>(),
+        )
+        .unwrap();
+    }
+    t.set_target_variance(0, 1.0).unwrap();
+    t
+}
+
+/// A throughput row for one budget-distribution kernel measurement:
+/// `units` solves in `wall_secs`, keyed by problem size rather than
+/// thread count (`budget_dist@k16`).
+fn kernel_row(name: String, t: &Timing) -> HarnessTimings {
+    HarnessTimings {
+        experiment: name,
+        threads: 1,
+        cells: 1,
+        reps: 1,
+        units: t.iters as usize,
+        wall_secs: t.wall_secs,
+        cache_hits: 0,
+        cache_misses: 0,
+        summary: disq_trace::RunSummary::default(),
+    }
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     for n in [5usize, 10, 20] {
@@ -105,6 +161,99 @@ fn main() {
             )
             .unwrap();
         });
+    }
+
+    // Kernels of the incremental solver, measured in isolation: the
+    // rank-1 diagonal update/downdate pair, the bordered append that
+    // grows the support, and one full candidate-scoring sweep.
+    {
+        let n = 16usize;
+        let mut packed = vec![0.0; rank1::packed_len(n)];
+        for i in 0..n {
+            for j in 0..=i {
+                packed[rank1::packed_index(i, j)] = if i == j {
+                    2.0
+                } else {
+                    0.15 / (1.0 + (i - j) as f64)
+                };
+            }
+        }
+        rank1::cholesky_packed_in_place(&mut packed, n).unwrap();
+
+        let z0: Vec<f64> = (0..n).map(|i| if i == n / 2 { 0.1 } else { 0.0 }).collect();
+        let mut z = vec![0.0; n];
+        let mut fac = packed.clone();
+        bench(&format!("rank1_update_downdate_pair/{n}x{n}"), || {
+            z.copy_from_slice(&z0);
+            rank1::cholesky_update_packed(black_box(&mut fac), n, &mut z, false).unwrap();
+            z.copy_from_slice(&z0);
+            rank1::cholesky_update_packed(black_box(&mut fac), n, &mut z, true).unwrap();
+        });
+
+        let mut fac = packed.clone();
+        let col: Vec<f64> = (0..n).map(|i| 0.1 / (1.0 + i as f64)).collect();
+        bench(&format!("cholesky_append/{n}->{}", n + 1), || {
+            rank1::cholesky_append_packed(black_box(&mut fac), n, &col, 2.0).unwrap();
+            fac.truncate(rank1::packed_len(n));
+        });
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = dominant_trio(n, &mut rng);
+        let mut ev = GreedyEval::new();
+        ev.begin(&t, &[1.0]);
+        for a in 0..n / 2 {
+            ev.apply(&t, a).unwrap();
+        }
+        ev.refresh(&t).unwrap();
+        bench(
+            &format!("candidate_score_sweep/{n}_attrs_support_8"),
+            || {
+                let mut acc = 0.0;
+                for a in 0..n {
+                    acc += ev.score(black_box(&t), a).unwrap();
+                }
+                black_box(acc);
+            },
+        );
+    }
+
+    // Dense vs incremental engines head-to-head on the full greedy
+    // solve. The incremental medians land in `BENCH_harness.json` as
+    // `budget_dist@k{8,16,32}` rows (the dense counterparts as
+    // `budget_dist_dense@k{n}`), so the speedup is kept on disk and the
+    // perf gate can see regressions.
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in [8usize, 16, 32] {
+        let t = dominant_trio(n, &mut rng);
+        let costs: Vec<Money> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Money::from_cents(0.1)
+                } else {
+                    Money::from_cents(0.4)
+                }
+            })
+            .collect();
+        let budget = Money::from_cents(4.0);
+        let solve = || {
+            find_budget_distribution(black_box(&t), &[1.0], budget, black_box(&costs)).unwrap();
+        };
+        let dense = with_engine(SolverEngine::Dense, || {
+            bench(&format!("budget_dist_dense/{n}_attrs"), solve)
+        });
+        let before = disq_trace::summary();
+        let inc = with_engine(SolverEngine::Incremental, || {
+            bench(&format!("budget_dist_incremental/{n}_attrs"), solve)
+        });
+        let fallbacks = disq_trace::summary()
+            .delta_since(&before)
+            .counter(disq_trace::Counter::SolverFallbacks);
+        println!(
+            "budget_dist@k{n:<37} speedup {:.1}x   (dense fallbacks: {fallbacks})",
+            dense.median_secs / inc.median_secs
+        );
+        record(&kernel_row(format!("budget_dist@k{n}"), &inc)).unwrap();
+        record(&kernel_row(format!("budget_dist_dense@k{n}"), &dense)).unwrap();
     }
 
     let mut rng = StdRng::seed_from_u64(2);

@@ -40,7 +40,10 @@ fn domain_rows(domain: DomainKind, attrs: &[&str], seed: u64) -> Table {
             *counts.entry(label).or_default() += 1;
         }
         let mut sorted: Vec<(String, usize)> = counts.into_iter().collect();
-        sorted.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+        // Tie-break equal frequencies by label: HashMap iteration order
+        // is randomized per process, and a count-only sort lets tied
+        // rows swap between otherwise identical runs.
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         for (label, count) in sorted.into_iter().take(6) {
             table.row(vec![
                 name.to_string(),

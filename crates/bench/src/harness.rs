@@ -71,8 +71,15 @@ impl HarnessTimings {
 
     /// Record key: experiment name qualified by thread count, so the
     /// same figure measured serially and in parallel keeps both rows.
+    /// Names that already carry a qualifier (kernel rows such as
+    /// `budget_dist@k16`) are used verbatim — their sweep axis is not
+    /// the thread count.
     pub fn key(&self) -> String {
-        format!("{}@t{}", self.experiment, self.threads)
+        if self.experiment.contains('@') {
+            self.experiment.clone()
+        } else {
+            format!("{}@t{}", self.experiment, self.threads)
+        }
     }
 
     /// The human-readable footer appended to report output: the
@@ -347,6 +354,14 @@ mod tests {
         let line = t.render();
         assert!(line.contains("6 cells x 4 reps"), "{line}");
         assert!(line.contains("4 threads"), "{line}");
+    }
+
+    #[test]
+    fn prequalified_names_keep_their_own_axis() {
+        // Kernel rows sweep a problem size, not a thread count; their
+        // names already carry the qualifier and must not grow `@t1`.
+        assert_eq!(sample("budget_dist@k16", 1).key(), "budget_dist@k16");
+        assert_eq!(sample("budget_dist", 1).key(), "budget_dist@t1");
     }
 
     #[test]

@@ -14,13 +14,78 @@
 //! attributes), and the *loss* `L` is the objective drop from moving one
 //! question's worth of online budget off the current attributes.
 
-use crate::components::budget_dist::greedy_objective;
+use crate::components::budget_dist::{greedy_objective_with, BudgetSolver};
 use crate::{AttributePool, DisqConfig, DisqError, SelectionStrategy};
 use disq_crowd::Money;
 use disq_stats::{NewAnswerModel, StatsTrio};
 use disq_trace::{CandidateScore, Counter, TraceEvent};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::collections::HashMap;
+
+/// Scratch state carried across successive [`choose_dismantle_target`]
+/// calls of one dismantling loop.
+///
+/// The expensive part of a dismantle decision is the loss term
+/// `L(a_t, A, B_obj, 1)`: two greedy budget solves per target. The
+/// statistics trio only changes when a dismantling question actually
+/// *discovers* a new attribute — duplicate, junk and SPRT-rejected
+/// answers (the common outcomes) leave it untouched, so consecutive
+/// decisions repeat the identical probes. This scratch memoizes each
+/// probe objective keyed by `(budget, target)` under a trio fingerprint
+/// guard, and reuses one [`BudgetSolver`] (factor state + workspaces)
+/// for every probe that must actually run.
+#[derive(Debug, Clone, Default)]
+pub struct DismantleScratch {
+    solver: BudgetSolver,
+    /// Fingerprint of the trio the cached probes were computed against.
+    fingerprint: u64,
+    /// `(budget millicents, target) → greedy objective`. Valid only
+    /// while the trio fingerprint matches: the cost vector is a pure
+    /// function of the pool, which cannot change without the trio
+    /// changing too.
+    probes: HashMap<(i64, usize), f64>,
+    /// Reusable one-hot weight buffer for per-target probes.
+    unit: Vec<f64>,
+}
+
+impl DismantleScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invalidates the probe cache unless it was built against `trio`'s
+    /// exact current statistics.
+    fn sync(&mut self, trio: &StatsTrio) {
+        let fp = trio.fingerprint();
+        if self.fingerprint != fp {
+            self.probes.clear();
+            self.fingerprint = fp;
+        }
+    }
+
+    /// The greedy objective for one target under `budget`, memoized.
+    fn probe(
+        &mut self,
+        trio: &StatsTrio,
+        target: usize,
+        budget: Money,
+        costs: &[Money],
+    ) -> Result<f64, DisqError> {
+        let key = (budget.millicents(), target);
+        if let Some(&v) = self.probes.get(&key) {
+            disq_trace::count(Counter::ProbeCacheHits);
+            return Ok(v);
+        }
+        self.unit.clear();
+        self.unit.resize(trio.n_targets(), 0.0);
+        self.unit[target] = 1.0;
+        let v = greedy_objective_with(&mut self.solver, trio, &self.unit, budget, costs)?;
+        self.probes.insert(key, v);
+        Ok(v)
+    }
+}
 
 /// Chooses the pool index of the next attribute to dismantle, or `None`
 /// when no attribute has positive expected value (a stopping signal).
@@ -34,6 +99,7 @@ pub fn choose_dismantle_target(
     costs: &[Money],
     config: &DisqConfig,
     rng: &mut StdRng,
+    scratch: &mut DismantleScratch,
 ) -> Result<Option<usize>, DisqError> {
     if pool.is_empty() {
         return Ok(None);
@@ -65,12 +131,11 @@ pub fn choose_dismantle_target(
         .min()
         .unwrap_or(Money::from_cents(0.1));
     let reduced = b_obj.saturating_sub_floor_zero(delta);
+    scratch.sync(trio);
     let mut losses = vec![0.0; trio.n_targets()];
     for (t, loss) in losses.iter_mut().enumerate() {
-        let mut unit = vec![0.0; trio.n_targets()];
-        unit[t] = 1.0;
-        let full = greedy_objective(trio, &unit, b_obj, costs)?;
-        let less = greedy_objective(trio, &unit, reduced, costs)?;
+        let full = scratch.probe(trio, t, b_obj, costs)?;
+        let less = scratch.probe(trio, t, reduced, costs)?;
         *loss = (full - less).max(0.0);
     }
 
@@ -163,6 +228,7 @@ mod tests {
             &costs,
             &DisqConfig::default(),
             &mut rng,
+            &mut DismantleScratch::new(),
         )
         .unwrap();
         assert_eq!(choice, Some(1));
@@ -187,6 +253,7 @@ mod tests {
             &costs,
             &DisqConfig::default(),
             &mut rng,
+            &mut DismantleScratch::new(),
         )
         .unwrap();
         assert_eq!(choice, Some(0));
@@ -210,6 +277,7 @@ mod tests {
             &costs,
             &config,
             &mut rng,
+            &mut DismantleScratch::new(),
         )
         .unwrap();
         // Index 1 has the stronger signal but is not a query attribute.
@@ -236,6 +304,7 @@ mod tests {
                 &costs,
                 &config,
                 &mut rng,
+                &mut DismantleScratch::new(),
             )
             .unwrap();
             seen.insert(c.unwrap());
@@ -258,6 +327,7 @@ mod tests {
             &costs,
             &DisqConfig::default(),
             &mut rng,
+            &mut DismantleScratch::new(),
         )
         .unwrap();
         assert_eq!(choice, None);
@@ -279,9 +349,60 @@ mod tests {
             &[],
             &DisqConfig::default(),
             &mut rng,
+            &mut DismantleScratch::new(),
         )
         .unwrap();
         assert_eq!(choice, None);
+    }
+
+    #[test]
+    fn probe_cache_reuse_is_transparent_and_invalidated_by_mutation() {
+        let (pool, mut trio, model) = setup(&[0.3, 0.9], &[1.0, 1.0]);
+        let costs = [cents(0.4), cents(0.1)];
+        let config = DisqConfig::default();
+        let mut scratch = DismantleScratch::new();
+        let run = |trio: &StatsTrio, scratch: &mut DismantleScratch| {
+            let mut rng = StdRng::seed_from_u64(0);
+            choose_dismantle_target(
+                trio,
+                &pool,
+                &model,
+                &[1.0],
+                cents(4.0),
+                &costs,
+                &config,
+                &mut rng,
+                scratch,
+            )
+            .unwrap()
+        };
+        let fresh = run(&trio, &mut scratch);
+        // One target, two probes (full and reduced budget).
+        assert_eq!(scratch.probes.len(), 2);
+        // Prove the second decision is served from the cache: poison the
+        // cached entries — a recompute would overwrite them, a hit
+        // returns them. The poisoned losses cancel (full == reduced), so
+        // the decision itself stays correct.
+        for v in scratch.probes.values_mut() {
+            *v = 123.0;
+        }
+        let cached = run(&trio, &mut scratch);
+        assert_eq!(cached, fresh);
+        assert!(
+            scratch.probes.values().all(|&v| v == 123.0),
+            "unchanged trio must serve probes from the cache"
+        );
+        // A statistics mutation must invalidate the cache: the poisoned
+        // entries are cleared and recomputed under the new fingerprint.
+        trio.set_s_o(0, 1, 0.2).unwrap();
+        let after_mutation = run(&trio, &mut scratch);
+        assert_eq!(scratch.fingerprint, trio.fingerprint());
+        assert!(
+            scratch.probes.values().all(|&v| v != 123.0),
+            "mutated trio must not serve stale probes"
+        );
+        // With attribute 1's signal collapsed, attribute 0 wins.
+        assert_eq!(after_mutation, Some(0));
     }
 
     #[test]
@@ -299,6 +420,7 @@ mod tests {
             &costs,
             &DisqConfig::default(),
             &mut rng,
+            &mut DismantleScratch::new(),
         )
         .unwrap();
         // Attribute 1's unknown signal gives no gain; 0 wins.

@@ -18,9 +18,9 @@
 //! afford and when dismantling must stop to leave room for the regression
 //! training set.
 
-use crate::components::budget_dist::find_budget_distribution_labeled;
+use crate::components::budget_dist::{find_budget_distribution_labeled_with, BudgetSolver};
 use crate::components::budgeting;
-use crate::components::next_attribute::choose_dismantle_target;
+use crate::components::next_attribute::{choose_dismantle_target, DismantleScratch};
 use crate::components::regression::learn_regressions;
 use crate::components::statistics::StatisticsCollector;
 use crate::{
@@ -194,6 +194,10 @@ pub fn preprocess<P: CrowdPlatform>(
         n1_used: n1,
         ..Default::default()
     };
+    // Probe cache + solver scratch shared across the whole loop: repeat
+    // decisions on an unchanged trio (duplicate/junk/rejected answers)
+    // skip their budget solves entirely.
+    let mut dismantle_scratch = DismantleScratch::new();
     while config.dismantling && pool.len() < config.max_attrs {
         let remaining = platform.ledger().remaining();
         if !budgeting::can_continue_dismantling(
@@ -203,7 +207,15 @@ pub fn preprocess<P: CrowdPlatform>(
         }
         let costs = value_costs(&pool, pricing);
         let Some(j) = choose_dismantle_target(
-            &trio, &pool, &model, &weights, b_obj, &costs, config, &mut rng,
+            &trio,
+            &pool,
+            &model,
+            &weights,
+            b_obj,
+            &costs,
+            config,
+            &mut rng,
+            &mut dismantle_scratch,
         )?
         else {
             break;
@@ -271,7 +283,15 @@ pub fn preprocess<P: CrowdPlatform>(
 
     // ---- Budget distribution (+ two-stage refinement) --------------------
     let costs = value_costs(&pool, pricing);
-    let (mut budget, _) = find_budget_distribution_labeled(&trio, &weights, b_obj, &costs, "main")?;
+    let mut budget_solver = BudgetSolver::new();
+    let (mut budget, _) = find_budget_distribution_labeled_with(
+        &mut budget_solver,
+        &trio,
+        &weights,
+        b_obj,
+        &costs,
+        "main",
+    )?;
     for _ in 0..config.refine_rounds {
         let selected: Vec<usize> = (0..pool.len()).filter(|&i| budget[i] > 0).collect();
         if selected.is_empty() {
@@ -304,8 +324,14 @@ pub fn preprocess<P: CrowdPlatform>(
         // Refresh overwrites the pinned exact self-statistics of any
         // selected query attribute; restore them.
         pin_query_attr_stats(&mut trio, &collector, n_targets)?;
-        let (new_budget, _) =
-            find_budget_distribution_labeled(&trio, &weights, b_obj, &costs, "refine")?;
+        let (new_budget, _) = find_budget_distribution_labeled_with(
+            &mut budget_solver,
+            &trio,
+            &weights,
+            b_obj,
+            &costs,
+            "refine",
+        )?;
         let stable = new_budget == budget;
         budget = new_budget;
         if stable {
@@ -332,8 +358,14 @@ pub fn preprocess<P: CrowdPlatform>(
             }
         })
         .collect();
-    let (fb_budget, _) =
-        find_budget_distribution_labeled(&trio, &weights, b_obj, &fallback_costs, "fallback")?;
+    let (fb_budget, _) = find_budget_distribution_labeled_with(
+        &mut budget_solver,
+        &trio,
+        &weights,
+        b_obj,
+        &fallback_costs,
+        "fallback",
+    )?;
     if fb_budget != budget {
         let realized_a = weighted_training_error(&plan, &weights, config);
         let fb_f64: Vec<f64> = fb_budget.iter().map(|&b| b as f64).collect();

@@ -167,4 +167,42 @@ proptest! {
             prop_assert!(q.f1 <= hi + 1e-12);
         }
     }
+
+    /// The dense and incremental budget-distribution engines must pick
+    /// the identical allocation — and agree on the objective to 1e-9
+    /// relative — on random statistics trios with heterogeneous prices.
+    #[test]
+    fn budget_engines_agree_on_random_trios(
+        specs in proptest::collection::vec(
+            (0.0_f64..0.95, 0.5_f64..2.0, 0.0_f64..1.5, 1i64..40), 1..5),
+        cov_scale in 0.0_f64..0.5,
+        budget_cents in 1i64..40,
+    ) {
+        use crate::components::budget_dist::{
+            find_budget_distribution, with_engine, SolverEngine,
+        };
+        use disq_stats::StatsTrio;
+        let mut trio = StatsTrio::new(1);
+        let mut costs = Vec::new();
+        for (i, &(so, var, sc, price_tenths)) in specs.iter().enumerate() {
+            let covs: Vec<f64> = (0..i)
+                .map(|j| cov_scale * 0.3 / (1.0 + (i - j) as f64))
+                .collect();
+            trio.push_attribute(&[so], &covs, var, sc).unwrap();
+            costs.push(Money::from_cents(price_tenths as f64 / 10.0));
+        }
+        trio.set_target_variance(0, 1.0).unwrap();
+        let budget = Money::from_cents(budget_cents as f64 / 10.0);
+        let (b_dense, obj_dense) = with_engine(SolverEngine::Dense, || {
+            find_budget_distribution(&trio, &[1.0], budget, &costs)
+        }).unwrap();
+        let (b_inc, obj_inc) = with_engine(SolverEngine::Incremental, || {
+            find_budget_distribution(&trio, &[1.0], budget, &costs)
+        }).unwrap();
+        prop_assert_eq!(&b_dense, &b_inc, "allocations diverged");
+        prop_assert!(
+            (obj_dense - obj_inc).abs() <= 1e-9 * obj_dense.abs().max(1.0),
+            "objectives diverged: dense {} vs incremental {}", obj_dense, obj_inc
+        );
+    }
 }

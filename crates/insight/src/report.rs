@@ -88,6 +88,9 @@ pub struct RunReport {
     pub regressions: Vec<(String, f64, u32)>,
     /// Whole-batch online spam rejections.
     pub spam_fallbacks: u64,
+    /// Incremental budget solves rescued by the dense engine:
+    /// `(solve label, breakdown reason)`, verbatim.
+    pub solver_fallbacks: Vec<(String, String)>,
     /// Peak statistics-trio shape seen.
     pub trio_peak: (u32, u32),
     /// Err(b) calibration samples (see [`crate::calib`]).
@@ -194,6 +197,9 @@ impl RunReport {
                 ..
             } => self.regressions.push((label, training_mse, rows)),
             TraceEvent::SpamFallback { .. } => self.spam_fallbacks += 1,
+            TraceEvent::SolverFallback { label, reason } => {
+                self.solver_fallbacks.push((label, reason));
+            }
             TraceEvent::EvalCalibration {
                 label,
                 seed,
@@ -244,6 +250,7 @@ impl RunReport {
             (Counter::BudgetSteps, self.budget_steps),
             (Counter::RegressionFits, self.regressions.len() as u64),
             (Counter::SpamFallbacks, self.spam_fallbacks),
+            (Counter::SolverFallbacks, self.solver_fallbacks.len() as u64),
         ]
     }
 
@@ -464,6 +471,19 @@ impl RunReport {
             );
         }
 
+        if !self.solver_fallbacks.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nbudget-solver fallbacks: {} incremental solves rescued by the dense engine",
+                self.solver_fallbacks.len()
+            );
+            let mut t = Table::new(&["solve", "reason"]).aligns(&[Align::Left, Align::Left]);
+            for (label, reason) in &self.solver_fallbacks {
+                t.row(vec![label.clone(), reason.clone()]);
+            }
+            out.push_str(&t.render());
+        }
+
         out.push_str("\ncounters derived from events:\n");
         let mut t = Table::new(&["counter", "value"]).aligns(&[Align::Left, Align::Right]);
         for (c, v) in self.derived_counters() {
@@ -596,6 +616,31 @@ mod tests {
         assert_eq!(get(Counter::QuestionsExample), 16);
         assert_eq!(get(Counter::QuestionsDismantle), 3);
         assert_eq!(get(Counter::SpendMillicents), 8000);
+    }
+
+    #[test]
+    fn solver_fallbacks_counted_and_rendered() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::SolverFallback {
+            label: "main".into(),
+            reason: "schur".into(),
+        });
+        r.absorb(TraceEvent::SolverFallback {
+            label: "probe".into(),
+            reason: "downdate".into(),
+        });
+        assert_eq!(r.solver_fallbacks.len(), 2);
+        let derived = r.derived_counters();
+        let fallbacks = derived
+            .iter()
+            .find(|(c, _)| *c == Counter::SolverFallbacks)
+            .unwrap()
+            .1;
+        assert_eq!(fallbacks, 2);
+        let text = r.render();
+        assert!(text.contains("budget-solver fallbacks: 2"), "{text}");
+        assert!(text.contains("schur"), "{text}");
+        assert!(text.contains("probe"), "{text}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod lu;
 mod matrix;
 mod psd;
 mod quadform;
+pub mod rank1;
 mod sampling;
 mod svd;
 

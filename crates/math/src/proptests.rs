@@ -186,4 +186,126 @@ proptest! {
         let a = Matrix::from_vec(3, 4, data);
         prop_assert_eq!(a.transpose().transpose(), a);
     }
+
+    /// A random sequence of the incremental solver's factor mutations
+    /// (diagonal bumps, diagonal shrinks that keep the matrix SPD, and
+    /// bordered appends) must track the fresh factorization of the
+    /// explicitly assembled matrix throughout.
+    #[test]
+    fn rank1_mutation_sequence_matches_fresh_factorize(
+        a in spd_matrix(3),
+        ops in proptest::collection::vec((0usize..3, 0usize..6, 0.05_f64..2.0), 1..12),
+    ) {
+        let n0 = 3;
+        let mut dense = a.clone();
+        let mut fac = Vec::new();
+        for i in 0..n0 {
+            for j in 0..=i {
+                fac.push(dense[(i, j)]);
+            }
+        }
+        prop_assert!(rank1::cholesky_packed_in_place(&mut fac, n0).is_ok());
+        let mut n = n0;
+        for (op, coord, mag) in ops {
+            match op {
+                // Diagonal bump: A += mag·e_pe_pᵀ.
+                0 => {
+                    let p = coord % n;
+                    let mut z = vec![0.0; n];
+                    z[p] = mag.sqrt();
+                    prop_assert!(rank1::cholesky_update_packed(&mut fac, n, &mut z, false).is_ok());
+                    dense[(p, p)] += mag;
+                }
+                // Diagonal shrink. Accumulated mutations can leave too
+                // little SPD margin for the shrink — a refused downdate
+                // leaves the factor unspecified per the documented
+                // contract, so mirror the solver's recovery and
+                // refactorize from scratch before continuing.
+                1 => {
+                    let p = coord % n;
+                    let delta = dense[(p, p)] * 0.25;
+                    let mut z = vec![0.0; n];
+                    z[p] = delta.sqrt();
+                    if rank1::cholesky_update_packed(&mut fac, n, &mut z, true).is_ok() {
+                        dense[(p, p)] -= delta;
+                    } else {
+                        fac.clear();
+                        for i in 0..n {
+                            for j in 0..=i {
+                                fac.push(dense[(i, j)]);
+                            }
+                        }
+                        prop_assert!(rank1::cholesky_packed_in_place(&mut fac, n).is_ok());
+                    }
+                }
+                // Bordered append with a weak off-diagonal coupling. A
+                // shrunken factor can leave the Schur complement
+                // non-positive; a refused append must truncate back to
+                // the pre-append factor (checked below).
+                _ => {
+                    let col: Vec<f64> = (0..n).map(|i| 0.1 * mag * ((coord + i) % 3) as f64).collect();
+                    let diag = 1.0 + mag;
+                    if rank1::cholesky_append_packed(&mut fac, n, &col, diag).is_err() {
+                        prop_assert_eq!(fac.len(), rank1::packed_len(n));
+                        continue;
+                    }
+                    let mut grown = Matrix::zeros(n + 1, n + 1);
+                    for i in 0..n {
+                        for j in 0..n {
+                            grown[(i, j)] = dense[(i, j)];
+                        }
+                        grown[(i, n)] = col[i];
+                        grown[(n, i)] = col[i];
+                    }
+                    grown[(n, n)] = diag;
+                    dense = grown;
+                    n += 1;
+                }
+            }
+            // The mutated factor must reconstruct the assembled matrix.
+            let mut fresh = Vec::new();
+            for i in 0..n {
+                for j in 0..=i {
+                    fresh.push(dense[(i, j)]);
+                }
+            }
+            prop_assert!(rank1::cholesky_packed_in_place(&mut fresh, n).is_ok());
+            for i in 0..rank1::packed_len(n) {
+                let scale = fresh[i].abs().max(1.0);
+                prop_assert!(
+                    (fac[i] - fresh[i]).abs() < 1e-8 * scale,
+                    "entry {} diverged: {} vs {}", i, fac[i], fresh[i]
+                );
+            }
+        }
+    }
+
+    /// Near-singular downdates must fail cleanly (never a poisoned
+    /// factor): shrinking a diagonal entry by ~its full magnitude on a
+    /// barely-definite matrix either succeeds with a finite factor or
+    /// reports `NotPositiveDefinite`/`NonFinite`.
+    #[test]
+    fn rank1_downdate_never_yields_non_finite_factor(
+        a in spd_matrix(3),
+        p in 0usize..3,
+        frac in 0.9_f64..1.2,
+    ) {
+        let mut fac = Vec::new();
+        for i in 0..3 {
+            for j in 0..=i {
+                fac.push(a[(i, j)]);
+            }
+        }
+        prop_assert!(rank1::cholesky_packed_in_place(&mut fac, 3).is_ok());
+        // Remove (almost) the whole SPD-guaranteeing diagonal margin.
+        let delta = (a[(p, p)] - 0.4) * frac;
+        let mut z = vec![0.0; 3];
+        z[p] = delta.max(0.0).sqrt();
+        if rank1::cholesky_update_packed(&mut fac, 3, &mut z, true).is_ok() {
+            prop_assert!(fac.iter().all(|v| v.is_finite()));
+            for i in 0..3 {
+                prop_assert!(fac[rank1::packed_index(i, i)] > 0.0);
+            }
+        }
+    }
 }

@@ -14,41 +14,9 @@
 //! [`QuadFormWorkspace::quad_form`] queries against the cached factor
 //! without further allocation.
 
+use crate::rank1::{cholesky_packed_in_place, packed_index as packed};
 use crate::{Lu, MathError, Matrix, Result};
 use disq_trace::Timer;
-
-/// Index of entry `(i, j)`, `j ≤ i`, in a packed lower triangle.
-#[inline]
-fn packed(i: usize, j: usize) -> usize {
-    i * (i + 1) / 2 + j
-}
-
-/// In-place Cholesky on a packed lower triangle: on entry `fac` holds the
-/// lower triangle of SPD `A`, on success it holds the factor `L` with
-/// `A = L·Lᵀ`. Arithmetic (summation order, division, sqrt) mirrors
-/// [`crate::Cholesky::new`] exactly, so results are bit-identical to the
-/// dense factorization.
-fn cholesky_packed_in_place(fac: &mut [f64], n: usize) -> Result<()> {
-    for i in 0..n {
-        let ri = i * (i + 1) / 2;
-        for j in 0..=i {
-            let rj = j * (j + 1) / 2;
-            let mut sum = fac[ri + j];
-            for k in 0..j {
-                sum -= fac[ri + k] * fac[rj + k];
-            }
-            if i == j {
-                if sum <= 0.0 {
-                    return Err(MathError::NotPositiveDefinite { index: i });
-                }
-                fac[ri + i] = sum.sqrt();
-            } else {
-                fac[ri + j] = sum / fac[rj + j];
-            }
-        }
-    }
-    Ok(())
-}
 
 /// Which factorization the workspace currently holds.
 #[derive(Debug, Clone)]
@@ -78,10 +46,8 @@ pub struct QuadFormWorkspace {
     base: Vec<f64>,
     /// Packed factor `L`, or scratch during retries.
     fac: Vec<f64>,
-    /// Forward-substitution scratch.
+    /// Triangular-solve scratch.
     y: Vec<f64>,
-    /// Back-substitution scratch.
-    x: Vec<f64>,
     state: FactorState,
 }
 
@@ -99,7 +65,6 @@ impl QuadFormWorkspace {
             base: Vec::new(),
             fac: Vec::new(),
             y: Vec::new(),
-            x: Vec::new(),
             state: FactorState::Unfactored,
         }
     }
@@ -153,7 +118,6 @@ impl QuadFormWorkspace {
             self.base.push(entry(i, i) + d[i]);
         }
         self.y.resize(n, 0.0);
-        self.x.resize(n, 0.0);
 
         if self.base.iter().all(|v| v.is_finite()) {
             self.fac.clear();
@@ -236,25 +200,13 @@ impl QuadFormWorkspace {
         match &self.state {
             FactorState::Unfactored => Err(MathError::Empty),
             FactorState::Cholesky => {
-                let n = self.n;
-                // Forward: L·y = v.
-                for i in 0..n {
-                    let ri = i * (i + 1) / 2;
-                    let mut sum = v[i];
-                    for j in 0..i {
-                        sum -= self.fac[ri + j] * self.y[j];
-                    }
-                    self.y[i] = sum / self.fac[ri + i];
-                }
-                // Backward: Lᵀ·x = y.
-                for i in (0..n).rev() {
-                    let mut sum = self.y[i];
-                    for j in (i + 1)..n {
-                        sum -= self.fac[packed(j, i)] * self.x[j];
-                    }
-                    self.x[i] = sum / self.fac[packed(i, i)];
-                }
-                Ok(v.iter().zip(&self.x).map(|(&a, &b)| a * b).sum())
+                // x = A⁻¹v via the shared packed triangular solves
+                // (`disq_math::rank1`), arithmetically identical to the
+                // historical in-line loops.
+                self.y.clear();
+                self.y.extend_from_slice(v);
+                crate::rank1::solve_packed(&self.fac, self.n, &mut self.y);
+                Ok(v.iter().zip(&self.y).map(|(&a, &b)| a * b).sum())
             }
             FactorState::Lu(lu) => {
                 let x = lu.solve(v)?;

@@ -1,0 +1,442 @@
+//! Packed-triangle Cholesky primitives for the incremental Eq. 2 solver:
+//! in-place factorization, triangular solves, rank-1 update/downdate,
+//! bordered append, and inverse-diagonal extraction.
+//!
+//! The greedy budget-distribution loop maintains one Cholesky factor of
+//! `A = S_a + Diag(S_c/b)` over the support set (attributes with at least
+//! one granted question) and mutates it instead of refactorizing:
+//!
+//! * granting another question to an in-support attribute changes one
+//!   diagonal entry of `A` — a rank-1 perturbation `δ·e_ae_aᵀ`, applied to
+//!   the factor in `O((k−p)²)` by [`cholesky_update_packed`];
+//! * granting a *first* question appends one row/column to `A` — applied
+//!   in `O(k²)` by [`cholesky_append_packed`] (one forward solve plus a
+//!   Schur-complement scalar).
+//!
+//! Everything operates on the factor packed row-major as a lower
+//! triangle: entry `(i, j)`, `j ≤ i`, lives at [`packed_index`]`(i, j)`,
+//! `n(n+1)/2` doubles total — the same layout
+//! [`crate::QuadFormWorkspace`] uses, so the two evaluators share these
+//! kernels and stay arithmetically identical where they overlap.
+//!
+//! All mutating entry points return [`MathError::NotPositiveDefinite`]
+//! instead of producing a corrupt factor when the perturbed matrix stops
+//! being SPD (the caller's cue to fall back to a dense refactorize, which
+//! has the jitter rescue ladder).
+
+use crate::{MathError, Result};
+use disq_trace::Timer;
+
+/// Index of entry `(i, j)`, `j ≤ i`, in a row-major packed lower triangle.
+#[inline]
+pub fn packed_index(i: usize, j: usize) -> usize {
+    i * (i + 1) / 2 + j
+}
+
+/// Number of doubles in a packed lower triangle of dimension `n`.
+#[inline]
+pub fn packed_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// In-place Cholesky on a packed lower triangle: on entry `fac` holds the
+/// lower triangle of SPD `A`, on success it holds the factor `L` with
+/// `A = L·Lᵀ`. Arithmetic (summation order, division, sqrt) mirrors
+/// [`crate::Cholesky::new`] exactly, so results are bit-identical to the
+/// dense factorization.
+pub fn cholesky_packed_in_place(fac: &mut [f64], n: usize) -> Result<()> {
+    debug_assert!(fac.len() >= packed_len(n));
+    for i in 0..n {
+        let ri = i * (i + 1) / 2;
+        for j in 0..=i {
+            let rj = j * (j + 1) / 2;
+            let mut sum = fac[ri + j];
+            for k in 0..j {
+                sum -= fac[ri + k] * fac[rj + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(MathError::NotPositiveDefinite { index: i });
+                }
+                fac[ri + i] = sum.sqrt();
+            } else {
+                fac[ri + j] = sum / fac[rj + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forward substitution against a packed factor: `b := L⁻¹·b`, in place.
+pub fn forward_solve_packed(fac: &[f64], n: usize, b: &mut [f64]) {
+    debug_assert!(b.len() >= n);
+    for i in 0..n {
+        let ri = i * (i + 1) / 2;
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= fac[ri + j] * b[j];
+        }
+        b[i] = sum / fac[ri + i];
+    }
+}
+
+/// Backward substitution against a packed factor: `b := L⁻ᵀ·b`, in place.
+pub fn backward_solve_packed(fac: &[f64], n: usize, b: &mut [f64]) {
+    debug_assert!(b.len() >= n);
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum -= fac[packed_index(j, i)] * b[j];
+        }
+        b[i] = sum / fac[packed_index(i, i)];
+    }
+}
+
+/// Full SPD solve against a packed factor: `b := A⁻¹·b = L⁻ᵀ·L⁻¹·b`.
+pub fn solve_packed(fac: &[f64], n: usize, b: &mut [f64]) {
+    forward_solve_packed(fac, n, b);
+    backward_solve_packed(fac, n, b);
+}
+
+/// Rank-1 update (`downdate == false`: `A' = A + z·zᵀ`) or downdate
+/// (`downdate == true`: `A' = A − z·zᵀ`) of a packed Cholesky factor, via
+/// the classic hyperbolic/Givens rotation sweep (LINPACK `dchud`/`dchdd`).
+/// `z` is consumed as scratch. Leading zeros of `z` are skipped, so a
+/// perturbation of coordinate `p` alone costs `O((n−p)²)`.
+///
+/// Fails with [`MathError::NotPositiveDefinite`] (factor left
+/// unspecified — refactorize or discard) when the downdated matrix loses
+/// positive definiteness, and with [`MathError::NonFinite`] when the
+/// rotations produce non-finite entries (wildly scaled inputs).
+pub fn cholesky_update_packed(
+    fac: &mut [f64],
+    n: usize,
+    z: &mut [f64],
+    downdate: bool,
+) -> Result<()> {
+    disq_trace::time(Timer::Rank1Update, || {
+        cholesky_update_packed_impl(fac, n, z, downdate)
+    })
+}
+
+fn cholesky_update_packed_impl(
+    fac: &mut [f64],
+    n: usize,
+    z: &mut [f64],
+    downdate: bool,
+) -> Result<()> {
+    debug_assert!(fac.len() >= packed_len(n) && z.len() >= n);
+    let start = (0..n).find(|&k| z[k] != 0.0).unwrap_or(n);
+    for k in start..n {
+        let dkk = fac[packed_index(k, k)];
+        let zk = z[k];
+        let r2 = if downdate {
+            dkk * dkk - zk * zk
+        } else {
+            dkk * dkk + zk * zk
+        };
+        if r2 <= 0.0 || r2.is_nan() {
+            return Err(MathError::NotPositiveDefinite { index: k });
+        }
+        let r = r2.sqrt();
+        if !r.is_finite() {
+            return Err(MathError::NonFinite);
+        }
+        let c = r / dkk;
+        let s = zk / dkk;
+        fac[packed_index(k, k)] = r;
+        for i in (k + 1)..n {
+            let li = packed_index(i, k);
+            let l = if downdate {
+                (fac[li] - s * z[i]) / c
+            } else {
+                (fac[li] + s * z[i]) / c
+            };
+            z[i] = c * z[i] - s * l;
+            fac[li] = l;
+        }
+    }
+    // One non-finite rotation early in the sweep silently poisons every
+    // later column; a single scan keeps the factor trustworthy.
+    if fac[..packed_len(n)].iter().any(|v| !v.is_finite()) {
+        return Err(MathError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Grows a packed factor of `A` (dimension `n`) to dimension `n + 1` by
+/// Cholesky bordering: the new matrix is `[[A, col], [colᵀ, diag]]`.
+/// Costs one forward solve (`O(n²/2)`) plus the Schur-complement scalar.
+///
+/// Fails with [`MathError::NotPositiveDefinite`] when the Schur
+/// complement `diag − colᵀA⁻¹col` is not strictly positive (the bordered
+/// matrix is not SPD), and with [`MathError::NonFinite`] on non-finite
+/// inputs; `fac` is unchanged on failure.
+pub fn cholesky_append_packed(fac: &mut Vec<f64>, n: usize, col: &[f64], diag: f64) -> Result<()> {
+    disq_trace::time(Timer::Rank1Update, || {
+        cholesky_append_packed_impl(fac, n, col, diag)
+    })
+}
+
+fn cholesky_append_packed_impl(fac: &mut Vec<f64>, n: usize, col: &[f64], diag: f64) -> Result<()> {
+    debug_assert!(fac.len() >= packed_len(n) && col.len() >= n);
+    if !diag.is_finite() || col[..n].iter().any(|v| !v.is_finite()) {
+        return Err(MathError::NonFinite);
+    }
+    let row_start = fac.len();
+    fac.extend_from_slice(&col[..n]);
+    // New row w solves L·w = col; reuse the freshly appended storage.
+    let (head, row) = fac.split_at_mut(row_start);
+    forward_solve_packed(head, n, row);
+    let schur = diag - row.iter().map(|&w| w * w).sum::<f64>();
+    if schur <= 0.0 || schur.is_nan() {
+        fac.truncate(row_start);
+        return Err(MathError::NotPositiveDefinite { index: n });
+    }
+    let l = schur.sqrt();
+    if !l.is_finite() || row.iter().any(|v| !v.is_finite()) {
+        fac.truncate(row_start);
+        return Err(MathError::NonFinite);
+    }
+    fac.push(l);
+    Ok(())
+}
+
+/// Fills `out[i] = (A⁻¹)_{ii}` for every `i`, from the packed factor:
+/// `(A⁻¹)_{ii} = ‖L⁻¹e_i‖²`, one truncated forward solve per coordinate
+/// (`O(n³/6)` total). `scratch` is resized as needed.
+pub fn inverse_diagonal_packed(fac: &[f64], n: usize, out: &mut Vec<f64>, scratch: &mut Vec<f64>) {
+    out.clear();
+    scratch.resize(n, 0.0);
+    for a in 0..n {
+        // Solve L·u = e_a; u has zeros before position a.
+        for i in a..n {
+            let ri = i * (i + 1) / 2;
+            let mut sum = if i == a { 1.0 } else { 0.0 };
+            for j in a..i {
+                sum -= fac[ri + j] * scratch[j];
+            }
+            scratch[i] = sum / fac[ri + i];
+        }
+        out.push(scratch[a..n].iter().map(|&u| u * u).sum());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    /// Packs the lower triangle of a dense matrix.
+    fn pack(a: &Matrix) -> Vec<f64> {
+        let n = a.rows();
+        let mut out = Vec::with_capacity(packed_len(n));
+        for i in 0..n {
+            for j in 0..=i {
+                out.push(a[(i, j)]);
+            }
+        }
+        out
+    }
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+    }
+
+    fn assert_factors_close(fac: &[f64], reference: &[f64], n: usize, tol: f64) {
+        for i in 0..packed_len(n) {
+            assert!(
+                (fac[i] - reference[i]).abs() <= tol * reference[i].abs().max(1.0),
+                "entry {i}: {} vs {}",
+                fac[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn packed_factorization_matches_dense() {
+        let a = spd3();
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 3).unwrap();
+        let dense = crate::Cholesky::new(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(fac[packed_index(i, j)], dense.factor()[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_packed_matches_dense_solve() {
+        let a = spd3();
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 3).unwrap();
+        let mut b = vec![1.0, -2.0, 0.5];
+        solve_packed(&fac, 3, &mut b);
+        let expect = crate::Cholesky::new(&a)
+            .unwrap()
+            .solve(&[1.0, -2.0, 0.5])
+            .unwrap();
+        for (got, want) in b.iter().zip(&expect) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn rank1_update_matches_fresh_factorization() {
+        let a = spd3();
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 3).unwrap();
+        let z = [0.3, -0.2, 0.5];
+        let mut zbuf = z.to_vec();
+        cholesky_update_packed(&mut fac, 3, &mut zbuf, false).unwrap();
+
+        let mut a2 = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                a2[(i, j)] += z[i] * z[j];
+            }
+        }
+        let mut fresh = pack(&a2);
+        cholesky_packed_in_place(&mut fresh, 3).unwrap();
+        assert_factors_close(&fac, &fresh, 3, 1e-12);
+    }
+
+    #[test]
+    fn rank1_downdate_matches_fresh_factorization() {
+        let a = spd3();
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 3).unwrap();
+        let z = [0.2, 0.1, -0.4];
+        let mut zbuf = z.to_vec();
+        cholesky_update_packed(&mut fac, 3, &mut zbuf, true).unwrap();
+
+        let mut a2 = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                a2[(i, j)] -= z[i] * z[j];
+            }
+        }
+        let mut fresh = pack(&a2);
+        cholesky_packed_in_place(&mut fresh, 3).unwrap();
+        assert_factors_close(&fac, &fresh, 3, 1e-12);
+    }
+
+    #[test]
+    fn diagonal_update_skips_leading_rows() {
+        // z = √δ·e_2 must leave rows 0 and 1 untouched bit-for-bit.
+        let a = spd3();
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 3).unwrap();
+        let before = fac.clone();
+        let mut z = vec![0.0, 0.0, 0.7];
+        cholesky_update_packed(&mut fac, 3, &mut z, false).unwrap();
+        assert_eq!(&fac[..packed_index(2, 0)], &before[..packed_index(2, 0)]);
+        assert_ne!(fac[packed_index(2, 2)], before[packed_index(2, 2)]);
+    }
+
+    #[test]
+    fn excessive_downdate_rejected() {
+        let mut fac = pack(&Matrix::identity(2));
+        cholesky_packed_in_place(&mut fac, 2).unwrap();
+        let mut z = vec![2.0, 0.0]; // I − zzᵀ has a −3 eigenvalue
+        assert!(matches!(
+            cholesky_update_packed(&mut fac, 2, &mut z, true),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn append_matches_fresh_factorization() {
+        let a = spd3();
+        let mut fac = pack(&Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 5.0]]));
+        cholesky_packed_in_place(&mut fac, 2).unwrap();
+        cholesky_append_packed(&mut fac, 2, &[0.6, 1.0], 3.0).unwrap();
+        let mut fresh = pack(&a);
+        cholesky_packed_in_place(&mut fresh, 3).unwrap();
+        assert_factors_close(&fac, &fresh, 3, 1e-12);
+    }
+
+    #[test]
+    fn append_from_empty_factor() {
+        let mut fac = Vec::new();
+        cholesky_append_packed(&mut fac, 0, &[], 2.25).unwrap();
+        assert_eq!(fac, vec![1.5]);
+    }
+
+    #[test]
+    fn append_rejects_non_spd_border() {
+        // Bordering with a dominated diagonal: Schur complement ≤ 0.
+        let mut fac = pack(&Matrix::identity(1));
+        cholesky_packed_in_place(&mut fac, 1).unwrap();
+        let before = fac.clone();
+        assert!(matches!(
+            cholesky_append_packed(&mut fac, 1, &[2.0], 1.0),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+        assert_eq!(fac, before, "failed append must leave the factor intact");
+        assert!(matches!(
+            cholesky_append_packed(&mut fac, 1, &[f64::NAN], 1.0),
+            Err(MathError::NonFinite)
+        ));
+        assert_eq!(fac, before);
+    }
+
+    #[test]
+    fn inverse_diagonal_matches_explicit_inverse() {
+        let a = spd3();
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 3).unwrap();
+        let mut diag = Vec::new();
+        let mut scratch = Vec::new();
+        inverse_diagonal_packed(&fac, 3, &mut diag, &mut scratch);
+        let inv = crate::Lu::new(&a).unwrap().inverse().unwrap();
+        for i in 0..3 {
+            assert!((diag[i] - inv[(i, i)]).abs() < 1e-12, "{i}");
+        }
+    }
+
+    #[test]
+    fn update_then_append_sequence_stays_consistent() {
+        // Interleave the two mutations and compare against refactorizing
+        // the explicitly assembled matrix.
+        let mut a = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.5]]);
+        let mut fac = pack(&a);
+        cholesky_packed_in_place(&mut fac, 2).unwrap();
+
+        // Diagonal bump on coordinate 1.
+        let delta: f64 = 0.75;
+        let mut z = vec![0.0, delta.sqrt()];
+        cholesky_update_packed(&mut fac, 2, &mut z, false).unwrap();
+        a[(1, 1)] += delta;
+
+        // Border with a third coordinate.
+        cholesky_append_packed(&mut fac, 2, &[0.2, -0.1], 2.0).unwrap();
+        let mut grown = Matrix::zeros(3, 3);
+        for i in 0..2 {
+            for j in 0..2 {
+                grown[(i, j)] = a[(i, j)];
+            }
+        }
+        grown[(2, 0)] = 0.2;
+        grown[(0, 2)] = 0.2;
+        grown[(2, 1)] = -0.1;
+        grown[(1, 2)] = -0.1;
+        grown[(2, 2)] = 2.0;
+
+        // Diagonal shrink on coordinate 0 (a downdate).
+        let shrink: f64 = 0.5;
+        let mut z = vec![shrink.sqrt(), 0.0, 0.0];
+        cholesky_update_packed(&mut fac, 3, &mut z, true).unwrap();
+        grown[(0, 0)] -= shrink;
+
+        let mut fresh = pack(&grown);
+        cholesky_packed_in_place(&mut fresh, 3).unwrap();
+        assert_factors_close(&fac, &fresh, 3, 1e-10);
+    }
+}

@@ -1,0 +1,412 @@
+//! Incremental evaluation of the greedy budget-distribution objective.
+//!
+//! The dense greedy solver refactorizes `A = S_a + Diag(S_c/b)` for every
+//! candidate grant — `O(n·k³)` per granted question. [`GreedyEval`]
+//! maintains one packed Cholesky factor of `A` restricted to the support
+//! set (attributes with positive budget) and prices candidate grants
+//! without touching the factor:
+//!
+//! * an **in-support** grant `b_a → b_a + 1` perturbs only the diagonal,
+//!   `A' = A + δ·e_pe_pᵀ` with `δ = s_c/(b+1) − s_c/b < 0`, so
+//!   Sherman–Morrison gives the new quadratic form from the cached solves
+//!   `x_t = A⁻¹v_t` and `(A⁻¹)_pp` in `O(1)` per target:
+//!   `v_tᵀA'⁻¹v_t = v_tᵀx_t − δ·x_t[p]² / (1 + δ·(A⁻¹)_pp)`;
+//! * a **first** grant to a new attribute borders the matrix,
+//!   `A' = [[A, c], [cᵀ, d]]`, and the block-inverse identity prices it
+//!   from one forward solve shared by all targets:
+//!   `v'ᵀA'⁻¹v' = v_tᵀx_t + (g_t − cᵀx_t)² / (d − cᵀA⁻¹c)`.
+//!
+//! Applying the winning grant is a rank-1 Cholesky downdate (diagonal
+//! shrink) or an `O(k²)` bordered append — never a refactorization. After
+//! each grant [`GreedyEval::refresh`] recomputes the per-target solves and
+//! inverse diagonal *from the maintained factor* so scoring error does not
+//! compound across steps.
+//!
+//! Numerical breakdown (non-positive Schur complement, vanishing
+//! Sherman–Morrison denominator, refused downdate, non-finite values) is
+//! reported as [`Breakdown`]; the caller falls back to the dense engine,
+//! which owns the jitter-rescue ladder.
+
+use crate::trio::StatsTrio;
+use disq_math::rank1;
+use disq_trace::Timer;
+use std::fmt;
+
+/// Sentinel for "attribute not in the support set".
+const NO_POS: usize = usize::MAX;
+
+/// Numerical breakdown of the incremental evaluator. Carries the reason
+/// string surfaced in the `solver_fallback` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Which guard tripped: `"schur"`, `"sherman_morrison"`,
+    /// `"downdate"` or `"non_finite"`.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "incremental evaluator breakdown: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Breakdown {}
+
+/// `S_o[t][a]` with the NaN-means-no-signal convention of the dense path.
+fn signal(trio: &StatsTrio, target: usize, attr: usize) -> f64 {
+    let so = trio.s_o(target, attr);
+    if so.is_nan() {
+        0.0
+    } else {
+        so
+    }
+}
+
+/// Incremental greedy-objective evaluator (see module docs).
+///
+/// Lifecycle: [`begin`](Self::begin) once per `find_budget_distribution`
+/// call, then repeat { [`score`](Self::score) every candidate,
+/// [`apply`](Self::apply) the winner, [`refresh`](Self::refresh) } until
+/// the budget is spent. All buffers are retained across calls, so a
+/// long-lived `GreedyEval` performs no steady-state heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyEval {
+    /// Support set (attributes with positive budget), insertion order.
+    support: Vec<usize>,
+    /// Attribute index → position in `support`, or `NO_POS`.
+    pos: Vec<usize>,
+    /// Fractional per-attribute budget, full `n_attrs` length.
+    b: Vec<f64>,
+    /// Packed lower-triangular Cholesky factor of the support matrix.
+    fac: Vec<f64>,
+    /// Weighted target indices (weights ≠ 0) and their weights.
+    targets: Vec<usize>,
+    w: Vec<f64>,
+    /// Per weighted target: `x_t = A⁻¹ v_t` over the support set.
+    x: Vec<Vec<f64>>,
+    /// Per weighted target: current quadratic form `v_tᵀ x_t`.
+    obj_t: Vec<f64>,
+    /// `(A⁻¹)_pp` for every support position.
+    inv_diag: Vec<f64>,
+    /// Current weighted objective `Σ_t w_t·obj_t`.
+    objective: f64,
+    /// Scratch: border column `c` in support order.
+    col: Vec<f64>,
+    /// Scratch: forward-solve / inverse-diagonal workspace.
+    scratch: Vec<f64>,
+}
+
+impl GreedyEval {
+    /// Creates an empty evaluator; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the all-zero allocation for `trio` under `weights`.
+    /// Targets with zero weight are skipped entirely, matching the dense
+    /// path. The support starts empty, so no factorization happens here.
+    pub fn begin(&mut self, trio: &StatsTrio, weights: &[f64]) {
+        debug_assert_eq!(weights.len(), trio.n_targets());
+        let n = trio.n_attrs();
+        self.support.clear();
+        self.pos.clear();
+        self.pos.resize(n, NO_POS);
+        self.b.clear();
+        self.b.resize(n, 0.0);
+        self.fac.clear();
+        self.targets.clear();
+        self.w.clear();
+        for (t, &wt) in weights.iter().enumerate() {
+            if wt != 0.0 {
+                self.targets.push(t);
+                self.w.push(wt);
+            }
+        }
+        self.x.resize(self.targets.len(), Vec::new());
+        for x in &mut self.x {
+            x.clear();
+        }
+        self.obj_t.clear();
+        self.obj_t.resize(self.targets.len(), 0.0);
+        self.inv_diag.clear();
+        self.objective = 0.0;
+    }
+
+    /// Current weighted objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Current fractional budget vector (full `n_attrs` length).
+    pub fn budget(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Recomputes the cached per-target solves `x_t = A⁻¹v_t`, the
+    /// per-target quadratic forms, the inverse diagonal and the weighted
+    /// objective **from the maintained factor**. Called after every
+    /// applied grant so per-candidate scoring starts from solves that are
+    /// exact for the current factor — floating-point error cannot
+    /// compound across greedy steps.
+    pub fn refresh(&mut self, trio: &StatsTrio) -> Result<(), Breakdown> {
+        let k = self.support.len();
+        self.objective = 0.0;
+        for (ti, &t) in self.targets.iter().enumerate() {
+            let x = &mut self.x[ti];
+            x.clear();
+            x.extend(self.support.iter().map(|&a| signal(trio, t, a)));
+            self.scratch.clear();
+            self.scratch.extend_from_slice(x);
+            rank1::solve_packed(&self.fac, k, x);
+            let obj: f64 = self
+                .scratch
+                .iter()
+                .zip(x.iter())
+                .map(|(&v, &y)| v * y)
+                .sum();
+            self.obj_t[ti] = obj;
+            self.objective += self.w[ti] * obj;
+        }
+        self.inv_diag.resize(k, 0.0);
+        rank1::inverse_diagonal_packed(&self.fac, k, &mut self.inv_diag, &mut self.scratch);
+        if !self.objective.is_finite() || self.inv_diag.iter().any(|v| !v.is_finite()) {
+            return Err(Breakdown {
+                reason: "non_finite",
+            });
+        }
+        Ok(())
+    }
+
+    /// Prices granting one more question to `attr`: returns the weighted
+    /// objective of the allocation `b` with `b[attr] + 1`, without
+    /// modifying any state. `O(targets)` for in-support candidates,
+    /// `O(k² + k·targets)` for first-question candidates.
+    pub fn score(&mut self, trio: &StatsTrio, attr: usize) -> Result<f64, Breakdown> {
+        disq_trace::time(Timer::CandidateScore, || self.score_impl(trio, attr))
+    }
+
+    fn score_impl(&mut self, trio: &StatsTrio, attr: usize) -> Result<f64, Breakdown> {
+        let p = self.pos[attr];
+        let obj = if p != NO_POS {
+            // Sherman–Morrison for the diagonal perturbation δ·e_pe_pᵀ.
+            let sc = trio.s_c(attr);
+            let bu = self.b[attr];
+            let delta = sc / (bu + 1.0) - sc / bu;
+            let denom = 1.0 + delta * self.inv_diag[p];
+            if denom <= 0.0 || denom.is_nan() {
+                return Err(Breakdown {
+                    reason: "sherman_morrison",
+                });
+            }
+            let mut total = 0.0;
+            for (ti, &wt) in self.w.iter().enumerate() {
+                let xp = self.x[ti][p];
+                total += wt * (self.obj_t[ti] - delta * xp * xp / denom);
+            }
+            total
+        } else {
+            // Bordered block inverse for the first granted question.
+            let k = self.support.len();
+            self.col.clear();
+            self.col
+                .extend(self.support.iter().map(|&i| trio.s_a(i, attr)));
+            let diag = trio.s_a(attr, attr) + trio.s_c(attr);
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&self.col);
+            rank1::forward_solve_packed(&self.fac, k, &mut self.scratch);
+            let schur = diag - self.scratch.iter().map(|&v| v * v).sum::<f64>();
+            if schur <= 0.0 || schur.is_nan() {
+                return Err(Breakdown { reason: "schur" });
+            }
+            let mut total = 0.0;
+            for (ti, &t) in self.targets.iter().enumerate() {
+                let g = signal(trio, t, attr);
+                let cx: f64 = self
+                    .col
+                    .iter()
+                    .zip(self.x[ti].iter())
+                    .map(|(&c, &y)| c * y)
+                    .sum();
+                let r = g - cx;
+                total += self.w[ti] * (self.obj_t[ti] + r * r / schur);
+            }
+            total
+        };
+        if !obj.is_finite() {
+            return Err(Breakdown {
+                reason: "non_finite",
+            });
+        }
+        Ok(obj)
+    }
+
+    /// Grants one question to `attr`, updating the factor in place: a
+    /// rank-1 diagonal downdate for in-support attributes, an `O(k²)`
+    /// bordered append for first questions. Call
+    /// [`refresh`](Self::refresh) afterwards to rebuild the cached
+    /// solves. On error the evaluator must be discarded (the factor is
+    /// unspecified after a refused downdate).
+    pub fn apply(&mut self, trio: &StatsTrio, attr: usize) -> Result<(), Breakdown> {
+        let k = self.support.len();
+        let p = self.pos[attr];
+        if p != NO_POS {
+            let sc = trio.s_c(attr);
+            let bu = self.b[attr];
+            let delta = sc / (bu + 1.0) - sc / bu; // ≤ 0: noise shrinks
+            if delta != 0.0 {
+                self.scratch.clear();
+                self.scratch.resize(k, 0.0);
+                self.scratch[p] = delta.abs().sqrt();
+                let downdate = delta < 0.0;
+                rank1::cholesky_update_packed(&mut self.fac, k, &mut self.scratch, downdate)
+                    .map_err(|_| Breakdown { reason: "downdate" })?;
+            }
+            self.b[attr] = bu + 1.0;
+        } else {
+            self.col.clear();
+            self.col
+                .extend(self.support.iter().map(|&i| trio.s_a(i, attr)));
+            let diag = trio.s_a(attr, attr) + trio.s_c(attr);
+            rank1::cholesky_append_packed(&mut self.fac, k, &self.col, diag)
+                .map_err(|_| Breakdown { reason: "schur" })?;
+            self.pos[attr] = k;
+            self.support.push(attr);
+            self.b[attr] = 1.0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trio::EvalWorkspace;
+
+    /// Trio with attributes given as (s_o, own_var, s_c) against one
+    /// target, pairwise covariance `cov`.
+    fn trio_with(specs: &[(f64, f64, f64)], cov: f64) -> StatsTrio {
+        let mut t = StatsTrio::new(1);
+        for (i, &(so, var, sc)) in specs.iter().enumerate() {
+            let covs = vec![cov; i];
+            t.push_attribute(&[so], &covs, var, sc).unwrap();
+        }
+        t.set_target_variance(0, 1.0).unwrap();
+        t
+    }
+
+    fn dense_obj(trio: &StatsTrio, b: &[f64]) -> f64 {
+        trio.explained_variance_weighted_ws(&[1.0], b, &mut EvalWorkspace::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_support_scores_first_questions() {
+        let trio = trio_with(&[(0.8, 1.0, 0.5), (0.3, 1.0, 0.2)], 0.1);
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0]);
+        ev.refresh(&trio).unwrap();
+        assert_eq!(ev.objective(), 0.0);
+        for a in 0..2 {
+            let scored = ev.score(&trio, a).unwrap();
+            let mut b = vec![0.0, 0.0];
+            b[a] = 1.0;
+            let dense = dense_obj(&trio, &b);
+            assert!(
+                (scored - dense).abs() <= 1e-12 * dense.abs().max(1.0),
+                "attr {a}: {scored} vs {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_matches_dense_through_a_grant_sequence() {
+        let trio = trio_with(&[(0.8, 1.0, 0.5), (0.5, 1.2, 0.3), (0.3, 0.9, 0.8)], 0.2);
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0]);
+        ev.refresh(&trio).unwrap();
+        // A fixed grant order exercising append, repeat-grant and
+        // interleaving.
+        for &a in &[0usize, 0, 1, 0, 2, 1, 1, 2, 0] {
+            // Every candidate's score must match the dense objective of
+            // the hypothetical allocation.
+            for c in 0..3 {
+                let scored = ev.score(&trio, c).unwrap();
+                let mut b = ev.budget().to_vec();
+                b[c] += 1.0;
+                let dense = dense_obj(&trio, &b);
+                assert!(
+                    (scored - dense).abs() <= 1e-9 * dense.abs().max(1.0),
+                    "cand {c}: {scored} vs {dense}"
+                );
+            }
+            ev.apply(&trio, a).unwrap();
+            ev.refresh(&trio).unwrap();
+            let dense = dense_obj(&trio, ev.budget());
+            assert!(
+                (ev.objective() - dense).abs() <= 1e-9 * dense.abs().max(1.0),
+                "after grant to {a}: {} vs {dense}",
+                ev.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_targets_are_skipped() {
+        let mut trio = StatsTrio::new(2);
+        trio.push_attribute(&[0.8, f64::NAN], &[], 1.0, 0.5)
+            .unwrap();
+        trio.set_target_variance(0, 1.0).unwrap();
+        trio.set_target_variance(1, 1.0).unwrap();
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0, 0.0]);
+        ev.refresh(&trio).unwrap();
+        assert_eq!(ev.targets.len(), 1);
+        let scored = ev.score(&trio, 0).unwrap();
+        let dense = trio
+            .explained_variance_weighted(&[1.0, 0.0], &[1.0])
+            .unwrap();
+        assert!((scored - dense).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_signal_treated_as_zero() {
+        let mut trio = StatsTrio::new(1);
+        trio.push_attribute(&[f64::NAN], &[], 1.0, 0.5).unwrap();
+        trio.set_target_variance(0, 1.0).unwrap();
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0]);
+        ev.refresh(&trio).unwrap();
+        assert_eq!(ev.score(&trio, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn non_spd_border_is_reported_as_schur() {
+        // Second attribute perfectly redundant with the first and
+        // noiseless: the bordered matrix is singular.
+        let mut trio = StatsTrio::new(1);
+        trio.push_attribute(&[0.8], &[], 1.0, 0.0).unwrap();
+        trio.push_attribute(&[0.8], &[1.0], 1.0, 0.0).unwrap();
+        trio.set_target_variance(0, 1.0).unwrap();
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0]);
+        ev.refresh(&trio).unwrap();
+        ev.apply(&trio, 0).unwrap();
+        ev.refresh(&trio).unwrap();
+        assert_eq!(ev.score(&trio, 1), Err(Breakdown { reason: "schur" }));
+    }
+
+    #[test]
+    fn begin_resets_previous_state() {
+        let trio = trio_with(&[(0.8, 1.0, 0.5), (0.5, 1.2, 0.3)], 0.1);
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0]);
+        ev.refresh(&trio).unwrap();
+        ev.apply(&trio, 0).unwrap();
+        ev.refresh(&trio).unwrap();
+        assert!(ev.objective() > 0.0);
+        ev.begin(&trio, &[1.0]);
+        ev.refresh(&trio).unwrap();
+        assert_eq!(ev.objective(), 0.0);
+        assert!(ev.budget().iter().all(|&b| b == 0.0));
+    }
+}

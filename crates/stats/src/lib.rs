@@ -24,6 +24,7 @@
 
 mod angular;
 mod descriptive;
+mod incremental;
 mod prnew;
 mod so_graph;
 mod sprt;
@@ -34,6 +35,7 @@ pub use angular::{compose_angles, correlation_angle, rho_from_angle};
 pub use descriptive::{
     correlation, covariance, mean, sample_variance, OnlineCovariance, OnlineMoments,
 };
+pub use incremental::{Breakdown, GreedyEval};
 pub use prnew::NewAnswerModel;
 pub use so_graph::{SoGraphEstimator, SoSource};
 pub use sprt::{Sprt, SprtConfig, SprtDecision};

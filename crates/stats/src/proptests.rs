@@ -119,6 +119,50 @@ proptest! {
         prop_assert!((rho - r1 * r2).abs() < 1e-9);
     }
 
+    /// The incremental greedy evaluator must agree with the dense Eq. 10
+    /// evaluation — both candidate scores and the post-grant objective —
+    /// through a random sequence of grants on a random multi-attribute
+    /// trio, within 1e-9 relative.
+    #[test]
+    fn incremental_matches_dense_over_random_trios(
+        specs in proptest::collection::vec((0.1_f64..0.9, 0.5_f64..2.0, 0.05_f64..1.5), 2..5),
+        cov_scale in 0.0_f64..0.5,
+        grants in proptest::collection::vec(0usize..5, 1..12),
+    ) {
+        let n = specs.len();
+        let mut trio = StatsTrio::new(1);
+        for (i, &(so, var, sc)) in specs.iter().enumerate() {
+            // Weak off-diagonal coupling keeps S_a comfortably SPD.
+            let covs: Vec<f64> = (0..i).map(|j| cov_scale * 0.3 / (1.0 + (i - j) as f64)).collect();
+            trio.push_attribute(&[so], &covs, var, sc).unwrap();
+        }
+        trio.set_target_variance(0, 1.0).unwrap();
+        let mut ev = GreedyEval::new();
+        ev.begin(&trio, &[1.0]);
+        prop_assert!(ev.refresh(&trio).is_ok());
+        let mut ws = EvalWorkspace::new();
+        for &g in &grants {
+            let a = g % n;
+            for c in 0..n {
+                let scored = ev.score(&trio, c).unwrap();
+                let mut b = ev.budget().to_vec();
+                b[c] += 1.0;
+                let dense = trio.explained_variance_weighted_ws(&[1.0], &b, &mut ws).unwrap();
+                prop_assert!(
+                    (scored - dense).abs() <= 1e-9 * dense.abs().max(1.0),
+                    "candidate {}: incremental {} vs dense {}", c, scored, dense
+                );
+            }
+            prop_assert!(ev.apply(&trio, a).is_ok());
+            prop_assert!(ev.refresh(&trio).is_ok());
+            let dense = trio.explained_variance_weighted_ws(&[1.0], ev.budget(), &mut ws).unwrap();
+            prop_assert!(
+                (ev.objective() - dense).abs() <= 1e-9 * dense.abs().max(1.0),
+                "objective after grant: {} vs {}", ev.objective(), dense
+            );
+        }
+    }
+
     #[test]
     fn sprt_always_terminates(p in 0.0_f64..=1.0, seed in 0u64..1000) {
         use rand::rngs::StdRng;

@@ -416,6 +416,43 @@ impl StatsTrio {
         let ev = self.explained_variance(target, budget)?;
         Ok((self.target_var[target] - ev).max(0.0))
     }
+
+    /// FNV-1a hash over every stored statistic's raw bit pattern, plus the
+    /// dimensions. Any mutation — a pushed attribute, an overwritten
+    /// covariance, a re-estimated variance — changes the fingerprint, so
+    /// caches keyed by it (e.g. the dismantle-loss probe cache) invalidate
+    /// exactly when the trio changes. Distinct NaN payloads hash
+    /// differently; the estimators only ever produce the canonical
+    /// `f64::NAN`, so this never causes spurious misses in practice.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bits: u64| {
+            for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+                h = (h ^ ((bits >> shift) & 0xff)).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.n_targets() as u64);
+        mix(self.n_attrs() as u64);
+        for row in &self.s_o {
+            for &v in row {
+                mix(v.to_bits());
+            }
+        }
+        for row in &self.s_a {
+            for &v in row {
+                mix(v.to_bits());
+            }
+        }
+        for &v in &self.s_c {
+            mix(v.to_bits());
+        }
+        for &v in &self.target_var {
+            mix(v.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +655,31 @@ mod tests {
             t.explained_variance(4, &[1.0]),
             Err(TrioError::TargetOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_mutation() {
+        let mut t = StatsTrio::new(1);
+        t.push_attribute(&[1.0], &[], 1.0, 1.0).unwrap();
+        t.set_target_variance(0, 1.0).unwrap();
+        let base = t.fingerprint();
+        assert_eq!(base, t.fingerprint(), "fingerprint must be stable");
+        let mut seen = vec![base];
+        t.set_s_o(0, 0, 0.9).unwrap();
+        seen.push(t.fingerprint());
+        t.set_s_a(0, 0, 1.1).unwrap();
+        seen.push(t.fingerprint());
+        t.set_s_c(0, 0.7).unwrap();
+        seen.push(t.fingerprint());
+        t.set_target_variance(0, 2.0).unwrap();
+        seen.push(t.fingerprint());
+        t.push_attribute(&[0.5], &[0.2], 1.0, 1.0).unwrap();
+        seen.push(t.fingerprint());
+        for i in 0..seen.len() {
+            for j in (i + 1)..seen.len() {
+                assert_ne!(seen[i], seen[j], "mutations {i} and {j} collided");
+            }
+        }
     }
 
     #[test]

@@ -127,6 +127,19 @@ pub enum TraceEvent {
         /// Batch size that was entirely rejected.
         answers: u32,
     },
+    /// The incremental (Sherman–Morrison) budget-distribution engine
+    /// hit a numerical breakdown and the call restarted on the dense
+    /// refactorize-per-candidate engine. Rare by construction — it fires
+    /// exactly where the dense engine's jitter rescue ladder would.
+    SolverFallback {
+        /// Which solve fell back: a top-level distribution label
+        /// (`main`, `refine`, `fallback`) or `probe` for a
+        /// next-attribute loss probe.
+        label: String,
+        /// Which incremental step broke down (e.g. `schur`,
+        /// `sherman_morrison`, `downdate`, `non_finite`).
+        reason: String,
+    },
     /// One target's Err(b) calibration sample, emitted by the bench
     /// runner after scoring a plan against ground truth: the paper's
     /// predicted plan error joined with the realized per-object MSE.
@@ -165,6 +178,7 @@ impl TraceEvent {
             TraceEvent::BudgetChosen { .. } => "budget_chosen",
             TraceEvent::RegressionFit { .. } => "regression_fit",
             TraceEvent::SpamFallback { .. } => "spam_fallback",
+            TraceEvent::SolverFallback { .. } => "solver_fallback",
             TraceEvent::EvalCalibration { .. } => "eval_calibration",
         }
     }
@@ -295,6 +309,12 @@ impl TraceEvent {
                     s,
                     ",\"object\":{object},\"attr\":{attr},\"answers\":{answers}"
                 );
+            }
+            TraceEvent::SolverFallback { label, reason } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                s.push_str(",\"reason\":");
+                write_str(&mut s, reason);
             }
             TraceEvent::EvalCalibration {
                 label,
@@ -475,6 +495,10 @@ impl TraceEvent {
                 attr: u32_field("attr")?,
                 answers: u32_field("answers")?,
             }),
+            "solver_fallback" => Ok(TraceEvent::SolverFallback {
+                label: str_field("label")?,
+                reason: str_field("reason")?,
+            }),
             "eval_calibration" => Ok(TraceEvent::EvalCalibration {
                 label: str_field("label")?,
                 seed: u64_field("seed")?,
@@ -563,6 +587,10 @@ mod tests {
                 attr: 4,
                 answers: 6,
             },
+            TraceEvent::SolverFallback {
+                label: "main".into(),
+                reason: "schur".into(),
+            },
             TraceEvent::EvalCalibration {
                 label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
                 seed: 3,
@@ -592,7 +620,7 @@ mod tests {
         for event in samples() {
             seen.insert(event.name());
         }
-        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.len(), 11);
     }
 
     #[test]

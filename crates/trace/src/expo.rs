@@ -28,6 +28,8 @@ fn counter_help(c: Counter) -> &'static str {
         Counter::RegressionFits => "Per-target regressions fitted",
         Counter::ReplayServed => "Answers served from a replay log",
         Counter::ReplayFellThrough => "Replay lookups that fell through to live",
+        Counter::SolverFallbacks => "Incremental budget solves rescued by the dense engine",
+        Counter::ProbeCacheHits => "Loss probes answered from the dismantle probe cache",
     }
 }
 

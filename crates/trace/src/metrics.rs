@@ -61,10 +61,18 @@ pub enum Counter {
     /// Replay lookups that fell through to the live platform because the
     /// log was exhausted (or keyed differently).
     ReplayFellThrough,
+    /// Greedy budget-distribution calls where the incremental
+    /// Sherman–Morrison engine hit a numerical breakdown (non-SPD
+    /// update, non-finite statistics) and restarted on the dense
+    /// refactorize-per-candidate engine.
+    SolverFallbacks,
+    /// Next-attribute loss probes answered from the dismantle-step probe
+    /// cache instead of re-running a greedy solve.
+    ProbeCacheHits,
 }
 
 /// Number of counters.
-pub const COUNTER_COUNT: usize = 16;
+pub const COUNTER_COUNT: usize = 18;
 
 impl Counter {
     /// Every counter, in `RunSummary` order.
@@ -85,6 +93,8 @@ impl Counter {
         Counter::RegressionFits,
         Counter::ReplayServed,
         Counter::ReplayFellThrough,
+        Counter::SolverFallbacks,
+        Counter::ProbeCacheHits,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -106,6 +116,8 @@ impl Counter {
             Counter::RegressionFits => "regression_fits",
             Counter::ReplayServed => "replay_served",
             Counter::ReplayFellThrough => "replay_fell_through",
+            Counter::SolverFallbacks => "solver_fallbacks",
+            Counter::ProbeCacheHits => "probe_cache_hits",
         }
     }
 }
@@ -123,10 +135,16 @@ pub enum Timer {
     CholeskyFactorize,
     /// One crowd question end to end (any kind).
     CrowdQuestion,
+    /// Packed-factor rank-1 diagonal update / bordered append
+    /// (`disq_math::rank1`), the incremental solver's mutation kernels.
+    Rank1Update,
+    /// One candidate grant scored by the incremental greedy engine
+    /// (Sherman–Morrison or bordered Schur complement).
+    CandidateScore,
 }
 
 /// Number of timers.
-pub const TIMER_COUNT: usize = 4;
+pub const TIMER_COUNT: usize = 6;
 
 impl Timer {
     /// Every timer, in `RunSummary` order.
@@ -135,6 +153,8 @@ impl Timer {
         Timer::QuadFormSolve,
         Timer::CholeskyFactorize,
         Timer::CrowdQuestion,
+        Timer::Rank1Update,
+        Timer::CandidateScore,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -144,6 +164,8 @@ impl Timer {
             Timer::QuadFormSolve => "quadform_solve",
             Timer::CholeskyFactorize => "cholesky_factorize",
             Timer::CrowdQuestion => "crowd_question",
+            Timer::Rank1Update => "rank1_update",
+            Timer::CandidateScore => "candidate_score",
         }
     }
 }
@@ -385,6 +407,8 @@ impl RunSummary {
             (Counter::SpamFallbacks, "spam fallbacks"),
             (Counter::ReplayServed, "replayed"),
             (Counter::ReplayFellThrough, "replay fall-throughs"),
+            (Counter::SolverFallbacks, "solver fallbacks"),
+            (Counter::ProbeCacheHits, "probe cache hits"),
         ];
         let parts: Vec<String> = decisions
             .iter()

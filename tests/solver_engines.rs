@@ -1,0 +1,89 @@
+//! Cross-engine equivalence: the incremental budget solver must be a
+//! pure performance optimization. Every decision that escapes
+//! preprocessing — the plan, the allocation, the money spent, the
+//! attributes discovered — must be identical whichever engine priced the
+//! greedy grants, across domains and seeds.
+
+use disq::core::components::budget_dist::{with_engine, SolverEngine};
+use disq::core::{preprocess, DisqConfig, PreprocessOutput};
+use disq::crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq::domain::domains::{pictures, recipes};
+use disq::domain::{DomainSpec, Population};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn run(spec: &Arc<DomainSpec>, target: &str, seed: u64, engine: SolverEngine) -> PreprocessOutput {
+    let id = spec.id_of(target).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::sample(Arc::clone(spec), 2_000, &mut rng).unwrap();
+    let mut crowd = SimulatedCrowd::new(
+        pop,
+        CrowdConfig::default(),
+        Some(Money::from_dollars(25.0)),
+        seed,
+    );
+    with_engine(engine, || {
+        preprocess(
+            &mut crowd,
+            spec,
+            &[id],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            seed,
+        )
+        .unwrap()
+    })
+}
+
+fn assert_outputs_identical(a: &PreprocessOutput, b: &PreprocessOutput, what: &str) {
+    assert_eq!(a.plan, b.plan, "{what}: plans diverged");
+    assert_eq!(a.budget, b.budget, "{what}: allocations diverged");
+    assert_eq!(a.pool_labels, b.pool_labels, "{what}: pools diverged");
+    assert_eq!(a.weights, b.weights, "{what}: weights diverged");
+    assert_eq!(
+        a.stats.discovered, b.stats.discovered,
+        "{what}: discoveries diverged"
+    );
+    assert_eq!(a.stats.spent, b.stats.spent, "{what}: spend diverged");
+    assert_eq!(
+        a.stats.dismantle_questions, b.stats.dismantle_questions,
+        "{what}: dismantle counts diverged"
+    );
+    assert_eq!(
+        a.stats.fell_back, b.stats.fell_back,
+        "{what}: fallback verdicts diverged"
+    );
+}
+
+#[test]
+fn engines_identical_on_pictures_across_seeds() {
+    let spec = Arc::new(pictures::spec());
+    for seed in [1, 7, 23] {
+        let dense = run(&spec, "Bmi", seed, SolverEngine::Dense);
+        let inc = run(&spec, "Bmi", seed, SolverEngine::Incremental);
+        assert_outputs_identical(&dense, &inc, &format!("pictures/Bmi seed {seed}"));
+    }
+}
+
+#[test]
+fn engines_identical_on_recipes() {
+    let spec = Arc::new(recipes::spec());
+    let dense = run(&spec, "Protein", 6, SolverEngine::Dense);
+    let inc = run(&spec, "Protein", 6, SolverEngine::Incremental);
+    assert_outputs_identical(&dense, &inc, "recipes/Protein seed 6");
+}
+
+#[test]
+fn check_engine_passes_end_to_end() {
+    // The check engine runs both solvers on every call and panics on any
+    // disagreement — a full preprocess under it is a deep equivalence
+    // sweep over every solve the pipeline issues (main, refine,
+    // fallback, and all loss probes).
+    let spec = Arc::new(pictures::spec());
+    let checked = run(&spec, "Bmi", 1, SolverEngine::Check);
+    let inc = run(&spec, "Bmi", 1, SolverEngine::Incremental);
+    assert_outputs_identical(&checked, &inc, "check vs incremental");
+}
