@@ -17,6 +17,13 @@
 
 #![warn(missing_docs)]
 
+/// Count every heap allocation so spans can attribute allocation
+/// pressure (`alloc_bytes`/`allocs` on each `span_end`). The wrapper
+/// delegates to the system allocator; with no trace sink installed it
+/// only bumps thread-local cells, keeping untraced runs undisturbed.
+#[global_allocator]
+static ALLOC: disq_trace::CountingAlloc = disq_trace::CountingAlloc;
+
 pub mod experiments;
 pub mod harness;
 pub mod pool;

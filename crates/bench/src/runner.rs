@@ -176,6 +176,13 @@ pub fn run_cell_in_world(
     spec: &Arc<DomainSpec>,
     population: &Population,
 ) -> Result<CellOutcome, DisqError> {
+    let _span = disq_trace::span!(
+        "cell",
+        "{}/{}/{} rep={rep}",
+        cell.domain.name(),
+        cell.targets.join("+"),
+        cell.strategy.name()
+    );
     let targets: Vec<AttributeId> = cell
         .targets
         .iter()

@@ -192,6 +192,12 @@ fn find_budget_distribution_inner(
     costs: &[Money],
     label: Option<&str>,
 ) -> Result<(Vec<u32>, f64), DisqError> {
+    let _span = disq_trace::span!(
+        "budget_dist",
+        "label={} n_attrs={}",
+        label.unwrap_or("-"),
+        trio.n_attrs()
+    );
     let n = trio.n_attrs();
     if costs.len() != n {
         return Err(DisqError::Config(format!(

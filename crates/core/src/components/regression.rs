@@ -41,6 +41,11 @@ pub fn learn_regressions<P: CrowdPlatform>(
     let active: Vec<usize> = (0..pool.len()).filter(|&i| b[i] > 0).collect();
     let n_targets = collector.n_targets();
     let n2 = config.n2(active.len());
+    let _span = disq_trace::span!(
+        "regression",
+        "active={} n2={n2} spend_leftover={spend_leftover}",
+        active.len()
+    );
 
     // Collect training rows per target; a budget exhaustion anywhere stops
     // all further collection but keeps completed rows.
@@ -114,6 +119,7 @@ pub fn learn_regressions<P: CrowdPlatform>(
     // Fit one regression per target.
     let mut regressions = Vec::with_capacity(n_targets);
     for t in 0..n_targets {
+        let _fit_span = disq_trace::span!("regression_fit", "t={t}");
         let target_attr = collector.targets()[t];
         let label = pool
             .iter()

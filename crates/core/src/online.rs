@@ -18,6 +18,7 @@ pub fn estimate_objects<P: CrowdPlatform>(
     plan: &EvaluationPlan,
     objects: &[ObjectId],
 ) -> Result<Vec<Vec<f64>>, DisqError> {
+    let _span = disq_trace::span!("estimate_objects", "objects={}", objects.len());
     objects
         .iter()
         .map(|&o| estimate_object(platform, plan, o))
@@ -30,6 +31,7 @@ pub fn estimate_object<P: CrowdPlatform>(
     plan: &EvaluationPlan,
     object: ObjectId,
 ) -> Result<Vec<f64>, DisqError> {
+    let _span = disq_trace::span!("object", "o={}", object.0);
     let mut averages = Vec::with_capacity(plan.attributes.len());
     for p in &plan.attributes {
         let mut answers = Vec::with_capacity(p.questions as usize);
@@ -92,6 +94,7 @@ pub fn evaluate_query<P: CrowdPlatform>(
     query: &Query,
     objects: &[ObjectId],
 ) -> Result<QueryResult, DisqError> {
+    let _span = disq_trace::span!("evaluate_query", "objects={}", objects.len());
     // Map each query attribute to its regression index.
     let needed = query.attributes();
     let mut reg_idx = Vec::with_capacity(needed.len());

@@ -143,6 +143,7 @@ pub fn preprocess<P: CrowdPlatform>(
         },
         seed,
     });
+    let run_span = disq_trace::span!("preprocess", "targets={n_targets} seed={seed}");
     let phase_start = platform.ledger().snapshot();
 
     // ---- N₁ sizing and example collection -------------------------------
@@ -155,6 +156,7 @@ pub fn preprocess<P: CrowdPlatform>(
             ),
         },
     )?;
+    let examples_span = disq_trace::span!("examples", "n1={n1}");
     let mut collector = StatisticsCollector::collect_examples(platform, targets, n1)?;
 
     // ---- Pool + statistics for the query attributes ---------------------
@@ -162,6 +164,7 @@ pub fn preprocess<P: CrowdPlatform>(
     let mut trio = StatsTrio::new(n_targets);
     let mut model = NewAnswerModel::new();
     for i in 0..n_targets {
+        let _target_span = disq_trace::span!("target", "t={i}");
         let idx =
             collector.add_attribute(platform, pool.get(i).attr, vec![true; n_targets], config.k)?;
         collector.update_trio(
@@ -182,6 +185,7 @@ pub fn preprocess<P: CrowdPlatform>(
             .map(|t| 1.0 / trio.target_variance(t).max(1e-9))
             .collect()
     });
+    drop(examples_span);
     let phase_examples = platform.ledger().snapshot();
     trace_phase_spend("examples", &phase_examples, &phase_start);
     disq_trace::emit(|| TraceEvent::TrioSize {
@@ -198,7 +202,11 @@ pub fn preprocess<P: CrowdPlatform>(
     // decisions on an unchanged trio (duplicate/junk/rejected answers)
     // skip their budget solves entirely.
     let mut dismantle_scratch = DismantleScratch::new();
+    let dismantle_span = disq_trace::span!("dismantle");
+    let mut round = 0u32;
     while config.dismantling && pool.len() < config.max_attrs {
+        let _round_span = disq_trace::span!("dismantle_round", "round={round} pool={}", pool.len());
+        round += 1;
         let remaining = platform.ledger().remaining();
         if !budgeting::can_continue_dismantling(
             remaining, &pool, n_targets, n1, b_obj, config, pricing,
@@ -275,6 +283,7 @@ pub fn preprocess<P: CrowdPlatform>(
             }
         }
     }
+    drop(dismantle_span);
     let phase_dismantle = platform.ledger().snapshot();
     trace_phase_spend("dismantle", &phase_dismantle, &phase_examples);
 
@@ -292,7 +301,9 @@ pub fn preprocess<P: CrowdPlatform>(
         &costs,
         "main",
     )?;
-    for _ in 0..config.refine_rounds {
+    let refine_span = disq_trace::span!("refine");
+    for refine_round in 0..config.refine_rounds {
+        let _round_span = disq_trace::span!("refine_round", "round={refine_round}");
         let selected: Vec<usize> = (0..pool.len()).filter(|&i| budget[i] > 0).collect();
         if selected.is_empty() {
             break;
@@ -338,6 +349,7 @@ pub fn preprocess<P: CrowdPlatform>(
             break;
         }
     }
+    drop(refine_span);
     let phase_refine = platform.ledger().snapshot();
     trace_phase_spend("refine", &phase_refine, &phase_dismantle);
     let mut plan = learn_regressions(platform, &collector, &pool, &budget, config, false)?;
@@ -394,6 +406,7 @@ pub fn preprocess<P: CrowdPlatform>(
 
     let phase_regression = platform.ledger().snapshot();
     trace_phase_spend("regression", &phase_regression, &phase_refine);
+    drop(run_span);
     disq_trace::flush();
 
     stats.spent = platform.ledger().spent();

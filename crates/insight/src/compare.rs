@@ -87,6 +87,14 @@ pub struct CompareConfig {
     pub max_throughput_drop: f64,
     /// Check deterministic counter drift when the workload matches.
     pub check_counters: bool,
+    /// Max allowed growth of the traced allocation counters
+    /// (`allocs`, `alloc_bytes`) on an identical workload. Allocation
+    /// counts are near-deterministic but not bit-exact (trace lines vary
+    /// in length with timestamps), so this is a ratio gate rather than
+    /// an equality check. Compared only when both rows carry non-zero
+    /// allocation counters (i.e. both were traced with the counting
+    /// allocator compiled in).
+    pub max_alloc_growth: f64,
 }
 
 impl Default for CompareConfig {
@@ -95,6 +103,7 @@ impl Default for CompareConfig {
             max_wall_slowdown: 1.5,
             max_throughput_drop: 1.5,
             check_counters: true,
+            max_alloc_growth: 1.5,
         }
     }
 }
@@ -229,6 +238,32 @@ pub fn compare(
             }
         }
 
+        if same_workload {
+            if let (Some(bs), Some(cs)) = (&base.summary, &cur.summary) {
+                for c in [Counter::Allocs, Counter::AllocBytes] {
+                    let (b, n) = (bs.counter(c), cs.counter(c));
+                    if b == 0 || n == 0 {
+                        continue; // untraced rows carry no allocation data
+                    }
+                    let growth = n as f64 / b as f64;
+                    if growth > cfg.max_alloc_growth {
+                        outcome.regressions.push(Regression {
+                            key: key.clone(),
+                            metric: format!("counter:{}", c.name()),
+                            baseline: b as f64,
+                            current: n as f64,
+                            message: format!(
+                                "{key}: {} grew {b} -> {n} ({growth:.2}x > {:.2}x allowed) \
+                                 on an identical workload",
+                                c.name(),
+                                cfg.max_alloc_growth
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
         if cfg.check_counters && same_workload {
             if let (Some(bs), Some(cs)) = (&base.summary, &cur.summary) {
                 for c in DETERMINISTIC_COUNTERS {
@@ -340,6 +375,40 @@ mod tests {
             ..CompareConfig::default()
         };
         assert!(compare(&base, &cur, &lax).passed());
+    }
+
+    #[test]
+    fn alloc_growth_past_threshold_fails() {
+        let with_allocs = |allocs: u64, bytes: u64| {
+            format!(
+                "{{\"experiment\":\"fig1@t1\",\"threads\":1,\"cells\":6,\"reps\":4,\
+                 \"units\":24,\"wall_secs\":2.0,\"cells_per_sec\":3.0,\
+                 \"units_per_sec\":12.0,\"cache_hits\":0,\"cache_misses\":0,\
+                 \"cache_hit_rate\":0.0,\"run_summary\":{{\"counters\":{{\
+                 \"allocs\":{allocs},\"alloc_bytes\":{bytes}}},\"timers\":{{}}}}}}"
+            )
+        };
+        let base = snapshot(&[with_allocs(1_000, 64_000)]);
+        // Within 1.5x on both: passes.
+        let ok = snapshot(&[with_allocs(1_400, 80_000)]);
+        assert!(compare(&base, &ok, &CompareConfig::default()).passed());
+        // 2x allocation calls: flagged.
+        let bad = snapshot(&[with_allocs(2_000, 64_000)]);
+        let outcome = compare(&base, &bad, &CompareConfig::default());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "counter:allocs");
+        assert!(outcome.render().contains("grew 1000 -> 2000"));
+        // Untraced rows (zero counters) are never flagged.
+        let untraced = snapshot(&[with_allocs(0, 0)]);
+        assert!(compare(&base, &untraced, &CompareConfig::default()).passed());
+        assert!(compare(&untraced, &bad, &CompareConfig::default()).passed());
+        // The gate is independent of --no-counters (it is a ratio, not
+        // a determinism check), but configurable via max_alloc_growth.
+        let lax = CompareConfig {
+            max_alloc_growth: 3.0,
+            ..CompareConfig::default()
+        };
+        assert!(compare(&base, &bad, &lax).passed());
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Flamegraph aggregation: fold the span stream into a label hierarchy
+//! with self/total wall time and per-span allocation accounting.
+//!
+//! Spans are joined `span_start`→`span_end` by id and parented through
+//! the ids recorded at start time (not text heuristics), so the tree is
+//! exact even when multiple bench threads interleave their events in
+//! one file. Two renderings:
+//!
+//! * [`FlameGraph::render_tree`] — an ASCII tree with per-node count,
+//!   total time, *self* time (total minus children), and allocated
+//!   bytes, sorted by total time within each level;
+//! * [`FlameGraph::render_folded`] — classic folded-stack lines
+//!   (`a;b;c value`) consumable by `flamegraph.pl` / speedscope /
+//!   inferno, with self-microseconds (default) or self-bytes as the
+//!   value.
+
+use crate::report::fmt_ns;
+use disq_trace::{TraceEvent, TraceReader};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Aggregated totals of one node of the label tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlameNode {
+    /// Span label (one path segment).
+    pub label: String,
+    /// Closed spans aggregated into this node.
+    pub count: u64,
+    /// Total wall time (self + children), summed over all closes.
+    pub total_ns: u64,
+    /// Heap bytes requested while open (self + children).
+    pub alloc_bytes: u64,
+    /// Allocation calls while open (self + children).
+    pub allocs: u64,
+    /// Crowd questions charged while open (self + children).
+    pub questions: u64,
+    /// Kernel-timer nanoseconds recorded while open (self + children).
+    pub kernel_ns: u64,
+    /// Child nodes in first-seen order.
+    pub children: Vec<FlameNode>,
+}
+
+impl FlameNode {
+    /// Wall time not attributed to any child (clamped at zero: parallel
+    /// children on other threads can legitimately sum past the parent).
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns
+            .saturating_sub(self.children.iter().map(|c| c.total_ns).sum())
+    }
+
+    /// Allocation bytes not attributed to any child (clamped likewise).
+    pub fn self_bytes(&self) -> u64 {
+        self.alloc_bytes
+            .saturating_sub(self.children.iter().map(|c| c.alloc_bytes).sum())
+    }
+}
+
+/// The folded span hierarchy of one trace.
+#[derive(Debug, Default)]
+pub struct FlameGraph {
+    /// Top-level spans (no parent), in first-seen order.
+    pub roots: Vec<FlameNode>,
+    /// Open spans: id → (label, parent id). Entries surviving the whole
+    /// stream mean the trace was truncated.
+    open: BTreeMap<u64, (String, Option<u64>)>,
+    /// `span_end`s that matched no open span.
+    pub unmatched_ends: usize,
+}
+
+impl FlameGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the graph by draining `reader`.
+    pub fn from_reader<R: BufRead>(reader: &mut TraceReader<R>) -> Self {
+        let mut fg = FlameGraph::new();
+        for event in reader {
+            fg.add(&event);
+        }
+        fg
+    }
+
+    /// Spans opened but never closed.
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Folds one event into the hierarchy.
+    pub fn add(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::SpanStart {
+                id, parent, label, ..
+            } => {
+                self.open.insert(*id, (label.clone(), *parent));
+            }
+            TraceEvent::SpanEnd {
+                id,
+                dur_ns,
+                alloc_bytes,
+                allocs,
+                questions,
+                kernel_ns,
+                ..
+            } => {
+                // Children close before parents, so at close time the
+                // whole ancestor chain is still in `open`.
+                let mut path = Vec::new();
+                let mut cursor = Some(*id);
+                while let Some(c) = cursor {
+                    let Some((label, parent)) = self.open.get(&c) else {
+                        break;
+                    };
+                    path.push(label.clone());
+                    cursor = *parent;
+                }
+                if path.is_empty() {
+                    self.unmatched_ends += 1;
+                    return;
+                }
+                path.reverse();
+                self.open.remove(id);
+                let node = descend(&mut self.roots, &path);
+                node.count += 1;
+                node.total_ns += dur_ns;
+                node.alloc_bytes += alloc_bytes;
+                node.allocs += allocs;
+                node.questions += questions;
+                node.kernel_ns += kernel_ns;
+            }
+            _ => {}
+        }
+    }
+
+    /// ASCII tree, children sorted by total time (descending).
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>10} {:>10} {:>12} {:>9}",
+            "span", "count", "total", "self", "alloc bytes", "questions"
+        );
+        let mut roots: Vec<&FlameNode> = self.roots.iter().collect();
+        roots.sort_by_key(|n| std::cmp::Reverse(n.total_ns));
+        for r in roots {
+            render_node(&mut out, r, 0);
+        }
+        if self.open_spans() > 0 {
+            let _ = writeln!(
+                out,
+                "({} spans left open — truncated trace?)",
+                self.open_spans()
+            );
+        }
+        if self.unmatched_ends > 0 {
+            let _ = writeln!(out, "({} unmatched span_ends skipped)", self.unmatched_ends);
+        }
+        out
+    }
+
+    /// Folded stacks: one `a;b;c value` line per node, where value is
+    /// self-microseconds (`bytes = false`) or self-allocated-bytes.
+    pub fn render_folded(&self, bytes: bool) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            fold_node(&mut out, r, &mut Vec::new(), bytes);
+        }
+        out
+    }
+}
+
+/// Walks/creates the node chain for `path`, returning the leaf.
+fn descend<'a>(roots: &'a mut Vec<FlameNode>, path: &[String]) -> &'a mut FlameNode {
+    let (head, rest) = path.split_first().expect("non-empty path");
+    let pos = match roots.iter().position(|n| n.label == *head) {
+        Some(pos) => pos,
+        None => {
+            roots.push(FlameNode {
+                label: head.clone(),
+                ..FlameNode::default()
+            });
+            roots.len() - 1
+        }
+    };
+    if rest.is_empty() {
+        &mut roots[pos]
+    } else {
+        descend(&mut roots[pos].children, rest)
+    }
+}
+
+fn render_node(out: &mut String, node: &FlameNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let name = format!("{indent}{}", node.label);
+    let _ = writeln!(
+        out,
+        "{:<44} {:>7} {:>10} {:>10} {:>12} {:>9}",
+        name,
+        node.count,
+        fmt_ns(node.total_ns),
+        fmt_ns(node.self_ns()),
+        node.alloc_bytes,
+        node.questions
+    );
+    let mut children: Vec<&FlameNode> = node.children.iter().collect();
+    children.sort_by_key(|n| std::cmp::Reverse(n.total_ns));
+    for c in children {
+        render_node(out, c, depth + 1);
+    }
+}
+
+fn fold_node(out: &mut String, node: &FlameNode, stack: &mut Vec<String>, bytes: bool) {
+    stack.push(node.label.replace(';', ","));
+    let value = if bytes {
+        node.self_bytes()
+    } else {
+        node.self_ns() / 1000
+    };
+    if value > 0 || node.children.is_empty() {
+        let _ = writeln!(out, "{} {value}", stack.join(";"));
+    }
+    for c in &node.children {
+        fold_node(out, c, stack, bytes);
+    }
+    stack.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(id: u64, parent: Option<u64>, label: &str) -> TraceEvent {
+        TraceEvent::SpanStart {
+            id,
+            parent,
+            tid: 1,
+            label: label.into(),
+            detail: String::new(),
+        }
+    }
+
+    fn end(id: u64, dur_ns: u64, bytes: u64, questions: u64) -> TraceEvent {
+        TraceEvent::SpanEnd {
+            id,
+            tid: 1,
+            dur_ns,
+            alloc_bytes: bytes,
+            allocs: bytes / 10,
+            questions,
+            kernel_ns: 0,
+        }
+    }
+
+    fn sample() -> FlameGraph {
+        let mut fg = FlameGraph::new();
+        fg.add(&start(1, None, "preprocess"));
+        fg.add(&start(2, Some(1), "examples"));
+        fg.add(&end(2, 4_000_000, 1_000, 30));
+        fg.add(&start(3, Some(1), "dismantle"));
+        fg.add(&start(4, Some(3), "dismantle_round"));
+        fg.add(&end(4, 1_000_000, 200, 5));
+        fg.add(&start(5, Some(3), "dismantle_round"));
+        fg.add(&end(5, 3_000_000, 300, 7));
+        fg.add(&end(3, 5_000_000, 600, 12));
+        fg.add(&end(1, 10_000_000, 2_000, 42));
+        fg
+    }
+
+    #[test]
+    fn hierarchy_and_self_time() {
+        let fg = sample();
+        assert_eq!(fg.roots.len(), 1);
+        let pre = &fg.roots[0];
+        assert_eq!(pre.label, "preprocess");
+        assert_eq!(pre.count, 1);
+        assert_eq!(pre.total_ns, 10_000_000);
+        // self = 10ms − (4ms examples + 5ms dismantle) = 1ms.
+        assert_eq!(pre.self_ns(), 1_000_000);
+        let dismantle = pre
+            .children
+            .iter()
+            .find(|c| c.label == "dismantle")
+            .unwrap();
+        // Two rounds aggregated into one node.
+        assert_eq!(dismantle.children.len(), 1);
+        assert_eq!(dismantle.children[0].count, 2);
+        assert_eq!(dismantle.children[0].total_ns, 4_000_000);
+        assert_eq!(dismantle.self_ns(), 1_000_000);
+        assert_eq!(dismantle.self_bytes(), 100);
+        assert_eq!(fg.open_spans(), 0);
+    }
+
+    #[test]
+    fn tree_rendering_contains_totals() {
+        let text = sample().render_tree();
+        assert!(text.contains("preprocess"), "{text}");
+        assert!(text.contains("dismantle_round"), "{text}");
+        assert!(text.contains("10.0ms"), "{text}");
+        // Question totals surface.
+        assert!(text.contains("42"), "{text}");
+    }
+
+    #[test]
+    fn folded_output_is_parseable_stacks() {
+        let folded = sample().render_folded(false);
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect(line);
+            assert!(!stack.is_empty());
+            assert!(value.parse::<u64>().is_ok(), "{line}");
+        }
+        assert!(
+            folded.contains("preprocess;dismantle;dismantle_round 4000"),
+            "{folded}"
+        );
+        // Self time for the parent chain appears too.
+        assert!(folded.contains("preprocess;dismantle 1000"), "{folded}");
+    }
+
+    #[test]
+    fn folded_bytes_mode() {
+        let folded = sample().render_folded(true);
+        assert!(folded.contains("preprocess;examples 1000"), "{folded}");
+        assert!(folded.contains("preprocess;dismantle 100"), "{folded}");
+    }
+
+    #[test]
+    fn truncation_and_unmatched_ends_reported() {
+        let mut fg = FlameGraph::new();
+        fg.add(&start(1, None, "a"));
+        fg.add(&end(7, 1, 0, 0));
+        assert_eq!(fg.open_spans(), 1);
+        assert_eq!(fg.unmatched_ends, 1);
+        let text = fg.render_tree();
+        assert!(text.contains("left open"), "{text}");
+        assert!(text.contains("unmatched"), "{text}");
+    }
+
+    #[test]
+    fn semicolons_in_labels_are_sanitized() {
+        let mut fg = FlameGraph::new();
+        fg.add(&start(1, None, "a;b"));
+        fg.add(&end(1, 2_000, 0, 0));
+        let folded = fg.render_folded(false);
+        assert_eq!(folded.trim(), "a,b 2");
+    }
+}

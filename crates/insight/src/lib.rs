@@ -14,8 +14,13 @@
 //!   the worst-calibrated attributes.
 //! * [`compare`] — a perf-regression gate between two
 //!   `BENCH_harness.json` snapshots with configurable slowdown
-//!   thresholds and deterministic-counter drift checks; the CLI exits
-//!   non-zero on regression so CI can gate on it.
+//!   thresholds, deterministic-counter drift checks, and allocation
+//!   regression detection; the CLI exits non-zero on regression so CI
+//!   can gate on it.
+//! * [`timeline`] — exports the span/event stream as Chrome trace-event
+//!   JSON for `chrome://tracing` / Perfetto.
+//! * [`flame`] — folds spans into a self/total-time and bytes-allocated
+//!   hierarchy: ASCII tree or classic folded stacks.
 //!
 //! The `disq-insight` binary wraps all three as subcommands. Everything
 //! is std-only, matching the rest of the workspace.
@@ -24,9 +29,13 @@
 
 pub mod calib;
 pub mod compare;
+pub mod flame;
 pub mod report;
 pub mod table;
+pub mod timeline;
 
 pub use calib::{CalibReport, CalibSample};
 pub use compare::{compare, load_rows, CompareConfig, CompareOutcome, HarnessRow, Regression};
+pub use flame::{FlameGraph, FlameNode};
 pub use report::{render_timers, RunReport};
+pub use timeline::Timeline;

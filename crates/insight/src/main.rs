@@ -1,7 +1,7 @@
 //! The `disq-insight` CLI: run reports, Err(b) calibration scoring and
 //! perf-regression gating over DisQ trace artifacts.
 
-use disq_insight::{calib, compare, report};
+use disq_insight::{calib, compare, flame, report, timeline};
 use disq_trace::TraceReader;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -20,11 +20,26 @@ usage:
       Score the Err(b) error model against realized per-object MSE
       (requires eval_calibration events from a traced bench run).
 
+  disq-insight timeline <trace.jsonl> [-o <out.json>]
+      Export the span/event stream as Chrome trace-event JSON; open the
+      result in chrome://tracing or https://ui.perfetto.dev. Spans become
+      nested complete events per thread, budget spend and trio growth
+      become counter tracks, other events become instants.
+
+  disq-insight flame <trace.jsonl> [--folded] [--bytes]
+      Fold spans into a hierarchy. Default: ASCII tree with per-span
+      count, total time, self time, allocated bytes and questions.
+      --folded emits classic folded stacks (`a;b;c value`) for
+      flamegraph.pl/speedscope, valued in self-microseconds, or
+      self-allocated-bytes with --bytes.
+
   disq-insight compare --baseline <a.json> --current <b.json>
-                       [--max-slowdown <ratio>] [--no-counters]
+                       [--max-slowdown <ratio>] [--max-alloc-growth <ratio>]
+                       [--no-counters]
       Gate on performance: exit 1 when any row of <current> regressed
-      past the threshold (default 1.5x) relative to <baseline>, or when
-      deterministic counters drifted on an identical workload.
+      past the threshold (default 1.5x) relative to <baseline>, when
+      deterministic counters drifted on an identical workload, or when
+      traced allocation counts grew past --max-alloc-growth.
 
   disq-insight serve <trace.jsonl> is not a thing: live metrics come
       from the traced process itself via DISQ_METRICS_ADDR=127.0.0.1:PORT.
@@ -47,6 +62,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("report") => cmd_report(&args[1..]),
         Some("calib") => cmd_calib(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
+        Some("flame") => cmd_flame(&args[1..]),
         Some("--help" | "-h" | "help") => {
             out(USAGE);
             Ok(ExitCode::SUCCESS)
@@ -115,6 +132,76 @@ fn cmd_calib(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_timeline(args: &[String]) -> Result<ExitCode, String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out_path = Some(next_value(&mut it, "-o")?.into()),
+            _ if trace.is_none() => trace = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let trace = trace.ok_or("timeline: missing <trace.jsonl>")?;
+    let mut reader =
+        TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let tl = timeline::Timeline::from_reader(&mut reader);
+    if let Some(w) = reader.skip_warning() {
+        eprintln!("{w}");
+    }
+    let rendered = tl.render();
+    timeline::validate(&rendered).map_err(|e| format!("internal: invalid timeline: {e}"))?;
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            eprintln!("{} -> {}", tl.summary_line(), p.display());
+        }
+        None => {
+            out(&rendered);
+            eprintln!("{}", tl.summary_line());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_flame(args: &[String]) -> Result<ExitCode, String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut folded = false;
+    let mut bytes = false;
+    for a in args {
+        match a.as_str() {
+            "--folded" => folded = true,
+            "--bytes" => bytes = true,
+            _ if trace.is_none() => trace = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if bytes && !folded {
+        return Err("flame: --bytes only applies to --folded output".into());
+    }
+    let trace = trace.ok_or("flame: missing <trace.jsonl>")?;
+    let mut reader =
+        TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let fg = flame::FlameGraph::from_reader(&mut reader);
+    if let Some(w) = reader.skip_warning() {
+        eprintln!("{w}");
+    }
+    if fg.roots.is_empty() {
+        return Err(format!(
+            "no spans in {} (re-run the traced workload with this build?)",
+            trace.display()
+        ));
+    }
+    out(&if folded {
+        fg.render_folded(bytes)
+    } else {
+        fg.render_tree()
+    });
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
@@ -133,6 +220,15 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
                 }
                 cfg.max_wall_slowdown = v;
                 cfg.max_throughput_drop = v;
+            }
+            "--max-alloc-growth" => {
+                let v: f64 = next_value(&mut it, "--max-alloc-growth")?
+                    .parse()
+                    .map_err(|e| format!("--max-alloc-growth: {e}"))?;
+                if v.is_nan() || v < 1.0 {
+                    return Err("--max-alloc-growth must be >= 1.0".into());
+                }
+                cfg.max_alloc_growth = v;
             }
             "--no-counters" => cfg.check_counters = false,
             other => return Err(format!("unexpected argument {other:?}")),

@@ -93,8 +93,23 @@ pub struct RunReport {
     pub solver_fallbacks: Vec<(String, String)>,
     /// Peak statistics-trio shape seen.
     pub trio_peak: (u32, u32),
+    /// `span_start` events seen.
+    pub span_starts: u64,
+    /// `span_end` events seen.
+    pub span_ends: u64,
+    /// Total heap bytes attributed to closed spans (self + children;
+    /// nested spans double-count by construction, so this is an
+    /// upper envelope, not a sum of disjoint parts).
+    pub span_alloc_bytes: u64,
+    /// Distinct span labels seen, in first-seen order, with close
+    /// counts and total duration. Use `disq-insight flame`/`timeline`
+    /// for the full hierarchy.
+    pub span_labels: Vec<(String, u64, u64)>,
     /// Err(b) calibration samples (see [`crate::calib`]).
     pub calibrations: Vec<CalibSample>,
+    /// Labels of spans opened but not yet closed (keyed by span id);
+    /// non-empty after absorbing a truncated trace.
+    pub open_spans: std::collections::BTreeMap<u64, String>,
     /// Events parsed.
     pub parsed: usize,
     /// Corrupt lines skipped by the reader.
@@ -199,6 +214,30 @@ impl RunReport {
             TraceEvent::SpamFallback { .. } => self.spam_fallbacks += 1,
             TraceEvent::SolverFallback { label, reason } => {
                 self.solver_fallbacks.push((label, reason));
+            }
+            TraceEvent::SpanStart { id, label, .. } => {
+                self.span_starts += 1;
+                self.open_spans.insert(id, label);
+            }
+            TraceEvent::SpanEnd {
+                id,
+                dur_ns,
+                alloc_bytes,
+                ..
+            } => {
+                self.span_ends += 1;
+                self.span_alloc_bytes += alloc_bytes;
+                let label = self
+                    .open_spans
+                    .remove(&id)
+                    .unwrap_or_else(|| "(unmatched)".into());
+                match self.span_labels.iter_mut().find(|(l, _, _)| *l == label) {
+                    Some(slot) => {
+                        slot.1 += 1;
+                        slot.2 += dur_ns;
+                    }
+                    None => self.span_labels.push((label, 1, dur_ns)),
+                }
             }
             TraceEvent::EvalCalibration {
                 label,
@@ -484,6 +523,33 @@ impl RunReport {
             out.push_str(&t.render());
         }
 
+        if self.span_starts > 0 {
+            let _ = writeln!(
+                out,
+                "\nspans: {} opened, {} closed{}{}",
+                self.span_starts,
+                self.span_ends,
+                match self.open_spans.len() {
+                    0 => String::new(),
+                    n => format!(", {n} left open (truncated trace?)"),
+                },
+                match self.span_alloc_bytes {
+                    0 => String::new(),
+                    b => format!("; {b} heap bytes attributed"),
+                },
+            );
+            let mut t = Table::new(&["span", "count", "total time"]).aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+            ]);
+            for (label, count, dur_ns) in &self.span_labels {
+                t.row(vec![label.clone(), count.to_string(), fmt_ns(*dur_ns)]);
+            }
+            out.push_str(&t.render());
+            out.push_str("(see `disq-insight timeline`/`flame` for the hierarchy)\n");
+        }
+
         out.push_str("\ncounters derived from events:\n");
         let mut t = Table::new(&["counter", "value"]).aligns(&[Align::Left, Align::Right]);
         for (c, v) in self.derived_counters() {
@@ -732,6 +798,46 @@ mod tests {
             .find(|l| l.contains("<- chosen"))
             .expect("chosen marked");
         assert!(chosen_line.contains("a2"), "{chosen_line}");
+    }
+
+    #[test]
+    fn spans_joined_by_id_and_rendered() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::SpanStart {
+            id: 1,
+            parent: None,
+            tid: 1,
+            label: "preprocess".into(),
+            detail: String::new(),
+        });
+        r.absorb(TraceEvent::SpanStart {
+            id: 2,
+            parent: Some(1),
+            tid: 1,
+            label: "examples".into(),
+            detail: "n1=30".into(),
+        });
+        r.absorb(TraceEvent::SpanEnd {
+            id: 2,
+            tid: 1,
+            dur_ns: 1_500_000,
+            alloc_bytes: 4096,
+            allocs: 10,
+            questions: 60,
+            kernel_ns: 0,
+        });
+        assert_eq!(r.span_starts, 2);
+        assert_eq!(r.span_ends, 1);
+        assert_eq!(r.span_alloc_bytes, 4096);
+        assert_eq!(r.open_spans.len(), 1);
+        assert_eq!(r.span_labels, vec![("examples".to_string(), 1, 1_500_000)]);
+        let text = r.render();
+        assert!(
+            text.contains("spans: 2 opened, 1 closed, 1 left open"),
+            "{text}"
+        );
+        assert!(text.contains("4096 heap bytes"), "{text}");
+        assert!(text.contains("examples"), "{text}");
     }
 
     #[test]

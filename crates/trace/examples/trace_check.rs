@@ -4,12 +4,16 @@
 //! Usage: `cargo run -p disq-trace --example trace_check -- <file>
 //! [--require-coverage]`
 //!
+//! Span discipline is always validated: every `span_end` must match an
+//! open `span_start` (by id), and no span may be left open at EOF.
+//!
 //! With `--require-coverage` (the CI smoke mode) the file must contain
-//! at least one dismantle decision, one SPRT verdict and one budget
-//! phase transition — the acceptance surface of the observability layer.
+//! at least one dismantle decision, one SPRT verdict, one budget phase
+//! transition, and at least one span pair — the acceptance surface of
+//! the observability layer.
 
 use disq_trace::TraceEvent;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,12 +34,31 @@ fn main() -> ExitCode {
 
     let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut total = 0usize;
+    let mut open_spans: BTreeSet<u64> = BTreeSet::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match TraceEvent::parse(line) {
             Ok(event) => {
+                match &event {
+                    TraceEvent::SpanStart { id, .. } if !open_spans.insert(*id) => {
+                        eprintln!(
+                            "trace_check: {path}:{}: span id {id} started twice",
+                            lineno + 1
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    TraceEvent::SpanEnd { id, .. } if !open_spans.remove(id) => {
+                        eprintln!(
+                            "trace_check: {path}:{}: span_end {id} without a \
+                             matching span_start",
+                            lineno + 1
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    _ => {}
+                }
                 *counts.entry(event.name()).or_default() += 1;
                 total += 1;
             }
@@ -44,6 +67,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if !open_spans.is_empty() {
+        eprintln!(
+            "trace_check: {path}: {} span(s) never closed: {:?}",
+            open_spans.len(),
+            open_spans.iter().take(8).collect::<Vec<_>>()
+        );
+        return ExitCode::FAILURE;
     }
 
     println!("trace_check: {path}: {total} events parsed");
@@ -56,7 +87,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if require_coverage {
-        for required in ["dismantle_choice", "sprt_verdict", "phase_spend"] {
+        for required in [
+            "dismantle_choice",
+            "sprt_verdict",
+            "phase_spend",
+            "span_start",
+            "span_end",
+        ] {
             if !counts.contains_key(required) {
                 eprintln!("trace_check: {path} has no {required} events");
                 return ExitCode::FAILURE;

@@ -163,6 +163,39 @@ pub enum TraceEvent {
         /// Held-out objects the realized MSE averaged over.
         n_objects: u32,
     },
+    /// A hierarchical span opened (see [`crate::span`]). Matched by
+    /// exactly one [`TraceEvent::SpanEnd`] with the same `id`.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Innermost open span on the same thread at open time, if any.
+        parent: Option<u64>,
+        /// Trace-thread id of the opening thread (1-based).
+        tid: u64,
+        /// Static span label (`preprocess`, `dismantle_round`, …).
+        label: String,
+        /// Free-form detail (`k=3`, a target name, …); may be empty.
+        detail: String,
+    },
+    /// A span closed; carries the resources attributed to it (cumulative
+    /// over the span's lifetime on its own thread — children included).
+    SpanEnd {
+        /// Matches the [`TraceEvent::SpanStart`] id.
+        id: u64,
+        /// Trace-thread id of the closing thread.
+        tid: u64,
+        /// Wall-clock nanoseconds the span was open.
+        dur_ns: u64,
+        /// Bytes requested from the allocator while open (0 unless
+        /// [`crate::CountingAlloc`] is the global allocator).
+        alloc_bytes: u64,
+        /// Allocator calls while open.
+        allocs: u64,
+        /// Crowd questions charged while open (any kind).
+        questions: u64,
+        /// Kernel-timer nanoseconds recorded while open.
+        kernel_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -180,6 +213,8 @@ impl TraceEvent {
             TraceEvent::SpamFallback { .. } => "spam_fallback",
             TraceEvent::SolverFallback { .. } => "solver_fallback",
             TraceEvent::EvalCalibration { .. } => "eval_calibration",
+            TraceEvent::SpanStart { .. } => "span_start",
+            TraceEvent::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -337,14 +372,58 @@ impl TraceEvent {
                 write_f64(&mut s, *realized_mse);
                 let _ = write!(s, ",\"n_objects\":{n_objects}");
             }
+            TraceEvent::SpanStart {
+                id,
+                parent,
+                tid,
+                label,
+                detail,
+            } => {
+                let _ = write!(s, ",\"id\":{id},\"parent\":");
+                match parent {
+                    Some(p) => {
+                        let _ = write!(s, "{p}");
+                    }
+                    None => s.push_str("null"),
+                }
+                let _ = write!(s, ",\"tid\":{tid},\"label\":");
+                write_str(&mut s, label);
+                s.push_str(",\"detail\":");
+                write_str(&mut s, detail);
+            }
+            TraceEvent::SpanEnd {
+                id,
+                tid,
+                dur_ns,
+                alloc_bytes,
+                allocs,
+                questions,
+                kernel_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"id\":{id},\"tid\":{tid},\"dur_ns\":{dur_ns},\
+                     \"alloc_bytes\":{alloc_bytes},\"allocs\":{allocs},\
+                     \"questions\":{questions},\"kernel_ns\":{kernel_ns}"
+                );
+            }
         }
         s.push('}');
         s
     }
 
-    /// Parses one JSONL line back into an event.
+    /// Parses one JSONL line back into an event. Unknown object keys
+    /// (e.g. the `t_us` timestamp the JSONL sink splices in) are
+    /// ignored.
     pub fn parse(line: &str) -> Result<TraceEvent, String> {
         let v = json::parse(line)?;
+        TraceEvent::from_json(&v)
+    }
+
+    /// Decodes an already-parsed JSON object into an event (the working
+    /// half of [`TraceEvent::parse`]; [`crate::TraceReader`] calls this
+    /// directly so it can also read the line's timestamp).
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
         let tag = v
             .get("event")
             .and_then(Json::as_str)
@@ -508,6 +587,26 @@ impl TraceEvent {
                 realized_mse: f64_field("realized_mse")?,
                 n_objects: u32_field("n_objects")?,
             }),
+            "span_start" => Ok(TraceEvent::SpanStart {
+                id: u64_field("id")?,
+                parent: match v.get("parent") {
+                    Some(Json::Null) => None,
+                    Some(j) => Some(j.as_u64().ok_or("span_start: bad parent")?),
+                    None => return Err("span_start: missing parent".into()),
+                },
+                tid: u64_field("tid")?,
+                label: str_field("label")?,
+                detail: str_field("detail")?,
+            }),
+            "span_end" => Ok(TraceEvent::SpanEnd {
+                id: u64_field("id")?,
+                tid: u64_field("tid")?,
+                dur_ns: u64_field("dur_ns")?,
+                alloc_bytes: u64_field("alloc_bytes")?,
+                allocs: u64_field("allocs")?,
+                questions: u64_field("questions")?,
+                kernel_ns: u64_field("kernel_ns")?,
+            }),
             other => Err(format!("unknown event tag {other:?}")),
         }
     }
@@ -600,6 +699,29 @@ mod tests {
                 realized_mse: 4.5,
                 n_objects: 150,
             },
+            TraceEvent::SpanStart {
+                id: 42,
+                parent: Some(41),
+                tid: 1,
+                label: "dismantle_round".into(),
+                detail: "k=3".into(),
+            },
+            TraceEvent::SpanStart {
+                id: 43,
+                parent: None,
+                tid: 2,
+                label: "preprocess".into(),
+                detail: String::new(),
+            },
+            TraceEvent::SpanEnd {
+                id: 42,
+                tid: 1,
+                dur_ns: 12_345_678,
+                alloc_bytes: 1 << 33,
+                allocs: 9_001,
+                questions: 57,
+                kernel_ns: 2_000_000,
+            },
         ]
     }
 
@@ -620,7 +742,20 @@ mod tests {
         for event in samples() {
             seen.insert(event.name());
         }
-        assert_eq!(seen.len(), 11);
+        assert_eq!(seen.len(), 13);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        // The JSONL sink splices a "t_us" timestamp into every line;
+        // parse must tolerate it (and any future additive field).
+        let event = TraceEvent::TrioSize {
+            n_targets: 1,
+            n_attrs: 3,
+        };
+        let line = event.to_json();
+        let stamped = format!("{{\"t_us\":123456,{}", &line[1..]);
+        assert_eq!(TraceEvent::parse(&stamped).unwrap(), event);
     }
 
     #[test]

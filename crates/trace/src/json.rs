@@ -221,11 +221,25 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&c) if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
             Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences pass
-                // through unmodified).
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = s.chars().next().unwrap();
+                // Consume one multi-byte UTF-8 scalar. Decode from a
+                // bounded 4-byte window — validating `&b[*pos..]` here
+                // would make parsing quadratic in document size.
+                let chunk = &b[*pos..(*pos + 4).min(b.len())];
+                let s = match std::str::from_utf8(chunk) {
+                    Ok(s) => s,
+                    // A valid scalar followed by the start of the next
+                    // one: keep the validated prefix.
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated prefix")
+                    }
+                    Err(e) => return Err(e.to_string()),
+                };
+                let c = s.chars().next().expect("non-empty chunk");
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -17,6 +17,12 @@
 //! * **Timers** ([`Timer`]) — streaming log₂ histograms of the
 //!   `disq-math` kernel latencies, recorded only while a sink is
 //!   installed (see [`time`]).
+//! * **Spans** ([`span!`], [`SpanGuard`]) — hierarchical RAII phase
+//!   markers carried on a thread-local stack; each span's end event
+//!   reports wall time plus the questions, kernel nanoseconds, and
+//!   (with [`CountingAlloc`] installed) allocation bytes/calls
+//!   attributed to it. Same contract as events: one relaxed load and
+//!   an inert guard when no sink is installed.
 //! * **[`RunSummary`]** — a snapshot/delta aggregate of counters and
 //!   timers, rendered into bench report footers and merged into
 //!   `BENCH_harness.json`.
@@ -41,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+mod alloc;
 mod event;
 pub mod expo;
 pub mod json;
@@ -48,7 +55,9 @@ mod metrics;
 pub mod reader;
 pub mod serve;
 mod sink;
+pub mod span;
 
+pub use alloc::CountingAlloc;
 pub use event::{CandidateScore, KindSpend, TraceEvent};
 pub use expo::prometheus_text;
 pub use metrics::{
@@ -57,7 +66,8 @@ pub use metrics::{
 };
 pub use reader::{SkippedLine, TraceReader, MAX_SKIP_DETAILS};
 pub use serve::{MetricsServer, METRICS_ENV_VAR};
-pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
+pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink, MEMORY_SINK_DEFAULT_CAP};
+pub use span::SpanGuard;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Once, RwLock};
@@ -120,7 +130,10 @@ pub fn init_from_env() {
             Ok(sink) => {
                 install(Arc::new(sink));
             }
-            Err(e) => eprintln!("warning: {TRACE_ENV_VAR}={path}: cannot create trace file: {e}"),
+            Err(e) => {
+                metrics::count(Counter::TraceWriteErrors);
+                eprintln!("warning: {TRACE_ENV_VAR}={path}: cannot create trace file: {e}");
+            }
         }
     });
 }

@@ -69,10 +69,22 @@ pub enum Counter {
     /// Next-attribute loss probes answered from the dismantle-step probe
     /// cache instead of re-running a greedy solve.
     ProbeCacheHits,
+    /// Trace-sink write failures (file creation or mid-run I/O errors in
+    /// the JSONL sink). Non-zero means the trace on disk is incomplete.
+    TraceWriteErrors,
+    /// Events evicted by a capped [`crate::MemorySink`] (drop-oldest).
+    TraceDroppedEvents,
+    /// Bytes requested from the allocator while tracing was active
+    /// (counted only when [`crate::CountingAlloc`] is the global
+    /// allocator).
+    AllocBytes,
+    /// Allocator calls while tracing was active (same gating as
+    /// [`Counter::AllocBytes`]).
+    Allocs,
 }
 
 /// Number of counters.
-pub const COUNTER_COUNT: usize = 18;
+pub const COUNTER_COUNT: usize = 22;
 
 impl Counter {
     /// Every counter, in `RunSummary` order.
@@ -95,6 +107,10 @@ impl Counter {
         Counter::ReplayFellThrough,
         Counter::SolverFallbacks,
         Counter::ProbeCacheHits,
+        Counter::TraceWriteErrors,
+        Counter::TraceDroppedEvents,
+        Counter::AllocBytes,
+        Counter::Allocs,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -118,6 +134,10 @@ impl Counter {
             Counter::ReplayFellThrough => "replay_fell_through",
             Counter::SolverFallbacks => "solver_fallbacks",
             Counter::ProbeCacheHits => "probe_cache_hits",
+            Counter::TraceWriteErrors => "trace_write_errors",
+            Counter::TraceDroppedEvents => "trace_dropped_events",
+            Counter::AllocBytes => "alloc_bytes",
+            Counter::Allocs => "allocs",
         }
     }
 }
@@ -221,10 +241,21 @@ pub fn count(counter: Counter) {
     count_n(counter, 1);
 }
 
+/// The first [`QUESTION_KINDS`] counters are the per-kind question
+/// counts; they feed both [`RunSummary::total_questions`] and per-span
+/// question attribution.
+const QUESTION_KINDS: usize = 5;
+
 /// Increments a counter by `n`.
 #[inline]
 pub fn count_n(counter: Counter, n: u64) {
     REGISTRY.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    // The question kinds additionally feed open spans' per-thread
+    // attribution — gated on an installed sink so the always-on path
+    // stays one `fetch_add` (plus a branch).
+    if (counter as usize) < QUESTION_KINDS && crate::active() {
+        crate::span::note_questions(n);
+    }
 }
 
 /// Records one timed kernel invocation. Callers gate on
@@ -232,6 +263,7 @@ pub fn count_n(counter: Counter, n: u64) {
 pub fn record_timer(timer: Timer, elapsed: Duration) {
     let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
     REGISTRY.timers[timer as usize].record_ns(ns);
+    crate::span::note_kernel_ns(ns);
 }
 
 /// Frozen state of one timer's histogram.
@@ -343,7 +375,10 @@ impl RunSummary {
 
     /// Total questions of all kinds.
     pub fn total_questions(&self) -> u64 {
-        Counter::ALL[..5].iter().map(|&c| self.counter(c)).sum()
+        Counter::ALL[..QUESTION_KINDS]
+            .iter()
+            .map(|&c| self.counter(c))
+            .sum()
     }
 
     /// Counter-wise and bucket-wise saturating difference: the activity
@@ -409,6 +444,8 @@ impl RunSummary {
             (Counter::ReplayFellThrough, "replay fall-throughs"),
             (Counter::SolverFallbacks, "solver fallbacks"),
             (Counter::ProbeCacheHits, "probe cache hits"),
+            (Counter::TraceWriteErrors, "trace write errors"),
+            (Counter::TraceDroppedEvents, "trace dropped events"),
         ];
         let parts: Vec<String> = decisions
             .iter()
@@ -417,6 +454,15 @@ impl RunSummary {
             .collect();
         if !parts.is_empty() {
             let _ = write!(out, "trace: {}", parts.join(", "));
+            out.push('\n');
+        }
+        if self.counter(Counter::Allocs) > 0 {
+            let _ = write!(
+                out,
+                "trace: alloc {} bytes in {} calls while traced",
+                self.counter(Counter::AllocBytes),
+                self.counter(Counter::Allocs),
+            );
             out.push('\n');
         }
         for t in Timer::ALL {

@@ -44,6 +44,7 @@ pub struct TraceReader<R> {
     skipped: usize,
     details: Vec<SkippedLine>,
     buf: Vec<u8>,
+    last_t_us: Option<u64>,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -63,7 +64,16 @@ impl<R: BufRead> TraceReader<R> {
             skipped: 0,
             details: Vec::new(),
             buf: Vec::new(),
+            last_t_us: None,
         }
+    }
+
+    /// The `t_us` timestamp of the most recently yielded event, when the
+    /// line carried one. [`crate::JsonlSink`] stamps every line; traces
+    /// from other writers may omit it, in which case this stays at the
+    /// last seen value (initially `None`).
+    pub fn last_t_us(&self) -> Option<u64> {
+        self.last_t_us
     }
 
     /// Events successfully parsed so far.
@@ -142,9 +152,17 @@ impl<R: BufRead> Iterator for TraceReader<R> {
             if line.is_empty() {
                 continue;
             }
-            match TraceEvent::parse(line) {
-                Ok(event) => {
+            // Parse the JSON once; pull the sink's t_us stamp off the
+            // same value the event is decoded from.
+            match crate::json::parse(line).and_then(|v| {
+                let t_us = v.get("t_us").and_then(crate::json::Json::as_u64);
+                TraceEvent::from_json(&v).map(|e| (e, t_us))
+            }) {
+                Ok((event, t_us)) => {
                     self.parsed += 1;
+                    if t_us.is_some() {
+                        self.last_t_us = t_us;
+                    }
                     return Some(event);
                 }
                 Err(e) => {
@@ -250,6 +268,24 @@ mod tests {
         assert_eq!(r.by_ref().count(), 0);
         assert_eq!(r.skipped(), MAX_SKIP_DETAILS + 10);
         assert_eq!(r.skip_details().len(), MAX_SKIP_DETAILS);
+    }
+
+    #[test]
+    fn t_us_stamps_are_surfaced() {
+        let a = TraceEvent::TrioSize {
+            n_targets: 1,
+            n_attrs: 2,
+        };
+        let stamped = format!("{{\"t_us\":777,{}", &a.to_json()[1..]);
+        let plain = a.to_json();
+        let text = format!("{stamped}\n{plain}\n");
+        let mut r = reader(text.as_bytes());
+        assert!(r.last_t_us().is_none());
+        assert_eq!(r.next(), Some(a.clone()));
+        assert_eq!(r.last_t_us(), Some(777));
+        assert_eq!(r.next(), Some(a));
+        // Unstamped line keeps the last seen stamp.
+        assert_eq!(r.last_t_us(), Some(777));
     }
 
     #[test]

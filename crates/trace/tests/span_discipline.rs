@@ -1,0 +1,135 @@
+//! Property test: span guards keep the thread-local stack coherent under
+//! arbitrary open/close/panic interleavings.
+//!
+//! The invariant under test is the one every consumer of the trace
+//! relies on: the emitted `span_start`/`span_end` stream is always
+//! *properly nested* — each `span_end` closes the innermost open span —
+//! and after every guard is gone the thread-local stack is empty, no
+//! matter how guards were dropped (in order, out of order, leaked into
+//! an outer scope, or unwound by a panic).
+
+use disq_trace::{span, MemorySink, SpanGuard, TraceEvent};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The sink slot is process-global; every test case serializes on this.
+static GLOBAL_SINK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Replays the emitted events against a simulated stack, asserting
+/// proper nesting, and returns how many spans were opened.
+fn check_properly_nested(events: &[TraceEvent]) -> Result<usize, String> {
+    let mut stack: Vec<u64> = Vec::new();
+    let mut opened = 0usize;
+    for event in events {
+        match event {
+            TraceEvent::SpanStart { id, parent, .. } => {
+                if *parent != stack.last().copied() {
+                    return Err(format!(
+                        "span {id} recorded parent {parent:?} but stack top was {:?}",
+                        stack.last()
+                    ));
+                }
+                stack.push(*id);
+                opened += 1;
+            }
+            TraceEvent::SpanEnd { id, .. } => {
+                let top = stack.pop();
+                if top != Some(*id) {
+                    return Err(format!("span_end {id} closed over stack top {top:?}"));
+                }
+            }
+            other => return Err(format!("unexpected event {other:?}")),
+        }
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} spans left open: {stack:?}", stack.len()));
+    }
+    Ok(opened)
+}
+
+/// One scripted action against a pool of live guards.
+fn apply(op: u8, live: &mut Vec<SpanGuard>) {
+    match op % 8 {
+        // Open a new span (biased: half of all ops).
+        0..=3 => live.push(span!("prop_span", "op={op}")),
+        // Close the newest guard — the well-behaved RAII order.
+        4 | 5 => {
+            live.pop();
+        }
+        // Close the OLDEST guard first: its Drop must sweep every
+        // younger frame, and later drops of the swept guards must be
+        // no-ops.
+        6 => {
+            if !live.is_empty() {
+                drop(live.remove(0));
+            }
+        }
+        // Panic while a fresh span is open; unwinding must pop it.
+        _ => {
+            let result = std::panic::catch_unwind(|| {
+                let _inner = span!("prop_panic_span");
+                panic!("scripted panic");
+            });
+            assert!(result.is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_open_close_panic_sequences_stay_balanced(ops in proptest::collection::vec(0u8..8, 0..48)) {
+        let _guard = GLOBAL_SINK_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        disq_trace::install(sink.clone());
+        let depth0 = disq_trace::span::depth();
+        prop_assert_eq!(depth0, 0, "stack dirty before case");
+
+        let mut live: Vec<SpanGuard> = Vec::new();
+        for &op in &ops {
+            apply(op, &mut live);
+        }
+        drop(live);
+
+        disq_trace::uninstall();
+        prop_assert_eq!(disq_trace::span::depth(), 0, "stack dirty after case");
+        let events = sink.take();
+        match check_properly_nested(&events) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(false, "{}", e),
+        }
+    }
+}
+
+/// Deterministic spot-check of the nastiest interleaving: oldest-first
+/// drop with a panic in the middle, verified event by event.
+#[test]
+fn oldest_first_drop_with_panic_is_balanced() {
+    let _guard = GLOBAL_SINK_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let sink = Arc::new(MemorySink::new());
+    disq_trace::install(sink.clone());
+
+    let outer = span!("outer");
+    let middle = span!("middle");
+    let result = std::panic::catch_unwind(|| {
+        let _doomed = span!("doomed");
+        panic!("boom");
+    });
+    assert!(result.is_err());
+    let inner = span!("inner");
+    drop(outer); // sweeps middle and inner
+    drop(middle); // no-op
+    drop(inner); // no-op
+
+    disq_trace::uninstall();
+    assert_eq!(disq_trace::span::depth(), 0);
+    let events = sink.take();
+    let opened = check_properly_nested(&events).unwrap();
+    assert_eq!(opened, 4);
+    assert_eq!(events.len(), 8, "4 starts + 4 ends: {events:#?}");
+}

@@ -17,6 +17,14 @@
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory.
 
+/// Count every heap allocation so spans can attribute allocation
+/// pressure (see `disq_trace::CountingAlloc`). Declared here — at a leaf
+/// of the link graph — because only one crate per binary may set the
+/// global allocator; `disq-bench` declares its own copy for the bench
+/// binaries (the two never co-link).
+#[global_allocator]
+static ALLOC: disq_trace::CountingAlloc = disq_trace::CountingAlloc;
+
 pub use disq_baselines as baselines;
 pub use disq_core as core;
 pub use disq_crowd as crowd;

@@ -1,7 +1,10 @@
 //! End-to-end observability: a real preprocessing run traced through a
-//! sink must (a) leave the algorithm's output bit-identical, (b) emit a
-//! typed event for every dismantle decision, SPRT verdict and budget
-//! phase transition, and (c) round-trip through the JSONL format.
+//! sink must (a) leave the algorithm's output bit-identical — down to
+//! the allocation count, since [`disq::trace::CountingAlloc`] is this
+//! binary's global allocator via the facade crate — (b) emit a typed
+//! event for every dismantle decision, SPRT verdict, budget phase
+//! transition and pipeline span, and (c) round-trip through the JSONL
+//! format and the Chrome-trace timeline exporter.
 //!
 //! The trace sink is process-global, so every test here serializes on
 //! one mutex.
@@ -12,6 +15,7 @@ use disq::domain::{domains::pictures, Population};
 use disq::trace::{self, Counter, MemorySink, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 static GLOBAL_SINK_LOCK: Mutex<()> = Mutex::new(());
@@ -122,6 +126,64 @@ fn traced_run_is_bit_identical_and_covers_all_decisions() {
     assert_eq!(chosen_allocs[0].len(), traced.budget.len());
     assert!(count(&|e| matches!(e, TraceEvent::TrioSize { .. })) >= 1);
     assert!(count(&|e| matches!(e, TraceEvent::RegressionFit { .. })) >= 1);
+    // Spans: every start matched by exactly one end, none left open, and
+    // the label set covers the whole pipeline.
+    let mut open: BTreeMap<u64, String> = BTreeMap::new();
+    let mut labels: BTreeSet<String> = BTreeSet::new();
+    let mut root_end: Option<(u64, u64, u64)> = None; // (alloc_bytes, allocs, questions)
+    let mut root_id = None;
+    for e in &events {
+        match e {
+            TraceEvent::SpanStart {
+                id, parent, label, ..
+            } => {
+                labels.insert(label.clone());
+                if parent.is_none() && label == "preprocess" {
+                    root_id = Some(*id);
+                }
+                assert!(
+                    open.insert(*id, label.clone()).is_none(),
+                    "span {id} started twice"
+                );
+            }
+            TraceEvent::SpanEnd {
+                id,
+                alloc_bytes,
+                allocs,
+                questions,
+                ..
+            } => {
+                assert!(open.remove(id).is_some(), "span_end {id} without a start");
+                if Some(*id) == root_id {
+                    root_end = Some((*alloc_bytes, *allocs, *questions));
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "spans left open: {open:?}");
+    for required in [
+        "preprocess",
+        "examples",
+        "target",
+        "dismantle",
+        "dismantle_round",
+        "refine",
+        "budget_dist",
+        "regression",
+    ] {
+        assert!(
+            labels.contains(required),
+            "no {required} span in {labels:?}"
+        );
+    }
+    // The root span attributes the run's full resource footprint: every
+    // crowd question charged inside it, plus the heap traffic seen by the
+    // counting allocator (installed as this binary's global allocator).
+    let (root_bytes, root_allocs, root_questions) = root_end.expect("preprocess span closed");
+    assert_eq!(root_questions, delta.total_questions());
+    assert!(root_allocs > 0, "counting allocator not attributing spans");
+    assert!(root_bytes > 0);
 
     // (c) Counters moved in lockstep with the events.
     assert!(delta.counter(Counter::DismantleChoices) >= choices as u64);
@@ -160,10 +222,24 @@ fn jsonl_sink_round_trips_every_event() {
         }
     }
     assert!(!parsed.is_empty());
-    // Re-serializing each parsed event reproduces the original line:
+    // Every line is stamped with a monotone `t_us` clock; stripping the
+    // stamp and re-serializing the parsed event reproduces the line:
     // floats round-trip bit-exactly through Rust's shortest Display.
+    let mut last_t_us = 0u64;
     for (line, event) in text.lines().filter(|l| !l.trim().is_empty()).zip(&parsed) {
-        assert_eq!(line, event.to_json());
+        let rest = line
+            .strip_prefix("{\"t_us\":")
+            .unwrap_or_else(|| panic!("line not stamped: {line}"));
+        let (stamp, body) = rest.split_once(',').expect("stamp then event body");
+        let t_us: u64 = stamp
+            .parse()
+            .unwrap_or_else(|e| panic!("bad t_us {stamp:?}: {e}"));
+        assert!(
+            t_us >= last_t_us,
+            "t_us went backwards: {t_us} < {last_t_us}"
+        );
+        last_t_us = t_us;
+        assert_eq!(format!("{{{body}"), event.to_json());
     }
     // The acceptance surface is present in file form too.
     assert!(parsed
@@ -175,6 +251,81 @@ fn jsonl_sink_round_trips_every_event() {
     assert!(parsed
         .iter()
         .any(|e| matches!(e, TraceEvent::PhaseSpend { .. })));
+    assert!(parsed
+        .iter()
+        .any(|e| matches!(e, TraceEvent::SpanStart { .. })));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With tracing off, observation must vanish entirely: two identical
+/// runs on the same thread request exactly the same number of heap
+/// allocations and bytes, as counted by the [`trace::CountingAlloc`]
+/// this binary installs through the facade crate.
+#[test]
+fn untraced_runs_are_allocation_identical() {
+    let _guard = GLOBAL_SINK_LOCK.lock().unwrap();
+    trace::uninstall();
+
+    // Warm-up: one-time lazy initialization (env probe, TLS, epoch)
+    // allocates on the first run only.
+    let _ = run_preprocess(13);
+
+    let measure = || {
+        let bytes0 = trace::span::thread_alloc_bytes();
+        let allocs0 = trace::span::thread_allocs();
+        let out = run_preprocess(13);
+        (
+            trace::span::thread_alloc_bytes().wrapping_sub(bytes0),
+            trace::span::thread_allocs().wrapping_sub(allocs0),
+            out,
+        )
+    };
+    let (bytes_a, allocs_a, out_a) = measure();
+    let (bytes_b, allocs_b, out_b) = measure();
+    assert_eq!(out_a.plan, out_b.plan);
+    assert!(
+        allocs_a > 0,
+        "counting allocator not installed as #[global_allocator]?"
+    );
+    assert_eq!(allocs_a, allocs_b, "allocation counts diverged");
+    assert_eq!(bytes_a, bytes_b, "allocated bytes diverged");
+}
+
+/// A real traced run exported through `disq-insight timeline` must yield
+/// schema-valid Chrome trace JSON in which every span_end found its
+/// span_start.
+#[test]
+fn timeline_export_round_trips_spans() {
+    let _guard = GLOBAL_SINK_LOCK.lock().unwrap();
+    trace::uninstall();
+
+    let dir = std::env::temp_dir().join(format!("disq-timeline-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+
+    let sink = Arc::new(trace::JsonlSink::create(&path).unwrap());
+    trace::install(sink);
+    let _ = run_preprocess(14);
+    trace::uninstall();
+
+    let mut reader = trace::TraceReader::open(&path).unwrap();
+    let tl = disq_insight::Timeline::from_reader(&mut reader);
+    assert!(reader.skip_warning().is_none(), "trace lines skipped");
+    assert!(tl.spans_complete > 0, "no spans exported");
+    assert_eq!(tl.unmatched_ends, 0, "span_end without span_start");
+    assert_eq!(tl.open_spans(), 0, "spans left open");
+
+    let rendered = tl.render();
+    let n = disq_insight::timeline::validate(&rendered).expect("schema-valid Chrome trace");
+    assert!(n >= tl.spans_complete + tl.instants);
+    // The pipeline spans survive export by name.
+    for label in ["preprocess", "dismantle_round", "budget_dist"] {
+        assert!(
+            rendered.contains(&format!("\"name\":\"{label}\"")),
+            "timeline lost the {label} span"
+        );
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }
