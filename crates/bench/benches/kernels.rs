@@ -136,6 +136,7 @@ fn kernel_row(name: String, t: &Timing) -> HarnessTimings {
         cache_hits: 0,
         cache_misses: 0,
         summary: disq_trace::RunSummary::default(),
+        peak_alloc_bytes: 0,
     }
 }
 

@@ -15,6 +15,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod robustness;
+pub mod scale;
 pub mod table4;
 pub mod table5;
 

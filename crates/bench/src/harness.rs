@@ -38,6 +38,12 @@ pub struct HarnessTimings {
     /// Trace counters and kernel-timer histograms accumulated during the
     /// sweep (the delta of the process-global [`disq_trace`] registry).
     pub summary: disq_trace::RunSummary,
+    /// Peak live-heap delta (bytes) during the measured region, from the
+    /// gated allocation watermark
+    /// ([`disq_trace::watermark_start`]/[`disq_trace::watermark_stop`]).
+    /// Zero when the experiment did not enable the watermark; only the
+    /// scale rows (`fig1@n…`) currently do.
+    pub peak_alloc_bytes: u64,
 }
 
 impl HarnessTimings {
@@ -138,6 +144,10 @@ impl HarnessTimings {
             self.cache_misses,
             self.cache_hit_rate(),
         );
+        if self.peak_alloc_bytes > 0 {
+            s.pop(); // strip the closing brace
+            let _ = write!(s, ",\"peak_alloc_bytes\":{}}}", self.peak_alloc_bytes);
+        }
         if !self.summary.is_empty() {
             s.pop(); // strip the closing brace
             let _ = write!(s, ",\"run_summary\":{}}}", self.summary.to_json());
@@ -271,6 +281,7 @@ pub fn run_experiment(
         cache_hits: outcome.cache_hits,
         cache_misses: outcome.cache_misses,
         summary: disq_trace::summary().delta_since(&trace_before),
+        peak_alloc_bytes: 0,
     };
     persist(&timings);
     (outcome.results, timings)
@@ -308,6 +319,7 @@ where
         cache_hits: cache.map_or(0, |c| c.hits()),
         cache_misses: cache.map_or(0, |c| c.misses()),
         summary: disq_trace::summary().delta_since(&trace_before),
+        peak_alloc_bytes: 0,
     };
     persist(&timings);
     (out, timings)
@@ -315,7 +327,7 @@ where
 
 /// Best-effort persistence: unit tests skip it unless `DISQ_HARNESS_JSON`
 /// is set, so test runs never dirty the checked-in benchmark file.
-fn persist(timings: &HarnessTimings) {
+pub(crate) fn persist(timings: &HarnessTimings) {
     if !cfg!(test) || std::env::var("DISQ_HARNESS_JSON").is_ok() {
         if let Err(e) = record(timings) {
             eprintln!(
@@ -341,6 +353,7 @@ mod tests {
             cache_hits: 20,
             cache_misses: 4,
             summary: disq_trace::RunSummary::default(),
+            peak_alloc_bytes: 0,
         }
     }
 

@@ -21,3 +21,4 @@ pub mod budgeting;
 pub mod next_attribute;
 pub mod regression;
 pub mod statistics;
+pub mod stats_engine;

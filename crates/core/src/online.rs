@@ -7,9 +7,31 @@
 //! the estimates and returns the qualifying rows.
 
 use crate::{DisqError, EvaluationPlan};
-use disq_crowd::{filter_spam, CrowdPlatform};
+use disq_crowd::{filter_spam_into, CrowdPlatform};
 use disq_domain::{ObjectId, Query};
 use disq_trace::{Counter, TraceEvent};
+
+/// Reusable working buffers for the per-object estimation kernel.
+///
+/// One scratch serves any number of [`estimate_object_into`] calls; after
+/// the first object has grown the buffers to the plan's batch sizes, the
+/// per-object inner loop performs **zero heap allocations** — the
+/// property that makes the million-object online phase scale linearly
+/// (enforced by the facade test `warm_estimation_allocates_nothing`).
+#[derive(Debug, Default)]
+pub struct EstimateScratch {
+    answers: Vec<f64>,
+    kept: Vec<f64>,
+    medians: Vec<f64>,
+    averages: Vec<f64>,
+}
+
+impl EstimateScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Per-object estimates for every plan target: `estimates[i][t]` is the
 /// estimate of target `t` for `objects[i]`.
@@ -19,10 +41,36 @@ pub fn estimate_objects<P: CrowdPlatform>(
     objects: &[ObjectId],
 ) -> Result<Vec<Vec<f64>>, DisqError> {
     let _span = disq_trace::span!("estimate_objects", "objects={}", objects.len());
+    let mut scratch = EstimateScratch::new();
+    let targets = plan.regressions.len();
     objects
         .iter()
-        .map(|&o| estimate_object(platform, plan, o))
+        .map(|&o| {
+            let mut row = Vec::with_capacity(targets);
+            estimate_object_into(platform, plan, o, &mut scratch, &mut row)?;
+            Ok(row)
+        })
         .collect()
+}
+
+/// Flat variant of [`estimate_objects`]: appends the estimates row-major
+/// to `out` (`out[i * plan.regressions.len() + t]` is target `t` of
+/// `objects[i]`). With a warm `scratch` and pre-reserved `out` the whole
+/// sweep allocates nothing — this is the entry point the scale benchmarks
+/// drive at n = 10⁶.
+pub fn estimate_objects_into<P: CrowdPlatform>(
+    platform: &mut P,
+    plan: &EvaluationPlan,
+    objects: &[ObjectId],
+    scratch: &mut EstimateScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DisqError> {
+    let _span = disq_trace::span!("estimate_objects", "objects={}", objects.len());
+    out.reserve(objects.len() * plan.regressions.len());
+    for &o in objects {
+        estimate_object_into(platform, plan, o, scratch, out)?;
+    }
+    Ok(())
 }
 
 /// Estimates all plan targets for one object.
@@ -31,19 +79,33 @@ pub fn estimate_object<P: CrowdPlatform>(
     plan: &EvaluationPlan,
     object: ObjectId,
 ) -> Result<Vec<f64>, DisqError> {
+    let mut scratch = EstimateScratch::new();
+    let mut out = Vec::with_capacity(plan.regressions.len());
+    estimate_object_into(platform, plan, object, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Estimation kernel: appends `plan.regressions.len()` estimates for
+/// `object` to `out`, reusing `scratch` across calls. Allocation-free
+/// once the scratch buffers are warm and `out` has capacity.
+pub fn estimate_object_into<P: CrowdPlatform>(
+    platform: &mut P,
+    plan: &EvaluationPlan,
+    object: ObjectId,
+    scratch: &mut EstimateScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DisqError> {
     let _span = disq_trace::span!("object", "o={}", object.0);
-    let mut averages = Vec::with_capacity(plan.attributes.len());
+    scratch.averages.clear();
     for p in &plan.attributes {
-        let mut answers = Vec::with_capacity(p.questions as usize);
-        for _ in 0..p.questions {
-            answers.push(platform.ask_value(object, p.attr)?);
-        }
-        let kept = filter_spam(&answers);
+        scratch.answers.clear();
+        platform.ask_values(object, p.attr, p.questions as usize, &mut scratch.answers)?;
+        filter_spam_into(&scratch.answers, &mut scratch.medians, &mut scratch.kept);
         disq_trace::count_n(
             Counter::SpamAnswersDropped,
-            (answers.len() - kept.len()) as u64,
+            (scratch.answers.len() - scratch.kept.len()) as u64,
         );
-        let used = if kept.is_empty() {
+        let used = if scratch.kept.is_empty() {
             // The filter rejected every answer; fall back to the raw set
             // rather than dividing by zero. This used to happen silently
             // — now each occurrence is counted and traceable.
@@ -51,17 +113,20 @@ pub fn estimate_object<P: CrowdPlatform>(
             disq_trace::emit(|| TraceEvent::SpamFallback {
                 object: object.0 as u64,
                 attr: p.attr.0 as u32,
-                answers: answers.len() as u32,
+                answers: scratch.answers.len() as u32,
             });
-            &answers
+            &scratch.answers
         } else {
-            &kept
+            &scratch.kept
         };
-        averages.push(used.iter().sum::<f64>() / used.len() as f64);
+        scratch
+            .averages
+            .push(used.iter().sum::<f64>() / used.len() as f64);
     }
-    Ok((0..plan.regressions.len())
-        .map(|t| plan.predict(t, &averages))
-        .collect())
+    for t in 0..plan.regressions.len() {
+        out.push(plan.predict(t, &scratch.averages));
+    }
+    Ok(())
 }
 
 /// A row of a query result: the object and its estimated values for the
@@ -95,39 +160,43 @@ pub fn evaluate_query<P: CrowdPlatform>(
     objects: &[ObjectId],
 ) -> Result<QueryResult, DisqError> {
     let _span = disq_trace::span!("evaluate_query", "objects={}", objects.len());
-    // Map each query attribute to its regression index.
-    let needed = query.attributes();
-    let mut reg_idx = Vec::with_capacity(needed.len());
-    for &a in &needed {
-        let idx = plan
-            .regressions
+    // Resolve every query attribute to its regression index *before* the
+    // object loop — the loop then indexes directly instead of running a
+    // linear attribute search per predicate per object.
+    let resolve = |a| {
+        plan.regressions
             .iter()
             .position(|r| r.target == a)
             .ok_or_else(|| {
                 DisqError::Config(format!("plan has no regression for query attribute {a}"))
-            })?;
-        reg_idx.push((a, idx));
-    }
-    let lookup = |attr, estimates: &Vec<f64>| -> f64 {
-        let (_, idx) = reg_idx.iter().find(|(a, _)| *a == attr).unwrap();
-        estimates[*idx]
+            })
     };
+    let pred_idx: Vec<usize> = query
+        .predicates
+        .iter()
+        .map(|p| resolve(p.attr))
+        .collect::<Result<_, _>>()?;
+    let select_idx: Vec<usize> = query
+        .select
+        .iter()
+        .map(|&a| resolve(a))
+        .collect::<Result<_, _>>()?;
 
     let mut rows = Vec::new();
+    let mut scratch = EstimateScratch::new();
+    let mut estimates = Vec::with_capacity(plan.regressions.len());
     for &o in objects {
-        let estimates = estimate_object(platform, plan, o)?;
+        estimates.clear();
+        estimate_object_into(platform, plan, o, &mut scratch, &mut estimates)?;
         let passes = query
             .predicates
             .iter()
-            .all(|p| p.matches(lookup(p.attr, &estimates)));
+            .zip(&pred_idx)
+            .all(|(p, &i)| p.matches(estimates[i]));
         if passes {
             rows.push(ResultRow {
                 object: o,
-                values: query
-                    .select
-                    .iter()
-                    .map(|&a| lookup(a, &estimates))
-                    .collect(),
+                values: select_idx.iter().map(|&i| estimates[i]).collect(),
             });
         }
     }
@@ -241,6 +310,41 @@ mod tests {
         // stream differs from upstream); anything well above chance with
         // sd-√30 answers demonstrates the selection logic works.
         assert!(precision > 0.70, "precision {precision}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_per_object_calls() {
+        // One warm scratch across many objects must produce the same
+        // estimates as a fresh scratch per object (identically-seeded
+        // crowds): buffer reuse is invisible.
+        let spec = Arc::new(pictures::spec());
+        let plan = direct_bmi_plan(&spec);
+        let objects: Vec<ObjectId> = (0..30).map(ObjectId).collect();
+        let mut warm_crowd = crowd();
+        let mut fresh_crowd = crowd();
+        let mut scratch = EstimateScratch::new();
+        for &o in &objects {
+            let mut warm = Vec::new();
+            estimate_object_into(&mut warm_crowd, &plan, o, &mut scratch, &mut warm).unwrap();
+            let fresh = estimate_object(&mut fresh_crowd, &plan, o).unwrap();
+            assert_eq!(warm, fresh, "object {}", o.0);
+        }
+    }
+
+    #[test]
+    fn flat_estimates_match_nested() {
+        let spec = Arc::new(pictures::spec());
+        let plan = direct_bmi_plan(&spec);
+        let objects: Vec<ObjectId> = (0..20).map(ObjectId).collect();
+        let nested = estimate_objects(&mut crowd(), &plan, &objects).unwrap();
+        let mut scratch = EstimateScratch::new();
+        let mut flat = Vec::new();
+        estimate_objects_into(&mut crowd(), &plan, &objects, &mut scratch, &mut flat).unwrap();
+        let stride = plan.regressions.len();
+        assert_eq!(flat.len(), objects.len() * stride);
+        for (i, row) in nested.iter().enumerate() {
+            assert_eq!(&flat[i * stride..(i + 1) * stride], &row[..]);
+        }
     }
 
     #[test]

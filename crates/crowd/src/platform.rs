@@ -82,6 +82,27 @@ pub trait CrowdPlatform {
     /// value price depending on the attribute kind.
     fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError>;
 
+    /// Asks `k` workers for the value of `o.a`, appending each answer to
+    /// `out` as it arrives. Behaviourally identical to `k` calls to
+    /// [`ask_value`](Self::ask_value) — same answers, same ledger
+    /// charges, same RNG stream — but implementations may hoist
+    /// per-question lookups out of the loop. On budget exhaustion the
+    /// answers collected so far stay in `out` and the error is returned,
+    /// exactly as a caller-side loop would observe.
+    fn ask_values(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CrowdError> {
+        out.reserve(k);
+        for _ in 0..k {
+            out.push(self.ask_value(o, a)?);
+        }
+        Ok(())
+    }
+
     /// Asks one worker to dismantle attribute `a`; returns the raw answer
     /// text (canonical name, synonym, or junk).
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError>;
@@ -178,6 +199,53 @@ impl CrowdPlatform for SimulatedCrowd {
                 }
             })
         })
+    }
+
+    /// Batched value questions: the price, attribute spec, and ground
+    /// truth are resolved once for the whole batch (one column lookup
+    /// instead of `k`), but every answer still charges the ledger and
+    /// draws from the RNG in exactly the order `k` separate
+    /// [`ask_value`](CrowdPlatform::ask_value) calls would — the answer
+    /// stream is bit-identical (`batched_ask_matches_looped_ask`).
+    fn ask_values(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CrowdError> {
+        let (qk, price) = self.value_kind(a);
+        let spec = self.population.spec().attr(a);
+        let (kind, mean, sd, worker_sd) = (spec.kind, spec.mean, spec.sd, spec.worker_sd);
+        let truth = self.population.value(o, a);
+        let spam_rate = self.config.spam_rate;
+        out.reserve(k);
+        for _ in 0..k {
+            let v = disq_trace::time(Timer::CrowdQuestion, || {
+                self.ledger.charge(qk, price)?;
+                let spamming = spam_rate > 0.0 && self.rng.random::<f64>() < spam_rate;
+                Ok(match kind {
+                    AttributeKind::Boolean => {
+                        let p = if spamming { 0.5 } else { truth.clamp(0.0, 1.0) };
+                        if self.rng.random::<f64>() < p {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    AttributeKind::Numeric => {
+                        if spamming {
+                            let span = (4.0 * sd).max(1.0);
+                            mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
+                        } else {
+                            truth + worker_sd * standard_normal(&mut self.rng)
+                        }
+                    }
+                })
+            })?;
+            out.push(v);
+        }
+        Ok(())
     }
 
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
@@ -448,6 +516,86 @@ mod tests {
             xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
         };
         assert!(spread(spammy) > spread(clean) * 1.5);
+    }
+
+    /// `ask_values` must be indistinguishable from `k` `ask_value` calls
+    /// on an identically-seeded crowd: same answers bit-for-bit, same
+    /// ledger state, same RNG stream afterwards.
+    fn assert_batched_matches_looped(cfg: CrowdConfig, attr_name: &str) {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 100, &mut rng).unwrap();
+        let attr = spec.id_of(attr_name).unwrap();
+        let mut batched = SimulatedCrowd::new(pop.clone(), cfg.clone(), None, 11);
+        let mut looped = SimulatedCrowd::new(pop, cfg, None, 11);
+        let mut got = Vec::new();
+        for round in 0..6 {
+            let o = ObjectId(round % 5);
+            let k = [0, 1, 2, 7][round % 4];
+            got.clear();
+            batched.ask_values(o, attr, k, &mut got).unwrap();
+            let want: Vec<f64> = (0..k).map(|_| looped.ask_value(o, attr).unwrap()).collect();
+            assert_eq!(got, want, "round {round} (k={k})");
+        }
+        assert_eq!(batched.ledger().spent(), looped.ledger().spent());
+        assert_eq!(
+            batched.ledger().total_questions(),
+            looped.ledger().total_questions()
+        );
+        // The RNG streams stay aligned: a single follow-up question agrees.
+        let bmi = spec.id_of("Bmi").unwrap();
+        assert_eq!(
+            batched.ask_value(ObjectId(9), bmi).unwrap(),
+            looped.ask_value(ObjectId(9), bmi).unwrap()
+        );
+    }
+
+    #[test]
+    fn batched_ask_matches_looped_ask_numeric() {
+        assert_batched_matches_looped(CrowdConfig::default(), "Bmi");
+    }
+
+    #[test]
+    fn batched_ask_matches_looped_ask_boolean() {
+        assert_batched_matches_looped(CrowdConfig::default(), "Heavy");
+    }
+
+    #[test]
+    fn batched_ask_matches_looped_ask_with_spam() {
+        let cfg = CrowdConfig {
+            spam_rate: 0.3,
+            ..Default::default()
+        };
+        assert_batched_matches_looped(cfg.clone(), "Height");
+        assert_batched_matches_looped(cfg, "Heavy");
+    }
+
+    #[test]
+    fn batched_ask_keeps_partial_answers_on_budget_exhaustion() {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 50, &mut rng).unwrap();
+        let bmi = spec.id_of("Bmi").unwrap();
+        // Numeric values cost 0.4¢: a 1.2¢ cap affords exactly 3 of 5.
+        let cap = Some(Money::from_cents(1.2));
+        let mut batched = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), cap, 3);
+        let mut looped = SimulatedCrowd::new(pop, CrowdConfig::default(), cap, 3);
+        let mut got = Vec::new();
+        let err = batched
+            .ask_values(ObjectId(0), bmi, 5, &mut got)
+            .unwrap_err();
+        assert!(matches!(err, CrowdError::BudgetExhausted { .. }));
+        let mut want = Vec::new();
+        let want_err = loop {
+            match looped.ask_value(ObjectId(0), bmi) {
+                Ok(v) => want.push(v),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 3);
+        assert!(matches!(want_err, CrowdError::BudgetExhausted { .. }));
+        assert_eq!(batched.ledger().spent(), looped.ledger().spent());
     }
 
     #[test]

@@ -86,6 +86,28 @@ impl<P: CrowdPlatform> CrowdPlatform for RecordingCrowd<P> {
         Ok(v)
     }
 
+    fn ask_values(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CrowdError> {
+        let start = out.len();
+        let res = self.inner.ask_values(o, a, k, out);
+        // Log whatever the inner platform produced — on mid-batch budget
+        // exhaustion a caller-side ask_value loop would have recorded the
+        // partial answers too.
+        if out.len() > start {
+            self.log
+                .values
+                .entry(Key::Value(o, a))
+                .or_default()
+                .extend_from_slice(&out[start..]);
+        }
+        res
+    }
+
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
         let v = self.inner.ask_dismantle(a)?;
         self.log
@@ -183,6 +205,34 @@ impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
             }
         }
         Ok(note_fell_through(live))
+    }
+
+    fn ask_values(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CrowdError> {
+        // Burn live answers (and charges) for the whole batch first, then
+        // override each produced answer from the log cursor — the same
+        // answer-for-answer substitution `k` ask_value calls perform.
+        let start = out.len();
+        let res = self.inner.ask_values(o, a, k, out);
+        let key = Key::Value(o, a);
+        let cursor = self.cursors_v.entry(key.clone()).or_insert(0);
+        let answers = self.log.values.get(&key);
+        for slot in &mut out[start..] {
+            if let Some(answers) = answers {
+                if *cursor < answers.len() {
+                    *slot = note_replayed(answers[*cursor]);
+                    *cursor += 1;
+                    continue;
+                }
+            }
+            *slot = note_fell_through(*slot);
+        }
+        res
     }
 
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
@@ -379,5 +429,83 @@ mod tests {
     #[test]
     fn empty_log_reports_empty() {
         assert!(AnswerLog::new().is_empty());
+    }
+
+    #[test]
+    fn batched_recording_matches_looped_recording() {
+        let bmi = AttributeId(0);
+        let mut batched = RecordingCrowd::new(crowd(1));
+        let mut out = Vec::new();
+        batched.ask_values(ObjectId(0), bmi, 4, &mut out).unwrap();
+        let mut looped = RecordingCrowd::new(crowd(1));
+        let singles: Vec<f64> = (0..4)
+            .map(|_| looped.ask_value(ObjectId(0), bmi).unwrap())
+            .collect();
+        assert_eq!(out, singles);
+        let (log_b, _) = batched.into_parts();
+        let (log_l, _) = looped.into_parts();
+        assert_eq!(log_b.len(), log_l.len());
+        assert_eq!(
+            log_b.values.get(&Key::Value(ObjectId(0), bmi)),
+            log_l.values.get(&Key::Value(ObjectId(0), bmi))
+        );
+    }
+
+    #[test]
+    fn batched_replay_reproduces_recorded_answers() {
+        let bmi = AttributeId(0);
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let mut recorded = Vec::new();
+        rec.ask_values(ObjectId(0), bmi, 5, &mut recorded).unwrap();
+        let (log, _) = rec.into_parts();
+
+        // Batched replay against a different-seed live crowd: logged
+        // answers win, then fall through — exactly like singles.
+        let mut rep = ReplayingCrowd::new(log, crowd(999));
+        let mut got = Vec::new();
+        rep.ask_values(ObjectId(0), bmi, 7, &mut got).unwrap();
+        assert_eq!(&got[..5], &recorded[..]);
+        assert_eq!(rep.replayed(), 5);
+        // Every question (replayed or live) was charged.
+        assert_eq!(rep.ledger().total_questions(), 7);
+    }
+
+    #[test]
+    fn batched_and_single_replay_share_one_cursor() {
+        let bmi = AttributeId(0);
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let mut recorded = Vec::new();
+        rec.ask_values(ObjectId(0), bmi, 4, &mut recorded).unwrap();
+        let (log, _) = rec.into_parts();
+        let mut rep = ReplayingCrowd::new(log, crowd(999));
+        // Interleave a single ask with a batch: the cursor is shared so
+        // the combined stream replays the log in order.
+        let first = rep.ask_value(ObjectId(0), bmi).unwrap();
+        let mut rest = Vec::new();
+        rep.ask_values(ObjectId(0), bmi, 3, &mut rest).unwrap();
+        let mut combined = vec![first];
+        combined.extend_from_slice(&rest);
+        assert_eq!(combined, recorded);
+        assert_eq!(rep.replayed(), 4);
+    }
+
+    #[test]
+    fn batched_recording_keeps_partial_answers_on_budget_exhaustion() {
+        use crate::Money;
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(spec, 50, &mut rng).unwrap();
+        // Numeric questions cost 0.4¢: a 0.8¢ cap affords exactly 2 of 4.
+        let capped =
+            SimulatedCrowd::new(pop, CrowdConfig::default(), Some(Money::from_cents(0.8)), 7);
+        let mut rec = RecordingCrowd::new(capped);
+        let bmi = AttributeId(0);
+        let mut out = Vec::new();
+        let err = rec.ask_values(ObjectId(0), bmi, 4, &mut out).unwrap_err();
+        assert!(matches!(err, CrowdError::BudgetExhausted { .. }));
+        assert_eq!(out.len(), 2);
+        // The two successful answers were still logged, as a caller-side
+        // ask_value loop would have produced.
+        assert_eq!(rec.log().len(), 2);
     }
 }

@@ -10,35 +10,53 @@
 /// Removes outlier answers: keeps values within `k = 3.5` scaled MADs of
 /// the median. Returns the surviving answers in their original order.
 pub fn filter_spam(answers: &[f64]) -> Vec<f64> {
+    let mut scratch = Vec::new();
+    let mut kept = Vec::new();
+    filter_spam_into(answers, &mut scratch, &mut kept);
+    kept
+}
+
+/// Allocation-free [`filter_spam`]: survivors replace the contents of
+/// `kept` (original order), `scratch` is working space for the median
+/// computations. Once both buffers have grown to the batch size the call
+/// performs no heap allocation — this is the online estimation kernel's
+/// steady-state path.
+pub fn filter_spam_into(answers: &[f64], scratch: &mut Vec<f64>, kept: &mut Vec<f64>) {
     const K: f64 = 3.5;
     // 1.4826 rescales MAD to estimate a Gaussian sd.
     const MAD_SCALE: f64 = 1.4826;
 
+    kept.clear();
     if answers.len() < 4 {
-        return answers.to_vec();
+        kept.extend_from_slice(answers);
+        return;
     }
-    let med = median(answers);
-    let deviations: Vec<f64> = answers.iter().map(|&x| (x - med).abs()).collect();
-    let mad = median(&deviations) * MAD_SCALE;
+    let med = median_via(answers.iter().copied(), scratch);
+    let mad = median_via(answers.iter().map(|&x| (x - med).abs()), scratch) * MAD_SCALE;
     if mad <= 0.0 {
         // Majority answered identically; drop everything that differs.
-        return answers.iter().copied().filter(|&x| x == med).collect();
+        kept.extend(answers.iter().copied().filter(|&x| x == med));
+        return;
     }
-    answers
-        .iter()
-        .copied()
-        .filter(|&x| (x - med).abs() <= K * mad)
-        .collect()
+    kept.extend(
+        answers
+            .iter()
+            .copied()
+            .filter(|&x| (x - med).abs() <= K * mad),
+    );
 }
 
-fn median(xs: &[f64]) -> f64 {
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = sorted.len();
+/// Median of `xs`, sorted inside the reusable `scratch` buffer.
+fn median_via(xs: impl Iterator<Item = f64>, scratch: &mut Vec<f64>) -> f64 {
+    scratch.clear();
+    scratch.extend(xs);
+    // Unstable: in-place, no merge buffer (the stable sort allocates).
+    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = scratch.len();
     if n % 2 == 1 {
-        sorted[n / 2]
+        scratch[n / 2]
     } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        0.5 * (scratch[n / 2 - 1] + scratch[n / 2])
     }
 }
 

@@ -4,11 +4,49 @@
 //! drawing true attribute values from the spec's calibrated multivariate
 //! Gaussian. Boolean attributes are clamped into `\[0, 1\]` after sampling
 //! (the paper models booleans as numerics on that range).
+//!
+//! # Storage layout
+//!
+//! Values are held column-major (structure-of-arrays): one contiguous
+//! `Vec<f64>` per attribute, all behind a single [`Arc`]. Every
+//! population-scale statistic (variance, covariance, sharpening,
+//! empirical calibration) scans whole attribute columns, so the SoA
+//! layout turns those scans into linear walks over contiguous memory
+//! instead of strided gathers across row vectors — and [`Population::column`]
+//! becomes a zero-copy borrow. Row-shaped construction
+//! ([`Population::from_values`]) and point access ([`Population::value`])
+//! are kept as shims over the column store.
+//!
+//! # Chunked sampling
+//!
+//! [`Population::sample`] materializes objects in fixed-size chunks
+//! ([`SAMPLE_CHUNK`]) via [`Population::sample_chunked`]: each object is
+//! drawn into a small reusable row buffer and scattered into the columns,
+//! so a 10⁶–10⁷-object world never builds an intermediate row table. The
+//! RNG is consumed strictly per object in sequence, which makes the chunk
+//! size unobservable: `sample_chunked` is bit-identical to `sample` for
+//! *every* chunk size. To start sampling at object `k` (e.g. to fill one
+//! chunk of a larger world elsewhere), advance the RNG over the first `k`
+//! objects with [`fast_forward_sampling`]; the polar-method normal
+//! sampler consumes a data-dependent number of uniforms per variate, so
+//! the fast-forward replays draws rather than jumping the stream.
 
 use crate::{AttributeId, AttributeKind, DomainError, DomainSpec, ObjectId};
 use disq_math::MultivariateNormal;
 use rand::Rng;
 use std::sync::Arc;
+
+/// Default number of objects materialized per chunk by
+/// [`Population::sample`]. Large enough to amortize the scatter loop,
+/// small enough that the in-flight chunk state stays cache-resident.
+pub const SAMPLE_CHUNK: usize = 4096;
+
+/// Column-major value storage: `columns[attribute][object]`.
+#[derive(Debug)]
+struct ColumnStore {
+    n_objects: usize,
+    columns: Vec<Vec<f64>>,
+}
 
 /// A set of objects with ground-truth values for every domain attribute.
 ///
@@ -18,8 +56,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct Population {
     spec: Arc<DomainSpec>,
-    /// `values[object][attribute]`.
-    values: Arc<Vec<Vec<f64>>>,
+    values: Arc<ColumnStore>,
 }
 
 impl Population {
@@ -37,29 +74,55 @@ impl Population {
         n: usize,
         rng: &mut R,
     ) -> Result<Self, DomainError> {
+        Population::sample_chunked(spec, n, SAMPLE_CHUNK, rng)
+    }
+
+    /// Samples `n` objects in chunks of `chunk_size`, producing a
+    /// population bit-identical to [`Population::sample`] for every
+    /// chunk size (the RNG is consumed strictly per object, so chunking
+    /// only changes write buffering, never the value stream). A
+    /// `chunk_size` of zero is treated as one.
+    pub fn sample_chunked<R: Rng + ?Sized>(
+        spec: Arc<DomainSpec>,
+        n: usize,
+        chunk_size: usize,
+        rng: &mut R,
+    ) -> Result<Self, DomainError> {
+        let chunk_size = chunk_size.max(1);
         let mvn = MultivariateNormal::new(spec.means(), &spec.covariance_matrix())?;
-        let mut values: Vec<Vec<f64>> = (0..n)
-            .map(|_| {
-                let mut v = mvn.sample(rng);
-                for (i, val) in v.iter_mut().enumerate() {
+        let n_attrs = spec.n_attrs();
+        let mut columns: Vec<Vec<f64>> = (0..n_attrs).map(|_| Vec::with_capacity(n)).collect();
+        let mut z = vec![0.0; n_attrs];
+        let mut row = vec![0.0; n_attrs];
+        let mut done = 0;
+        while done < n {
+            let count = chunk_size.min(n - done);
+            for _ in 0..count {
+                mvn.sample_into(rng, &mut z, &mut row);
+                for (i, (&val, col)) in row.iter().zip(&mut columns).enumerate() {
                     if spec.attr(AttributeId(i)).kind == AttributeKind::Boolean {
-                        *val = val.clamp(0.0, 1.0);
+                        col.push(val.clamp(0.0, 1.0));
+                    } else {
+                        col.push(val);
                     }
                 }
-                v
-            })
-            .collect();
+            }
+            done += count;
+        }
         if n >= 8 {
             for a in spec.attribute_ids() {
                 let s = spec.attr(a);
                 if s.kind == AttributeKind::Boolean {
-                    sharpen_boolean_column(&mut values, a.index(), s.worker_sd * s.worker_sd);
+                    sharpen_boolean_column(&mut columns[a.index()], s.worker_sd * s.worker_sd);
                 }
             }
         }
         Ok(Population {
             spec,
-            values: Arc::new(values),
+            values: Arc::new(ColumnStore {
+                n_objects: n,
+                columns,
+            }),
         })
     }
 
@@ -67,18 +130,29 @@ impl Population {
     /// replaying recorded data). Each row must have one value per domain
     /// attribute.
     pub fn from_values(spec: Arc<DomainSpec>, values: Vec<Vec<f64>>) -> Result<Self, DomainError> {
+        let n_attrs = spec.n_attrs();
         for row in &values {
-            if row.len() != spec.n_attrs() {
+            if row.len() != n_attrs {
                 return Err(DomainError::BadAttributeSpec(format!(
                     "row has {} values, domain has {} attributes",
                     row.len(),
-                    spec.n_attrs()
+                    n_attrs
                 )));
+            }
+        }
+        let n = values.len();
+        let mut columns: Vec<Vec<f64>> = (0..n_attrs).map(|_| Vec::with_capacity(n)).collect();
+        for row in &values {
+            for (&val, col) in row.iter().zip(&mut columns) {
+                col.push(val);
             }
         }
         Ok(Population {
             spec,
-            values: Arc::new(values),
+            values: Arc::new(ColumnStore {
+                n_objects: n,
+                columns,
+            }),
         })
     }
 
@@ -94,7 +168,7 @@ impl Population {
 
     /// Number of objects.
     pub fn n_objects(&self) -> usize {
-        self.values.len()
+        self.values.n_objects
     }
 
     /// Ground-truth value of one attribute of one object.
@@ -102,17 +176,18 @@ impl Population {
     /// # Panics
     /// Panics on out-of-range ids.
     pub fn value(&self, o: ObjectId, a: AttributeId) -> f64 {
-        self.values[o.index()][a.index()]
+        self.values.columns[a.index()][o.index()]
     }
 
-    /// All objects' true values for one attribute.
-    pub fn column(&self, a: AttributeId) -> Vec<f64> {
-        self.values.iter().map(|row| row[a.index()]).collect()
+    /// All objects' true values for one attribute, as a zero-copy borrow
+    /// of the contiguous column.
+    pub fn column(&self, a: AttributeId) -> &[f64] {
+        &self.values.columns[a.index()]
     }
 
     /// Empirical variance of one attribute over this population.
     pub fn empirical_variance(&self, a: AttributeId) -> f64 {
-        disq_stats_variance(&self.column(a))
+        disq_stats_variance(self.column(a))
     }
 
     /// Iterates object ids.
@@ -121,24 +196,41 @@ impl Population {
     }
 }
 
+/// Advances `rng` exactly as sampling `objects` objects of `spec` would
+/// (see [`Population::sample`]), without materializing anything. This is
+/// the per-chunk fast-forward: sampling a world's objects `k..n` equals
+/// fast-forwarding over `k` objects and sampling `n − k`, value for
+/// value, for the pre-sharpening stream (boolean sharpening is a
+/// whole-column pass over the assembled world and is applied after all
+/// chunks are in place).
+pub fn fast_forward_sampling<R: Rng + ?Sized>(
+    spec: &DomainSpec,
+    objects: usize,
+    rng: &mut R,
+) -> Result<(), DomainError> {
+    let mvn = MultivariateNormal::new(spec.means(), &spec.covariance_matrix())?;
+    mvn.fast_forward(rng, objects);
+    Ok(())
+}
+
 /// Mixes each propensity toward a hard 0/1 threshold (at the value that
 /// preserves the column mean) until `mean(q(1−q))` matches `target_sc`.
 /// The mix weight is found by bisection; columns already at or below the
 /// target are left untouched.
-fn sharpen_boolean_column(values: &mut [Vec<f64>], col: usize, target_sc: f64) {
-    let n = values.len();
-    let qs: Vec<f64> = values.iter().map(|row| row[col]).collect();
-    let mean_q = qs.iter().sum::<f64>() / n as f64;
+fn sharpen_boolean_column(column: &mut [f64], target_sc: f64) {
+    let n = column.len();
+    let mean_q = column.iter().sum::<f64>() / n as f64;
     // Threshold at the (1 − mean)-quantile keeps the fraction of "hard
     // yes" objects equal to the mean propensity.
-    let mut sorted = qs.clone();
+    let mut sorted = column.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let idx = (((1.0 - mean_q) * n as f64) as usize).min(n - 1);
     let threshold = sorted[idx];
-    let hard: Vec<f64> = qs.iter().map(|&q| f64::from(q >= threshold)).collect();
+    let hard: Vec<f64> = column.iter().map(|&q| f64::from(q >= threshold)).collect();
 
     let sc_at = |lambda: f64| -> f64 {
-        qs.iter()
+        column
+            .iter()
             .zip(&hard)
             .map(|(&q, &h)| {
                 let m = (1.0 - lambda) * q + lambda * h;
@@ -160,8 +252,8 @@ fn sharpen_boolean_column(values: &mut [Vec<f64>], col: usize, target_sc: f64) {
         }
     }
     let lambda = 0.5 * (lo + hi);
-    for (row, &h) in values.iter_mut().zip(&hard) {
-        row[col] = (1.0 - lambda) * row[col] + lambda * h;
+    for (q, &h) in column.iter_mut().zip(&hard) {
+        *q = (1.0 - lambda) * *q + lambda * h;
     }
 }
 
@@ -195,6 +287,17 @@ mod tests {
         )
     }
 
+    fn numeric_spec() -> Arc<DomainSpec> {
+        Arc::new(
+            DomainSpecBuilder::new("numeric")
+                .attribute(AttributeSpec::numeric("X", 10.0, 2.0, 0.5))
+                .attribute(AttributeSpec::numeric("Y", -5.0, 1.0, 0.5))
+                .correlation("X", "Y", 0.8)
+                .build()
+                .unwrap(),
+        )
+    }
+
     #[test]
     fn sample_matches_spec_moments() {
         let mut rng = StdRng::seed_from_u64(1);
@@ -217,7 +320,7 @@ mod tests {
         let my = ys.iter().sum::<f64>() / ys.len() as f64;
         let cov: f64 = xs
             .iter()
-            .zip(&ys)
+            .zip(ys)
             .map(|(&x, &y)| (x - mx) * (y - my))
             .sum::<f64>()
             / xs.len() as f64;
@@ -231,7 +334,7 @@ mod tests {
     fn boolean_values_clamped() {
         let mut rng = StdRng::seed_from_u64(3);
         let pop = Population::sample(spec(), 5_000, &mut rng).unwrap();
-        for &v in &pop.column(AttributeId(2)) {
+        for &v in pop.column(AttributeId(2)) {
             assert!((0.0..=1.0).contains(&v));
         }
     }
@@ -267,5 +370,50 @@ mod tests {
         let pop = Population::sample(spec(), 0, &mut rng).unwrap();
         assert_eq!(pop.n_objects(), 0);
         assert_eq!(pop.empirical_variance(AttributeId(0)), 0.0);
+    }
+
+    #[test]
+    fn sample_chunked_bit_identical_for_all_chunk_sizes() {
+        let s = spec();
+        let n = 100;
+        let mut rng = StdRng::seed_from_u64(77);
+        let serial = Population::sample(Arc::clone(&s), n, &mut rng).unwrap();
+        for chunk in [0usize, 1, 3, 7, 64, 99, 100, 105, 4096] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let chunked = Population::sample_chunked(Arc::clone(&s), n, chunk, &mut rng).unwrap();
+            for a in s.attribute_ids() {
+                assert_eq!(
+                    serial.column(a),
+                    chunked.column(a),
+                    "chunk {chunk}, attr {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_reaches_tail_of_serial_stream() {
+        // Numeric-only spec: no sharpening, so the sampled columns ARE the
+        // raw per-chunk stream. Sampling objects k..n after a fast-forward
+        // over k objects must reproduce the serial tail bit for bit.
+        let s = numeric_spec();
+        let (n, k) = (50usize, 20usize);
+        let mut rng = StdRng::seed_from_u64(5);
+        let full = Population::sample(Arc::clone(&s), n, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        fast_forward_sampling(&s, k, &mut rng).unwrap();
+        let tail = Population::sample(Arc::clone(&s), n - k, &mut rng).unwrap();
+        for a in s.attribute_ids() {
+            assert_eq!(&full.column(a)[k..], tail.column(a), "attr {a:?}");
+        }
+    }
+
+    #[test]
+    fn columns_are_contiguous_per_attribute() {
+        let s = spec();
+        let pop =
+            Population::from_values(s, vec![vec![1.0, 2.0, 0.3], vec![4.0, 5.0, 0.9]]).unwrap();
+        assert_eq!(pop.column(AttributeId(0)), vec![1.0, 4.0]);
+        assert_eq!(pop.column(AttributeId(1)), vec![2.0, 5.0]);
     }
 }

@@ -77,7 +77,7 @@ proptest! {
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let pop = Population::sample(spec, 200, &mut rng).unwrap();
-        for &q in &pop.column(AttributeId(0)) {
+        for &q in pop.column(AttributeId(0)) {
             prop_assert!((0.0..=1.0).contains(&q), "propensity {q}");
         }
     }
@@ -102,6 +102,33 @@ proptest! {
         // Either the raw distribution was already below target, or the
         // sharpening bisection landed on it.
         prop_assert!(mean_sc <= sc + 0.02, "measured S_c {mean_sc} vs target {sc}");
+    }
+
+    #[test]
+    fn sample_chunked_matches_sample_for_any_chunk_size(
+        chunk in 1usize..70,
+        n in 0usize..60,
+        seed in 0u64..200,
+    ) {
+        use rand::SeedableRng;
+        let spec = std::sync::Arc::new(
+            DomainSpecBuilder::new("prop")
+                .attribute(AttributeSpec::numeric("X", 2.0, 1.5, 0.5))
+                .attribute(AttributeSpec::boolean("B", 0.4, 0.3))
+                .correlation("X", "B", -0.3)
+                .build()
+                .unwrap(),
+        );
+        let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+        let serial = Population::sample(std::sync::Arc::clone(&spec), n, &mut a).unwrap();
+        let chunked =
+            Population::sample_chunked(std::sync::Arc::clone(&spec), n, chunk, &mut b).unwrap();
+        for attr in spec.attribute_ids() {
+            prop_assert_eq!(serial.column(attr), chunked.column(attr));
+        }
+        // The RNGs must land on the same stream position too.
+        prop_assert_eq!(rand::RngCore::next_u64(&mut a), rand::RngCore::next_u64(&mut b));
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct HarnessRow {
     pub units_per_sec: f64,
     /// Embedded trace summary, when the row carries one.
     pub summary: Option<RunSummary>,
+    /// Peak live-heap bytes from the allocation watermark, when the row
+    /// was measured with it (the `fig1@n…` scale rows); 0 otherwise.
+    pub peak_alloc_bytes: u64,
 }
 
 /// Parses a `BENCH_harness.json` file into rows keyed by
@@ -69,6 +72,10 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<String, HarnessRow>, String> {
             wall_secs: field("wall_secs")?,
             units_per_sec: field("units_per_sec")?,
             summary,
+            peak_alloc_bytes: row
+                .get("peak_alloc_bytes")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
         };
         rows.insert(key, parsed);
     }
@@ -264,6 +271,23 @@ pub fn compare(
             }
         }
 
+        if same_workload && base.peak_alloc_bytes > 0 && cur.peak_alloc_bytes > 0 {
+            let growth = cur.peak_alloc_bytes as f64 / base.peak_alloc_bytes as f64;
+            if growth > cfg.max_alloc_growth {
+                outcome.regressions.push(Regression {
+                    key: key.clone(),
+                    metric: "peak_alloc_bytes".into(),
+                    baseline: base.peak_alloc_bytes as f64,
+                    current: cur.peak_alloc_bytes as f64,
+                    message: format!(
+                        "{key}: peak heap grew {} -> {} bytes ({growth:.2}x > {:.2}x \
+                         allowed) on an identical workload",
+                        base.peak_alloc_bytes, cur.peak_alloc_bytes, cfg.max_alloc_growth
+                    ),
+                });
+            }
+        }
+
         if cfg.check_counters && same_workload {
             if let (Some(bs), Some(cs)) = (&base.summary, &cur.summary) {
                 for c in DETERMINISTIC_COUNTERS {
@@ -375,6 +399,43 @@ mod tests {
             ..CompareConfig::default()
         };
         assert!(compare(&base, &cur, &lax).passed());
+    }
+
+    #[test]
+    fn peak_alloc_growth_past_threshold_fails() {
+        let with_peak = |peak: u64| {
+            format!(
+                "{{\"experiment\":\"fig1@n100000\",\"threads\":1,\"cells\":1,\"reps\":1,\
+                 \"units\":100000,\"wall_secs\":2.0,\"cells_per_sec\":0.5,\
+                 \"units_per_sec\":50000.0,\"cache_hits\":0,\"cache_misses\":0,\
+                 \"cache_hit_rate\":0.0,\"peak_alloc_bytes\":{peak}}}"
+            )
+        };
+        let base = snapshot(&[with_peak(10_000_000)]);
+        // Within 1.5x: passes.
+        let ok = snapshot(&[with_peak(12_000_000)]);
+        assert!(compare(&base, &ok, &CompareConfig::default()).passed());
+        // 2x peak heap: flagged.
+        let bad = snapshot(&[with_peak(20_000_000)]);
+        let outcome = compare(&base, &bad, &CompareConfig::default());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "peak_alloc_bytes");
+        assert!(outcome.render().contains("peak heap grew"));
+        // Rows without the watermark (no field → 0) are never flagged.
+        let legacy = snapshot(&[
+            "{\"experiment\":\"fig1@n100000\",\"threads\":1,\"cells\":1,\"reps\":1,\
+             \"units\":100000,\"wall_secs\":2.0,\"cells_per_sec\":0.5,\
+             \"units_per_sec\":50000.0,\"cache_hits\":0,\"cache_misses\":0,\
+             \"cache_hit_rate\":0.0}"
+                .to_string(),
+        ]);
+        assert!(compare(&legacy, &bad, &CompareConfig::default()).passed());
+        // Configurable threshold.
+        let lax = CompareConfig {
+            max_alloc_growth: 3.0,
+            ..CompareConfig::default()
+        };
+        assert!(compare(&base, &bad, &lax).passed());
     }
 
     #[test]

@@ -94,18 +94,45 @@ impl MultivariateNormal {
 
     /// Draws one vector sample `μ + L·z` with `z ~ N(0, I)`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        let mut z = vec![0.0; self.dim()];
+        self.sample_into(rng, &mut z, &mut out);
+        out
+    }
+
+    /// Draws one vector sample into `out`, reusing `z` as scratch for the
+    /// standard-normal draws. Produces bit-identical values (and consumes
+    /// the RNG identically) to [`MultivariateNormal::sample`], without
+    /// allocating.
+    ///
+    /// # Panics
+    /// Panics if `z` or `out` is shorter than [`MultivariateNormal::dim`].
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, z: &mut [f64], out: &mut [f64]) {
         let n = self.dim();
-        let z: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
-        let mut out = self.mean.clone();
+        for zi in z[..n].iter_mut() {
+            *zi = standard_normal(rng);
+        }
         for i in 0..n {
             // factor is lower triangular; only sum j <= i.
             let mut acc = 0.0;
             for j in 0..=i {
                 acc += self.factor[(i, j)] * z[j];
             }
-            out[i] += acc;
+            out[i] = self.mean[i] + acc;
         }
-        out
+    }
+
+    /// Advances `rng` exactly as `count` calls to
+    /// [`MultivariateNormal::sample`] would, without computing any
+    /// samples. The polar-method normal sampler consumes a
+    /// data-dependent number of uniforms per variate, so skipping must
+    /// replay the draws; it only skips the O(dim²) triangular multiply.
+    pub fn fast_forward<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) {
+        for _ in 0..count {
+            for _ in 0..self.dim() {
+                standard_normal(rng);
+            }
+        }
     }
 }
 
@@ -199,6 +226,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let s = mvn.sample(&mut rng);
         assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mvn_sample_into_matches_sample_bitwise() {
+        let cov = Matrix::from_rows(&[vec![1.0, 0.6], vec![0.6, 2.0]]);
+        let mvn = MultivariateNormal::new(vec![1.0, -1.0], &cov).unwrap();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut z = vec![0.0; 2];
+        let mut out = vec![0.0; 2];
+        for _ in 0..50 {
+            let expect = mvn.sample(&mut a);
+            mvn.sample_into(&mut b, &mut z, &mut out);
+            assert_eq!(expect, out);
+        }
+    }
+
+    #[test]
+    fn mvn_fast_forward_matches_discarded_samples() {
+        let cov = Matrix::from_rows(&[vec![1.0, 0.6], vec![0.6, 2.0]]);
+        let mvn = MultivariateNormal::new(vec![0.0, 0.0], &cov).unwrap();
+        for skip in [0usize, 1, 7, 33] {
+            let mut a = StdRng::seed_from_u64(13);
+            let mut b = StdRng::seed_from_u64(13);
+            for _ in 0..skip {
+                mvn.sample(&mut a);
+            }
+            mvn.fast_forward(&mut b, skip);
+            // Identical stream position: the next sample matches bitwise.
+            assert_eq!(mvn.sample(&mut a), mvn.sample(&mut b), "skip {skip}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod angular;
+mod comoment;
 mod descriptive;
 mod incremental;
 mod prnew;
@@ -32,6 +33,7 @@ mod trio;
 mod varest;
 
 pub use angular::{compose_angles, correlation_angle, rho_from_angle};
+pub use comoment::{streaming_covariance, streaming_variance, CoMomentMatrix};
 pub use descriptive::{
     correlation, covariance, mean, sample_variance, OnlineCovariance, OnlineMoments,
 };

@@ -28,6 +28,66 @@ proptest! {
     }
 
     #[test]
+    fn comoment_matrix_matches_batch(
+        rows in proptest::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0, -50.0_f64..50.0), 2..60),
+    ) {
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|i| rows.iter().map(|r| [r.0, r.1, r.2][i]).collect())
+            .collect();
+        let mut acc = CoMomentMatrix::new(3);
+        for r in &rows {
+            acc.push(&[r.0, r.1, r.2]);
+        }
+        for i in 0..3 {
+            prop_assert!((acc.mean(i) - mean(&cols[i])).abs() < 1e-8);
+            prop_assert!((acc.variance(i) - sample_variance(&cols[i])).abs() < 1e-6);
+            for j in 0..3 {
+                prop_assert!(
+                    (acc.covariance(i, j) - covariance(&cols[i], &cols[j])).abs() < 1e-6,
+                    "cov({},{}) {} vs {}", i, j, acc.covariance(i, j), covariance(&cols[i], &cols[j])
+                );
+            }
+        }
+        prop_assert!((streaming_covariance(&cols[0], &cols[1]) - covariance(&cols[0], &cols[1])).abs() < 1e-6);
+        prop_assert!((streaming_variance(&cols[2]) - sample_variance(&cols[2])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comoment_merge_of_arbitrary_splits_matches_one_shot(
+        rows in proptest::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 2..60),
+        cuts in proptest::collection::vec(0usize..60, 0..4),
+    ) {
+        let mut whole = CoMomentMatrix::new(2);
+        for r in &rows {
+            whole.push(&[r.0, r.1]);
+        }
+        // Split the rows at arbitrary (sorted, clamped) cut points and
+        // fold the pieces left to right.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c.min(rows.len())).collect();
+        bounds.push(0);
+        bounds.push(rows.len());
+        bounds.sort_unstable();
+        let mut folded = CoMomentMatrix::new(2);
+        for w in bounds.windows(2) {
+            let mut piece = CoMomentMatrix::new(2);
+            for r in &rows[w[0]..w[1]] {
+                piece.push(&[r.0, r.1]);
+            }
+            folded.merge(&piece);
+        }
+        prop_assert_eq!(folded.count(), whole.count());
+        for i in 0..2 {
+            prop_assert!((folded.mean(i) - whole.mean(i)).abs() < 1e-8);
+            for j in 0..2 {
+                prop_assert!(
+                    (folded.covariance(i, j) - whole.covariance(i, j)).abs() < 1e-6,
+                    "cov({},{}) folded {} vs whole {}", i, j, folded.covariance(i, j), whole.covariance(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn correlation_bounded(pairs in proptest::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 2..40)) {
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();

@@ -5,9 +5,13 @@
 //! and, on each successful allocation, bumps two const-initialized
 //! thread-local cells (bytes, calls) plus — only while a sink is
 //! installed — the global [`Counter::AllocBytes`]/[`Counter::Allocs`]
-//! counters. Deallocation is not tracked: spans attribute *allocation
-//! pressure* (what was requested while the span was open), not live heap
-//! size, which is the quantity flamegraph tooling folds.
+//! counters. Deallocation does not affect the span counters: spans
+//! attribute *allocation pressure* (what was requested while the span
+//! was open), not live heap size, which is the quantity flamegraph
+//! tooling folds. Live heap size is available separately through the
+//! gated high-water mark ([`watermark_start`]/[`watermark_stop`]/
+//! [`peak_alloc_bytes`]), which the scale benchmarks enable around a
+//! measured region to report its peak resident-memory delta.
 //!
 //! Install it from a *binary-adjacent* crate root (the `disq` facade and
 //! `disq-bench` both do):
@@ -28,6 +32,66 @@
 //! [`Counter::Allocs`]: crate::Counter::Allocs
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+// Allocation high-water mark, gated so the default per-allocation cost
+// stays one relaxed load. While enabled, live bytes are tracked as a
+// *delta from the enable point* (an `i64`: frees of memory allocated
+// before enabling drive it negative, which is fine — the peak only
+// follows positive excursions). The peak is the maximum delta observed,
+// a process-wide proxy for the extra resident memory a measured region
+// needs — what the scale benchmarks report as `peak_alloc_bytes`.
+static WATERMARK_ON: AtomicBool = AtomicBool::new(false);
+static LIVE_DELTA: AtomicI64 = AtomicI64::new(0);
+static PEAK_DELTA: AtomicU64 = AtomicU64::new(0);
+
+/// Starts (or restarts) high-water-mark tracking: zeroes the live delta
+/// and the peak, then enables dealloc-aware accounting on every
+/// allocator call. Process-global; nesting is not supported.
+pub fn watermark_start() {
+    LIVE_DELTA.store(0, Ordering::Relaxed);
+    PEAK_DELTA.store(0, Ordering::Relaxed);
+    WATERMARK_ON.store(true, Ordering::Release);
+}
+
+/// Stops tracking and returns the peak live-byte delta observed since
+/// [`watermark_start`].
+pub fn watermark_stop() -> u64 {
+    WATERMARK_ON.store(false, Ordering::Release);
+    PEAK_DELTA.load(Ordering::Relaxed)
+}
+
+/// The peak live-byte delta observed so far in the current (or last)
+/// watermark window.
+pub fn peak_alloc_bytes() -> u64 {
+    PEAK_DELTA.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn watermark_grow(bytes: u64) {
+    if !WATERMARK_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    let live = LIVE_DELTA.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    if live <= 0 {
+        return;
+    }
+    let live = live as u64;
+    let mut peak = PEAK_DELTA.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_DELTA.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(current) => peak = current,
+        }
+    }
+}
+
+#[inline]
+fn watermark_shrink(bytes: u64) {
+    if WATERMARK_ON.load(Ordering::Relaxed) {
+        LIVE_DELTA.fetch_sub(bytes as i64, Ordering::Relaxed);
+    }
+}
 
 /// A [`GlobalAlloc`] that counts requested bytes and calls per thread
 /// (and globally while tracing is active) before delegating to
@@ -44,6 +108,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
             crate::span::record_alloc(layout.size() as u64);
+            watermark_grow(layout.size() as u64);
         }
         ptr
     }
@@ -52,12 +117,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let ptr = System.alloc_zeroed(layout);
         if !ptr.is_null() {
             crate::span::record_alloc(layout.size() as u64);
+            watermark_grow(layout.size() as u64);
         }
         ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
+        watermark_shrink(layout.size() as u64);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
@@ -67,6 +134,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
             // size: realloc is how Vec growth reaches the allocator, and
             // ignoring it would hide the dominant allocation pattern.
             crate::span::record_alloc(new_size as u64);
+            watermark_shrink(layout.size() as u64);
+            watermark_grow(new_size as u64);
         }
         new_ptr
     }
@@ -78,9 +147,14 @@ mod tests {
 
     // These tests exercise the wrapper directly (it is NOT the global
     // allocator of this test binary): correctness of delegation plus the
-    // counting side effect on the thread-local cells.
+    // counting side effect on the thread-local cells. The watermark is
+    // process-global state, so every test that drives the wrapper holds
+    // this lock.
+    static WRAPPER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn alloc_roundtrip_counts_bytes_and_calls() {
+        let _g = WRAPPER_LOCK.lock().unwrap();
         let a = CountingAlloc;
         let layout = Layout::from_size_align(64, 8).unwrap();
         let bytes0 = crate::span::thread_alloc_bytes();
@@ -97,6 +171,7 @@ mod tests {
 
     #[test]
     fn alloc_zeroed_zeroes_and_counts() {
+        let _g = WRAPPER_LOCK.lock().unwrap();
         let a = CountingAlloc;
         let layout = Layout::from_size_align(32, 8).unwrap();
         let allocs0 = crate::span::thread_allocs();
@@ -111,8 +186,73 @@ mod tests {
         assert_eq!(crate::span::thread_allocs() - allocs0, 1);
     }
 
+    // Watermark tests drive the wrapper directly so they are
+    // deterministic regardless of what the test binary's real global
+    // allocator does. The watermark state is process-global, so the
+    // scenarios run inside one test body.
+    #[test]
+    fn watermark_tracks_peak_live_bytes() {
+        let _g = WRAPPER_LOCK.lock().unwrap();
+        let a = CountingAlloc;
+        let l64 = Layout::from_size_align(64, 8).unwrap();
+        let l32 = Layout::from_size_align(32, 8).unwrap();
+
+        // Disabled: allocator calls leave the watermark untouched.
+        assert!(!WATERMARK_ON.load(Ordering::Relaxed));
+        unsafe {
+            let p = a.alloc(l64);
+            a.dealloc(p, l64);
+        }
+        // Peak is whatever the last window left; start() resets it.
+        watermark_start();
+        assert_eq!(peak_alloc_bytes(), 0);
+
+        unsafe {
+            // +64 → peak 64; +32 → peak 96; free 64 → live 32;
+            // +64 → live 96 (ties peak, no raise needed).
+            let p = a.alloc(l64);
+            let q = a.alloc(l32);
+            assert_eq!(peak_alloc_bytes(), 96);
+            a.dealloc(p, l64);
+            let r = a.alloc(l64);
+            assert_eq!(peak_alloc_bytes(), 96);
+            a.dealloc(q, l32);
+            a.dealloc(r, l64);
+        }
+        assert_eq!(watermark_stop(), 96);
+        assert!(!WATERMARK_ON.load(Ordering::Relaxed));
+
+        // Restarting resets the peak; realloc counts the size delta.
+        watermark_start();
+        unsafe {
+            let p = a.alloc(l32);
+            let q = a.realloc(p, l32, 48);
+            assert_eq!(peak_alloc_bytes(), 48);
+            a.dealloc(q, Layout::from_size_align(48, 8).unwrap());
+        }
+        assert_eq!(watermark_stop(), 48);
+
+        // Frees of pre-window memory drive the delta negative without
+        // corrupting the peak of later positive excursions.
+        let pre = unsafe { a.alloc(l64) };
+        watermark_start();
+        unsafe {
+            a.dealloc(pre, l64); // live −64
+            let p = a.alloc(l32); // live −32: still no positive peak
+            assert_eq!(peak_alloc_bytes(), 0);
+            let q = a.alloc(l64);
+            let r = a.alloc(l64); // live +96
+            assert_eq!(peak_alloc_bytes(), 96);
+            a.dealloc(p, l32);
+            a.dealloc(q, l64);
+            a.dealloc(r, l64);
+        }
+        assert_eq!(watermark_stop(), 96);
+    }
+
     #[test]
     fn realloc_counts_new_size() {
+        let _g = WRAPPER_LOCK.lock().unwrap();
         let a = CountingAlloc;
         let layout = Layout::from_size_align(16, 8).unwrap();
         let bytes0 = crate::span::thread_alloc_bytes();

@@ -57,7 +57,7 @@ pub mod serve;
 mod sink;
 pub mod span;
 
-pub use alloc::CountingAlloc;
+pub use alloc::{peak_alloc_bytes, watermark_start, watermark_stop, CountingAlloc};
 pub use event::{CandidateScore, KindSpend, TraceEvent};
 pub use expo::prometheus_text;
 pub use metrics::{
@@ -67,7 +67,7 @@ pub use metrics::{
 pub use reader::{SkippedLine, TraceReader, MAX_SKIP_DETAILS};
 pub use serve::{MetricsServer, METRICS_ENV_VAR};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink, MEMORY_SINK_DEFAULT_CAP};
-pub use span::SpanGuard;
+pub use span::{thread_alloc_bytes, thread_allocs, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Once, RwLock};

@@ -1,0 +1,97 @@
+//! Cross-engine equivalence: the streaming co-moment statistics must be
+//! a pure performance optimization. The trio entries computed by the
+//! batch and streaming engines differ only in final-ulp rounding, and
+//! every downstream decision (dismantle choices, SPRT verdicts, greedy
+//! budget grants) integerizes those scores — so the plan, the
+//! allocation, the money spent, and the online estimates must be
+//! identical whichever engine built the statistics. This is the
+//! SoA/streaming analogue of `solver_engines.rs`, and it is what
+//! enforces "experiment tables byte-identical before/after".
+
+use disq::core::components::stats_engine::{with_stats_engine, StatsEngine};
+use disq::core::{online, preprocess, DisqConfig, PreprocessOutput};
+use disq::crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq::domain::domains::{pictures, recipes};
+use disq::domain::{DomainSpec, ObjectId, Population};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn run(
+    spec: &Arc<DomainSpec>,
+    target: &str,
+    seed: u64,
+    engine: StatsEngine,
+) -> (PreprocessOutput, Vec<Vec<f64>>) {
+    let id = spec.id_of(target).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::sample(Arc::clone(spec), 2_000, &mut rng).unwrap();
+    let mut crowd = SimulatedCrowd::new(
+        pop.clone(),
+        CrowdConfig::default(),
+        Some(Money::from_dollars(25.0)),
+        seed,
+    );
+    with_stats_engine(engine, || {
+        let out = preprocess(
+            &mut crowd,
+            spec,
+            &[id],
+            Money::from_cents(4.0),
+            &DisqConfig::default(),
+            &PricingModel::paper(),
+            None,
+            seed,
+        )
+        .unwrap();
+        // Online phase: estimate a slice of objects with a fresh crowd so
+        // the equivalence covers answer assembly, not just planning.
+        let mut online_crowd = SimulatedCrowd::new(pop, CrowdConfig::default(), None, seed + 5_000);
+        let objects: Vec<ObjectId> = (0..40).map(ObjectId).collect();
+        let estimates = online::estimate_objects(&mut online_crowd, &out.plan, &objects).unwrap();
+        (out, estimates)
+    })
+}
+
+fn assert_runs_identical(
+    a: &(PreprocessOutput, Vec<Vec<f64>>),
+    b: &(PreprocessOutput, Vec<Vec<f64>>),
+    what: &str,
+) {
+    assert_eq!(a.0.plan, b.0.plan, "{what}: plans diverged");
+    assert_eq!(a.0.budget, b.0.budget, "{what}: allocations diverged");
+    assert_eq!(a.0.pool_labels, b.0.pool_labels, "{what}: pools diverged");
+    assert_eq!(a.0.weights, b.0.weights, "{what}: weights diverged");
+    assert_eq!(
+        a.0.stats.discovered, b.0.stats.discovered,
+        "{what}: discoveries diverged"
+    );
+    assert_eq!(a.0.stats.spent, b.0.stats.spent, "{what}: spend diverged");
+    assert_eq!(
+        a.0.stats.dismantle_questions, b.0.stats.dismantle_questions,
+        "{what}: dismantle counts diverged"
+    );
+    assert_eq!(
+        a.0.stats.fell_back, b.0.stats.fell_back,
+        "{what}: fallback verdicts diverged"
+    );
+    assert_eq!(a.1, b.1, "{what}: online estimates diverged");
+}
+
+#[test]
+fn engines_identical_on_pictures_across_seeds() {
+    let spec = Arc::new(pictures::spec());
+    for seed in [1, 7, 23] {
+        let batch = run(&spec, "Bmi", seed, StatsEngine::Batch);
+        let stream = run(&spec, "Bmi", seed, StatsEngine::Stream);
+        assert_runs_identical(&batch, &stream, &format!("pictures/Bmi seed {seed}"));
+    }
+}
+
+#[test]
+fn engines_identical_on_recipes() {
+    let spec = Arc::new(recipes::spec());
+    let batch = run(&spec, "Protein", 6, StatsEngine::Batch);
+    let stream = run(&spec, "Protein", 6, StatsEngine::Stream);
+    assert_runs_identical(&batch, &stream, "recipes/Protein seed 6");
+}
