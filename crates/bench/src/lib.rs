@@ -24,6 +24,7 @@
 #[global_allocator]
 static ALLOC: disq_trace::CountingAlloc = disq_trace::CountingAlloc;
 
+mod audit;
 pub mod experiments;
 pub mod harness;
 pub mod pool;

@@ -257,7 +257,20 @@ pub fn run_cell_in_world(
     let objects: Vec<ObjectId> = (0..EVAL_OBJECTS.min(population.n_objects()))
         .map(ObjectId)
         .collect();
-    let raw_estimates = online::estimate_objects(&mut online_crowd, &plan, &objects)?;
+    // With a trace sink active (and a preprocessing output to audit
+    // against), run the auditing estimator: same question sequence and
+    // arithmetic, but every batch's statistics are retained for the
+    // explain/drift ledger. Untraced runs keep the zero-allocation
+    // kernel — the bit-identical contract of tests/online_alloc.rs.
+    let mut audit = if disq_trace::active() && preprocess.is_some() {
+        Some(online::OnlineAudit::for_plan(&plan, objects.len()))
+    } else {
+        None
+    };
+    let raw_estimates = match audit.as_mut() {
+        Some(a) => online::estimate_objects_audited(&mut online_crowd, &plan, &objects, a)?,
+        None => online::estimate_objects(&mut online_crowd, &plan, &objects)?,
+    };
 
     // Reorder plan-target estimates into query-target order.
     let order: Vec<usize> = targets
@@ -320,6 +333,17 @@ pub fn run_cell_in_world(
                     realized_mse,
                     n_objects: n_objects as u32,
                 });
+            }
+            // ---- Audit ledger ------------------------------------------
+            // The full error-attribution story: per-target decomposition
+            // (query_audit), per-object residuals/CIs (object_audit), and
+            // per-attribute drift detection over the retained batch
+            // statistics (drift_update / drift_detected + gauges).
+            if let Some(audit) = &audit {
+                crate::audit::emit_query_audits(
+                    cell, rep, &label, out, &plan, &order, &objects, population, &estimates,
+                    &truth, audit,
+                );
             }
         }
     }

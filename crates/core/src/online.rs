@@ -33,6 +33,63 @@ impl EstimateScratch {
     }
 }
 
+/// One answer batch as the estimator saw it: the raw/kept counts, the
+/// average actually fed into the regressions, and the within-batch
+/// sample variance (the realized counterpart of the trio's `S_c`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStat {
+    /// Object the batch was asked about.
+    pub object: u64,
+    /// Raw answers asked.
+    pub answers: u32,
+    /// Answers that survived the spam filter.
+    pub kept: u32,
+    /// Mean of the answers actually averaged (kept, or raw on fallback).
+    pub mean: f64,
+    /// Sample variance of those answers (NaN when fewer than 2).
+    pub var: f64,
+    /// True when the filter rejected the whole batch and the estimator
+    /// fell back to the raw answers.
+    pub fallback: bool,
+}
+
+/// Per-plan-attribute answer-stream ledger filled by
+/// [`estimate_objects_audited`]: everything the explain/drift layer
+/// needs to attribute realized error, retained at batch granularity.
+/// All retention happens in this side structure — the estimation
+/// arithmetic is shared with the unaudited kernel, so audited runs
+/// produce bit-identical estimates.
+#[derive(Debug, Default)]
+pub struct OnlineAudit {
+    /// `batches[i]` are the batches of plan attribute `i`, in object
+    /// order.
+    batches: Vec<Vec<BatchStat>>,
+}
+
+impl OnlineAudit {
+    /// An audit sized for `plan`, with capacity for `objects` batches
+    /// per attribute.
+    pub fn for_plan(plan: &EvaluationPlan, objects: usize) -> Self {
+        OnlineAudit {
+            batches: plan
+                .attributes
+                .iter()
+                .map(|_| Vec::with_capacity(objects))
+                .collect(),
+        }
+    }
+
+    /// The recorded batches of plan attribute `i`, in object order.
+    pub fn batches(&self, i: usize) -> &[BatchStat] {
+        &self.batches[i]
+    }
+
+    /// Number of plan attributes tracked.
+    pub fn attr_count(&self) -> usize {
+        self.batches.len()
+    }
+}
+
 /// Per-object estimates for every plan target: `estimates[i][t]` is the
 /// estimate of target `t` for `objects[i]`.
 pub fn estimate_objects<P: CrowdPlatform>(
@@ -73,6 +130,31 @@ pub fn estimate_objects_into<P: CrowdPlatform>(
     Ok(())
 }
 
+/// Auditing variant of [`estimate_objects`]: identical question
+/// sequence and arithmetic (estimates are bit-identical), but every
+/// answer batch's statistics are retained in `audit` for post-hoc error
+/// attribution. This path allocates per batch by design — callers gate
+/// it on tracing being active; the unaudited kernels keep the
+/// zero-allocation contract.
+pub fn estimate_objects_audited<P: CrowdPlatform>(
+    platform: &mut P,
+    plan: &EvaluationPlan,
+    objects: &[ObjectId],
+    audit: &mut OnlineAudit,
+) -> Result<Vec<Vec<f64>>, DisqError> {
+    let _span = disq_trace::span!("estimate_objects", "objects={}", objects.len());
+    let mut scratch = EstimateScratch::new();
+    let targets = plan.regressions.len();
+    objects
+        .iter()
+        .map(|&o| {
+            let mut row = Vec::with_capacity(targets);
+            estimate_object_impl(platform, plan, o, &mut scratch, &mut row, Some(audit))?;
+            Ok(row)
+        })
+        .collect()
+}
+
 /// Estimates all plan targets for one object.
 pub fn estimate_object<P: CrowdPlatform>(
     platform: &mut P,
@@ -95,17 +177,37 @@ pub fn estimate_object_into<P: CrowdPlatform>(
     scratch: &mut EstimateScratch,
     out: &mut Vec<f64>,
 ) -> Result<(), DisqError> {
+    estimate_object_impl(platform, plan, object, scratch, out, None)
+}
+
+fn estimate_object_impl<P: CrowdPlatform>(
+    platform: &mut P,
+    plan: &EvaluationPlan,
+    object: ObjectId,
+    scratch: &mut EstimateScratch,
+    out: &mut Vec<f64>,
+    mut audit: Option<&mut OnlineAudit>,
+) -> Result<(), DisqError> {
     let _span = disq_trace::span!("object", "o={}", object.0);
     scratch.averages.clear();
-    for p in &plan.attributes {
+    for (i, p) in plan.attributes.iter().enumerate() {
         scratch.answers.clear();
         platform.ask_values(object, p.attr, p.questions as usize, &mut scratch.answers)?;
-        filter_spam_into(&scratch.answers, &mut scratch.medians, &mut scratch.kept);
-        disq_trace::count_n(
-            Counter::SpamAnswersDropped,
-            (scratch.answers.len() - scratch.kept.len()) as u64,
-        );
-        let used = if scratch.kept.is_empty() {
+        let stats = filter_spam_into(&scratch.answers, &mut scratch.medians, &mut scratch.kept);
+        let dropped = scratch.answers.len() - scratch.kept.len();
+        disq_trace::count_n(Counter::SpamAnswersDropped, dropped as u64);
+        if dropped > 0 {
+            disq_trace::emit(|| TraceEvent::SpamDecision {
+                object: object.0 as u64,
+                attr: p.attr.0 as u32,
+                answers: scratch.answers.len() as u32,
+                kept: scratch.kept.len() as u32,
+                median: stats.median,
+                mad: stats.mad,
+            });
+        }
+        let fallback = scratch.kept.is_empty();
+        let used = if fallback {
             // The filter rejected every answer; fall back to the raw set
             // rather than dividing by zero. This used to happen silently
             // — now each occurrence is counted and traceable.
@@ -119,9 +221,23 @@ pub fn estimate_object_into<P: CrowdPlatform>(
         } else {
             &scratch.kept
         };
-        scratch
-            .averages
-            .push(used.iter().sum::<f64>() / used.len() as f64);
+        let mean = used.iter().sum::<f64>() / used.len() as f64;
+        scratch.averages.push(mean);
+        if let Some(audit) = audit.as_deref_mut() {
+            let var = if used.len() >= 2 {
+                used.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (used.len() - 1) as f64
+            } else {
+                f64::NAN
+            };
+            audit.batches[i].push(BatchStat {
+                object: object.0 as u64,
+                answers: scratch.answers.len() as u32,
+                kept: scratch.kept.len() as u32,
+                mean,
+                var,
+                fallback,
+            });
+        }
     }
     for t in 0..plan.regressions.len() {
         out.push(plan.predict(t, &scratch.averages));
@@ -344,6 +460,34 @@ mod tests {
         assert_eq!(flat.len(), objects.len() * stride);
         for (i, row) in nested.iter().enumerate() {
             assert_eq!(&flat[i * stride..(i + 1) * stride], &row[..]);
+        }
+    }
+
+    #[test]
+    fn audited_estimates_are_bit_identical_and_ledger_is_complete() {
+        let spec = Arc::new(pictures::spec());
+        let plan = direct_bmi_plan(&spec);
+        let objects: Vec<ObjectId> = (0..25).map(ObjectId).collect();
+        let plain = estimate_objects(&mut crowd(), &plan, &objects).unwrap();
+        let mut audit = OnlineAudit::for_plan(&plan, objects.len());
+        let audited = estimate_objects_audited(&mut crowd(), &plan, &objects, &mut audit).unwrap();
+        // Same seeds, same question sequence: estimates must be
+        // bit-identical, not merely close.
+        assert_eq!(plain, audited);
+        assert_eq!(audit.attr_count(), 1);
+        let batches = audit.batches(0);
+        assert_eq!(batches.len(), objects.len());
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.object, i as u64);
+            assert_eq!(b.answers, 8);
+            assert!(b.kept >= 1 && b.kept <= 8);
+            assert!(b.var.is_finite() && b.var > 0.0, "8 noisy answers");
+            assert!(!b.fallback);
+        }
+        // The recorded means are exactly what the regressions consumed:
+        // for this identity plan the estimate IS the batch mean.
+        for (b, row) in batches.iter().zip(&audited) {
+            assert_eq!(b.mean, row[0]);
         }
     }
 

@@ -42,4 +42,4 @@ pub use platform::{CrowdConfig, CrowdPlatform, SimulatedCrowd};
 pub use pricing::PricingModel;
 pub use question::{QuestionKind, ValueBatch};
 pub use recorder::{AnswerLog, RecordingCrowd, ReplayingCrowd};
-pub use spam::{filter_spam, filter_spam_into};
+pub use spam::{filter_spam, filter_spam_into, SpamStats};

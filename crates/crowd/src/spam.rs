@@ -7,6 +7,19 @@
 //! there is not enough signal to call anything spam, so the batch passes
 //! through unchanged.
 
+/// The filter's decision statistics for one batch: what the cut was
+/// centred on and how wide it was. NaN/NaN for small batches that pass
+/// through unfiltered — no statistics were computed, so none are
+/// reported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpamStats {
+    /// Batch median the acceptance window was centred on.
+    pub median: f64,
+    /// Scaled (×1.4826) median absolute deviation — the robust sd
+    /// estimate; 0 when a majority answered identically.
+    pub mad: f64,
+}
+
 /// Removes outlier answers: keeps values within `k = 3.5` scaled MADs of
 /// the median. Returns the surviving answers in their original order.
 pub fn filter_spam(answers: &[f64]) -> Vec<f64> {
@@ -20,8 +33,9 @@ pub fn filter_spam(answers: &[f64]) -> Vec<f64> {
 /// `kept` (original order), `scratch` is working space for the median
 /// computations. Once both buffers have grown to the batch size the call
 /// performs no heap allocation — this is the online estimation kernel's
-/// steady-state path.
-pub fn filter_spam_into(answers: &[f64], scratch: &mut Vec<f64>, kept: &mut Vec<f64>) {
+/// steady-state path. Returns the batch's [`SpamStats`] so audit trails
+/// can record the decision.
+pub fn filter_spam_into(answers: &[f64], scratch: &mut Vec<f64>, kept: &mut Vec<f64>) -> SpamStats {
     const K: f64 = 3.5;
     // 1.4826 rescales MAD to estimate a Gaussian sd.
     const MAD_SCALE: f64 = 1.4826;
@@ -29,14 +43,20 @@ pub fn filter_spam_into(answers: &[f64], scratch: &mut Vec<f64>, kept: &mut Vec<
     kept.clear();
     if answers.len() < 4 {
         kept.extend_from_slice(answers);
-        return;
+        return SpamStats {
+            median: f64::NAN,
+            mad: f64::NAN,
+        };
     }
     let med = median_via(answers.iter().copied(), scratch);
     let mad = median_via(answers.iter().map(|&x| (x - med).abs()), scratch) * MAD_SCALE;
     if mad <= 0.0 {
         // Majority answered identically; drop everything that differs.
         kept.extend(answers.iter().copied().filter(|&x| x == med));
-        return;
+        return SpamStats {
+            median: med,
+            mad: 0.0,
+        };
     }
     kept.extend(
         answers
@@ -44,6 +64,7 @@ pub fn filter_spam_into(answers: &[f64], scratch: &mut Vec<f64>, kept: &mut Vec<
             .copied()
             .filter(|&x| (x - med).abs() <= K * mad),
     );
+    SpamStats { median: med, mad }
 }
 
 /// Median of `xs`, sorted inside the reusable `scratch` buffer.
@@ -108,6 +129,28 @@ mod tests {
         let kept = filter_spam(&xs);
         assert_eq!(kept.len(), 5);
         assert!(kept.iter().all(|&x| (9.0..11.0).contains(&x)));
+    }
+
+    #[test]
+    fn stats_report_the_decision_window() {
+        let mut scratch = Vec::new();
+        let mut kept = Vec::new();
+        // Small batch: pass-through, no statistics.
+        let stats = filter_spam_into(&[1.0, 1000.0, 2.0], &mut scratch, &mut kept);
+        assert!(stats.median.is_nan() && stats.mad.is_nan());
+        // Filtered batch: median and a positive robust sd.
+        let stats = filter_spam_into(
+            &[10.0, 11.0, 9.5, 10.5, 10.2, 500.0],
+            &mut scratch,
+            &mut kept,
+        );
+        assert_eq!(stats.median, 10.35);
+        assert!(stats.mad > 0.0);
+        assert_eq!(kept.len(), 5);
+        // Identical majority: mad collapses to 0.
+        let stats = filter_spam_into(&[5.0, 5.0, 5.0, 5.0, 42.0], &mut scratch, &mut kept);
+        assert_eq!(stats.median, 5.0);
+        assert_eq!(stats.mad, 0.0);
     }
 
     #[test]

@@ -17,25 +17,37 @@
 //!   thresholds, deterministic-counter drift checks, and allocation
 //!   regression detection; the CLI exits non-zero on regression so CI
 //!   can gate on it.
+//! * [`explain`] — `EXPLAIN ANALYZE` for crowd queries: renders the
+//!   audit ledger of a traced run (query/object audits, drift-detector
+//!   status, spam decisions) into a per-query error-attribution
+//!   narrative, worst component first, and re-verifies the
+//!   `noise + model + cross == realized` decomposition identity.
+//! * [`trend`] — per-experiment wall/throughput/peak-heap trajectories
+//!   over the append-only `BENCH_harness.history.jsonl` file.
 //! * [`timeline`] — exports the span/event stream as Chrome trace-event
 //!   JSON for `chrome://tracing` / Perfetto.
 //! * [`flame`] — folds spans into a self/total-time and bytes-allocated
 //!   hierarchy: ASCII tree or classic folded stacks.
 //!
-//! The `disq-insight` binary wraps all three as subcommands. Everything
-//! is std-only, matching the rest of the workspace.
+//! The `disq-insight` binary wraps all of these as subcommands
+//! (`report` and `explain` also speak `--json`). Everything is
+//! std-only, matching the rest of the workspace.
 
 #![warn(missing_docs)]
 
 pub mod calib;
 pub mod compare;
+pub mod explain;
 pub mod flame;
 pub mod report;
 pub mod table;
 pub mod timeline;
+pub mod trend;
 
 pub use calib::{CalibReport, CalibSample};
 pub use compare::{compare, load_rows, CompareConfig, CompareOutcome, HarnessRow, Regression};
+pub use explain::{ExplainReport, QueryExplain};
 pub use flame::{FlameGraph, FlameNode};
 pub use report::{render_timers, RunReport};
 pub use timeline::Timeline;
+pub use trend::{TrendPoint, TrendReport, TrendSeries};

@@ -1,7 +1,7 @@
 //! The `disq-insight` CLI: run reports, Err(b) calibration scoring and
 //! perf-regression gating over DisQ trace artifacts.
 
-use disq_insight::{calib, compare, flame, report, timeline};
+use disq_insight::{calib, compare, explain, flame, report, timeline, trend};
 use disq_trace::TraceReader;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -11,10 +11,26 @@ const USAGE: &str = "\
 disq-insight: analytics over DisQ trace files and harness benchmarks
 
 usage:
-  disq-insight report <trace.jsonl> [--harness <BENCH_harness.json> --key <experiment@tN>]
+  disq-insight report <trace.jsonl> [--json]
+                      [--harness <BENCH_harness.json> --key <experiment@tN>]
       Aggregate a JSONL trace into a run report: budget attribution,
       dismantle decisions, SPRT summary, derived counters. With
       --harness/--key, also render that row's kernel-timer histograms.
+      --json emits the aggregates as one JSON object instead.
+
+  disq-insight explain <trace.jsonl> [--json]
+      EXPLAIN ANALYZE for crowd queries: per-query error attribution
+      from the audit ledger (crowd noise vs model bias vs budget
+      truncation, worst first), CI coverage, per-attribute answer
+      streams, drift-detector status and the largest residuals.
+      Exits 1 when the ledger is malformed (decomposition sum-check
+      fails or object audits are missing).
+
+  disq-insight trend <BENCH_harness.json | *.history.jsonl> [--json]
+      Render per-experiment wall/throughput/peak-heap trajectories from
+      the append-only harness history, with per-step and end-to-end
+      deltas. Given the main snapshot, its rows become each
+      trajectory's newest point.
 
   disq-insight calib <trace.jsonl>
       Score the Err(b) error model against realized per-object MSE
@@ -60,6 +76,8 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("report") => cmd_report(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("trend") => cmd_trend(&args[1..]),
         Some("calib") => cmd_calib(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
@@ -89,17 +107,27 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     let mut trace: Option<PathBuf> = None;
     let mut harness: Option<PathBuf> = None;
     let mut key: Option<String> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--harness" => harness = Some(next_value(&mut it, "--harness")?.into()),
             "--key" => key = Some(next_value(&mut it, "--key")?),
+            "--json" => json = true,
             _ if trace.is_none() => trace = Some(a.into()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
     let trace = trace.ok_or("report: missing <trace.jsonl>")?;
     let report = open_report(&trace)?;
+    if json {
+        if harness.is_some() || key.is_some() {
+            return Err("report: --json does not combine with --harness/--key".into());
+        }
+        out(&report.to_json());
+        out("\n");
+        return Ok(ExitCode::SUCCESS);
+    }
     out(&report.render());
     match (harness, key) {
         (Some(harness), Some(key)) => {
@@ -116,6 +144,57 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
         }
         (None, None) => {}
         _ => return Err("--harness and --key must be given together".into()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if trace.is_none() => trace = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let trace = trace.ok_or("explain: missing <trace.jsonl>")?;
+    let reader =
+        TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let report = explain::ExplainReport::from_reader(reader);
+    if json {
+        out(&report.to_json());
+        out("\n");
+    } else {
+        out(&report.render());
+    }
+    // A ledger that fails its own accounting is an error, not a report:
+    // CI gates on this exit code.
+    Ok(if report.well_formed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: malformed audit ledger (decomposition or object counts)");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if path.is_none() => path = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("trend: missing <BENCH_harness.json | *.history.jsonl>")?;
+    let report = trend::load(&path)?;
+    if json {
+        out(&report.to_json());
+        out("\n");
+    } else {
+        out(&report.render());
     }
     Ok(ExitCode::SUCCESS)
 }

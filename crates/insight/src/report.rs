@@ -107,6 +107,18 @@ pub struct RunReport {
     pub span_labels: Vec<(String, u64, u64)>,
     /// Err(b) calibration samples (see [`crate::calib`]).
     pub calibrations: Vec<CalibSample>,
+    /// `query_audit` ledgers seen (detailed in [`crate::explain`]).
+    pub query_audits: u64,
+    /// `object_audit` rows seen.
+    pub object_audits: u64,
+    /// Drift-detector `drift_update` summaries seen.
+    pub drift_updates: u64,
+    /// `drift_detected` alarms seen.
+    pub drift_alarms: u64,
+    /// Spam-filter `spam_decision` events (batches that dropped answers).
+    pub spam_decisions: u64,
+    /// Worker answers dropped across all spam decisions.
+    pub spam_answers_dropped: u64,
     /// Labels of spans opened but not yet closed (keyed by span id);
     /// non-empty after absorbing a truncated trace.
     pub open_spans: std::collections::BTreeMap<u64, String>,
@@ -256,6 +268,14 @@ impl RunReport {
                 realized_mse,
                 n_objects,
             }),
+            TraceEvent::QueryAudit { .. } => self.query_audits += 1,
+            TraceEvent::ObjectAudit { .. } => self.object_audits += 1,
+            TraceEvent::DriftUpdate { .. } => self.drift_updates += 1,
+            TraceEvent::DriftDetected { .. } => self.drift_alarms += 1,
+            TraceEvent::SpamDecision { answers, kept, .. } => {
+                self.spam_decisions += 1;
+                self.spam_answers_dropped += u64::from(answers - kept);
+            }
         }
     }
 
@@ -290,6 +310,9 @@ impl RunReport {
             (Counter::RegressionFits, self.regressions.len() as u64),
             (Counter::SpamFallbacks, self.spam_fallbacks),
             (Counter::SolverFallbacks, self.solver_fallbacks.len() as u64),
+            (Counter::AuditedQueries, self.query_audits),
+            (Counter::AuditedObjects, self.object_audits),
+            (Counter::DriftAlarms, self.drift_alarms),
         ]
     }
 
@@ -510,6 +533,24 @@ impl RunReport {
             );
         }
 
+        if self.spam_decisions > 0 {
+            let _ = writeln!(
+                out,
+                "\nspam decisions: {} batch(es) dropped {} answer(s)",
+                self.spam_decisions, self.spam_answers_dropped
+            );
+        }
+
+        if self.query_audits > 0 || self.drift_updates > 0 {
+            let _ = writeln!(
+                out,
+                "\naudit ledger: {} query audit(s), {} object audit(s), \
+                 {} drift update(s), {} drift alarm(s)",
+                self.query_audits, self.object_audits, self.drift_updates, self.drift_alarms
+            );
+            out.push_str("(see `disq-insight explain` for the error attribution)\n");
+        }
+
         if !self.solver_fallbacks.is_empty() {
             let _ = writeln!(
                 out,
@@ -557,6 +598,99 @@ impl RunReport {
         }
         out.push_str(&t.render());
         out
+    }
+
+    /// Renders the aggregates as one JSON object (the `--json` mode).
+    pub fn to_json(&self) -> String {
+        use disq_trace::json::{write_f64, write_str};
+        let mut o = String::from("{");
+        let _ = write!(
+            o,
+            "\"parsed\":{},\"skipped\":{},",
+            self.parsed, self.skipped
+        );
+        o.push_str("\"runs\":[");
+        for (i, (label, seed)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"label\":");
+            write_str(&mut o, label);
+            let _ = write!(o, ",\"seed\":{seed}}}");
+        }
+        o.push_str("],\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"phase\":");
+            write_str(&mut o, &p.phase);
+            let _ = write!(
+                o,
+                ",\"occurrences\":{},\"questions\":{},\"millicents\":{},\"by_kind\":{{",
+                p.occurrences, p.questions, p.millicents
+            );
+            for (j, (kind, &(q, mc))) in p.by_kind.iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                write_str(&mut o, kind);
+                let _ = write!(o, ":{{\"questions\":{q},\"millicents\":{mc}}}");
+            }
+            o.push_str("}}");
+        }
+        let _ = write!(
+            o,
+            "],\"dismantle\":{{\"choices\":{},\"stops\":{}}},\
+             \"sprt\":{{\"accepted\":{},\"rejected\":{},\"samples\":{}}},\
+             \"budget_steps\":{},",
+            self.dismantle_choices,
+            self.dismantle_stops,
+            self.sprt_accepted,
+            self.sprt_rejected,
+            self.sprt_samples,
+            self.budget_steps
+        );
+        o.push_str("\"regressions\":[");
+        for (i, (label, mse, rows)) in self.regressions.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"target\":");
+            write_str(&mut o, label);
+            o.push_str(",\"training_mse\":");
+            write_f64(&mut o, *mse);
+            let _ = write!(o, ",\"rows\":{rows}}}");
+        }
+        let _ = write!(
+            o,
+            "],\"spam\":{{\"fallbacks\":{},\"decisions\":{},\"answers_dropped\":{}}},\
+             \"spans\":{{\"starts\":{},\"ends\":{},\"open\":{},\"alloc_bytes\":{}}},\
+             \"audit\":{{\"query_audits\":{},\"object_audits\":{},\
+             \"drift_updates\":{},\"drift_alarms\":{}}},\
+             \"calibrations\":{},",
+            self.spam_fallbacks,
+            self.spam_decisions,
+            self.spam_answers_dropped,
+            self.span_starts,
+            self.span_ends,
+            self.open_spans.len(),
+            self.span_alloc_bytes,
+            self.query_audits,
+            self.object_audits,
+            self.drift_updates,
+            self.drift_alarms,
+            self.calibrations.len()
+        );
+        o.push_str("\"counters\":{");
+        for (i, (c, v)) in self.derived_counters().into_iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "\"{}\":{v}", c.name());
+        }
+        o.push_str("}}");
+        o
     }
 }
 
@@ -838,6 +972,126 @@ mod tests {
         );
         assert!(text.contains("4096 heap bytes"), "{text}");
         assert!(text.contains("examples"), "{text}");
+    }
+
+    #[test]
+    fn audit_events_aggregate_and_derive_counters() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::ObjectAudit {
+            query: 1,
+            label: "fig1".into(),
+            seed: 0,
+            target: "Bmi".into(),
+            object: 7,
+            truth: 22.0,
+            estimate: 23.0,
+            residual: 1.0,
+            noise_err: 0.6,
+            model_err: 0.4,
+            ci_lo: 21.0,
+            ci_hi: 25.0,
+            in_ci: true,
+        });
+        r.absorb(TraceEvent::QueryAudit {
+            query: 1,
+            label: "fig1".into(),
+            seed: 0,
+            target: "Bmi".into(),
+            n_objects: 1,
+            predicted_mse: 1.5,
+            training_mse: 1.0,
+            realized_mse: 1.0,
+            noise_mse: 0.36,
+            model_mse: 0.16,
+            cross_mse: 0.48,
+            error_floor: 1.2,
+            budget_truncation: 0.3,
+            ci_level: 0.95,
+            ci_coverage: 1.0,
+            attrs: vec![],
+        });
+        r.absorb(TraceEvent::DriftUpdate {
+            label: "fig1".into(),
+            attr: "Weight".into(),
+            metric: "answer_var".into(),
+            reference: 2.0,
+            ewma: 0.1,
+            score: 0.0,
+            threshold: 5.0,
+            samples: 150,
+            alarms: 0,
+        });
+        r.absorb(TraceEvent::DriftDetected {
+            label: "fig1".into(),
+            attr: "Weight".into(),
+            metric: "spam_rate".into(),
+            observed: 0.3,
+            reference: 0.0,
+            score: 5.2,
+            threshold: 5.0,
+            sample: 9,
+        });
+        r.absorb(TraceEvent::SpamDecision {
+            object: 7,
+            attr: 0,
+            answers: 8,
+            kept: 6,
+            median: 70.0,
+            mad: 2.0,
+        });
+        assert_eq!(r.query_audits, 1);
+        assert_eq!(r.object_audits, 1);
+        assert_eq!(r.drift_updates, 1);
+        assert_eq!(r.drift_alarms, 1);
+        assert_eq!(r.spam_decisions, 1);
+        assert_eq!(r.spam_answers_dropped, 2);
+        let derived = r.derived_counters();
+        let get = |c: Counter| derived.iter().find(|(k, _)| *k == c).unwrap().1;
+        assert_eq!(get(Counter::AuditedQueries), 1);
+        assert_eq!(get(Counter::AuditedObjects), 1);
+        assert_eq!(get(Counter::DriftAlarms), 1);
+        let text = r.render();
+        assert!(
+            text.contains("audit ledger: 1 query audit(s), 1 object audit(s)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spam decisions: 1 batch(es) dropped 2 answer(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_carries_counters() {
+        let mut r = RunReport::default();
+        r.absorb(TraceEvent::RunStart {
+            label: "fig1".into(),
+            seed: 3,
+        });
+        r.absorb(phase("examples", "example", 10, 4000));
+        let doc = disq_trace::json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("questions_example"))
+                .and_then(|v| v.as_u64()),
+            Some(10)
+        );
+        assert_eq!(
+            doc.get("runs").and_then(|r| r.as_arr()).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("phases").and_then(|p| p.as_arr()).and_then(|p| p[0]
+                .get("phase")
+                .and_then(|v| v.as_str().map(str::to_string))),
+            Some("examples".into())
+        );
+        assert_eq!(
+            doc.get("audit")
+                .and_then(|a| a.get("query_audits"))
+                .and_then(|v| v.as_u64()),
+            Some(0)
+        );
     }
 
     #[test]

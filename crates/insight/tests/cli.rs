@@ -197,6 +197,165 @@ fn report_with_harness_key_renders_timer_histograms() {
 }
 
 #[test]
+fn explain_renders_audit_ledger_and_gates_on_malformed() {
+    use disq_trace::{AttrAudit, TraceEvent};
+    let dir = tempdir("explain");
+    let trace = dir.join("run.jsonl");
+    let object = TraceEvent::ObjectAudit {
+        query: 1,
+        label: "fig1".into(),
+        seed: 0,
+        target: "Bmi".into(),
+        object: 42,
+        truth: 22.0,
+        estimate: 24.0,
+        residual: 2.0,
+        noise_err: 1.5,
+        model_err: 0.5,
+        ci_lo: 21.0,
+        ci_hi: 27.0,
+        in_ci: true,
+    };
+    let query = TraceEvent::QueryAudit {
+        query: 1,
+        label: "fig1".into(),
+        seed: 0,
+        target: "Bmi".into(),
+        n_objects: 1,
+        predicted_mse: 3.5,
+        training_mse: 3.0,
+        realized_mse: 4.0,
+        noise_mse: 2.25,
+        model_mse: 0.25,
+        cross_mse: 1.5,
+        error_floor: 3.0,
+        budget_truncation: 0.5,
+        ci_level: 0.95,
+        ci_coverage: 1.0,
+        attrs: vec![AttrAudit {
+            label: "Weight".into(),
+            questions: 6,
+            batches: 1,
+            answers: 6,
+            dropped: 0,
+            fallbacks: 0,
+            planned_sc: 2.0,
+            realized_sc: 1.9,
+        }],
+    };
+    let drift = TraceEvent::DriftUpdate {
+        label: "fig1".into(),
+        attr: "Weight".into(),
+        metric: "answer_var".into(),
+        reference: 2.0,
+        ewma: -0.1,
+        score: 0.4,
+        threshold: 5.0,
+        samples: 1,
+        alarms: 0,
+    };
+    let text: String = [object, query, drift]
+        .iter()
+        .map(|e| e.to_json() + "\n")
+        .collect();
+    std::fs::write(&trace, &text).unwrap();
+
+    let out = run(&["explain", trace.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== query \"Bmi\""), "{stdout}");
+    assert!(
+        stdout.contains("error attribution (worst first):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("crowd noise"), "{stdout}");
+    assert!(stdout.contains("drift detectors:"), "{stdout}");
+    assert!(stdout.contains("worst residuals:"), "{stdout}");
+
+    let json = run(&["explain", trace.to_str().unwrap(), "--json"]);
+    assert_eq!(json.status.code(), Some(0), "{json:?}");
+    let doc = disq_trace::json::parse(String::from_utf8_lossy(&json.stdout).trim())
+        .expect("explain --json emits valid JSON");
+    assert_eq!(doc.get("well_formed").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        doc.get("queries").and_then(|q| q.as_arr()).map(<[_]>::len),
+        Some(1)
+    );
+
+    // A ledger whose components do not sum to the realized MSE exits 1.
+    let broken = dir.join("broken.jsonl");
+    std::fs::write(
+        &broken,
+        text.replace("\"noise_mse\":2.25", "\"noise_mse\":9.0"),
+    )
+    .unwrap();
+    let bad = run(&["explain", broken.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("malformed audit ledger"),
+        "{bad:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_renders_history_trajectories() {
+    let dir = tempdir("trend");
+    let main = dir.join("bench.json");
+    write_harness(&main, &[harness_row("fig1@t2", 2.0)]);
+    std::fs::write(
+        dir.join("bench.history.jsonl"),
+        format!(
+            "{}\n{}\n",
+            harness_row("fig1@t2", 8.0),
+            harness_row("fig1@t2", 4.0)
+        ),
+    )
+    .unwrap();
+
+    let out = run(&["trend", main.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fig1@t2 (3 run(s)):"), "{stdout}");
+    assert!(stdout.contains("trend: wall 8.000s -> 2.000s"), "{stdout}");
+    assert!(stdout.contains("-50.0%"), "{stdout}");
+
+    let json = run(&["trend", main.to_str().unwrap(), "--json"]);
+    assert_eq!(json.status.code(), Some(0), "{json:?}");
+    let doc = disq_trace::json::parse(String::from_utf8_lossy(&json.stdout).trim())
+        .expect("trend --json emits valid JSON");
+    let series = doc.get("series").and_then(|s| s.as_arr()).unwrap();
+    assert_eq!(
+        series[0]
+            .get("points")
+            .and_then(|p| p.as_arr())
+            .map(<[_]>::len),
+        Some(3)
+    );
+
+    // report --json on a tiny trace is parseable too.
+    let trace = dir.join("run.jsonl");
+    std::fs::write(
+        &trace,
+        disq_trace::TraceEvent::RunStart {
+            label: "x".into(),
+            seed: 1,
+        }
+        .to_json()
+            + "\n",
+    )
+    .unwrap();
+    let rj = run(&["report", trace.to_str().unwrap(), "--json"]);
+    assert_eq!(rj.status.code(), Some(0), "{rj:?}");
+    let doc = disq_trace::json::parse(String::from_utf8_lossy(&rj.stdout).trim())
+        .expect("report --json emits valid JSON");
+    assert_eq!(doc.get("parsed").and_then(|v| v.as_u64()), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_two() {
     assert_eq!(run(&[]).status.code(), Some(2));
     assert_eq!(run(&["frobnicate"]).status.code(), Some(2));

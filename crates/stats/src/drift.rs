@@ -1,0 +1,284 @@
+//! Online drift detection over answer-stream statistics.
+//!
+//! The budget distribution is optimal only while the crowd behaves the
+//! way the trio says it does: `S_c[a]` answer noise and a (near-zero)
+//! spam rate. These detectors watch the realized stream for departures
+//! from that plan — the trigger signal a streaming replanning engine
+//! consumes (ROADMAP "streaming replanning"), in the same spirit as
+//! worker-quality monitoring in T-Crowd and the pay-until-it-stops rule
+//! of "Getting It All from the Crowd".
+//!
+//! Both detectors are fed *standardized deviations* `z = (obs − ref)/σ`
+//! so one parameterization serves every monitored metric:
+//!
+//! * [`Ewma`] — exponentially weighted moving average of `z`, the
+//!   low-noise "where is the stream drifting" estimate.
+//! * [`Cusum`] — two-sided tabular CUSUM: `S⁺ = max(0, S⁺ + z − k)`,
+//!   `S⁻ = max(0, S⁻ − z − k)`, alarming when either side exceeds `h`.
+//!   With the conventional `k = 0.5`, `h = 5` this detects a one-sigma
+//!   mean shift within a handful of samples while tolerating unbounded
+//!   in-control streams.
+//!
+//! Everything is plain `f64` state — `Copy`, allocation-free, suitable
+//! for embedding in per-attribute audit accumulators on the online hot
+//! path.
+
+/// Exponentially weighted moving average with bias-corrected warm-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    weighted: f64,
+    norm: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    /// A new average with smoothing factor `alpha` in `(0, 1]` (larger =
+    /// faster to follow the stream).
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} out of (0,1]");
+        Ewma {
+            alpha,
+            weighted: 0.0,
+            norm: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Absorbs one observation. Non-finite observations are ignored so a
+    /// NaN (e.g. an undefined batch variance) cannot poison the state.
+    pub fn update(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.weighted = (1.0 - self.alpha) * self.weighted + self.alpha * x;
+        self.norm = (1.0 - self.alpha) * self.norm + self.alpha;
+        self.samples += 1;
+    }
+
+    /// The bias-corrected average (0 before any finite observation).
+    pub fn value(&self) -> f64 {
+        if self.norm == 0.0 {
+            0.0
+        } else {
+            self.weighted / self.norm
+        }
+    }
+
+    /// Finite observations absorbed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Two-sided tabular CUSUM on standardized deviations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cusum {
+    k: f64,
+    h: f64,
+    pos: f64,
+    neg: f64,
+    samples: u64,
+    alarms: u64,
+}
+
+impl Cusum {
+    /// Conventional slack (`k`, in sigmas) for detecting ~1σ shifts.
+    pub const DEFAULT_K: f64 = 0.5;
+    /// Conventional decision threshold (`h`, in sigmas).
+    pub const DEFAULT_H: f64 = 5.0;
+
+    /// A detector with slack `k` and decision threshold `h` (both in
+    /// sigma units, both > 0).
+    pub fn new(k: f64, h: f64) -> Cusum {
+        assert!(k > 0.0 && h > 0.0, "k {k} / h {h} must be positive");
+        Cusum {
+            k,
+            h,
+            pos: 0.0,
+            neg: 0.0,
+            samples: 0,
+            alarms: 0,
+        }
+    }
+
+    /// A detector with the conventional `k = 0.5`, `h = 5` tuning.
+    pub fn standard() -> Cusum {
+        Cusum::new(Cusum::DEFAULT_K, Cusum::DEFAULT_H)
+    }
+
+    /// Absorbs one standardized deviation; returns `true` when this
+    /// observation pushed either side past the threshold (a fresh
+    /// alarm). The alarming side resets so sustained drift re-alarms
+    /// after another full excursion instead of firing every sample.
+    /// Non-finite observations are ignored.
+    pub fn update(&mut self, z: f64) -> bool {
+        if !z.is_finite() {
+            return false;
+        }
+        self.samples += 1;
+        self.pos = (self.pos + z - self.k).max(0.0);
+        self.neg = (self.neg - z - self.k).max(0.0);
+        let mut alarmed = false;
+        if self.pos > self.h {
+            self.pos = 0.0;
+            alarmed = true;
+        }
+        if self.neg > self.h {
+            self.neg = 0.0;
+            alarmed = true;
+        }
+        if alarmed {
+            self.alarms += 1;
+        }
+        alarmed
+    }
+
+    /// Current upper-side statistic `S⁺`.
+    pub fn positive(&self) -> f64 {
+        self.pos
+    }
+
+    /// Current lower-side statistic `S⁻`.
+    pub fn negative(&self) -> f64 {
+        self.neg
+    }
+
+    /// The larger of the two sides — the "how close to alarming" score.
+    pub fn score(&self) -> f64 {
+        self.pos.max(self.neg)
+    }
+
+    /// The decision threshold `h`.
+    pub fn threshold(&self) -> f64 {
+        self.h
+    }
+
+    /// The slack `k`. With a pre-update copy of the detector this lets
+    /// callers reconstruct the score that tripped an alarm (the alarming
+    /// side has already reset by the time [`Cusum::update`] returns).
+    pub fn slack(&self) -> f64 {
+        self.k
+    }
+
+    /// Finite observations absorbed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_tracks_constant_stream_exactly() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..50 {
+            e.update(3.0);
+        }
+        assert!((e.value() - 3.0).abs() < 1e-12);
+        assert_eq!(e.samples(), 50);
+    }
+
+    #[test]
+    fn ewma_bias_correction_makes_first_sample_exact() {
+        let mut e = Ewma::new(0.05);
+        e.update(10.0);
+        // Without bias correction this would read 0.5.
+        assert!((e.value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_follows_a_level_shift() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..30 {
+            e.update(0.0);
+        }
+        for _ in 0..30 {
+            e.update(5.0);
+        }
+        assert!(e.value() > 4.9, "ewma {} stuck at old level", e.value());
+    }
+
+    #[test]
+    fn ewma_ignores_non_finite() {
+        let mut e = Ewma::new(0.5);
+        e.update(2.0);
+        e.update(f64::NAN);
+        e.update(f64::INFINITY);
+        assert!((e.value() - 2.0).abs() < 1e-12);
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn cusum_quiet_on_in_control_stream() {
+        // Deterministic alternating ±0.4σ noise: inside the slack band,
+        // both sides must stay at zero forever.
+        let mut c = Cusum::standard();
+        for i in 0..10_000 {
+            let z = if i % 2 == 0 { 0.4 } else { -0.4 };
+            assert!(!c.update(z), "false alarm at sample {i}");
+        }
+        assert_eq!(c.score(), 0.0);
+        assert_eq!(c.alarms(), 0);
+    }
+
+    #[test]
+    fn cusum_detects_one_sigma_shift_quickly() {
+        let mut c = Cusum::standard();
+        let mut first_alarm = None;
+        for i in 0..100 {
+            if c.update(1.0) {
+                first_alarm = Some(i);
+                break;
+            }
+        }
+        // S⁺ grows by 0.5 per sample; it must cross h = 5 at sample 10.
+        assert_eq!(first_alarm, Some(10));
+        assert_eq!(c.alarms(), 1);
+        assert_eq!(c.positive(), 0.0, "alarming side resets");
+    }
+
+    #[test]
+    fn cusum_detects_downward_shift_on_negative_side() {
+        let mut c = Cusum::standard();
+        let mut alarmed = false;
+        for _ in 0..20 {
+            alarmed |= c.update(-2.0);
+        }
+        assert!(alarmed);
+        assert_eq!(c.negative(), 0.0);
+    }
+
+    #[test]
+    fn cusum_realarm_needs_fresh_excursion() {
+        let mut c = Cusum::new(0.5, 2.0);
+        let mut alarms = 0;
+        for _ in 0..20 {
+            if c.update(1.0) {
+                alarms += 1;
+            }
+        }
+        // Each alarm resets S⁺ to 0; climbing back over h = 2 takes 5
+        // samples of z = 1 (0.5 net each), so 20 samples yield 4 alarms.
+        assert_eq!(alarms, 4);
+        assert_eq!(c.alarms(), 4);
+    }
+
+    #[test]
+    fn cusum_ignores_non_finite() {
+        let mut c = Cusum::standard();
+        assert!(!c.update(f64::NAN));
+        assert_eq!(c.samples(), 0);
+        c.update(3.0);
+        let s = c.positive();
+        c.update(f64::INFINITY);
+        assert_eq!(c.positive(), s);
+    }
+}

@@ -25,6 +25,7 @@
 mod angular;
 mod comoment;
 mod descriptive;
+mod drift;
 mod incremental;
 mod prnew;
 mod so_graph;
@@ -37,6 +38,7 @@ pub use comoment::{streaming_covariance, streaming_variance, CoMomentMatrix};
 pub use descriptive::{
     correlation, covariance, mean, sample_variance, OnlineCovariance, OnlineMoments,
 };
+pub use drift::{Cusum, Ewma};
 pub use incremental::{Breakdown, GreedyEval};
 pub use prnew::NewAnswerModel;
 pub use so_graph::{SoGraphEstimator, SoSource};

@@ -9,8 +9,12 @@
 //!
 //! With `--require-coverage` (the CI smoke mode) the file must contain
 //! at least one dismantle decision, one SPRT verdict, one budget phase
-//! transition, and at least one span pair — the acceptance surface of
-//! the observability layer.
+//! transition, at least one span pair, and the audit ledger — a
+//! `query_audit`, its `object_audit` rows and the `drift_update`
+//! detector summaries (all unconditional on a traced run). Alarm-only
+//! events (`drift_detected`) and spam-dependent events
+//! (`spam_decision`) are *not* required: a well-behaved crowd
+//! legitimately never emits them.
 
 use disq_trace::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
@@ -93,6 +97,9 @@ fn main() -> ExitCode {
             "phase_spend",
             "span_start",
             "span_end",
+            "query_audit",
+            "object_audit",
+            "drift_update",
         ] {
             if !counts.contains_key(required) {
                 eprintln!("trace_check: {path} has no {required} events");

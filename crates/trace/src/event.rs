@@ -34,6 +34,29 @@ pub struct KindSpend {
     pub millicents: i64,
 }
 
+/// Per-attribute slice of a [`TraceEvent::QueryAudit`]: how one planned
+/// attribute's answer stream behaved against the plan's assumptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrAudit {
+    /// Planned attribute label.
+    pub label: String,
+    /// Questions per object the plan allocated (`b(a)`).
+    pub questions: u32,
+    /// Answer batches observed (= objects estimated).
+    pub batches: u64,
+    /// Raw answers asked across all batches.
+    pub answers: u64,
+    /// Answers the spam filter discarded.
+    pub dropped: u64,
+    /// Whole-batch rejections (estimator fell back to raw answers).
+    pub fallbacks: u64,
+    /// The trio's planned per-answer variance `S_c[a]`.
+    pub planned_sc: f64,
+    /// Mean within-batch sample variance of the answers actually
+    /// averaged (NaN when no batch kept ≥ 2 answers).
+    pub realized_sc: f64,
+}
+
 /// One structured trace record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -163,6 +186,149 @@ pub enum TraceEvent {
         /// Held-out objects the realized MSE averaged over.
         n_objects: u32,
     },
+    /// The online spam filter discarded at least one answer from a
+    /// batch: the filter's decision statistics, surfaced so error
+    /// attribution can see *why* answers were dropped.
+    SpamDecision {
+        /// Object being estimated.
+        object: u64,
+        /// Attribute whose batch was filtered (raw attribute id).
+        attr: u32,
+        /// Raw batch size.
+        answers: u32,
+        /// Answers that survived the filter.
+        kept: u32,
+        /// Batch median the filter centred on.
+        median: f64,
+        /// Scaled median absolute deviation (the filter's spread
+        /// estimate; 0 when a majority answered identically).
+        mad: f64,
+    },
+    /// One query target's full error-attribution ledger, assembled by
+    /// the bench runner after scoring a plan against ground truth. The
+    /// realized per-object MSE decomposes as
+    /// `noise_mse + model_mse + cross_mse` (exact per-object algebra:
+    /// residual = crowd-noise error through the regression + the
+    /// regression's own model error on true attribute values).
+    /// Self-contained like [`TraceEvent::EvalCalibration`].
+    QueryAudit {
+        /// Process-unique audit id correlating this ledger with its
+        /// [`TraceEvent::ObjectAudit`] rows. `(label, seed, target)` is
+        /// *not* unique — sweeps rerun the same cell identity per budget
+        /// point, possibly concurrently, interleaving their rows.
+        query: u64,
+        /// Cell identity: domain / query / strategy.
+        label: String,
+        /// Repetition seed of the run.
+        seed: u64,
+        /// Target attribute label.
+        target: String,
+        /// Held-out objects audited.
+        n_objects: u32,
+        /// Predicted `Err(b)` at the chosen budget (Eq. 2).
+        predicted_mse: f64,
+        /// The plan regression's training MSE.
+        training_mse: f64,
+        /// Realized per-object MSE against ground truth.
+        realized_mse: f64,
+        /// Mean squared crowd-noise error: `(ŷ − ỹ)²` where `ỹ` is the
+        /// regression applied to *true* attribute values.
+        noise_mse: f64,
+        /// Mean squared model error: `(ỹ − y)²`.
+        model_mse: f64,
+        /// Twice the mean noise×model cross term (completes the exact
+        /// decomposition; near zero when the two are independent).
+        cross_mse: f64,
+        /// Predicted `Err(b)` at an effectively unbounded budget — the
+        /// error floor the regression could reach with infinite answers.
+        error_floor: f64,
+        /// `predicted_mse − error_floor`: the loss attributable to
+        /// truncating the per-object budget at `B_obj`.
+        budget_truncation: f64,
+        /// Nominal two-sided confidence level of the per-object
+        /// intervals (e.g. 0.95).
+        ci_level: f64,
+        /// Fraction of audited objects whose true value fell inside
+        /// `estimate ± z·√predicted_mse`.
+        ci_coverage: f64,
+        /// Per-planned-attribute answer-stream audit.
+        attrs: Vec<AttrAudit>,
+    },
+    /// One audited object's residual and confidence interval (the
+    /// per-object grain under a [`TraceEvent::QueryAudit`]).
+    ObjectAudit {
+        /// The owning [`TraceEvent::QueryAudit`]'s audit id.
+        query: u64,
+        /// Cell identity: domain / query / strategy.
+        label: String,
+        /// Repetition seed of the run.
+        seed: u64,
+        /// Target attribute label.
+        target: String,
+        /// Audited object.
+        object: u64,
+        /// Ground-truth target value.
+        truth: f64,
+        /// The plan's estimate.
+        estimate: f64,
+        /// `estimate − truth`.
+        residual: f64,
+        /// Crowd-noise component of the residual (`ŷ − ỹ`).
+        noise_err: f64,
+        /// Model component of the residual (`ỹ − y`).
+        model_err: f64,
+        /// Lower edge of the predicted confidence interval.
+        ci_lo: f64,
+        /// Upper edge of the predicted confidence interval.
+        ci_hi: f64,
+        /// Whether the truth fell inside `[ci_lo, ci_hi]`.
+        in_ci: bool,
+    },
+    /// Final state of one drift detector after an audited run: the
+    /// always-emitted companion of [`TraceEvent::DriftDetected`] (which
+    /// only fires on alarms), so coverage gates can require it.
+    DriftUpdate {
+        /// Cell identity: domain / query / strategy.
+        label: String,
+        /// Monitored attribute label.
+        attr: String,
+        /// Monitored metric: `answer_var` or `spam_rate`.
+        metric: String,
+        /// Planned reference value the stream is compared against.
+        reference: f64,
+        /// EWMA of the standardized deviations from the reference.
+        ewma: f64,
+        /// Current two-sided CUSUM score (max of both sides, in sigmas).
+        score: f64,
+        /// CUSUM decision threshold `h`.
+        threshold: f64,
+        /// Batches the detector absorbed.
+        samples: u64,
+        /// Alarms raised over the run.
+        alarms: u64,
+    },
+    /// A drift detector crossed its decision threshold: the realized
+    /// answer stream departed from the plan's assumptions. This is the
+    /// trigger signal a streaming replanning engine consumes.
+    DriftDetected {
+        /// Cell identity: domain / query / strategy.
+        label: String,
+        /// Monitored attribute label.
+        attr: String,
+        /// Monitored metric: `answer_var` or `spam_rate`.
+        metric: String,
+        /// The observation that tripped the alarm.
+        observed: f64,
+        /// Planned reference value.
+        reference: f64,
+        /// CUSUM score just before the alarm reset (exceeds
+        /// `threshold`).
+        score: f64,
+        /// CUSUM decision threshold `h`.
+        threshold: f64,
+        /// 1-based index of the tripping batch in the stream.
+        sample: u64,
+    },
     /// A hierarchical span opened (see [`crate::span`]). Matched by
     /// exactly one [`TraceEvent::SpanEnd`] with the same `id`.
     SpanStart {
@@ -213,6 +379,11 @@ impl TraceEvent {
             TraceEvent::SpamFallback { .. } => "spam_fallback",
             TraceEvent::SolverFallback { .. } => "solver_fallback",
             TraceEvent::EvalCalibration { .. } => "eval_calibration",
+            TraceEvent::SpamDecision { .. } => "spam_decision",
+            TraceEvent::QueryAudit { .. } => "query_audit",
+            TraceEvent::ObjectAudit { .. } => "object_audit",
+            TraceEvent::DriftUpdate { .. } => "drift_update",
+            TraceEvent::DriftDetected { .. } => "drift_detected",
             TraceEvent::SpanStart { .. } => "span_start",
             TraceEvent::SpanEnd { .. } => "span_end",
         }
@@ -371,6 +542,170 @@ impl TraceEvent {
                 s.push_str(",\"realized_mse\":");
                 write_f64(&mut s, *realized_mse);
                 let _ = write!(s, ",\"n_objects\":{n_objects}");
+            }
+            TraceEvent::SpamDecision {
+                object,
+                attr,
+                answers,
+                kept,
+                median,
+                mad,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"object\":{object},\"attr\":{attr},\"answers\":{answers},\
+                     \"kept\":{kept},\"median\":"
+                );
+                write_f64(&mut s, *median);
+                s.push_str(",\"mad\":");
+                write_f64(&mut s, *mad);
+            }
+            TraceEvent::QueryAudit {
+                query,
+                label,
+                seed,
+                target,
+                n_objects,
+                predicted_mse,
+                training_mse,
+                realized_mse,
+                noise_mse,
+                model_mse,
+                cross_mse,
+                error_floor,
+                budget_truncation,
+                ci_level,
+                ci_coverage,
+                attrs,
+            } => {
+                let _ = write!(s, ",\"query\":{query},\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(s, ",\"seed\":{seed},\"target\":");
+                write_str(&mut s, target);
+                let _ = write!(s, ",\"n_objects\":{n_objects}");
+                for (name, value) in [
+                    ("predicted_mse", *predicted_mse),
+                    ("training_mse", *training_mse),
+                    ("realized_mse", *realized_mse),
+                    ("noise_mse", *noise_mse),
+                    ("model_mse", *model_mse),
+                    ("cross_mse", *cross_mse),
+                    ("error_floor", *error_floor),
+                    ("budget_truncation", *budget_truncation),
+                    ("ci_level", *ci_level),
+                    ("ci_coverage", *ci_coverage),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    write_f64(&mut s, value);
+                }
+                s.push_str(",\"attrs\":[");
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"label\":");
+                    write_str(&mut s, &a.label);
+                    let _ = write!(
+                        s,
+                        ",\"questions\":{},\"batches\":{},\"answers\":{},\
+                         \"dropped\":{},\"fallbacks\":{},\"planned_sc\":",
+                        a.questions, a.batches, a.answers, a.dropped, a.fallbacks
+                    );
+                    write_f64(&mut s, a.planned_sc);
+                    s.push_str(",\"realized_sc\":");
+                    write_f64(&mut s, a.realized_sc);
+                    s.push('}');
+                }
+                s.push(']');
+            }
+            TraceEvent::ObjectAudit {
+                query,
+                label,
+                seed,
+                target,
+                object,
+                truth,
+                estimate,
+                residual,
+                noise_err,
+                model_err,
+                ci_lo,
+                ci_hi,
+                in_ci,
+            } => {
+                let _ = write!(s, ",\"query\":{query},\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(s, ",\"seed\":{seed},\"target\":");
+                write_str(&mut s, target);
+                let _ = write!(s, ",\"object\":{object}");
+                for (name, value) in [
+                    ("truth", *truth),
+                    ("estimate", *estimate),
+                    ("residual", *residual),
+                    ("noise_err", *noise_err),
+                    ("model_err", *model_err),
+                    ("ci_lo", *ci_lo),
+                    ("ci_hi", *ci_hi),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    write_f64(&mut s, value);
+                }
+                let _ = write!(s, ",\"in_ci\":{in_ci}");
+            }
+            TraceEvent::DriftUpdate {
+                label,
+                attr,
+                metric,
+                reference,
+                ewma,
+                score,
+                threshold,
+                samples,
+                alarms,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                s.push_str(",\"attr\":");
+                write_str(&mut s, attr);
+                s.push_str(",\"metric\":");
+                write_str(&mut s, metric);
+                for (name, value) in [
+                    ("reference", *reference),
+                    ("ewma", *ewma),
+                    ("score", *score),
+                    ("threshold", *threshold),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    write_f64(&mut s, value);
+                }
+                let _ = write!(s, ",\"samples\":{samples},\"alarms\":{alarms}");
+            }
+            TraceEvent::DriftDetected {
+                label,
+                attr,
+                metric,
+                observed,
+                reference,
+                score,
+                threshold,
+                sample,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                s.push_str(",\"attr\":");
+                write_str(&mut s, attr);
+                s.push_str(",\"metric\":");
+                write_str(&mut s, metric);
+                for (name, value) in [
+                    ("observed", *observed),
+                    ("reference", *reference),
+                    ("score", *score),
+                    ("threshold", *threshold),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    write_f64(&mut s, value);
+                }
+                let _ = write!(s, ",\"sample\":{sample}");
             }
             TraceEvent::SpanStart {
                 id,
@@ -587,6 +922,106 @@ impl TraceEvent {
                 realized_mse: f64_field("realized_mse")?,
                 n_objects: u32_field("n_objects")?,
             }),
+            "spam_decision" => Ok(TraceEvent::SpamDecision {
+                object: u64_field("object")?,
+                attr: u32_field("attr")?,
+                answers: u32_field("answers")?,
+                kept: u32_field("kept")?,
+                median: f64_field("median")?,
+                mad: f64_field("mad")?,
+            }),
+            "query_audit" => {
+                let mut attrs = Vec::new();
+                for a in v
+                    .get("attrs")
+                    .and_then(Json::as_arr)
+                    .ok_or("query_audit: missing attrs")?
+                {
+                    let num = |name: &str| -> Result<f64, String> {
+                        a.get(name)
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("attrs: missing {name:?}"))
+                    };
+                    let int = |name: &str| -> Result<u64, String> {
+                        a.get(name)
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("attrs: missing {name:?}"))
+                    };
+                    attrs.push(AttrAudit {
+                        label: a
+                            .get("label")
+                            .and_then(Json::as_str)
+                            .ok_or("attrs: missing label")?
+                            .to_string(),
+                        questions: int("questions")?
+                            .try_into()
+                            .map_err(|_| "attrs: questions out of range".to_string())?,
+                        batches: int("batches")?,
+                        answers: int("answers")?,
+                        dropped: int("dropped")?,
+                        fallbacks: int("fallbacks")?,
+                        planned_sc: num("planned_sc")?,
+                        realized_sc: num("realized_sc")?,
+                    });
+                }
+                Ok(TraceEvent::QueryAudit {
+                    query: u64_field("query")?,
+                    label: str_field("label")?,
+                    seed: u64_field("seed")?,
+                    target: str_field("target")?,
+                    n_objects: u32_field("n_objects")?,
+                    predicted_mse: f64_field("predicted_mse")?,
+                    training_mse: f64_field("training_mse")?,
+                    realized_mse: f64_field("realized_mse")?,
+                    noise_mse: f64_field("noise_mse")?,
+                    model_mse: f64_field("model_mse")?,
+                    cross_mse: f64_field("cross_mse")?,
+                    error_floor: f64_field("error_floor")?,
+                    budget_truncation: f64_field("budget_truncation")?,
+                    ci_level: f64_field("ci_level")?,
+                    ci_coverage: f64_field("ci_coverage")?,
+                    attrs,
+                })
+            }
+            "object_audit" => Ok(TraceEvent::ObjectAudit {
+                query: u64_field("query")?,
+                label: str_field("label")?,
+                seed: u64_field("seed")?,
+                target: str_field("target")?,
+                object: u64_field("object")?,
+                truth: f64_field("truth")?,
+                estimate: f64_field("estimate")?,
+                residual: f64_field("residual")?,
+                noise_err: f64_field("noise_err")?,
+                model_err: f64_field("model_err")?,
+                ci_lo: f64_field("ci_lo")?,
+                ci_hi: f64_field("ci_hi")?,
+                in_ci: v
+                    .get("in_ci")
+                    .and_then(Json::as_bool)
+                    .ok_or("object_audit: missing in_ci")?,
+            }),
+            "drift_update" => Ok(TraceEvent::DriftUpdate {
+                label: str_field("label")?,
+                attr: str_field("attr")?,
+                metric: str_field("metric")?,
+                reference: f64_field("reference")?,
+                ewma: f64_field("ewma")?,
+                score: f64_field("score")?,
+                threshold: f64_field("threshold")?,
+                samples: u64_field("samples")?,
+                alarms: u64_field("alarms")?,
+            }),
+            "drift_detected" => Ok(TraceEvent::DriftDetected {
+                label: str_field("label")?,
+                attr: str_field("attr")?,
+                metric: str_field("metric")?,
+                observed: f64_field("observed")?,
+                reference: f64_field("reference")?,
+                score: f64_field("score")?,
+                threshold: f64_field("threshold")?,
+                sample: u64_field("sample")?,
+            }),
             "span_start" => Ok(TraceEvent::SpanStart {
                 id: u64_field("id")?,
                 parent: match v.get("parent") {
@@ -699,6 +1134,89 @@ mod tests {
                 realized_mse: 4.5,
                 n_objects: 150,
             },
+            TraceEvent::SpamDecision {
+                object: 17,
+                attr: 4,
+                answers: 6,
+                kept: 5,
+                median: 23.5,
+                mad: 2.9652,
+            },
+            TraceEvent::QueryAudit {
+                query: 12,
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                seed: 3,
+                target: "Bmi".into(),
+                n_objects: 150,
+                predicted_mse: 3.75,
+                training_mse: 4.25,
+                realized_mse: 4.5,
+                noise_mse: 2.5,
+                model_mse: 1.75,
+                cross_mse: 0.25,
+                error_floor: 1.5,
+                budget_truncation: 2.25,
+                ci_level: 0.95,
+                ci_coverage: 0.9266666666666666,
+                attrs: vec![
+                    AttrAudit {
+                        label: "Weight".into(),
+                        questions: 5,
+                        batches: 150,
+                        answers: 750,
+                        dropped: 12,
+                        fallbacks: 1,
+                        planned_sc: 40.0,
+                        realized_sc: 43.7,
+                    },
+                    AttrAudit {
+                        label: "Height".into(),
+                        questions: 3,
+                        batches: 150,
+                        answers: 450,
+                        dropped: 0,
+                        fallbacks: 0,
+                        planned_sc: 0.01,
+                        realized_sc: 0.008,
+                    },
+                ],
+            },
+            TraceEvent::ObjectAudit {
+                query: 12,
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                seed: 3,
+                target: "Bmi".into(),
+                object: 117,
+                truth: 24.0,
+                estimate: 25.5,
+                residual: 1.5,
+                noise_err: 1.0,
+                model_err: 0.5,
+                ci_lo: 21.7,
+                ci_hi: 29.3,
+                in_ci: true,
+            },
+            TraceEvent::DriftUpdate {
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                attr: "Weight".into(),
+                metric: "answer_var".into(),
+                reference: 40.0,
+                ewma: 0.35,
+                score: 1.25,
+                threshold: 5.0,
+                samples: 150,
+                alarms: 0,
+            },
+            TraceEvent::DriftDetected {
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                attr: "Weight".into(),
+                metric: "spam_rate".into(),
+                observed: 0.4,
+                reference: 0.0,
+                score: 5.2,
+                threshold: 5.0,
+                sample: 31,
+            },
             TraceEvent::SpanStart {
                 id: 42,
                 parent: Some(41),
@@ -742,7 +1260,7 @@ mod tests {
         for event in samples() {
             seen.insert(event.name());
         }
-        assert_eq!(seen.len(), 13);
+        assert_eq!(seen.len(), 18);
     }
 
     #[test]

@@ -30,6 +30,9 @@ fn counter_help(c: Counter) -> &'static str {
         Counter::ReplayFellThrough => "Replay lookups that fell through to live",
         Counter::SolverFallbacks => "Incremental budget solves rescued by the dense engine",
         Counter::ProbeCacheHits => "Loss probes answered from the dismantle probe cache",
+        Counter::AuditedObjects => "Objects given a per-object error-attribution audit",
+        Counter::AuditedQueries => "Query targets given a full error-attribution ledger",
+        Counter::DriftAlarms => "Answer-stream drift-detector alarms raised",
         Counter::TraceWriteErrors => "Trace-file writes that failed (trace is incomplete)",
         Counter::TraceDroppedEvents => "Events evicted by a capped in-memory trace sink",
         Counter::AllocBytes => "Heap bytes requested while tracing was active",

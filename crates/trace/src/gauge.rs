@@ -1,0 +1,175 @@
+//! Process-global Prometheus gauges for *current-state* observability.
+//!
+//! Counters (see [`crate::metrics`]) only go up; the drift detectors
+//! need to publish levels — "how close is this attribute's answer
+//! stream to alarming right now" — which is what a Prometheus gauge is
+//! for. The registry is a labelled family map guarded by a mutex: gauge
+//! updates happen at audit granularity (once per query target per
+//! attribute), far off the per-answer hot path, so a lock is fine and
+//! keeps the implementation dependency-free.
+//!
+//! [`render`] emits text exposition format 0.0.4; [`crate::serve`]
+//! appends it to the counter/histogram body from
+//! [`crate::expo::prometheus_text`] so one scrape sees everything.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One gauge family: a help string plus labelled series.
+struct Family {
+    help: &'static str,
+    /// Encoded label set (`key="value",…`) → last value.
+    series: BTreeMap<String, f64>,
+}
+
+static GAUGES: Mutex<BTreeMap<&'static str, Family>> = Mutex::new(BTreeMap::new());
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn encode_labels(labels: &[(&str, &str)]) -> String {
+    let mut s = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        escape_label(&mut s, v);
+        s.push('"');
+    }
+    s
+}
+
+/// Sets one labelled gauge series to `value`, creating the family on
+/// first use. `family` must be a full metric name (the `disq_…`
+/// convention is the caller's job); label *names* must be valid
+/// Prometheus label identifiers, label *values* are escaped here.
+pub fn set(family: &'static str, help: &'static str, labels: &[(&str, &str)], value: f64) {
+    let key = encode_labels(labels);
+    let mut gauges = GAUGES.lock().unwrap_or_else(|e| e.into_inner());
+    gauges
+        .entry(family)
+        .or_insert_with(|| Family {
+            help,
+            series: BTreeMap::new(),
+        })
+        .series
+        .insert(key, value);
+}
+
+/// Renders every gauge family as exposition text (empty string when no
+/// gauge was ever set). Non-finite values encode as `NaN`/`+Inf`/`-Inf`,
+/// which the format permits for gauges.
+pub fn render() -> String {
+    let gauges = GAUGES.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::new();
+    for (name, family) in gauges.iter() {
+        let _ = writeln!(out, "# HELP {name} {}", family.help);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (labels, value) in &family.series {
+            let rendered = if value.is_nan() {
+                "NaN".to_string()
+            } else if value.is_infinite() {
+                (if *value > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+            } else {
+                format!("{value}")
+            };
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name} {rendered}");
+            } else {
+                let _ = writeln!(out, "{name}{{{labels}}} {rendered}");
+            }
+        }
+    }
+    out
+}
+
+/// Clears every registered gauge (test isolation).
+pub fn reset() {
+    GAUGES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// The registry is process-global; in-crate tests that touch it (here
+/// and in [`crate::serve`]) serialize on this lock.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    fn lock() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn set_then_render_roundtrips() {
+        let _guard = lock();
+        reset();
+        set(
+            "disq_drift_score",
+            "CUSUM score",
+            &[("attr", "Weight"), ("metric", "answer_var")],
+            1.25,
+        );
+        set(
+            "disq_drift_score",
+            "CUSUM score",
+            &[("attr", "Weight"), ("metric", "spam_rate")],
+            0.0,
+        );
+        let text = render();
+        assert!(text.contains("# TYPE disq_drift_score gauge"), "{text}");
+        assert!(
+            text.contains("disq_drift_score{attr=\"Weight\",metric=\"answer_var\"} 1.25"),
+            "{text}"
+        );
+        assert!(
+            text.contains("disq_drift_score{attr=\"Weight\",metric=\"spam_rate\"} 0"),
+            "{text}"
+        );
+        reset();
+        assert_eq!(render(), "");
+    }
+
+    #[test]
+    fn updates_overwrite_and_labels_escape() {
+        let _guard = lock();
+        reset();
+        set("disq_test_gauge", "help", &[("k", "a\"b\\c\nd")], 1.0);
+        set("disq_test_gauge", "help", &[("k", "a\"b\\c\nd")], 2.0);
+        let text = render();
+        // One series, latest value, escaped label.
+        assert_eq!(text.matches("disq_test_gauge{").count(), 1, "{text}");
+        assert!(
+            text.contains("disq_test_gauge{k=\"a\\\"b\\\\c\\nd\"} 2"),
+            "{text}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn non_finite_values_render_spec_forms() {
+        let _guard = lock();
+        reset();
+        set("disq_nan_gauge", "help", &[], f64::NAN);
+        set("disq_inf_gauge", "help", &[], f64::INFINITY);
+        let text = render();
+        assert!(text.contains("disq_nan_gauge NaN"), "{text}");
+        assert!(text.contains("disq_inf_gauge +Inf"), "{text}");
+        reset();
+    }
+}

@@ -30,7 +30,8 @@
 //!   a JSONL file (crash-tolerant: corrupt lines are counted and
 //!   skipped), [`prometheus_text`] renders a [`RunSummary`] in
 //!   Prometheus exposition format, and [`MetricsServer`] serves that
-//!   rendering live over HTTP (`DISQ_METRICS_ADDR=127.0.0.1:PORT`).
+//!   rendering live over HTTP (`DISQ_METRICS_ADDR=127.0.0.1:PORT`),
+//!   appending any labelled [`gauge`] families (drift-detector levels).
 //!   The `disq-insight` crate builds its reports on these pieces.
 //!
 //! The build environment has no crates.io access, so everything —
@@ -50,6 +51,7 @@
 mod alloc;
 mod event;
 pub mod expo;
+pub mod gauge;
 pub mod json;
 mod metrics;
 pub mod reader;
@@ -58,7 +60,7 @@ mod sink;
 pub mod span;
 
 pub use alloc::{peak_alloc_bytes, watermark_start, watermark_stop, CountingAlloc};
-pub use event::{CandidateScore, KindSpend, TraceEvent};
+pub use event::{AttrAudit, CandidateScore, KindSpend, TraceEvent};
 pub use expo::prometheus_text;
 pub use metrics::{
     count, count_n, record_timer, summary, Counter, RunSummary, Timer, TimerStats, COUNTER_COUNT,
@@ -86,6 +88,16 @@ pub const TRACE_ENV_VAR: &str = "DISQ_TRACE";
 #[inline]
 pub fn active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Allocates a process-unique audit id, correlating one
+/// [`TraceEvent::QueryAudit`] ledger with its
+/// [`TraceEvent::ObjectAudit`] rows. `(label, seed, target)` alone is
+/// not unique: sweeps re-run the same cell identity per budget point,
+/// and parallel cells interleave their events in the shared sink.
+pub fn next_audit_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Installs `sink` as the process-global trace destination, replacing

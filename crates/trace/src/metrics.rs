@@ -69,6 +69,16 @@ pub enum Counter {
     /// Next-attribute loss probes answered from the dismantle-step probe
     /// cache instead of re-running a greedy solve.
     ProbeCacheHits,
+    /// Objects given a per-object error-attribution audit
+    /// ([`crate::TraceEvent::ObjectAudit`]); incremented only on traced
+    /// audit paths, so the event count and counter delta stay bit-exact.
+    AuditedObjects,
+    /// Query targets given a full error-attribution ledger
+    /// ([`crate::TraceEvent::QueryAudit`]); same traced-only gating.
+    AuditedQueries,
+    /// Drift-detector alarms raised ([`crate::TraceEvent::DriftDetected`]);
+    /// same traced-only gating.
+    DriftAlarms,
     /// Trace-sink write failures (file creation or mid-run I/O errors in
     /// the JSONL sink). Non-zero means the trace on disk is incomplete.
     TraceWriteErrors,
@@ -84,7 +94,7 @@ pub enum Counter {
 }
 
 /// Number of counters.
-pub const COUNTER_COUNT: usize = 22;
+pub const COUNTER_COUNT: usize = 25;
 
 impl Counter {
     /// Every counter, in `RunSummary` order.
@@ -107,6 +117,9 @@ impl Counter {
         Counter::ReplayFellThrough,
         Counter::SolverFallbacks,
         Counter::ProbeCacheHits,
+        Counter::AuditedObjects,
+        Counter::AuditedQueries,
+        Counter::DriftAlarms,
         Counter::TraceWriteErrors,
         Counter::TraceDroppedEvents,
         Counter::AllocBytes,
@@ -134,6 +147,9 @@ impl Counter {
             Counter::ReplayFellThrough => "replay_fell_through",
             Counter::SolverFallbacks => "solver_fallbacks",
             Counter::ProbeCacheHits => "probe_cache_hits",
+            Counter::AuditedObjects => "audited_objects",
+            Counter::AuditedQueries => "audited_queries",
+            Counter::DriftAlarms => "drift_alarms",
             Counter::TraceWriteErrors => "trace_write_errors",
             Counter::TraceDroppedEvents => "trace_dropped_events",
             Counter::AllocBytes => "alloc_bytes",
@@ -444,6 +460,9 @@ impl RunSummary {
             (Counter::ReplayFellThrough, "replay fall-throughs"),
             (Counter::SolverFallbacks, "solver fallbacks"),
             (Counter::ProbeCacheHits, "probe cache hits"),
+            (Counter::AuditedObjects, "audited objects"),
+            (Counter::AuditedQueries, "audited queries"),
+            (Counter::DriftAlarms, "drift alarms"),
             (Counter::TraceWriteErrors, "trace write errors"),
             (Counter::TraceDroppedEvents, "trace dropped events"),
         ];

@@ -109,7 +109,10 @@ fn serve_one(mut stream: TcpStream) {
             Err(_) => break,
         }
     }
-    let body = prometheus_text(&crate::summary());
+    let mut body = prometheus_text(&crate::summary());
+    // Gauges (drift-detector levels) are a separate registry so the
+    // counter/histogram encoder stays a pure function of a RunSummary.
+    body.push_str(&crate::gauge::render());
     let response = format!(
         "HTTP/1.1 200 OK\r\n\
          Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
@@ -215,6 +218,65 @@ mod tests {
         let second = parse_counter(&scrape(server.local_addr()));
         assert!(second >= first + 7, "{first} -> {second}");
         server.shutdown();
+    }
+
+    /// Satellite: concurrent scrapes each get a complete, well-formed
+    /// 0.0.4 exposition that includes the drift gauges, and shutting
+    /// down right after the burst is still clean.
+    #[test]
+    fn concurrent_scrapes_are_wellformed_and_include_drift_gauges() {
+        let _gauges = crate::gauge::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::gauge::set(
+            "disq_drift_score",
+            "Two-sided CUSUM score per monitored attribute stream",
+            &[("attr", "Weight"), ("metric", "answer_var")],
+            1.25,
+        );
+        crate::gauge::set(
+            "disq_drift_alarms",
+            "Drift alarms raised per monitored attribute stream",
+            &[("attr", "Weight"), ("metric", "answer_var")],
+            0.0,
+        );
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let bodies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(move || scrape(addr))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for response in &bodies {
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            let body = response.split("\r\n\r\n").nth(1).unwrap();
+            let len: usize = response
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert_eq!(len, body.len(), "truncated concurrent response");
+            for line in body.lines() {
+                if line.starts_with('#') {
+                    assert!(
+                        line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                        "{line}"
+                    );
+                } else {
+                    let (_, value) = line.rsplit_once(' ').expect(line);
+                    assert!(value.parse::<f64>().is_ok(), "{line}");
+                }
+            }
+            assert!(body.contains("# TYPE disq_drift_score gauge"), "{body}");
+            assert!(
+                body.contains("disq_drift_score{attr=\"Weight\",metric=\"answer_var\"} 1.25"),
+                "{body}"
+            );
+            assert!(body.contains("disq_audited_queries_total"), "{body}");
+        }
+        server.shutdown();
+        crate::gauge::reset();
     }
 
     #[test]
