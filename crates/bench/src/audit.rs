@@ -25,7 +25,8 @@
 use crate::runner::Cell;
 use disq_core::online::OnlineAudit;
 use disq_core::{EvaluationPlan, PreprocessOutput};
-use disq_domain::{ObjectId, Population};
+use disq_crowd::{WorkerId, WorkerLedger, WorkerPool};
+use disq_domain::{AttributeKind, ObjectId, Population};
 use disq_stats::{Cusum, Ewma};
 use disq_trace::{AttrAudit, Counter, TraceEvent};
 
@@ -39,6 +40,101 @@ const DRIFT_EWMA_ALPHA: f64 = 0.1;
 /// that `S_c/b` vanishes, so `predicted_error` degenerates to the
 /// irreducible regression error at infinite answers.
 const FLOOR_BUDGET: f64 = 1e12;
+
+/// Worst-offender series published as live gauges (one `worker` label
+/// value each): bounding the cardinality keeps the scrape size flat no
+/// matter how large `DISQ_WORKER_POOL` grows.
+const OFFENDER_GAUGES: usize = 8;
+/// Upper bounds of the cumulative pool-quality histogram buckets
+/// (standardized residual variance; ≈ 1 for an average worker).
+const QUALITY_BUCKETS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Emits the worker provenance ledger of one repetition: one
+/// `worker_profile` event per pool member (the planted truth), one
+/// `worker_stats` event per worker the spam-filter audit attributed
+/// answers to (the observation), plus the live `disq_worker_*` gauges —
+/// per-worker quality/spam for the top-[`OFFENDER_GAUGES`] offenders and
+/// a cumulative pool-quality histogram.
+pub(crate) fn emit_worker_telemetry(
+    cell: &Cell,
+    rep: u64,
+    label: &str,
+    pool: &WorkerPool,
+    workers: &WorkerLedger,
+) {
+    for (w, p) in pool.iter() {
+        disq_trace::emit(|| TraceEvent::WorkerProfile {
+            label: label.to_string(),
+            worker: w.0,
+            sd_multiplier: p.sd_multiplier,
+            spam_propensity: p.spam_propensity,
+        });
+    }
+    let pricing = &cell.crowd.pricing;
+    let binary_mc = pricing.value_price(AttributeKind::Boolean).millicents();
+    let numeric_mc = pricing.value_price(AttributeKind::Numeric).millicents();
+    for (w, t) in workers.iter() {
+        let spent = binary_mc * t.binary_answers as i64 + numeric_mc * t.numeric_answers as i64;
+        disq_trace::emit(|| TraceEvent::WorkerStats {
+            label: label.to_string(),
+            seed: rep,
+            worker: w.0,
+            binary_answers: t.binary_answers,
+            numeric_answers: t.numeric_answers,
+            rejected: t.rejected,
+            spent_millicents: spent,
+            residual_n: t.residual_n,
+            residual_sum: t.residual_sum,
+            residual_sq: t.residual_sq,
+        });
+    }
+
+    // ---- Live gauges ------------------------------------------------------
+    let mut scored: Vec<(WorkerId, f64, f64, f64)> = workers
+        .iter()
+        .map(|(w, t)| {
+            let quality = t.residual_var();
+            let spam = t.observed_spam_rate();
+            (w, quality, spam, disq_stats::offender_score(quality, spam))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.3.total_cmp(&a.3).then(a.0.cmp(&b.0)));
+    for &(w, quality, spam, _) in scored.iter().take(OFFENDER_GAUGES) {
+        let name = w.to_string();
+        let labels = [("worker", name.as_str())];
+        disq_trace::gauge::set(
+            "disq_worker_quality",
+            "Empirical standardized-residual variance of a worst-offender worker (1 = average)",
+            &labels,
+            quality,
+        );
+        disq_trace::gauge::set(
+            "disq_worker_spam_rate",
+            "Fraction of a worst-offender worker's answers the spam filter rejected",
+            &labels,
+            spam,
+        );
+    }
+    for le in QUALITY_BUCKETS {
+        let count = scored
+            .iter()
+            .filter(|s| s.1.is_finite() && s.1 <= le)
+            .count();
+        let text = format!("{le}");
+        disq_trace::gauge::set(
+            "disq_worker_pool_quality_bucket",
+            "Cumulative count of attributed workers by residual-variance quality",
+            &[("le", text.as_str())],
+            count as f64,
+        );
+    }
+    disq_trace::gauge::set(
+        "disq_worker_pool_quality_bucket",
+        "Cumulative count of attributed workers by residual-variance quality",
+        &[("le", "+Inf")],
+        scored.len() as f64,
+    );
+}
 
 /// One drift detector pair (level + alarm) over one monitored metric of
 /// one attribute's batch stream.

@@ -18,6 +18,7 @@ pub mod robustness;
 pub mod scale;
 pub mod table4;
 pub mod table5;
+pub mod workers;
 
 use crate::report::{fmt_err, Table};
 use crate::runner::Cell;

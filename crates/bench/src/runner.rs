@@ -344,6 +344,15 @@ pub fn run_cell_in_world(
                     cell, rep, &label, out, &plan, &order, &objects, population, &estimates,
                     &truth, audit,
                 );
+                // Worker provenance: planted profiles, per-worker tallies,
+                // and the live worker-health gauges.
+                crate::audit::emit_worker_telemetry(
+                    cell,
+                    rep,
+                    &label,
+                    online_crowd.worker_pool(),
+                    audit.workers(),
+                );
             }
         }
     }

@@ -7,8 +7,8 @@
 //! the estimates and returns the qualifying rows.
 
 use crate::{DisqError, EvaluationPlan};
-use disq_crowd::{filter_spam_into, CrowdPlatform};
-use disq_domain::{ObjectId, Query};
+use disq_crowd::{filter_spam_into, CrowdPlatform, WorkerId, WorkerLedger};
+use disq_domain::{AttributeKind, ObjectId, Query};
 use disq_trace::{Counter, TraceEvent};
 
 /// Reusable working buffers for the per-object estimation kernel.
@@ -24,6 +24,9 @@ pub struct EstimateScratch {
     kept: Vec<f64>,
     medians: Vec<f64>,
     averages: Vec<f64>,
+    /// Worker id per raw answer — filled on the audited path only; the
+    /// unaudited kernel never touches it.
+    workers: Vec<WorkerId>,
 }
 
 impl EstimateScratch {
@@ -64,6 +67,9 @@ pub struct OnlineAudit {
     /// `batches[i]` are the batches of plan attribute `i`, in object
     /// order.
     batches: Vec<Vec<BatchStat>>,
+    /// Per-worker answer / rejection / residual tallies across every
+    /// batch of the run (the provenance side of the ledger).
+    workers: WorkerLedger,
 }
 
 impl OnlineAudit {
@@ -76,6 +82,7 @@ impl OnlineAudit {
                 .iter()
                 .map(|_| Vec::with_capacity(objects))
                 .collect(),
+            workers: WorkerLedger::new(),
         }
     }
 
@@ -87,6 +94,11 @@ impl OnlineAudit {
     /// Number of plan attributes tracked.
     pub fn attr_count(&self) -> usize {
         self.batches.len()
+    }
+
+    /// Per-worker tallies accumulated across all audited batches.
+    pub fn workers(&self) -> &WorkerLedger {
+        &self.workers
     }
 }
 
@@ -192,7 +204,22 @@ fn estimate_object_impl<P: CrowdPlatform>(
     scratch.averages.clear();
     for (i, p) in plan.attributes.iter().enumerate() {
         scratch.answers.clear();
-        platform.ask_values(object, p.attr, p.questions as usize, &mut scratch.answers)?;
+        if audit.is_some() {
+            // Audited path: ask through the attributed API so every
+            // answer carries its worker. Attributed and plain asks are
+            // the same call on every platform (the id rides a separate
+            // RNG stream), so estimates stay bit-identical.
+            scratch.workers.clear();
+            platform.ask_values_attributed(
+                object,
+                p.attr,
+                p.questions as usize,
+                &mut scratch.answers,
+                &mut scratch.workers,
+            )?;
+        } else {
+            platform.ask_values(object, p.attr, p.questions as usize, &mut scratch.answers)?;
+        }
         let stats = filter_spam_into(&scratch.answers, &mut scratch.medians, &mut scratch.kept);
         let dropped = scratch.answers.len() - scratch.kept.len();
         disq_trace::count_n(Counter::SpamAnswersDropped, dropped as u64);
@@ -237,6 +264,23 @@ fn estimate_object_impl<P: CrowdPlatform>(
                 var,
                 fallback,
             });
+            // Attribute every raw answer to its worker: the filter's
+            // verdict (replayed via `SpamStats::keeps`) feeds the
+            // accept/reject tallies, and kept answers of well-formed
+            // batches contribute a standardized residual — the
+            // scale-free signal the worker scorecards estimate quality
+            // from.
+            let n = scratch.answers.len();
+            let numeric = p.kind == AttributeKind::Numeric;
+            let residuals_ok = !fallback && used.len() >= 3 && var.is_finite() && var > 0.0;
+            let sd = var.sqrt();
+            for (&x, &w) in scratch.answers.iter().zip(&scratch.workers) {
+                let kept_ans = !fallback && stats.keeps(n, x);
+                audit.workers.record_answer(w, numeric, !kept_ans);
+                if residuals_ok && kept_ans {
+                    audit.workers.record_residual(w, (x - mean) / sd);
+                }
+            }
         }
     }
     for t in 0..plan.regressions.len() {
@@ -488,6 +532,22 @@ mod tests {
         // for this identity plan the estimate IS the batch mean.
         for (b, row) in batches.iter().zip(&audited) {
             assert_eq!(b.mean, row[0]);
+        }
+        // Worker provenance: every raw answer was attributed to a real
+        // member of the (default 16-worker) pool, and residual tallies
+        // only cover kept answers.
+        let workers = audit.workers();
+        assert!(!workers.is_empty());
+        let total: u64 = workers.iter().map(|(_, t)| t.answers()).sum();
+        assert_eq!(total, 8 * objects.len() as u64);
+        let rejected: u64 = workers.iter().map(|(_, t)| t.rejected).sum();
+        let kept_total: u64 = batches.iter().map(|b| b.kept as u64).sum();
+        assert_eq!(rejected, total - kept_total);
+        let residuals: u64 = workers.iter().map(|(_, t)| t.residual_n).sum();
+        assert_eq!(residuals, kept_total, "all batches here are well-formed");
+        for (w, t) in workers.iter() {
+            assert!(w.0 < 16, "worker {w} outside default pool");
+            assert!(t.numeric_answers > 0 || t.binary_answers > 0);
         }
     }
 

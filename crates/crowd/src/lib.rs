@@ -31,6 +31,7 @@ mod pricing;
 mod question;
 mod recorder;
 mod spam;
+mod worker;
 
 #[cfg(test)]
 mod proptests;
@@ -43,3 +44,6 @@ pub use pricing::PricingModel;
 pub use question::{QuestionKind, ValueBatch};
 pub use recorder::{AnswerLog, RecordingCrowd, ReplayingCrowd};
 pub use spam::{filter_spam, filter_spam_into, SpamStats};
+pub use worker::{
+    WorkerConfig, WorkerId, WorkerLedger, WorkerModel, WorkerPool, WorkerProfile, WorkerTally,
+};

@@ -22,12 +22,20 @@
 //! * **example questions** return a random object with its true values
 //!   (the paper assumes uploaded example values are correct).
 
+use crate::worker::{WorkerConfig, WorkerId, WorkerPool};
 use crate::{BudgetLedger, CrowdError, Money, PricingModel, QuestionKind};
 use disq_domain::{AttributeId, AttributeKind, ObjectId, Population};
 use disq_math::standard_normal;
 use disq_trace::Timer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Salt XORed into the crowd seed to derive the *worker-identity* RNG
+/// stream. Keeping identity draws on a separate stream is what lets the
+/// provenance layer stamp every answer without perturbing the
+/// answer-value stream: the main `rng` sees exactly the draw sequence it
+/// saw before workers existed.
+const WORKER_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Behavioural knobs of the simulated crowd (§5.4 robustness dimensions).
 #[derive(Debug, Clone)]
@@ -45,6 +53,11 @@ pub struct CrowdConfig {
     /// Probability that a value answer is uniform garbage instead of a
     /// noisy estimate (caught downstream by [`crate::filter_spam`]).
     pub spam_rate: f64,
+    /// Worker pool configuration (identity provenance; the default —
+    /// honoring `DISQ_WORKER_POOL` / `DISQ_WORKER_MODEL` — is a
+    /// homogeneous pool whose answer stream is byte-identical to an
+    /// anonymous crowd).
+    pub workers: WorkerConfig,
 }
 
 impl Default for CrowdConfig {
@@ -54,6 +67,7 @@ impl Default for CrowdConfig {
             junk_rate_boost: 0.0,
             synonym_rate: 0.0,
             spam_rate: 0.0,
+            workers: WorkerConfig::from_env(),
         }
     }
 }
@@ -103,6 +117,36 @@ pub trait CrowdPlatform {
         Ok(())
     }
 
+    /// [`ask_value`](Self::ask_value) with provenance: also reports
+    /// *which* worker answered. The default forwards to `ask_value` and
+    /// stamps [`WorkerId::ANONYMOUS`], so third-party platforms keep
+    /// compiling; platforms with an identity layer override this.
+    fn ask_value_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+    ) -> Result<(f64, WorkerId), CrowdError> {
+        self.ask_value(o, a).map(|v| (v, WorkerId::ANONYMOUS))
+    }
+
+    /// [`ask_values`](Self::ask_values) with provenance: appends one
+    /// [`WorkerId`] to `workers` per answer appended to `out` (including
+    /// the partial batch left behind on budget exhaustion). The default
+    /// stamps [`WorkerId::ANONYMOUS`].
+    fn ask_values_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        workers: &mut Vec<WorkerId>,
+    ) -> Result<(), CrowdError> {
+        let start = out.len();
+        let res = self.ask_values(o, a, k, out);
+        workers.extend((start..out.len()).map(|_| WorkerId::ANONYMOUS));
+        res
+    }
+
     /// Asks one worker to dismantle attribute `a`; returns the raw answer
     /// text (canonical name, synonym, or junk).
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError>;
@@ -125,6 +169,11 @@ pub struct SimulatedCrowd {
     config: CrowdConfig,
     ledger: BudgetLedger,
     rng: StdRng,
+    /// Planted worker pool (pure function of `config.workers`).
+    pool: WorkerPool,
+    /// Identity stream, derived from the crowd seed but fully separate
+    /// from the answer stream `rng` — see [`WORKER_STREAM_SALT`].
+    worker_rng: StdRng,
 }
 
 impl SimulatedCrowd {
@@ -136,11 +185,14 @@ impl SimulatedCrowd {
             Some(c) => BudgetLedger::with_cap(c),
             None => BudgetLedger::unlimited(),
         };
+        let pool = WorkerPool::generate(&config.workers);
         SimulatedCrowd {
             population,
             config,
             ledger,
             rng: StdRng::seed_from_u64(seed),
+            pool,
+            worker_rng: StdRng::seed_from_u64(seed ^ WORKER_STREAM_SALT),
         }
     }
 
@@ -155,6 +207,12 @@ impl SimulatedCrowd {
         &self.config
     }
 
+    /// The planted worker pool (for harness-side scorecards comparing
+    /// observed quality against the planted truth).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     fn value_kind(&self, a: AttributeId) -> (QuestionKind, Money) {
         let kind = self.population.spec().attr(a).kind;
         let price = self.config.pricing.value_price(kind);
@@ -164,40 +222,102 @@ impl SimulatedCrowd {
         };
         (qk, price)
     }
+
+    /// Draws one value answer *after* the ledger accepted the charge.
+    ///
+    /// The worker identity comes off `worker_rng`; everything the answer
+    /// value depends on comes off the main `rng` in the historical draw
+    /// order. Under the homogeneous pool the profile is exactly neutral
+    /// (`sd × 1.0`, propensity `0.0` leaving the spam guard untaken), so
+    /// the value produced here is bit-identical to the pre-provenance
+    /// crowd.
+    fn draw_value(
+        &mut self,
+        kind: AttributeKind,
+        truth: f64,
+        mean: f64,
+        sd: f64,
+        worker_sd: f64,
+    ) -> (f64, WorkerId) {
+        let w = self.worker_rng.random_range(0..self.pool.len());
+        let profile = self.pool.profile(w);
+        let spam_rate = self.config.spam_rate.max(profile.spam_propensity);
+        let spamming = spam_rate > 0.0 && self.rng.random::<f64>() < spam_rate;
+        let v = match kind {
+            // Boolean questions get a yes/no vote: Bernoulli on the
+            // object's yes-propensity. E[vote | truth] = truth, so the
+            // paper's unbiased-independent-noise model holds exactly, with
+            // per-object variance q(1−q).
+            AttributeKind::Boolean => {
+                let p = if spamming { 0.5 } else { truth.clamp(0.0, 1.0) };
+                if self.rng.random::<f64>() < p {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            AttributeKind::Numeric => {
+                if spamming {
+                    // Spam: uniform garbage over a wide plausible range.
+                    let span = (4.0 * sd).max(1.0);
+                    mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
+                } else {
+                    truth + (worker_sd * profile.sd_multiplier) * standard_normal(&mut self.rng)
+                }
+            }
+        };
+        (v, WorkerId(w as u32))
+    }
+
+    /// Shared batched-ask body: always draws a worker per answer (so the
+    /// identity stream stays in lockstep with the answer count whether or
+    /// not the caller wants attribution) and records ids only when
+    /// `workers` is provided — the unattributed hot path allocates
+    /// nothing.
+    fn ask_values_impl(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        mut workers: Option<&mut Vec<WorkerId>>,
+    ) -> Result<(), CrowdError> {
+        let (qk, price) = self.value_kind(a);
+        let spec = self.population.spec().attr(a);
+        let (kind, mean, sd, worker_sd) = (spec.kind, spec.mean, spec.sd, spec.worker_sd);
+        let truth = self.population.value(o, a);
+        out.reserve(k);
+        for _ in 0..k {
+            let (v, w) = disq_trace::time(Timer::CrowdQuestion, || {
+                self.ledger.charge(qk, price)?;
+                Ok(self.draw_value(kind, truth, mean, sd, worker_sd))
+            })?;
+            out.push(v);
+            if let Some(ws) = workers.as_deref_mut() {
+                ws.push(w);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl CrowdPlatform for SimulatedCrowd {
     fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
+        self.ask_value_attributed(o, a).map(|(v, _)| v)
+    }
+
+    fn ask_value_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+    ) -> Result<(f64, WorkerId), CrowdError> {
         disq_trace::time(Timer::CrowdQuestion, || {
             let (qk, price) = self.value_kind(a);
             self.ledger.charge(qk, price)?;
             let spec = self.population.spec().attr(a);
+            let (kind, mean, sd, worker_sd) = (spec.kind, spec.mean, spec.sd, spec.worker_sd);
             let truth = self.population.value(o, a);
-            let spamming =
-                self.config.spam_rate > 0.0 && self.rng.random::<f64>() < self.config.spam_rate;
-            Ok(match spec.kind {
-                // Boolean questions get a yes/no vote: Bernoulli on the
-                // object's yes-propensity. E[vote | truth] = truth, so the
-                // paper's unbiased-independent-noise model holds exactly, with
-                // per-object variance q(1−q).
-                AttributeKind::Boolean => {
-                    let p = if spamming { 0.5 } else { truth.clamp(0.0, 1.0) };
-                    if self.rng.random::<f64>() < p {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                AttributeKind::Numeric => {
-                    if spamming {
-                        // Spam: uniform garbage over a wide plausible range.
-                        let span = (4.0 * spec.sd).max(1.0);
-                        spec.mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
-                    } else {
-                        truth + spec.worker_sd * standard_normal(&mut self.rng)
-                    }
-                }
-            })
+            Ok(self.draw_value(kind, truth, mean, sd, worker_sd))
         })
     }
 
@@ -214,38 +334,18 @@ impl CrowdPlatform for SimulatedCrowd {
         k: usize,
         out: &mut Vec<f64>,
     ) -> Result<(), CrowdError> {
-        let (qk, price) = self.value_kind(a);
-        let spec = self.population.spec().attr(a);
-        let (kind, mean, sd, worker_sd) = (spec.kind, spec.mean, spec.sd, spec.worker_sd);
-        let truth = self.population.value(o, a);
-        let spam_rate = self.config.spam_rate;
-        out.reserve(k);
-        for _ in 0..k {
-            let v = disq_trace::time(Timer::CrowdQuestion, || {
-                self.ledger.charge(qk, price)?;
-                let spamming = spam_rate > 0.0 && self.rng.random::<f64>() < spam_rate;
-                Ok(match kind {
-                    AttributeKind::Boolean => {
-                        let p = if spamming { 0.5 } else { truth.clamp(0.0, 1.0) };
-                        if self.rng.random::<f64>() < p {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    }
-                    AttributeKind::Numeric => {
-                        if spamming {
-                            let span = (4.0 * sd).max(1.0);
-                            mean + (self.rng.random::<f64>() * 2.0 - 1.0) * span
-                        } else {
-                            truth + worker_sd * standard_normal(&mut self.rng)
-                        }
-                    }
-                })
-            })?;
-            out.push(v);
-        }
-        Ok(())
+        self.ask_values_impl(o, a, k, out, None)
+    }
+
+    fn ask_values_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        workers: &mut Vec<WorkerId>,
+    ) -> Result<(), CrowdError> {
+        self.ask_values_impl(o, a, k, out, Some(workers))
     }
 
     fn ask_dismantle(&mut self, a: AttributeId) -> Result<String, CrowdError> {
@@ -612,5 +712,167 @@ mod tests {
                 b.ask_value(ObjectId(i), bmi).unwrap()
             );
         }
+    }
+
+    use crate::worker::{WorkerConfig, WorkerModel};
+
+    fn crowd_with_workers(workers: WorkerConfig, seed: u64) -> SimulatedCrowd {
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(spec, 200, &mut rng).unwrap();
+        let cfg = CrowdConfig {
+            workers,
+            ..Default::default()
+        };
+        SimulatedCrowd::new(pop, cfg, None, seed)
+    }
+
+    /// Attributed and plain asks are the *same* call: identical answer
+    /// values, and the identity stream stays aligned so a later
+    /// attributed ask sees the same worker either way.
+    #[test]
+    fn attributed_matches_plain_and_streams_stay_aligned() {
+        let workers = WorkerConfig {
+            pool: 8,
+            ..Default::default()
+        };
+        let mut plain = crowd_with_workers(workers.clone(), 11);
+        let mut attr = crowd_with_workers(workers, 11);
+        let spec = plain.population().spec();
+        let bmi = spec.id_of("Bmi").unwrap();
+        let mut vals = Vec::new();
+        let mut ws = Vec::new();
+        attr.ask_values_attributed(ObjectId(0), bmi, 7, &mut vals, &mut ws)
+            .unwrap();
+        let mut want = Vec::new();
+        plain.ask_values(ObjectId(0), bmi, 7, &mut want).unwrap();
+        assert_eq!(vals, want);
+        assert_eq!(ws.len(), 7);
+        assert!(ws.iter().all(|w| !w.is_anonymous() && w.0 < 8));
+        // Both crowds drew 7 identities; the next one agrees.
+        let (va, wa) = attr.ask_value_attributed(ObjectId(1), bmi).unwrap();
+        let (vp, wp) = plain.ask_value_attributed(ObjectId(1), bmi).unwrap();
+        assert_eq!((va, wa), (vp, wp));
+    }
+
+    /// The tentpole's byte-identity claim: under the homogeneous model
+    /// the answer stream does not depend on the pool size at all (worker
+    /// draws ride a separate RNG stream and neutral profiles multiply
+    /// the noise sd by exactly 1.0).
+    #[test]
+    fn homogeneous_answers_are_invariant_to_pool_size() {
+        for attr_name in ["Bmi", "Heavy"] {
+            let mut small = crowd_with_workers(
+                WorkerConfig {
+                    pool: 1,
+                    ..Default::default()
+                },
+                13,
+            );
+            let mut large = crowd_with_workers(
+                WorkerConfig {
+                    pool: 64,
+                    ..Default::default()
+                },
+                13,
+            );
+            let spec = small.population().spec();
+            let a = spec.id_of(attr_name).unwrap();
+            for i in 0..60 {
+                let o = ObjectId(i % 9);
+                assert_eq!(
+                    small.ask_value(o, a).unwrap(),
+                    large.ask_value(o, a).unwrap(),
+                    "{attr_name} answer {i}"
+                );
+            }
+        }
+    }
+
+    /// With crowd-level spam in play the homogeneous identity layer must
+    /// still not disturb the stream (the spam guard consumes main-stream
+    /// draws).
+    #[test]
+    fn homogeneous_spammy_answers_are_invariant_to_pool_size() {
+        let base = CrowdConfig {
+            spam_rate: 0.3,
+            ..Default::default()
+        };
+        let spec = Arc::new(pictures::spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let pop = Population::sample(Arc::clone(&spec), 100, &mut rng).unwrap();
+        let mk = |pool: usize, pop: Population| {
+            let cfg = CrowdConfig {
+                workers: WorkerConfig {
+                    pool,
+                    ..Default::default()
+                },
+                ..base.clone()
+            };
+            SimulatedCrowd::new(pop, cfg, None, 17)
+        };
+        let mut small = mk(2, pop.clone());
+        let mut large = mk(32, pop);
+        let h = spec.id_of("Height").unwrap();
+        for i in 0..80 {
+            let o = ObjectId(i % 7);
+            assert_eq!(
+                small.ask_value(o, h).unwrap(),
+                large.ask_value(o, h).unwrap()
+            );
+        }
+    }
+
+    /// Heterogeneous mode actually changes behaviour: a planted spammer
+    /// answers garbage at its propensity even with crowd-wide spam off,
+    /// and high-multiplier workers answer with inflated noise.
+    #[test]
+    fn heterogeneous_profiles_shape_answers() {
+        let workers = WorkerConfig {
+            pool: 32,
+            model: WorkerModel::Heterogeneous,
+            ..Default::default()
+        };
+        let mut c = crowd_with_workers(workers.clone(), 23);
+        let pool = c.worker_pool().clone();
+        let spammer = pool
+            .iter()
+            .find(|(_, p)| p.spam_propensity > 0.0)
+            .map(|(w, _)| w)
+            .expect("seeded 32-worker pool at 12.5% spammer fraction plants one");
+        let spec = c.population().spec();
+        let height = spec.id_of("Height").unwrap();
+        let truth = c.population().value(ObjectId(0), height);
+        let worker_sd = spec.attr(height).worker_sd;
+        let mut by_worker: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+        for _ in 0..6000 {
+            let (v, w) = c.ask_value_attributed(ObjectId(0), height).unwrap();
+            by_worker.entry(w.0).or_default().push(v);
+        }
+        assert_eq!(by_worker.len(), 32, "uniform assignment hits every worker");
+        // The spammer's answers are uniform over ±4sd around the attribute
+        // mean: their spread dwarfs an honest worker's.
+        let sd_of = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let honest_low = pool
+            .iter()
+            .filter(|(_, p)| p.spam_propensity == 0.0)
+            .min_by(|a, b| a.1.sd_multiplier.total_cmp(&b.1.sd_multiplier))
+            .unwrap();
+        let spam_sd = sd_of(&by_worker[&spammer.0]);
+        let low_sd = sd_of(&by_worker[&honest_low.0 .0]);
+        assert!(
+            spam_sd > 2.0 * low_sd,
+            "spammer sd {spam_sd} vs best honest {low_sd}"
+        );
+        // Honest answers still center on truth with sd ≈ worker_sd × mult.
+        let honest_mean = by_worker[&honest_low.0 .0].iter().sum::<f64>()
+            / by_worker[&honest_low.0 .0].len() as f64;
+        assert!(
+            (honest_mean - truth).abs() < worker_sd,
+            "honest mean {honest_mean} truth {truth}"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Question taxonomy (§2) and answer batches.
 
+use crate::worker::WorkerId;
 use disq_domain::{AttributeId, ObjectId};
 use std::fmt;
 
@@ -53,6 +54,9 @@ pub struct ValueBatch {
     pub attr: AttributeId,
     /// Individual worker answers in arrival order.
     pub answers: Vec<f64>,
+    /// Who produced each answer, parallel to `answers`. Platforms
+    /// without an identity layer stamp [`WorkerId::ANONYMOUS`].
+    pub workers: Vec<WorkerId>,
 }
 
 impl ValueBatch {
@@ -62,7 +66,27 @@ impl ValueBatch {
             object,
             attr,
             answers: Vec::new(),
+            workers: Vec::new(),
         }
+    }
+
+    /// Appends one attributed answer, keeping `answers` and `workers`
+    /// parallel.
+    pub fn push(&mut self, answer: f64, worker: WorkerId) {
+        self.answers.push(answer);
+        self.workers.push(worker);
+    }
+
+    /// Iterates `(answer, worker)` pairs. Answers recorded directly into
+    /// [`answers`](Self::answers) without provenance read back as
+    /// [`WorkerId::ANONYMOUS`].
+    pub fn attributed(&self) -> impl Iterator<Item = (f64, WorkerId)> + '_ {
+        self.answers.iter().enumerate().map(|(i, &v)| {
+            (
+                v,
+                self.workers.get(i).copied().unwrap_or(WorkerId::ANONYMOUS),
+            )
+        })
     }
 
     /// Average answer — the `o.a^(n)` aggregation the paper uses.
@@ -98,6 +122,16 @@ mod tests {
         b.answers.extend([1.0, 2.0, 6.0]);
         assert_eq!(b.average(), Some(3.0));
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn attributed_pairs_and_anonymous_backfill() {
+        let mut b = ValueBatch::new(ObjectId(0), AttributeId(1));
+        b.push(1.5, WorkerId(4));
+        b.answers.push(2.5); // legacy direct append: no provenance
+        let pairs: Vec<_> = b.attributed().collect();
+        assert_eq!(pairs, vec![(1.5, WorkerId(4)), (2.5, WorkerId::ANONYMOUS)]);
+        assert_eq!(b.len(), 2);
     }
 
     #[test]

@@ -4,16 +4,26 @@
 //! database and reused in following experiments, so that results of
 //! multiple runs/algorithms may be compared in equivalent settings."
 //!
-//! [`RecordingCrowd`] wraps any platform and logs every Q&A into an
-//! [`AnswerLog`]; [`ReplayingCrowd`] serves answers from such a log first
-//! (FIFO per question key) and falls through to a live platform when the
-//! log runs dry. Replay still charges the replaying run's own ledger, so
-//! budgets stay comparable across algorithms.
+//! [`RecordingCrowd`] wraps any platform and logs every Q&A — including
+//! *which worker* produced each value answer — into an [`AnswerLog`];
+//! [`ReplayingCrowd`] serves answers from such a log first (FIFO per
+//! question key) and falls through to a live platform when the log runs
+//! dry. Replay still charges the replaying run's own ledger, so budgets
+//! stay comparable across algorithms.
+//!
+//! Logs persist as a line-oriented versioned text format
+//! ([`AnswerLog::to_text`] / [`AnswerLog::from_text`]): the `v2` header
+//! carries a worker id per value answer; the older `v1` header (no
+//! worker column) still loads, stamping [`WorkerId::ANONYMOUS`].
 
+use crate::worker::WorkerId;
 use crate::{BudgetLedger, CrowdError, CrowdPlatform};
 use disq_domain::{AttributeId, ObjectId};
 use disq_trace::Counter;
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 
 /// Keys identifying repeatable questions.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -23,10 +33,15 @@ enum Key {
     Verify(String, AttributeId),
 }
 
+/// Magic prefix of the on-disk log format.
+const LOG_MAGIC: &str = "disq-answer-log";
+/// Version written by [`AnswerLog::to_text`].
+const LOG_VERSION: u32 = 2;
+
 /// Recorded answers, grouped per question.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnswerLog {
-    values: HashMap<Key, Vec<f64>>,
+    values: HashMap<Key, Vec<(f64, WorkerId)>>,
     dismantles: HashMap<Key, Vec<String>>,
     verifies: HashMap<Key, Vec<bool>>,
     examples: Vec<(Vec<AttributeId>, ObjectId, Vec<f64>)>,
@@ -50,13 +65,262 @@ impl AnswerLog {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serializes the log as versioned text (current format, `v2`).
+    /// Values encode as exact f64 bit patterns so a save/load round trip
+    /// is lossless; map sections are sorted so output is deterministic.
+    pub fn to_text(&self) -> String {
+        self.to_text_version(LOG_VERSION)
+    }
+
+    /// Serializes as a specific format version (`1` omits the worker
+    /// column — used to exercise the backward-compat path).
+    pub fn to_text_version(&self, version: u32) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{LOG_MAGIC} v{version}");
+        let mut vkeys: Vec<(&Key, u32, u32)> = self
+            .values
+            .keys()
+            .map(|k| match k {
+                Key::Value(o, a) => (k, o.0 as u32, a.0 as u32),
+                _ => unreachable!("values map holds Value keys only"),
+            })
+            .collect();
+        vkeys.sort_by_key(|&(_, o, a)| (o, a));
+        for (k, o, a) in vkeys {
+            for &(v, w) in &self.values[k] {
+                if version >= 2 {
+                    let _ = writeln!(out, "v {o} {a} {:016x} {}", v.to_bits(), w.0);
+                } else {
+                    let _ = writeln!(out, "v {o} {a} {:016x}", v.to_bits());
+                }
+            }
+        }
+        let mut dkeys: Vec<(&Key, u32)> = self
+            .dismantles
+            .keys()
+            .map(|k| match k {
+                Key::Dismantle(a) => (k, a.0 as u32),
+                _ => unreachable!("dismantles map holds Dismantle keys only"),
+            })
+            .collect();
+        dkeys.sort_by_key(|&(_, a)| a);
+        for (k, a) in dkeys {
+            for ans in &self.dismantles[k] {
+                let _ = writeln!(out, "d {a} {}", escape(ans));
+            }
+        }
+        let mut ykeys: Vec<(&Key, &str, u32)> = self
+            .verifies
+            .keys()
+            .map(|k| match k {
+                Key::Verify(c, a) => (k, c.as_str(), a.0 as u32),
+                _ => unreachable!("verifies map holds Verify keys only"),
+            })
+            .collect();
+        ykeys.sort_by_key(|&(_, c, a)| (c.to_string(), a));
+        for (k, c, a) in ykeys {
+            for &ans in &self.verifies[k] {
+                let _ = writeln!(out, "y {} {a} {}", escape(c), ans as u8);
+            }
+        }
+        for (attrs, o, vals) in &self.examples {
+            let attrs_s = if attrs.is_empty() {
+                "-".to_string()
+            } else {
+                attrs
+                    .iter()
+                    .map(|a| a.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let vals_s = if vals.is_empty() {
+                "-".to_string()
+            } else {
+                vals.iter()
+                    .map(|v| format!("{:016x}", v.to_bits()))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(out, "e {attrs_s} {} {vals_s}", o.0);
+        }
+        out
+    }
+
+    /// Parses a serialized log. Accepts both the current `v2` format and
+    /// the pre-provenance `v1` format, whose value answers load as
+    /// [`WorkerId::ANONYMOUS`].
+    pub fn from_text(text: &str) -> io::Result<Self> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let version = header
+            .strip_prefix(LOG_MAGIC)
+            .map(str::trim)
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| bad(format!("missing '{LOG_MAGIC} v<N>' header: {header:?}")))?;
+        if version == 0 || version > LOG_VERSION {
+            return Err(bad(format!("unsupported answer-log version v{version}")));
+        }
+        let mut log = AnswerLog::new();
+        for (i, line) in lines.enumerate() {
+            let n = i + 2; // 1-based, after the header
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split(' ');
+            let tag = f.next().unwrap_or("");
+            match tag {
+                "v" => {
+                    let o: u64 = field(&mut f, n, "object")?;
+                    let a: u64 = field(&mut f, n, "attr")?;
+                    let bits = f
+                        .next()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| bad(format!("line {n}: bad value bits")))?;
+                    let w = if version >= 2 {
+                        WorkerId(field(&mut f, n, "worker")?)
+                    } else {
+                        WorkerId::ANONYMOUS
+                    };
+                    log.values
+                        .entry(Key::Value(ObjectId(o as usize), AttributeId(a as usize)))
+                        .or_default()
+                        .push((f64::from_bits(bits), w));
+                }
+                "d" => {
+                    let a: u64 = field(&mut f, n, "attr")?;
+                    let text = f
+                        .next()
+                        .map(unescape)
+                        .ok_or_else(|| bad(format!("line {n}: missing dismantle text")))?;
+                    log.dismantles
+                        .entry(Key::Dismantle(AttributeId(a as usize)))
+                        .or_default()
+                        .push(text);
+                }
+                "y" => {
+                    let cand = f
+                        .next()
+                        .map(unescape)
+                        .ok_or_else(|| bad(format!("line {n}: missing candidate")))?;
+                    let a: u64 = field(&mut f, n, "attr")?;
+                    let ans: u32 = field(&mut f, n, "answer")?;
+                    log.verifies
+                        .entry(Key::Verify(cand, AttributeId(a as usize)))
+                        .or_default()
+                        .push(ans != 0);
+                }
+                "e" => {
+                    let attrs_s = f
+                        .next()
+                        .ok_or_else(|| bad(format!("line {n}: missing attr list")))?;
+                    let o: u64 = field(&mut f, n, "object")?;
+                    let vals_s = f
+                        .next()
+                        .ok_or_else(|| bad(format!("line {n}: missing value list")))?;
+                    let attrs = if attrs_s == "-" {
+                        Vec::new()
+                    } else {
+                        attrs_s
+                            .split(',')
+                            .map(|s| {
+                                s.parse::<usize>()
+                                    .map(AttributeId)
+                                    .map_err(|_| bad(format!("line {n}: bad attr id {s:?}")))
+                            })
+                            .collect::<io::Result<Vec<_>>>()?
+                    };
+                    let vals = if vals_s == "-" {
+                        Vec::new()
+                    } else {
+                        vals_s
+                            .split(',')
+                            .map(|s| {
+                                u64::from_str_radix(s, 16)
+                                    .map(f64::from_bits)
+                                    .map_err(|_| bad(format!("line {n}: bad value bits {s:?}")))
+                            })
+                            .collect::<io::Result<Vec<_>>>()?
+                    };
+                    log.examples.push((attrs, ObjectId(o as usize), vals));
+                }
+                other => return Err(bad(format!("line {n}: unknown record tag {other:?}"))),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Writes the log to `path` in the current format.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a log saved by any supported format version.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_text(&std::fs::read_to_string(path)?)
+    }
 }
 
-/// Wraps a platform and records everything that flows through it.
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses the next space-separated field as an integer.
+fn field<T: std::str::FromStr>(
+    f: &mut std::str::Split<'_, char>,
+    line: usize,
+    what: &str,
+) -> io::Result<T> {
+    f.next()
+        .and_then(|s| s.parse::<T>().ok())
+        .ok_or_else(|| bad(format!("line {line}: missing or bad {what}")))
+}
+
+/// Escapes free text into a single space-free token (space → `\_`,
+/// newline → `\n`, backslash doubled).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\_"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('_') => out.push(' '),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Wraps a platform and records everything that flows through it —
+/// value answers together with the [`WorkerId`] that produced them
+/// (asked through the attributed API so provenance survives the replay
+/// database).
 #[derive(Debug)]
 pub struct RecordingCrowd<P> {
     inner: P,
     log: AnswerLog,
+    /// Scratch for worker ids when the caller asked unattributed.
+    worker_scratch: Vec<WorkerId>,
 }
 
 impl<P: CrowdPlatform> RecordingCrowd<P> {
@@ -65,6 +329,7 @@ impl<P: CrowdPlatform> RecordingCrowd<P> {
         RecordingCrowd {
             inner,
             log: AnswerLog::new(),
+            worker_scratch: Vec::new(),
         }
     }
 
@@ -77,13 +342,37 @@ impl<P: CrowdPlatform> RecordingCrowd<P> {
     pub fn log(&self) -> &AnswerLog {
         &self.log
     }
+
+    /// Logs the attributed tail of a batch (everything from `start`).
+    fn log_batch(&mut self, o: ObjectId, a: AttributeId, out: &[f64], workers: &[WorkerId]) {
+        if out.is_empty() {
+            return;
+        }
+        self.log
+            .values
+            .entry(Key::Value(o, a))
+            .or_default()
+            .extend(out.iter().copied().zip(workers.iter().copied()));
+    }
 }
 
 impl<P: CrowdPlatform> CrowdPlatform for RecordingCrowd<P> {
     fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
-        let v = self.inner.ask_value(o, a)?;
-        self.log.values.entry(Key::Value(o, a)).or_default().push(v);
-        Ok(v)
+        self.ask_value_attributed(o, a).map(|(v, _)| v)
+    }
+
+    fn ask_value_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+    ) -> Result<(f64, WorkerId), CrowdError> {
+        let (v, w) = self.inner.ask_value_attributed(o, a)?;
+        self.log
+            .values
+            .entry(Key::Value(o, a))
+            .or_default()
+            .push((v, w));
+        Ok((v, w))
     }
 
     fn ask_values(
@@ -94,17 +383,28 @@ impl<P: CrowdPlatform> CrowdPlatform for RecordingCrowd<P> {
         out: &mut Vec<f64>,
     ) -> Result<(), CrowdError> {
         let start = out.len();
-        let res = self.inner.ask_values(o, a, k, out);
+        let mut scratch = std::mem::take(&mut self.worker_scratch);
+        scratch.clear();
+        let res = self.inner.ask_values_attributed(o, a, k, out, &mut scratch);
         // Log whatever the inner platform produced — on mid-batch budget
         // exhaustion a caller-side ask_value loop would have recorded the
         // partial answers too.
-        if out.len() > start {
-            self.log
-                .values
-                .entry(Key::Value(o, a))
-                .or_default()
-                .extend_from_slice(&out[start..]);
-        }
+        self.log_batch(o, a, &out[start..], &scratch);
+        self.worker_scratch = scratch;
+        res
+    }
+
+    fn ask_values_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        workers: &mut Vec<WorkerId>,
+    ) -> Result<(), CrowdError> {
+        let (vstart, wstart) = (out.len(), workers.len());
+        let res = self.inner.ask_values_attributed(o, a, k, out, workers);
+        self.log_batch(o, a, &out[vstart..], &workers[wstart..]);
         res
     }
 
@@ -193,15 +493,23 @@ fn note_fell_through<T>(v: T) -> T {
 
 impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
     fn ask_value(&mut self, o: ObjectId, a: AttributeId) -> Result<f64, CrowdError> {
+        self.ask_value_attributed(o, a).map(|(v, _)| v)
+    }
+
+    fn ask_value_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+    ) -> Result<(f64, WorkerId), CrowdError> {
         // Charge (and burn a live answer) regardless, for budget fidelity.
-        let live = self.inner.ask_value(o, a)?;
+        let live = self.inner.ask_value_attributed(o, a)?;
         let key = Key::Value(o, a);
         let cursor = self.cursors_v.entry(key.clone()).or_insert(0);
         if let Some(answers) = self.log.values.get(&key) {
             if *cursor < answers.len() {
-                let v = answers[*cursor];
+                let (v, w) = answers[*cursor];
                 *cursor += 1;
-                return Ok(note_replayed(v));
+                return Ok(note_replayed((v, w)));
             }
         }
         Ok(note_fell_through(live))
@@ -225,12 +533,43 @@ impl<P: CrowdPlatform> CrowdPlatform for ReplayingCrowd<P> {
         for slot in &mut out[start..] {
             if let Some(answers) = answers {
                 if *cursor < answers.len() {
-                    *slot = note_replayed(answers[*cursor]);
+                    *slot = note_replayed(answers[*cursor].0);
                     *cursor += 1;
                     continue;
                 }
             }
             *slot = note_fell_through(*slot);
+        }
+        res
+    }
+
+    fn ask_values_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        workers: &mut Vec<WorkerId>,
+    ) -> Result<(), CrowdError> {
+        // Same substitution as the unattributed batch, overriding *both*
+        // the answer and its recorded worker; fallen-through answers keep
+        // the live platform's attribution.
+        let (vstart, wstart) = (out.len(), workers.len());
+        let res = self.inner.ask_values_attributed(o, a, k, out, workers);
+        let key = Key::Value(o, a);
+        let cursor = self.cursors_v.entry(key.clone()).or_insert(0);
+        let answers = self.log.values.get(&key);
+        for i in 0..(out.len() - vstart) {
+            if let Some(answers) = answers {
+                if *cursor < answers.len() {
+                    let (v, w) = note_replayed(answers[*cursor]);
+                    out[vstart + i] = v;
+                    workers[wstart + i] = w;
+                    *cursor += 1;
+                    continue;
+                }
+            }
+            out[vstart + i] = note_fell_through(out[vstart + i]);
         }
         res
     }
@@ -487,6 +826,115 @@ mod tests {
         combined.extend_from_slice(&rest);
         assert_eq!(combined, recorded);
         assert_eq!(rep.replayed(), 4);
+    }
+
+    #[test]
+    fn recording_preserves_worker_attribution_through_replay() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        let mut vals = Vec::new();
+        let mut ws = Vec::new();
+        rec.ask_values_attributed(ObjectId(0), bmi, 4, &mut vals, &mut ws)
+            .unwrap();
+        let (v5, w5) = rec.ask_value_attributed(ObjectId(0), bmi).unwrap();
+        assert!(ws.iter().all(|w| !w.is_anonymous()));
+        let (log, _) = rec.into_parts();
+
+        // Replay against a different-seed live crowd: both the answers
+        // AND the workers come back from the log.
+        let mut rep = ReplayingCrowd::new(log, crowd(999));
+        let mut got_v = Vec::new();
+        let mut got_w = Vec::new();
+        rep.ask_values_attributed(ObjectId(0), bmi, 4, &mut got_v, &mut got_w)
+            .unwrap();
+        assert_eq!(got_v, vals);
+        assert_eq!(got_w, ws);
+        assert_eq!(
+            rep.ask_value_attributed(ObjectId(0), bmi).unwrap(),
+            (v5, w5)
+        );
+        assert_eq!(rep.replayed(), 5);
+    }
+
+    /// Satellite: current (v2) format round-trips losslessly, worker ids
+    /// included.
+    #[test]
+    fn log_text_v2_round_trips() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        for _ in 0..3 {
+            rec.ask_value(ObjectId(0), bmi).unwrap();
+        }
+        rec.ask_value(ObjectId(2), AttributeId(1)).unwrap();
+        rec.ask_dismantle(bmi).unwrap();
+        rec.ask_verify("phase of the moon", bmi).unwrap();
+        rec.ask_example(&[bmi, AttributeId(1)]).unwrap();
+        let (log, _) = rec.into_parts();
+        let text = log.to_text();
+        assert!(text.starts_with("disq-answer-log v2\n"), "{text}");
+        let back = AnswerLog::from_text(&text).unwrap();
+        assert_eq!(back, log);
+        // Serialization is deterministic.
+        assert_eq!(back.to_text(), text);
+    }
+
+    /// Satellite: the pre-provenance (v1) format still loads — values
+    /// intact, workers stamped ANONYMOUS — and replays.
+    #[test]
+    fn log_text_v1_round_trips_as_anonymous() {
+        let mut rec = RecordingCrowd::new(crowd(1));
+        let bmi = AttributeId(0);
+        let recorded: Vec<f64> = (0..3)
+            .map(|_| rec.ask_value(ObjectId(0), bmi).unwrap())
+            .collect();
+        let d = rec.ask_dismantle(bmi).unwrap();
+        let (log, _) = rec.into_parts();
+        let text = log.to_text_version(1);
+        assert!(text.starts_with("disq-answer-log v1\n"), "{text}");
+        let back = AnswerLog::from_text(&text).unwrap();
+        assert_eq!(back.len(), log.len());
+        let mut rep = ReplayingCrowd::new(back, crowd(999));
+        for &expect in &recorded {
+            let (v, w) = rep.ask_value_attributed(ObjectId(0), bmi).unwrap();
+            assert_eq!(v, expect);
+            assert!(w.is_anonymous(), "v1 logs carry no provenance");
+        }
+        assert_eq!(rep.ask_dismantle(bmi).unwrap(), d);
+    }
+
+    #[test]
+    fn log_text_escapes_spaces_and_survives_save_load() {
+        let mut log = AnswerLog::new();
+        log.verifies
+            .entry(Key::Verify(
+                "phase of the\nmoon \\ rising".into(),
+                AttributeId(0),
+            ))
+            .or_default()
+            .push(true);
+        log.dismantles
+            .entry(Key::Dismantle(AttributeId(2)))
+            .or_default()
+            .push("font of the text".into());
+        let dir = std::env::temp_dir().join(format!("disq-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("answers.log");
+        log.save(&path).unwrap();
+        let back = AnswerLog::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn log_text_rejects_garbage() {
+        assert!(AnswerLog::from_text("").is_err());
+        assert!(AnswerLog::from_text("not-a-log v2\n").is_err());
+        assert!(AnswerLog::from_text("disq-answer-log v3\n").is_err());
+        assert!(AnswerLog::from_text("disq-answer-log v2\nq what\n").is_err());
+        assert!(AnswerLog::from_text("disq-answer-log v2\nv 0\n").is_err());
+        // Empty log round-trips fine.
+        let empty = AnswerLog::from_text("disq-answer-log v2\n").unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

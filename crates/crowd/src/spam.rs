@@ -20,6 +20,28 @@ pub struct SpamStats {
     pub mad: f64,
 }
 
+/// Acceptance half-width in scaled MADs.
+const K: f64 = 3.5;
+/// 1.4826 rescales MAD to estimate a Gaussian sd.
+const MAD_SCALE: f64 = 1.4826;
+
+impl SpamStats {
+    /// Replays the filter's verdict on one answer of a batch of `n`:
+    /// true when [`filter_spam_into`] would have kept `x` given these
+    /// statistics. Lets per-answer consumers (the worker ledger's
+    /// accept/reject tallies) attribute each rejection without the
+    /// filter having to report indices.
+    pub fn keeps(&self, n: usize, x: f64) -> bool {
+        if n < 4 {
+            return true; // pass-through batch: nothing was filtered
+        }
+        if self.mad <= 0.0 {
+            return x == self.median;
+        }
+        (x - self.median).abs() <= K * self.mad
+    }
+}
+
 /// Removes outlier answers: keeps values within `k = 3.5` scaled MADs of
 /// the median. Returns the surviving answers in their original order.
 pub fn filter_spam(answers: &[f64]) -> Vec<f64> {
@@ -36,10 +58,6 @@ pub fn filter_spam(answers: &[f64]) -> Vec<f64> {
 /// steady-state path. Returns the batch's [`SpamStats`] so audit trails
 /// can record the decision.
 pub fn filter_spam_into(answers: &[f64], scratch: &mut Vec<f64>, kept: &mut Vec<f64>) -> SpamStats {
-    const K: f64 = 3.5;
-    // 1.4826 rescales MAD to estimate a Gaussian sd.
-    const MAD_SCALE: f64 = 1.4826;
-
     kept.clear();
     if answers.len() < 4 {
         kept.extend_from_slice(answers);
@@ -151,6 +169,27 @@ mod tests {
         let stats = filter_spam_into(&[5.0, 5.0, 5.0, 5.0, 42.0], &mut scratch, &mut kept);
         assert_eq!(stats.median, 5.0);
         assert_eq!(stats.mad, 0.0);
+    }
+
+    /// `SpamStats::keeps` replays exactly the verdicts the filter made.
+    #[test]
+    fn keeps_replays_filter_verdicts() {
+        let mut scratch = Vec::new();
+        let mut kept = Vec::new();
+        for xs in [
+            vec![10.0, 11.0, 9.5, 10.5, 10.2, 500.0],
+            vec![5.0, 5.0, 5.0, 5.0, 42.0],
+            vec![1.0, 1000.0, 2.0],
+            vec![-100.0, 10.0, 10.5, 9.5, 10.2, 9.8, 120.0],
+        ] {
+            let stats = filter_spam_into(&xs, &mut scratch, &mut kept);
+            let replayed: Vec<f64> = xs
+                .iter()
+                .copied()
+                .filter(|&x| stats.keeps(xs.len(), x))
+                .collect();
+            assert_eq!(replayed, kept, "batch {xs:?}");
+        }
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   `noise + model + cross == realized` decomposition identity.
 //! * [`trend`] — per-experiment wall/throughput/peak-heap trajectories
 //!   over the append-only `BENCH_harness.history.jsonl` file.
+//! * [`workers`] — per-worker scorecards from the provenance ledger:
+//!   answers, spend, observed spam rate, James–Stein-shrunk quality
+//!   estimates and the worst-offender ranking, scored against the
+//!   planted profiles when the heterogeneous worker model ran.
 //! * [`timeline`] — exports the span/event stream as Chrome trace-event
 //!   JSON for `chrome://tracing` / Perfetto.
 //! * [`flame`] — folds spans into a self/total-time and bytes-allocated
@@ -43,6 +47,7 @@ pub mod report;
 pub mod table;
 pub mod timeline;
 pub mod trend;
+pub mod workers;
 
 pub use calib::{CalibReport, CalibSample};
 pub use compare::{compare, load_rows, CompareConfig, CompareOutcome, HarnessRow, Regression};
@@ -51,3 +56,4 @@ pub use flame::{FlameGraph, FlameNode};
 pub use report::{render_timers, RunReport};
 pub use timeline::Timeline;
 pub use trend::{TrendPoint, TrendReport, TrendSeries};
+pub use workers::{WorkerCard, WorkersReport};

@@ -1,7 +1,7 @@
 //! The `disq-insight` CLI: run reports, Err(b) calibration scoring and
 //! perf-regression gating over DisQ trace artifacts.
 
-use disq_insight::{calib, compare, explain, flame, report, timeline, trend};
+use disq_insight::{calib, compare, explain, flame, report, timeline, trend, workers};
 use disq_trace::TraceReader;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -24,13 +24,23 @@ usage:
       truncation, worst first), CI coverage, per-attribute answer
       streams, drift-detector status and the largest residuals.
       Exits 1 when the ledger is malformed (decomposition sum-check
-      fails or object audits are missing).
+      fails or object audits are missing), 3 when the trace file is
+      missing or carries no audit ledger at all.
+
+  disq-insight workers <trace.jsonl> [--json]
+      Per-worker scorecards from the provenance ledger: answers, spend,
+      observed spam rate, raw and James-Stein-shrunk quality (residual
+      variance), the worst-offender ranking, and — when the traced run
+      used DISQ_WORKER_MODEL=hetero — the Spearman rank agreement
+      between shrunk quality and the planted profiles. Exits 3 when the
+      trace file is missing or carries no worker events.
 
   disq-insight trend <BENCH_harness.json | *.history.jsonl> [--json]
       Render per-experiment wall/throughput/peak-heap trajectories from
       the append-only harness history, with per-step and end-to-end
       deltas. Given the main snapshot, its rows become each
-      trajectory's newest point.
+      trajectory's newest point. Exits 3 when the history/snapshot file
+      is missing or holds no rows.
 
   disq-insight calib <trace.jsonl>
       Score the Err(b) error model against realized per-object MSE
@@ -59,7 +69,22 @@ usage:
 
   disq-insight serve <trace.jsonl> is not a thing: live metrics come
       from the traced process itself via DISQ_METRICS_ADDR=127.0.0.1:PORT.
+
+exit codes: 0 = success, 1 = gate failure (perf regression, malformed
+ledger), 2 = usage error, 3 = no data (missing or empty input where an
+empty result is meaningful, not an error: explain, workers, trend).
 ";
+
+/// Exit code for "the input exists conceptually but holds no data" —
+/// distinct from usage errors (2) so scripts can branch on it.
+const EXIT_NO_DATA: u8 = 3;
+
+/// The graceful no-data exit: a clear one-line message on stderr, no
+/// usage dump, exit code [`EXIT_NO_DATA`].
+fn no_data(message: String) -> Result<ExitCode, String> {
+    eprintln!("{message}");
+    Ok(ExitCode::from(EXIT_NO_DATA))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +102,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("report") => cmd_report(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("workers") => cmd_workers(&args[1..]),
         Some("trend") => cmd_trend(&args[1..]),
         Some("calib") => cmd_calib(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -159,9 +185,22 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let trace = trace.ok_or("explain: missing <trace.jsonl>")?;
+    if !trace.exists() {
+        return no_data(format!(
+            "explain: {} does not exist — nothing to explain",
+            trace.display()
+        ));
+    }
     let reader =
         TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
     let report = explain::ExplainReport::from_reader(reader);
+    if report.queries.is_empty() && report.drift.is_empty() && report.alarms.is_empty() {
+        return no_data(format!(
+            "explain: no audit ledger in {} — re-run the benchmark with DISQ_TRACE \
+             set so query audits are emitted",
+            trace.display()
+        ));
+    }
     if json {
         out(&report.to_json());
         out("\n");
@@ -178,6 +217,42 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_workers(args: &[String]) -> Result<ExitCode, String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if trace.is_none() => trace = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let trace = trace.ok_or("workers: missing <trace.jsonl>")?;
+    if !trace.exists() {
+        return no_data(format!(
+            "workers: {} does not exist — nothing to score",
+            trace.display()
+        ));
+    }
+    let reader =
+        TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let report = workers::WorkersReport::from_reader(reader);
+    if report.is_empty() {
+        return no_data(format!(
+            "workers: no worker events in {} — re-run the benchmark with DISQ_TRACE \
+             set so the provenance ledger is emitted",
+            trace.display()
+        ));
+    }
+    if json {
+        out(&report.to_json());
+        out("\n");
+    } else {
+        out(&report.render());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
     let mut path: Option<PathBuf> = None;
     let mut json = false;
@@ -189,7 +264,20 @@ fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let path = path.ok_or("trend: missing <BENCH_harness.json | *.history.jsonl>")?;
+    if !path.exists() {
+        return no_data(format!(
+            "trend: {} does not exist — the harness writes it after the first \
+             benchmark run",
+            path.display()
+        ));
+    }
     let report = trend::load(&path)?;
+    if report.series.is_empty() {
+        return no_data(format!(
+            "trend: no harness rows in {} — run a benchmark first",
+            path.display()
+        ));
+    }
     if json {
         out(&report.to_json());
         out("\n");

@@ -115,6 +115,11 @@ pub struct RunReport {
     pub drift_updates: u64,
     /// `drift_detected` alarms seen.
     pub drift_alarms: u64,
+    /// Worker provenance `worker_profile` events seen.
+    pub worker_profiles: u64,
+    /// Worker provenance `worker_stats` events seen (detailed in
+    /// [`crate::workers`]).
+    pub worker_stats: u64,
     /// Spam-filter `spam_decision` events (batches that dropped answers).
     pub spam_decisions: u64,
     /// Worker answers dropped across all spam decisions.
@@ -272,6 +277,8 @@ impl RunReport {
             TraceEvent::ObjectAudit { .. } => self.object_audits += 1,
             TraceEvent::DriftUpdate { .. } => self.drift_updates += 1,
             TraceEvent::DriftDetected { .. } => self.drift_alarms += 1,
+            TraceEvent::WorkerProfile { .. } => self.worker_profiles += 1,
+            TraceEvent::WorkerStats { .. } => self.worker_stats += 1,
             TraceEvent::SpamDecision { answers, kept, .. } => {
                 self.spam_decisions += 1;
                 self.spam_answers_dropped += u64::from(answers - kept);
@@ -551,6 +558,15 @@ impl RunReport {
             out.push_str("(see `disq-insight explain` for the error attribution)\n");
         }
 
+        if self.worker_profiles > 0 || self.worker_stats > 0 {
+            let _ = writeln!(
+                out,
+                "\nworker provenance: {} profile(s), {} stats event(s)",
+                self.worker_profiles, self.worker_stats
+            );
+            out.push_str("(see `disq-insight workers` for the scorecards)\n");
+        }
+
         if !self.solver_fallbacks.is_empty() {
             let _ = writeln!(
                 out,
@@ -668,6 +684,7 @@ impl RunReport {
              \"spans\":{{\"starts\":{},\"ends\":{},\"open\":{},\"alloc_bytes\":{}}},\
              \"audit\":{{\"query_audits\":{},\"object_audits\":{},\
              \"drift_updates\":{},\"drift_alarms\":{}}},\
+             \"workers\":{{\"profiles\":{},\"stats\":{}}},\
              \"calibrations\":{},",
             self.spam_fallbacks,
             self.spam_decisions,
@@ -680,6 +697,8 @@ impl RunReport {
             self.object_audits,
             self.drift_updates,
             self.drift_alarms,
+            self.worker_profiles,
+            self.worker_stats,
             self.calibrations.len()
         );
         o.push_str("\"counters\":{");

@@ -1,0 +1,558 @@
+//! Per-worker scorecards from the provenance ledger of a traced run.
+//!
+//! [`WorkersReport::from_reader`] folds the `worker_profile` (planted
+//! truth, when the simulation runs a heterogeneous pool) and
+//! `worker_stats` (observed tallies) events of a trace into one card per
+//! worker, aggregated across labels and repetitions — worker ids are
+//! stable across cells because the pool seed never mixes with the
+//! per-crowd answer seed.
+//!
+//! The headline quality estimate is the *shrunk* residual variance: raw
+//! per-worker residual variances are James–Stein-shrunk toward the pool
+//! mean with [`disq_stats::james_stein_shrink`], weighting each worker
+//! by the sampling precision of its variance estimate
+//! ([`disq_stats::variance_sampling_var`]), so a worker seen in three
+//! batches cannot top the offender table on noise alone. When planted
+//! profiles are present the report also scores itself: the Spearman rank
+//! correlation between shrunk quality and the planted sd multiplier.
+
+use crate::report::fmt_f64;
+use crate::table::{Align, Table};
+use disq_stats::{james_stein_shrink, offender_score, spearman, variance_sampling_var};
+use disq_trace::json::write_f64;
+use disq_trace::{TraceEvent, TraceReader};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Rows shown in the worst-offenders section.
+pub const MAX_OFFENDERS: usize = 5;
+
+/// One worker's aggregated scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerCard {
+    /// Worker id within the simulated pool.
+    pub worker: u32,
+    /// Binary value answers attributed to the worker.
+    pub binary_answers: u64,
+    /// Numeric value answers attributed to the worker.
+    pub numeric_answers: u64,
+    /// Answers the spam filter rejected.
+    pub rejected: u64,
+    /// Milli-cents earned by the worker.
+    pub spent_millicents: i64,
+    /// Standardized residuals recorded.
+    pub residual_n: u64,
+    /// Sum of those residuals.
+    pub residual_sum: f64,
+    /// Sum of their squares.
+    pub residual_sq: f64,
+    /// Planted noise-sd multiplier (NaN when no profile event was seen).
+    pub sd_multiplier: f64,
+    /// Planted spam propensity (NaN when no profile event was seen).
+    pub spam_propensity: f64,
+    /// Shrinkage-estimated quality (pool-shrunk residual variance; NaN
+    /// when the worker has no usable variance estimate).
+    pub shrunk_quality: f64,
+}
+
+impl WorkerCard {
+    fn new(worker: u32) -> WorkerCard {
+        WorkerCard {
+            worker,
+            binary_answers: 0,
+            numeric_answers: 0,
+            rejected: 0,
+            spent_millicents: 0,
+            residual_n: 0,
+            residual_sum: 0.0,
+            residual_sq: 0.0,
+            sd_multiplier: f64::NAN,
+            spam_propensity: f64::NAN,
+            shrunk_quality: f64::NAN,
+        }
+    }
+
+    /// Total answers attributed to the worker.
+    pub fn answers(&self) -> u64 {
+        self.binary_answers + self.numeric_answers
+    }
+
+    /// Fraction of answers the spam filter rejected (NaN with none).
+    pub fn observed_spam_rate(&self) -> f64 {
+        if self.answers() == 0 {
+            f64::NAN
+        } else {
+            self.rejected as f64 / self.answers() as f64
+        }
+    }
+
+    /// Raw (unshrunk) empirical variance of the worker's standardized
+    /// residuals; NaN below 2 residuals.
+    pub fn quality(&self) -> f64 {
+        if self.residual_n < 2 {
+            return f64::NAN;
+        }
+        let n = self.residual_n as f64;
+        let mean = self.residual_sum / n;
+        ((self.residual_sq / n) - mean * mean).max(0.0) * n / (n - 1.0)
+    }
+
+    /// Composite badness used to order the offender table: shrunk
+    /// quality (raw when shrinkage had nothing to work with) plus a
+    /// heavy spam penalty.
+    pub fn offender_score(&self) -> f64 {
+        let q = if self.shrunk_quality.is_finite() {
+            self.shrunk_quality
+        } else {
+            self.quality()
+        };
+        offender_score(q, self.observed_spam_rate())
+    }
+}
+
+/// Every worker scorecard of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct WorkersReport {
+    cards: BTreeMap<u32, WorkerCard>,
+    /// `worker_profile` events seen.
+    pub profiles_seen: u64,
+    /// `worker_stats` events seen.
+    pub stats_seen: u64,
+    /// Events parsed.
+    pub parsed: usize,
+    /// Corrupt lines skipped.
+    pub skipped: usize,
+    /// The reader's skip warning, when any line was skipped.
+    pub skip_warning: Option<String>,
+}
+
+impl WorkersReport {
+    /// Folds every event of `reader`, then computes the shrunk qualities.
+    pub fn from_reader<R: BufRead>(mut reader: TraceReader<R>) -> WorkersReport {
+        let mut report = WorkersReport::default();
+        for event in reader.by_ref() {
+            report.absorb(event);
+        }
+        report.parsed = reader.parsed();
+        report.skipped = reader.skipped();
+        report.skip_warning = reader.skip_warning();
+        report.finalize();
+        report
+    }
+
+    /// Builds a report from an in-memory event stream (tests and the
+    /// bench acceptance suite).
+    pub fn from_events(events: impl IntoIterator<Item = TraceEvent>) -> WorkersReport {
+        let mut report = WorkersReport::default();
+        for event in events {
+            report.parsed += 1;
+            report.absorb(event);
+        }
+        report.finalize();
+        report
+    }
+
+    /// Folds one event (worker events only; everything else is ignored).
+    fn absorb(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::WorkerProfile {
+                worker,
+                sd_multiplier,
+                spam_propensity,
+                ..
+            } => {
+                self.profiles_seen += 1;
+                let c = self
+                    .cards
+                    .entry(worker)
+                    .or_insert_with(|| WorkerCard::new(worker));
+                c.sd_multiplier = sd_multiplier;
+                c.spam_propensity = spam_propensity;
+            }
+            TraceEvent::WorkerStats {
+                worker,
+                binary_answers,
+                numeric_answers,
+                rejected,
+                spent_millicents,
+                residual_n,
+                residual_sum,
+                residual_sq,
+                ..
+            } => {
+                self.stats_seen += 1;
+                let c = self
+                    .cards
+                    .entry(worker)
+                    .or_insert_with(|| WorkerCard::new(worker));
+                c.binary_answers += binary_answers;
+                c.numeric_answers += numeric_answers;
+                c.rejected += rejected;
+                c.spent_millicents += spent_millicents;
+                c.residual_n += residual_n;
+                c.residual_sum += residual_sum;
+                c.residual_sq += residual_sq;
+            }
+            _ => {}
+        }
+    }
+
+    /// Shrinks every worker's raw residual variance toward the pool mean.
+    fn finalize(&mut self) {
+        let ids: Vec<u32> = self.cards.keys().copied().collect();
+        let xs: Vec<f64> = ids.iter().map(|w| self.cards[w].quality()).collect();
+        let vs: Vec<f64> = ids
+            .iter()
+            .zip(&xs)
+            .map(|(w, &q)| variance_sampling_var(q, self.cards[w].residual_n))
+            .collect();
+        for (w, shrunk) in ids.iter().zip(james_stein_shrink(&xs, &vs)) {
+            self.cards.get_mut(w).unwrap().shrunk_quality = shrunk;
+        }
+    }
+
+    /// Scorecards in worker-id order.
+    pub fn cards(&self) -> impl Iterator<Item = &WorkerCard> {
+        self.cards.values()
+    }
+
+    /// Workers with any attributed data.
+    pub fn len(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// True when the trace carried no worker events at all.
+    pub fn is_empty(&self) -> bool {
+        self.stats_seen == 0 && self.profiles_seen == 0
+    }
+
+    /// The scorecard of one worker, if present.
+    pub fn card(&self, worker: u32) -> Option<&WorkerCard> {
+        self.cards.get(&worker)
+    }
+
+    /// The worst offenders (highest [`WorkerCard::offender_score`]
+    /// first, id-ordered on ties), workers with attributed answers only.
+    pub fn offenders(&self) -> Vec<&WorkerCard> {
+        let mut with: Vec<&WorkerCard> = self.cards.values().filter(|c| c.answers() > 0).collect();
+        with.sort_by(|a, b| {
+            b.offender_score()
+                .total_cmp(&a.offender_score())
+                .then(a.worker.cmp(&b.worker))
+        });
+        with
+    }
+
+    /// Spearman rank correlation between the shrunk quality estimates
+    /// and the planted sd multipliers, over workers that have both.
+    /// `None` below 2 such workers (nothing to rank).
+    pub fn quality_rank_correlation(&self) -> Option<f64> {
+        let paired: Vec<(f64, f64)> = self
+            .cards
+            .values()
+            .filter(|c| c.shrunk_quality.is_finite() && c.sd_multiplier.is_finite())
+            .map(|c| (c.shrunk_quality, c.sd_multiplier))
+            .collect();
+        if paired.len() < 2 {
+            return None;
+        }
+        let (xs, ys): (Vec<f64>, Vec<f64>) = paired.into_iter().unzip();
+        Some(spearman(&xs, &ys))
+    }
+
+    /// Renders the scorecard report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events parsed{}",
+            self.parsed,
+            match self.skipped {
+                0 => String::new(),
+                n => format!(", {n} corrupt lines skipped"),
+            }
+        );
+        if let Some(w) = &self.skip_warning {
+            let _ = writeln!(out, "{w}");
+        }
+        let _ = writeln!(
+            out,
+            "{} worker(s), {} profile event(s), {} stats event(s)",
+            self.cards.len(),
+            self.profiles_seen,
+            self.stats_seen
+        );
+
+        out.push_str("\nworker scorecards:\n");
+        let mut t = Table::new(&[
+            "worker",
+            "answers",
+            "rejected",
+            "spam rate",
+            "planted spam",
+            "earned",
+            "residuals",
+            "raw var",
+            "quality",
+            "planted sd x",
+        ])
+        .aligns(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for c in self.cards.values() {
+            t.row(vec![
+                format!("w{}", c.worker),
+                c.answers().to_string(),
+                c.rejected.to_string(),
+                fmt_rate(c.observed_spam_rate()),
+                fmt_rate(c.spam_propensity),
+                fmt_millicents(c.spent_millicents),
+                c.residual_n.to_string(),
+                fmt_f64(c.quality()),
+                fmt_f64(c.shrunk_quality),
+                fmt_f64(c.sd_multiplier),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        let offenders = self.offenders();
+        if !offenders.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nworst offenders (shrunk quality + 10 x spam rate, top {MAX_OFFENDERS}):"
+            );
+            let mut t =
+                Table::new(&["worker", "score", "quality", "spam rate", "answers"]).aligns(&[
+                    Align::Left,
+                    Align::Right,
+                    Align::Right,
+                    Align::Right,
+                    Align::Right,
+                ]);
+            for c in offenders.iter().take(MAX_OFFENDERS) {
+                t.row(vec![
+                    format!("w{}", c.worker),
+                    fmt_f64(c.offender_score()),
+                    fmt_f64(c.shrunk_quality),
+                    fmt_rate(c.observed_spam_rate()),
+                    c.answers().to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+
+        match self.quality_rank_correlation() {
+            Some(rho) => {
+                let _ = writeln!(
+                    out,
+                    "\nrank agreement: shrunk quality vs planted sd multiplier, \
+                     Spearman {rho:.3}"
+                );
+            }
+            None if self.profiles_seen > 0 => {
+                out.push_str(
+                    "\n(no rank agreement: fewer than 2 workers carry both a planted \
+                     profile and a usable quality estimate)\n",
+                );
+            }
+            None => {
+                out.push_str(
+                    "\n(homogeneous pool or untraced profiles: no planted truth to \
+                     rank against)\n",
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the report as one JSON object (the `--json` mode).
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{");
+        let _ = write!(
+            o,
+            "\"parsed\":{},\"skipped\":{},\"profiles_seen\":{},\"stats_seen\":{},",
+            self.parsed, self.skipped, self.profiles_seen, self.stats_seen
+        );
+        o.push_str("\"workers\":[");
+        for (i, c) in self.cards.values().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"worker\":{},\"binary_answers\":{},\"numeric_answers\":{},\
+                 \"rejected\":{},\"spent_millicents\":{},\"residual_n\":{},",
+                c.worker,
+                c.binary_answers,
+                c.numeric_answers,
+                c.rejected,
+                c.spent_millicents,
+                c.residual_n
+            );
+            for (name, value) in [
+                ("observed_spam_rate", c.observed_spam_rate()),
+                ("raw_quality", c.quality()),
+                ("shrunk_quality", c.shrunk_quality),
+                ("offender_score", c.offender_score()),
+                ("sd_multiplier", c.sd_multiplier),
+                ("spam_propensity", c.spam_propensity),
+            ] {
+                let _ = write!(o, "\"{name}\":");
+                write_f64(&mut o, value);
+                o.push(',');
+            }
+            o.pop();
+            o.push('}');
+        }
+        o.push_str("],\"offenders\":[");
+        for (i, c) in self.offenders().iter().take(MAX_OFFENDERS).enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{}", c.worker);
+        }
+        o.push_str("],\"quality_rank_correlation\":");
+        match self.quality_rank_correlation() {
+            Some(rho) => write_f64(&mut o, rho),
+            None => o.push_str("null"),
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// Formats a 0–1 rate as a percentage; NaN renders as `-`.
+fn fmt_rate(rate: f64) -> String {
+    if rate.is_finite() {
+        format!("{:.1}%", rate * 100.0)
+    } else {
+        "-".into()
+    }
+}
+
+/// Formats milli-cents as cents/dollars, matching `Money`'s display.
+fn fmt_millicents(mc: i64) -> String {
+    let cents = mc as f64 / 1000.0;
+    if cents.abs() >= 100.0 {
+        format!("${:.2}", cents / 100.0)
+    } else {
+        format!("{cents:.1}c")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(worker: u32, numeric: u64, rejected: u64, residuals: &[f64]) -> TraceEvent {
+        TraceEvent::WorkerStats {
+            label: "t".into(),
+            seed: 0,
+            worker,
+            binary_answers: 0,
+            numeric_answers: numeric,
+            rejected,
+            spent_millicents: numeric as i64 * 400,
+            residual_n: residuals.len() as u64,
+            residual_sum: residuals.iter().sum(),
+            residual_sq: residuals.iter().map(|z| z * z).sum(),
+        }
+    }
+
+    fn profile(worker: u32, mult: f64, spam: f64) -> TraceEvent {
+        TraceEvent::WorkerProfile {
+            label: "t".into(),
+            worker,
+            sd_multiplier: mult,
+            spam_propensity: spam,
+        }
+    }
+
+    #[test]
+    fn aggregates_stats_across_events_and_joins_profiles() {
+        let report = WorkersReport::from_events([
+            profile(3, 1.4, 0.0),
+            stats(3, 10, 1, &[1.0, -1.0]),
+            stats(3, 5, 0, &[2.0, -2.0]),
+        ]);
+        assert_eq!(report.len(), 1);
+        let c = report.card(3).unwrap();
+        assert_eq!(c.answers(), 15);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.spent_millicents, 15 * 400);
+        assert_eq!(c.residual_n, 4);
+        assert_eq!(c.sd_multiplier, 1.4);
+        assert!(c.quality().is_finite());
+        assert!(c.shrunk_quality.is_finite());
+    }
+
+    #[test]
+    fn offenders_rank_spam_above_noise() {
+        // w0: honest, low variance; w1: spammer; w2: noisy but honest.
+        let zs_tight: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let zs_wide: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
+        let report = WorkersReport::from_events([
+            stats(0, 40, 0, &zs_tight),
+            stats(1, 40, 30, &zs_tight[..8]),
+            stats(2, 40, 0, &zs_wide),
+        ]);
+        let offenders = report.offenders();
+        assert_eq!(offenders[0].worker, 1, "spammer first");
+        assert_eq!(offenders[1].worker, 2, "noisy second");
+        assert_eq!(offenders[2].worker, 0);
+    }
+
+    #[test]
+    fn rank_correlation_tracks_planted_quality() {
+        // Residual spread ordered exactly like the planted multiplier.
+        let mk = |scale: f64| -> Vec<f64> {
+            (0..60)
+                .map(|i| if i % 2 == 0 { scale } else { -scale })
+                .collect()
+        };
+        let report = WorkersReport::from_events([
+            profile(0, 0.5, 0.0),
+            profile(1, 1.0, 0.0),
+            profile(2, 2.0, 0.0),
+            stats(0, 60, 0, &mk(0.5)),
+            stats(1, 60, 0, &mk(1.0)),
+            stats(2, 60, 0, &mk(2.0)),
+        ]);
+        let rho = report.quality_rank_correlation().unwrap();
+        assert!((rho - 1.0).abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn empty_and_render_and_json() {
+        let empty = WorkersReport::from_events([]);
+        assert!(empty.is_empty());
+        assert!(empty.quality_rank_correlation().is_none());
+
+        let report =
+            WorkersReport::from_events([profile(0, 1.0, 0.0), stats(0, 4, 1, &[0.3, -0.3, 0.4])]);
+        assert!(!report.is_empty());
+        let text = report.render();
+        assert!(text.contains("worker scorecards:"), "{text}");
+        assert!(text.contains("w0"), "{text}");
+        assert!(text.contains("worst offenders"), "{text}");
+        let doc = disq_trace::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("stats_seen").and_then(|v| v.as_u64()), Some(1));
+        let workers = doc.get("workers").and_then(|w| w.as_arr()).unwrap();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].get("worker").and_then(|v| v.as_u64()), Some(0));
+    }
+}

@@ -356,6 +356,133 @@ fn trend_renders_history_trajectories() {
 }
 
 #[test]
+fn workers_renders_scorecards_and_json() {
+    use disq_trace::TraceEvent;
+    let dir = tempdir("workers");
+    let trace = dir.join("run.jsonl");
+    let events = [
+        TraceEvent::WorkerProfile {
+            label: "fig1".into(),
+            worker: 0,
+            sd_multiplier: 1.0,
+            spam_propensity: 0.0,
+        },
+        TraceEvent::WorkerProfile {
+            label: "fig1".into(),
+            worker: 1,
+            sd_multiplier: 2.1,
+            spam_propensity: 0.85,
+        },
+        TraceEvent::WorkerStats {
+            label: "fig1".into(),
+            seed: 0,
+            worker: 0,
+            binary_answers: 10,
+            numeric_answers: 30,
+            rejected: 1,
+            spent_millicents: 13_000,
+            residual_n: 20,
+            residual_sum: 0.4,
+            residual_sq: 19.0,
+        },
+        TraceEvent::WorkerStats {
+            label: "fig1".into(),
+            seed: 0,
+            worker: 1,
+            binary_answers: 8,
+            numeric_answers: 24,
+            rejected: 27,
+            spent_millicents: 10_400,
+            residual_n: 5,
+            residual_sum: -1.0,
+            residual_sq: 21.0,
+        },
+    ];
+    let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+    std::fs::write(&trace, text).unwrap();
+
+    let out = run(&["workers", trace.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("worker scorecards:"), "{stdout}");
+    assert!(stdout.contains("w0"), "{stdout}");
+    assert!(stdout.contains("worst offenders"), "{stdout}");
+    assert!(stdout.contains("Spearman"), "{stdout}");
+    // The heavy spammer tops the offender table.
+    let offender_section = stdout.split("worst offenders").nth(1).unwrap();
+    let first_row = offender_section
+        .lines()
+        .find(|l| l.starts_with('w') && l[1..].starts_with(|c: char| c.is_ascii_digit()))
+        .unwrap();
+    assert!(first_row.starts_with("w1"), "{stdout}");
+
+    let json = run(&["workers", trace.to_str().unwrap(), "--json"]);
+    assert_eq!(json.status.code(), Some(0), "{json:?}");
+    let doc = disq_trace::json::parse(String::from_utf8_lossy(&json.stdout).trim())
+        .expect("workers --json emits valid JSON");
+    assert_eq!(doc.get("stats_seen").and_then(|v| v.as_u64()), Some(2));
+    let workers = doc.get("workers").and_then(|w| w.as_arr()).unwrap();
+    assert_eq!(workers.len(), 2);
+    let offenders = doc.get("offenders").and_then(|o| o.as_arr()).unwrap();
+    assert_eq!(offenders[0].as_u64(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_data_inputs_exit_three_with_clear_messages() {
+    use disq_trace::TraceEvent;
+    let dir = tempdir("nodata");
+
+    // Missing files: a clear message, no usage dump, exit 3.
+    for cmd in ["explain", "workers", "trend"] {
+        let gone = dir.join("nope.jsonl");
+        let out = run(&[cmd, gone.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(3), "{cmd}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("does not exist"), "{cmd}: {stderr}");
+        assert!(!stderr.contains("usage:"), "{cmd}: {stderr}");
+    }
+
+    // A trace with events but no audit ledger / worker events: exit 3.
+    let trace = dir.join("empty-ledger.jsonl");
+    std::fs::write(
+        &trace,
+        TraceEvent::RunStart {
+            label: "x".into(),
+            seed: 1,
+        }
+        .to_json()
+            + "\n",
+    )
+    .unwrap();
+    let explain = run(&["explain", trace.to_str().unwrap()]);
+    assert_eq!(explain.status.code(), Some(3), "{explain:?}");
+    assert!(
+        String::from_utf8_lossy(&explain.stderr).contains("no audit ledger"),
+        "{explain:?}"
+    );
+    let workers = run(&["workers", trace.to_str().unwrap()]);
+    assert_eq!(workers.status.code(), Some(3), "{workers:?}");
+    assert!(
+        String::from_utf8_lossy(&workers.stderr).contains("no worker events"),
+        "{workers:?}"
+    );
+
+    // A harness snapshot with no usable rows: exit 3.
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "[]\n").unwrap();
+    let trend = run(&["trend", empty.to_str().unwrap()]);
+    assert_eq!(trend.status.code(), Some(3), "{trend:?}");
+    assert!(
+        String::from_utf8_lossy(&trend.stderr).contains("no harness rows"),
+        "{trend:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_two() {
     assert_eq!(run(&[]).status.code(), Some(2));
     assert_eq!(run(&["frobnicate"]).status.code(), Some(2));

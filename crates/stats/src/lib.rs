@@ -28,6 +28,7 @@ mod descriptive;
 mod drift;
 mod incremental;
 mod prnew;
+mod shrinkage;
 mod so_graph;
 mod sprt;
 mod trio;
@@ -41,6 +42,7 @@ pub use descriptive::{
 pub use drift::{Cusum, Ewma};
 pub use incremental::{Breakdown, GreedyEval};
 pub use prnew::NewAnswerModel;
+pub use shrinkage::{james_stein_shrink, offender_score, spearman, variance_sampling_var};
 pub use so_graph::{SoGraphEstimator, SoSource};
 pub use sprt::{Sprt, SprtConfig, SprtDecision};
 pub use trio::{EvalWorkspace, StatsTrio, TrioError};

@@ -1,0 +1,205 @@
+//! Empirical-Bayes shrinkage and rank statistics for worker scorecards.
+//!
+//! A worker's raw empirical residual variance is a noisy quality
+//! estimate — a worker seen in 5 batches can look wildly better or
+//! worse than one seen in 500. The scorecard therefore shrinks each
+//! worker's observation toward the pool mean with a James–Stein-style
+//! precision weight, using the DerSimonian–Laird method-of-moments
+//! estimate of the *between-worker* variance: workers with little data
+//! shrink almost entirely to the pool mean, workers with plenty keep
+//! their own signal. Rank agreement between the shrunk estimates and
+//! the planted truth is what the heterogeneity acceptance test asserts
+//! (Spearman correlation, also here).
+
+/// Shrinks each observation `xs[i]` (with sampling variance `vs[i]`)
+/// toward the precision-weighted pool mean:
+///
+/// ```text
+/// x̂_i = m + τ² / (τ² + v_i) · (x_i − m)
+/// ```
+///
+/// where `m` is the precision-weighted mean and `τ²` the
+/// DerSimonian–Laird moment estimate of between-observation variance
+/// (clamped at 0, where every estimate collapses to `m`). Entries with
+/// non-finite or non-positive sampling variance pass through unshrunk —
+/// there is no precision to weight them by. With fewer than 2 usable
+/// observations the input is returned unchanged.
+pub fn james_stein_shrink(xs: &[f64], vs: &[f64]) -> Vec<f64> {
+    assert_eq!(xs.len(), vs.len(), "observations and variances must pair");
+    let usable: Vec<usize> = (0..xs.len())
+        .filter(|&i| xs[i].is_finite() && vs[i].is_finite() && vs[i] > 0.0)
+        .collect();
+    if usable.len() < 2 {
+        return xs.to_vec();
+    }
+    // Precision-weighted pool mean and Cochran's Q statistic.
+    let wsum: f64 = usable.iter().map(|&i| 1.0 / vs[i]).sum();
+    let m = usable.iter().map(|&i| xs[i] / vs[i]).sum::<f64>() / wsum;
+    let q: f64 = usable
+        .iter()
+        .map(|&i| (xs[i] - m) * (xs[i] - m) / vs[i])
+        .sum();
+    let k = usable.len() as f64;
+    let wsq: f64 = usable.iter().map(|&i| (1.0 / vs[i]) * (1.0 / vs[i])).sum();
+    // DerSimonian–Laird: τ² = max(0, (Q − (k−1)) / (Σw − Σw²/Σw)).
+    let denom = wsum - wsq / wsum;
+    let tau2 = if denom > 0.0 {
+        ((q - (k - 1.0)) / denom).max(0.0)
+    } else {
+        0.0
+    };
+    xs.iter()
+        .zip(vs)
+        .map(|(&x, &v)| {
+            if x.is_finite() && v.is_finite() && v > 0.0 {
+                m + tau2 / (tau2 + v) * (x - m)
+            } else {
+                x
+            }
+        })
+        .collect()
+}
+
+/// Sampling variance of a sample variance computed from `n` normal
+/// observations: `2·var² / (n−1)`. NaN below 2 observations (no
+/// variance estimate exists to attach a precision to).
+pub fn variance_sampling_var(var: f64, n: u64) -> f64 {
+    if n < 2 || !var.is_finite() {
+        return f64::NAN;
+    }
+    2.0 * var * var / (n as f64 - 1.0)
+}
+
+/// Spearman rank correlation of two equal-length slices: Pearson
+/// correlation of average ranks (midranks on ties). Returns 0.0 when
+/// either side is constant or the slices are shorter than 2.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "rank-correlated slices must pair");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    crate::correlation(&rx, &ry)
+}
+
+/// Average (mid) ranks of `xs`, 1-based; ties share the mean of the
+/// positions they span.
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the midrank.
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Composite "how bad is this worker" score used to order offender
+/// tables and pick the top-K gauge series: the quality estimate
+/// (residual variance, ≈1 for an average worker) plus a heavy penalty
+/// per unit of observed spam rate. NaN inputs count as zero so
+/// low-data workers sort by whatever signal they do have.
+pub fn offender_score(quality: f64, spam_rate: f64) -> f64 {
+    let q = if quality.is_finite() { quality } else { 0.0 };
+    let s = if spam_rate.is_finite() {
+        spam_rate
+    } else {
+        0.0
+    };
+    q + 10.0 * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinkage_pulls_noisy_observations_toward_pool_mean() {
+        // Three precise, genuinely spread observations and one wild,
+        // imprecise outlier: the outlier shrinks hard, the precise ones
+        // barely move. (The spread must exceed the sampling noise or
+        // τ² clamps to 0 and everything collapses to the pool mean.)
+        let xs = [0.5, 1.0, 1.5, 5.0];
+        let vs = [0.01, 0.01, 0.01, 25.0];
+        let shrunk = james_stein_shrink(&xs, &vs);
+        assert!((shrunk[1] - 1.0).abs() < 0.1, "{shrunk:?}");
+        assert!(shrunk[3] < 2.0, "outlier must shrink: {shrunk:?}");
+        assert!(shrunk[3] > 1.0, "…but not overshoot the mean: {shrunk:?}");
+        // Shrinkage preserves the order of equally-precise observations.
+        assert!(shrunk[0] < shrunk[1] && shrunk[1] < shrunk[2]);
+    }
+
+    #[test]
+    fn homogeneous_observations_collapse_to_mean() {
+        // Q ≪ k−1 ⇒ τ² clamps to 0 ⇒ every estimate equals the pool mean.
+        let xs = [1.0, 1.02, 0.98, 1.01];
+        let vs = [1.0, 1.0, 1.0, 1.0];
+        let shrunk = james_stein_shrink(&xs, &vs);
+        for s in &shrunk {
+            assert!((s - 1.0025).abs() < 1e-9, "{shrunk:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_pass_through() {
+        assert_eq!(james_stein_shrink(&[], &[]), Vec::<f64>::new());
+        assert_eq!(james_stein_shrink(&[2.0], &[1.0]), vec![2.0]);
+        // Non-finite variances leave their observations untouched.
+        let xs = [1.0, 2.0, f64::NAN];
+        let vs = [0.5, f64::NAN, 0.5];
+        let shrunk = james_stein_shrink(&xs, &vs);
+        assert_eq!(shrunk[1], 2.0);
+        assert!(shrunk[2].is_nan());
+    }
+
+    #[test]
+    fn variance_sampling_var_formula() {
+        assert_eq!(variance_sampling_var(3.0, 10), 2.0 * 9.0 / 9.0);
+        assert!(variance_sampling_var(3.0, 1).is_nan());
+        assert!(variance_sampling_var(f64::NAN, 10).is_nan());
+    }
+
+    #[test]
+    fn spearman_detects_monotone_association() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0]; // monotone, nonlinear
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = ys.iter().rev().copied().collect();
+        assert!((spearman(&xs, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerates() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 6.0, 7.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn average_ranks_midrank_ties() {
+        assert_eq!(
+            average_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn offender_score_weights_spam_heavily() {
+        // A mild spammer outranks a noisy-but-honest worker.
+        assert!(offender_score(1.0, 0.3) > offender_score(3.5, 0.0));
+        assert_eq!(offender_score(f64::NAN, 0.2), 2.0);
+    }
+}

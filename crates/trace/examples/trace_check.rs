@@ -100,6 +100,8 @@ fn main() -> ExitCode {
             "query_audit",
             "object_audit",
             "drift_update",
+            "worker_profile",
+            "worker_stats",
         ] {
             if !counts.contains_key(required) {
                 eprintln!("trace_check: {path} has no {required} events");

@@ -329,6 +329,45 @@ pub enum TraceEvent {
         /// 1-based index of the tripping batch in the stream.
         sample: u64,
     },
+    /// Planted quality profile of one worker in the simulated pool,
+    /// emitted per audited repetition (deterministic, so re-emission is
+    /// idempotent) so scorecards can compare observed behaviour against
+    /// the planted truth.
+    WorkerProfile {
+        /// Cell identity: domain / query / strategy.
+        label: String,
+        /// Worker index within the pool.
+        worker: u32,
+        /// Planted noise-sd multiplier (1.0 in the homogeneous model).
+        sd_multiplier: f64,
+        /// Planted spam propensity (0.0 for honest workers).
+        spam_propensity: f64,
+    },
+    /// Observed per-worker tallies of one audited repetition: the
+    /// provenance side of the audit ledger.
+    WorkerStats {
+        /// Cell identity: domain / query / strategy.
+        label: String,
+        /// Repetition seed of the run.
+        seed: u64,
+        /// Worker index within the pool.
+        worker: u32,
+        /// Binary value answers attributed to the worker.
+        binary_answers: u64,
+        /// Numeric value answers attributed to the worker.
+        numeric_answers: u64,
+        /// Answers the spam filter rejected.
+        rejected: u64,
+        /// Millicents charged for the worker's answers.
+        spent_millicents: i64,
+        /// Standardized residuals recorded (kept answers of well-formed
+        /// batches).
+        residual_n: u64,
+        /// Sum of those standardized residuals.
+        residual_sum: f64,
+        /// Sum of their squares (raw moments add exactly across reps).
+        residual_sq: f64,
+    },
     /// A hierarchical span opened (see [`crate::span`]). Matched by
     /// exactly one [`TraceEvent::SpanEnd`] with the same `id`.
     SpanStart {
@@ -384,6 +423,8 @@ impl TraceEvent {
             TraceEvent::ObjectAudit { .. } => "object_audit",
             TraceEvent::DriftUpdate { .. } => "drift_update",
             TraceEvent::DriftDetected { .. } => "drift_detected",
+            TraceEvent::WorkerProfile { .. } => "worker_profile",
+            TraceEvent::WorkerStats { .. } => "worker_stats",
             TraceEvent::SpanStart { .. } => "span_start",
             TraceEvent::SpanEnd { .. } => "span_end",
         }
@@ -707,6 +748,54 @@ impl TraceEvent {
                 }
                 let _ = write!(s, ",\"sample\":{sample}");
             }
+            TraceEvent::WorkerProfile {
+                label,
+                worker,
+                sd_multiplier,
+                spam_propensity,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(s, ",\"worker\":{worker}");
+                for (name, value) in [
+                    ("sd_multiplier", *sd_multiplier),
+                    ("spam_propensity", *spam_propensity),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    write_f64(&mut s, value);
+                }
+            }
+            TraceEvent::WorkerStats {
+                label,
+                seed,
+                worker,
+                binary_answers,
+                numeric_answers,
+                rejected,
+                spent_millicents,
+                residual_n,
+                residual_sum,
+                residual_sq,
+            } => {
+                s.push_str(",\"label\":");
+                write_str(&mut s, label);
+                let _ = write!(
+                    s,
+                    ",\"seed\":{seed},\"worker\":{worker},\
+                     \"binary_answers\":{binary_answers},\
+                     \"numeric_answers\":{numeric_answers},\
+                     \"rejected\":{rejected},\
+                     \"spent_millicents\":{spent_millicents},\
+                     \"residual_n\":{residual_n}"
+                );
+                for (name, value) in [
+                    ("residual_sum", *residual_sum),
+                    ("residual_sq", *residual_sq),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    write_f64(&mut s, value);
+                }
+            }
             TraceEvent::SpanStart {
                 id,
                 parent,
@@ -1022,6 +1111,27 @@ impl TraceEvent {
                 threshold: f64_field("threshold")?,
                 sample: u64_field("sample")?,
             }),
+            "worker_profile" => Ok(TraceEvent::WorkerProfile {
+                label: str_field("label")?,
+                worker: u32_field("worker")?,
+                sd_multiplier: f64_field("sd_multiplier")?,
+                spam_propensity: f64_field("spam_propensity")?,
+            }),
+            "worker_stats" => Ok(TraceEvent::WorkerStats {
+                label: str_field("label")?,
+                seed: u64_field("seed")?,
+                worker: u32_field("worker")?,
+                binary_answers: u64_field("binary_answers")?,
+                numeric_answers: u64_field("numeric_answers")?,
+                rejected: u64_field("rejected")?,
+                spent_millicents: v
+                    .get("spent_millicents")
+                    .and_then(Json::as_i64)
+                    .ok_or("worker_stats: missing spent_millicents")?,
+                residual_n: u64_field("residual_n")?,
+                residual_sum: f64_field("residual_sum")?,
+                residual_sq: f64_field("residual_sq")?,
+            }),
             "span_start" => Ok(TraceEvent::SpanStart {
                 id: u64_field("id")?,
                 parent: match v.get("parent") {
@@ -1217,6 +1327,24 @@ mod tests {
                 threshold: 5.0,
                 sample: 31,
             },
+            TraceEvent::WorkerProfile {
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                worker: 7,
+                sd_multiplier: 1.62,
+                spam_propensity: 0.85,
+            },
+            TraceEvent::WorkerStats {
+                label: "pictures/{Bmi} DisQ b_prc=$30 b_obj=4.0¢".into(),
+                seed: 3,
+                worker: 7,
+                binary_answers: 12,
+                numeric_answers: 88,
+                rejected: 19,
+                spent_millicents: 36_400,
+                residual_n: 81,
+                residual_sum: -2.5,
+                residual_sq: 130.75,
+            },
             TraceEvent::SpanStart {
                 id: 42,
                 parent: Some(41),
@@ -1260,7 +1388,7 @@ mod tests {
         for event in samples() {
             seen.insert(event.name());
         }
-        assert_eq!(seen.len(), 18);
+        assert_eq!(seen.len(), 20);
     }
 
     #[test]

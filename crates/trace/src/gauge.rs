@@ -161,6 +161,83 @@ mod tests {
         reset();
     }
 
+    /// Concurrent labelled updates across many threads never corrupt the
+    /// registry: every series lands with its final value and the
+    /// rendered text stays well-formed.
+    #[test]
+    fn concurrent_labelled_updates_are_consistent() {
+        let _guard = lock();
+        reset();
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    let worker = format!("w{t}");
+                    for round in 0..ROUNDS {
+                        // Each thread owns one series (its final write
+                        // must win) and also hammers one shared series.
+                        set(
+                            "disq_worker_quality",
+                            "help",
+                            &[("worker", worker.as_str())],
+                            round as f64,
+                        );
+                        set("disq_concurrent_shared", "help", &[], round as f64);
+                    }
+                });
+            }
+        });
+        let text = render();
+        for t in 0..THREADS {
+            let want = format!("disq_worker_quality{{worker=\"w{t}\"}} {}", ROUNDS - 1);
+            assert!(text.contains(&want), "missing {want:?} in {text}");
+        }
+        // The shared series holds *some* thread's final write.
+        assert!(
+            text.contains(&format!("disq_concurrent_shared {}", ROUNDS - 1)),
+            "{text}"
+        );
+        // Exactly one sample line per series, one HELP/TYPE per family.
+        assert_eq!(text.matches("disq_worker_quality{").count(), THREADS);
+        assert_eq!(text.matches("# TYPE disq_worker_quality gauge").count(), 1);
+        reset();
+    }
+
+    /// Worker/attribute labels can contain every character the
+    /// exposition format singles out; rendered output escapes them all.
+    #[test]
+    fn worker_label_escaping_covers_quotes_backslashes_newlines() {
+        let _guard = lock();
+        reset();
+        for (raw, escaped) in [
+            ("he said \"hi\"", "he said \\\"hi\\\""),
+            ("C:\\crowd\\worker", "C:\\\\crowd\\\\worker"),
+            ("line1\nline2", "line1\\nline2"),
+            ("mix\"of\\all\nthree", "mix\\\"of\\\\all\\nthree"),
+        ] {
+            set("disq_escape_gauge", "help", &[("worker", raw)], 1.0);
+            let text = render();
+            let want = format!("disq_escape_gauge{{worker=\"{escaped}\"}} 1");
+            assert!(
+                text.contains(&want),
+                "raw {raw:?}: missing {want:?} in {text}"
+            );
+            // No rendered sample line may span multiple lines.
+            for line in text.lines() {
+                assert!(!line.is_empty() || text.ends_with('\n'));
+            }
+            assert_eq!(
+                text.lines()
+                    .filter(|l| l.starts_with("disq_escape_gauge{"))
+                    .count(),
+                1,
+                "escaped newline must keep the sample on one line: {text}"
+            );
+            reset();
+        }
+    }
+
     #[test]
     fn non_finite_values_render_spec_forms() {
         let _guard = lock();
