@@ -137,6 +137,7 @@ fn kernel_row(name: String, t: &Timing) -> HarnessTimings {
         cache_misses: 0,
         summary: disq_trace::RunSummary::default(),
         peak_alloc_bytes: 0,
+        serve: None,
     }
 }
 

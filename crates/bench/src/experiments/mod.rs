@@ -16,6 +16,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod robustness;
 pub mod scale;
+pub mod serve;
 pub mod table4;
 pub mod table5;
 pub mod workers;

@@ -122,6 +122,7 @@ pub fn run_sizes(sizes: &[usize]) -> String {
             cache_misses: 0,
             summary: disq_trace::RunSummary::default(),
             peak_alloc_bytes: peak,
+            serve: None,
         };
         crate::harness::persist(&timings);
         table.row(vec![

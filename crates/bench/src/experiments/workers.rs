@@ -97,6 +97,7 @@ pub fn run_pools(pools: &[usize]) -> String {
             cache_misses: 0,
             summary: disq_trace::RunSummary::default(),
             peak_alloc_bytes: 0,
+            serve: None,
         };
         crate::harness::persist(&timings);
         let mean = errors.iter().sum::<f64>() / errors.len() as f64;

@@ -16,6 +16,34 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// Latency/throughput facts of one `disq-serve` load-generator run,
+/// attached to the `serve@c<conns>` harness rows so
+/// `disq-insight compare --max-p99-growth` can gate tail latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Median request latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: u64,
+    /// Completed queries per wall-clock second across all connections.
+    pub qps: f64,
+    /// Crowd questions actually asked per query (after coalescing).
+    pub questions_per_query: f64,
+    /// Plan-cache hit rate over the measured window.
+    pub plan_cache_hit_rate: f64,
+}
+
+impl ServeStats {
+    /// The `"serve":{...}` JSON fragment embedded in a harness row.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"p50_us\":{},\"p99_us\":{},\"qps\":{:.2},\
+             \"questions_per_query\":{:.4},\"plan_cache_hit_rate\":{:.4}}}",
+            self.p50_us, self.p99_us, self.qps, self.questions_per_query, self.plan_cache_hit_rate,
+        )
+    }
+}
+
 /// Timing and throughput facts of one harness sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessTimings {
@@ -44,6 +72,9 @@ pub struct HarnessTimings {
     /// Zero when the experiment did not enable the watermark; only the
     /// scale rows (`fig1@n…`) currently do.
     pub peak_alloc_bytes: u64,
+    /// Daemon latency stats; only the `serve@c…` load-generator rows
+    /// carry them.
+    pub serve: Option<ServeStats>,
 }
 
 impl HarnessTimings {
@@ -147,6 +178,10 @@ impl HarnessTimings {
         if self.peak_alloc_bytes > 0 {
             s.pop(); // strip the closing brace
             let _ = write!(s, ",\"peak_alloc_bytes\":{}}}", self.peak_alloc_bytes);
+        }
+        if let Some(serve) = &self.serve {
+            s.pop(); // strip the closing brace
+            let _ = write!(s, ",\"serve\":{}}}", serve.to_json());
         }
         if !self.summary.is_empty() {
             s.pop(); // strip the closing brace
@@ -282,6 +317,7 @@ pub fn run_experiment(
         cache_misses: outcome.cache_misses,
         summary: disq_trace::summary().delta_since(&trace_before),
         peak_alloc_bytes: 0,
+        serve: None,
     };
     persist(&timings);
     (outcome.results, timings)
@@ -320,6 +356,7 @@ where
         cache_misses: cache.map_or(0, |c| c.misses()),
         summary: disq_trace::summary().delta_since(&trace_before),
         peak_alloc_bytes: 0,
+        serve: None,
     };
     persist(&timings);
     (out, timings)
@@ -354,6 +391,7 @@ mod tests {
             cache_misses: 4,
             summary: disq_trace::RunSummary::default(),
             peak_alloc_bytes: 0,
+            serve: None,
         }
     }
 
@@ -375,6 +413,51 @@ mod tests {
         // names already carry the qualifier and must not grow `@t1`.
         assert_eq!(sample("budget_dist@k16", 1).key(), "budget_dist@k16");
         assert_eq!(sample("budget_dist", 1).key(), "budget_dist@t1");
+        // Serve rows sweep a connection count.
+        assert_eq!(sample("serve@c8", 8).key(), "serve@c8");
+        assert_eq!(sample("serve_cold@c1", 1).key(), "serve_cold@c1");
+    }
+
+    #[test]
+    fn serve_rows_dedup_exactly_and_carry_stats() {
+        let dir = std::env::temp_dir().join(format!(
+            "disq-harness-serve-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+
+        let mut c8 = sample("serve@c8", 8);
+        c8.serve = Some(ServeStats {
+            p50_us: 900,
+            p99_us: 4_200,
+            qps: 310.5,
+            questions_per_query: 6.0,
+            plan_cache_hit_rate: 0.97,
+        });
+        record_at(&path, &c8).unwrap();
+        // "serve@c1" vs "serve@c32": neither may displace the other, and
+        // re-recording c8 replaces exactly its own row.
+        record_at(&path, &sample("serve@c1", 1)).unwrap();
+        record_at(&path, &sample("serve@c32", 32)).unwrap();
+        record_at(&path, &c8).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for key in ["serve@c1", "serve@c8", "serve@c32"] {
+            assert_eq!(
+                text.matches(&format!("\"experiment\":\"{key}\"")).count(),
+                1,
+                "{text}"
+            );
+        }
+        assert!(
+            text.contains("\"serve\":{\"p50_us\":900,\"p99_us\":4200,\"qps\":310.50"),
+            "{text}"
+        );
+        let hist = std::fs::read_to_string(history_path(&path)).unwrap();
+        assert_eq!(hist.lines().count(), 1, "only the first c8 row moved");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod online;
 mod plan;
 pub mod plan_io;
+pub mod plan_store;
 mod preprocess;
 
 #[cfg(test)]
@@ -46,4 +47,5 @@ pub use config::{DisqConfig, EstimationPolicy, PairingPolicy, SelectionStrategy,
 pub use discovered::{AttributePool, DiscoveredAttr, Resolution};
 pub use error::DisqError;
 pub use plan::{EvaluationPlan, PlannedAttribute, TargetRegression};
+pub use plan_store::{output_from_json, output_to_json, PlanMeta, PlanStore, PLAN_DIR_ENV};
 pub use preprocess::{preprocess, PreprocessOutput, PreprocessStats};

@@ -7,7 +7,7 @@
 //! the estimates and returns the qualifying rows.
 
 use crate::{DisqError, EvaluationPlan};
-use disq_crowd::{filter_spam_into, CrowdPlatform, WorkerId, WorkerLedger};
+use disq_crowd::{filter_spam_into, ValueSource, WorkerId, WorkerLedger};
 use disq_domain::{AttributeKind, ObjectId, Query};
 use disq_trace::{Counter, TraceEvent};
 
@@ -104,7 +104,7 @@ impl OnlineAudit {
 
 /// Per-object estimates for every plan target: `estimates[i][t]` is the
 /// estimate of target `t` for `objects[i]`.
-pub fn estimate_objects<P: CrowdPlatform>(
+pub fn estimate_objects<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     objects: &[ObjectId],
@@ -127,7 +127,7 @@ pub fn estimate_objects<P: CrowdPlatform>(
 /// `objects[i]`). With a warm `scratch` and pre-reserved `out` the whole
 /// sweep allocates nothing — this is the entry point the scale benchmarks
 /// drive at n = 10⁶.
-pub fn estimate_objects_into<P: CrowdPlatform>(
+pub fn estimate_objects_into<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     objects: &[ObjectId],
@@ -148,7 +148,7 @@ pub fn estimate_objects_into<P: CrowdPlatform>(
 /// attribution. This path allocates per batch by design — callers gate
 /// it on tracing being active; the unaudited kernels keep the
 /// zero-allocation contract.
-pub fn estimate_objects_audited<P: CrowdPlatform>(
+pub fn estimate_objects_audited<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     objects: &[ObjectId],
@@ -168,7 +168,7 @@ pub fn estimate_objects_audited<P: CrowdPlatform>(
 }
 
 /// Estimates all plan targets for one object.
-pub fn estimate_object<P: CrowdPlatform>(
+pub fn estimate_object<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     object: ObjectId,
@@ -182,7 +182,7 @@ pub fn estimate_object<P: CrowdPlatform>(
 /// Estimation kernel: appends `plan.regressions.len()` estimates for
 /// `object` to `out`, reusing `scratch` across calls. Allocation-free
 /// once the scratch buffers are warm and `out` has capacity.
-pub fn estimate_object_into<P: CrowdPlatform>(
+pub fn estimate_object_into<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     object: ObjectId,
@@ -192,7 +192,7 @@ pub fn estimate_object_into<P: CrowdPlatform>(
     estimate_object_impl(platform, plan, object, scratch, out, None)
 }
 
-fn estimate_object_impl<P: CrowdPlatform>(
+fn estimate_object_impl<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     object: ObjectId,
@@ -313,7 +313,7 @@ pub struct QueryResult {
 ///
 /// The plan must contain a regression for every attribute the query
 /// mentions.
-pub fn evaluate_query<P: CrowdPlatform>(
+pub fn evaluate_query<P: ValueSource>(
     platform: &mut P,
     plan: &EvaluationPlan,
     query: &Query,
@@ -370,7 +370,7 @@ pub fn evaluate_query<P: CrowdPlatform>(
 mod tests {
     use super::*;
     use crate::{EvaluationPlan, PlannedAttribute, TargetRegression};
-    use disq_crowd::{CrowdConfig, PricingModel, SimulatedCrowd};
+    use disq_crowd::{CrowdConfig, CrowdPlatform, PricingModel, SimulatedCrowd};
     use disq_domain::{domains::pictures, AttributeKind, Population};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

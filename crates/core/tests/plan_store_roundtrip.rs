@@ -1,0 +1,130 @@
+//! Property test for the plan store's byte-identity contract: a real
+//! `PreprocessOutput` — produced by running the actual preprocessing
+//! phase on every experiment domain under several seeds — must survive
+//! `serialize → parse → serialize` with the two serializations equal
+//! byte for byte and every float equal bit for bit (`to_bits`),
+//! including the trio's NaN sentinels for never-measured `S_o` entries.
+
+use disq_core::{output_from_json, output_to_json, preprocess, DisqConfig, PlanMeta};
+use disq_crowd::{CrowdConfig, Money, PricingModel, SimulatedCrowd};
+use disq_domain::{domains, DomainSpec, Population};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One preprocessing run mirroring the bench experiments' invocation
+/// (paper prices, B_prc cap as the ledger cap, B_obj = 4¢).
+fn preprocess_real(spec: Arc<DomainSpec>, target: &str, seed: u64) -> disq_core::PreprocessOutput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::sample(Arc::clone(&spec), 120, &mut rng).expect("population");
+    let mut crowd = SimulatedCrowd::new(
+        pop,
+        CrowdConfig::default(),
+        Some(Money::from_dollars(30.0)),
+        seed,
+    );
+    let target_id = spec.id_of(target).expect("target attribute");
+    preprocess(
+        &mut crowd,
+        &spec,
+        &[target_id],
+        Money::from_cents(4.0),
+        &DisqConfig::default(),
+        &PricingModel::paper(),
+        None,
+        seed,
+    )
+    .expect("preprocess")
+}
+
+fn assert_roundtrip(spec: Arc<DomainSpec>, target: &str, seed: u64) {
+    let output = preprocess_real(Arc::clone(&spec), target, seed);
+    let meta = PlanMeta {
+        domain: spec.name().to_string(),
+        attribute: target.to_string(),
+        seed,
+    };
+    let text = output_to_json(&output, &meta);
+    let (back, back_meta) = output_from_json(&text).expect("parse back");
+    assert_eq!(back_meta, meta, "{target}@{seed}: meta");
+    assert_eq!(
+        output_to_json(&back, &back_meta),
+        text,
+        "{}/{target}@{seed}: serialize ∘ parse must be the identity",
+        spec.name()
+    );
+
+    // Field-level bit equality, so a failure localizes.
+    assert_eq!(back.plan, output.plan, "{target}@{seed}: plan");
+    assert_eq!(back.pool_labels, output.pool_labels);
+    assert_eq!(back.budget, output.budget);
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&back.weights), bits(&output.weights));
+    assert_eq!(
+        back.trio
+            .s_o_rows()
+            .iter()
+            .map(|r| bits(r))
+            .collect::<Vec<_>>(),
+        output
+            .trio
+            .s_o_rows()
+            .iter()
+            .map(|r| bits(r))
+            .collect::<Vec<_>>(),
+        "{target}@{seed}: S_o (NaN payloads included)"
+    );
+    assert_eq!(
+        back.trio
+            .s_a_rows()
+            .iter()
+            .map(|r| bits(r))
+            .collect::<Vec<_>>(),
+        output
+            .trio
+            .s_a_rows()
+            .iter()
+            .map(|r| bits(r))
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(bits(back.trio.s_c_values()), bits(output.trio.s_c_values()));
+    assert_eq!(
+        bits(back.trio.target_variances()),
+        bits(output.trio.target_variances())
+    );
+    assert_eq!(back.stats.n1_used, output.stats.n1_used);
+    assert_eq!(back.stats.spent, output.stats.spent);
+    assert_eq!(back.stats.discovered, output.stats.discovered);
+    assert_eq!(back.stats.fell_back, output.stats.fell_back);
+}
+
+#[test]
+fn pictures_roundtrips_across_seeds() {
+    let spec = Arc::new(domains::pictures::spec());
+    for seed in [1, 7, 42] {
+        assert_roundtrip(Arc::clone(&spec), "Bmi", seed);
+    }
+    assert_roundtrip(spec, "Age", 3);
+}
+
+#[test]
+fn recipes_roundtrips_across_seeds() {
+    let spec = Arc::new(domains::recipes::spec());
+    for seed in [2, 11] {
+        assert_roundtrip(Arc::clone(&spec), "Calories", seed);
+    }
+    assert_roundtrip(spec, "Protein", 5);
+}
+
+#[test]
+fn housing_roundtrips() {
+    let spec = Arc::new(domains::housing::spec());
+    assert_roundtrip(spec, "Price", 9);
+}
+
+#[test]
+fn laptops_roundtrips() {
+    let spec = Arc::new(domains::laptops::spec());
+    let target = spec.attr(disq_domain::AttributeId(0)).name.clone();
+    assert_roundtrip(spec, &target, 4);
+}

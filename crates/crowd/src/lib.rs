@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod coalesce;
 mod error;
 mod ledger;
 mod money;
@@ -36,10 +37,14 @@ mod worker;
 #[cfg(test)]
 mod proptests;
 
+pub use coalesce::{
+    BatcherConfig, BatcherStats, CoalescingCrowd, QueryGuard, BATCH_MAX_ENV, BATCH_WINDOW_ENV,
+    DEFAULT_BATCH_MAX, DEFAULT_WINDOW_US,
+};
 pub use error::CrowdError;
 pub use ledger::{BudgetLedger, LedgerSnapshot, SpendDelta};
 pub use money::Money;
-pub use platform::{CrowdConfig, CrowdPlatform, SimulatedCrowd};
+pub use platform::{CrowdConfig, CrowdPlatform, SimulatedCrowd, ValueSource};
 pub use pricing::PricingModel;
 pub use question::{QuestionKind, ValueBatch};
 pub use recorder::{AnswerLog, RecordingCrowd, ReplayingCrowd};

@@ -162,6 +162,72 @@ pub trait CrowdPlatform {
     fn ledger(&self) -> &BudgetLedger;
 }
 
+/// The narrow interface the *online phase* actually needs: per-object
+/// value questions, nothing else.
+///
+/// [`CrowdPlatform`] bundles the four §2 question types plus ledger
+/// access behind one `&mut self` receiver, which forces every consumer
+/// of the online estimation kernel to hold exclusive access to the whole
+/// platform. The query daemon's cross-request batcher cannot offer that
+/// — it multiplexes one platform between concurrent requests and cannot
+/// hand out `&BudgetLedger` borrows — so the estimation entry points
+/// bound on this trait instead. Every `CrowdPlatform` is a `ValueSource`
+/// through the blanket impl, so existing callers compile unchanged;
+/// request-scoped handles (e.g. `CoalescingCrowd`) implement only this.
+pub trait ValueSource {
+    /// Asks `k` workers for the value of `o.a`, appending each answer to
+    /// `out`. Same contract as [`CrowdPlatform::ask_values`]: on budget
+    /// exhaustion the answers collected so far stay in `out` and the
+    /// error is returned.
+    fn ask_values(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CrowdError>;
+
+    /// [`ask_values`](Self::ask_values) with provenance: appends one
+    /// [`WorkerId`] per answer. The default stamps
+    /// [`WorkerId::ANONYMOUS`]; sources with an identity layer override.
+    fn ask_values_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        workers: &mut Vec<WorkerId>,
+    ) -> Result<(), CrowdError> {
+        let start = out.len();
+        let res = self.ask_values(o, a, k, out);
+        workers.extend((start..out.len()).map(|_| WorkerId::ANONYMOUS));
+        res
+    }
+}
+
+impl<P: CrowdPlatform + ?Sized> ValueSource for P {
+    fn ask_values(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CrowdError> {
+        CrowdPlatform::ask_values(self, o, a, k, out)
+    }
+
+    fn ask_values_attributed(
+        &mut self,
+        o: ObjectId,
+        a: AttributeId,
+        k: usize,
+        out: &mut Vec<f64>,
+        workers: &mut Vec<WorkerId>,
+    ) -> Result<(), CrowdError> {
+        CrowdPlatform::ask_values_attributed(self, o, a, k, out, workers)
+    }
+}
+
 /// Simulated workers over a sampled population.
 #[derive(Debug)]
 pub struct SimulatedCrowd {
@@ -633,7 +699,7 @@ mod tests {
             let o = ObjectId(round % 5);
             let k = [0, 1, 2, 7][round % 4];
             got.clear();
-            batched.ask_values(o, attr, k, &mut got).unwrap();
+            CrowdPlatform::ask_values(&mut batched, o, attr, k, &mut got).unwrap();
             let want: Vec<f64> = (0..k).map(|_| looped.ask_value(o, attr).unwrap()).collect();
             assert_eq!(got, want, "round {round} (k={k})");
         }
@@ -681,9 +747,8 @@ mod tests {
         let mut batched = SimulatedCrowd::new(pop.clone(), CrowdConfig::default(), cap, 3);
         let mut looped = SimulatedCrowd::new(pop, CrowdConfig::default(), cap, 3);
         let mut got = Vec::new();
-        let err = batched
-            .ask_values(ObjectId(0), bmi, 5, &mut got)
-            .unwrap_err();
+        let err =
+            CrowdPlatform::ask_values(&mut batched, ObjectId(0), bmi, 5, &mut got).unwrap_err();
         assert!(matches!(err, CrowdError::BudgetExhausted { .. }));
         let mut want = Vec::new();
         let want_err = loop {
@@ -742,10 +807,10 @@ mod tests {
         let bmi = spec.id_of("Bmi").unwrap();
         let mut vals = Vec::new();
         let mut ws = Vec::new();
-        attr.ask_values_attributed(ObjectId(0), bmi, 7, &mut vals, &mut ws)
+        CrowdPlatform::ask_values_attributed(&mut attr, ObjectId(0), bmi, 7, &mut vals, &mut ws)
             .unwrap();
         let mut want = Vec::new();
-        plain.ask_values(ObjectId(0), bmi, 7, &mut want).unwrap();
+        CrowdPlatform::ask_values(&mut plain, ObjectId(0), bmi, 7, &mut want).unwrap();
         assert_eq!(vals, want);
         assert_eq!(ws.len(), 7);
         assert!(ws.iter().all(|w| !w.is_anonymous() && w.0 < 8));

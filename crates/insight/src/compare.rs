@@ -14,6 +14,22 @@ use disq_trace::{Counter, RunSummary};
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// The `"serve":{...}` latency block a `serve@c<conns>` load-generator
+/// row carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeRow {
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Queries per second across all connections.
+    pub qps: f64,
+    /// Crowd questions asked per query (after coalescing).
+    pub questions_per_query: f64,
+    /// Plan-cache hit rate over the measured window.
+    pub plan_cache_hit_rate: f64,
+}
+
 /// One parsed harness row.
 #[derive(Debug, Clone)]
 pub struct HarnessRow {
@@ -34,6 +50,9 @@ pub struct HarnessRow {
     /// Peak live-heap bytes from the allocation watermark, when the row
     /// was measured with it (the `fig1@n…` scale rows); 0 otherwise.
     pub peak_alloc_bytes: u64,
+    /// Daemon latency stats, when the row came from the serve load
+    /// generator (`serve@c…`).
+    pub serve: Option<ServeRow>,
 }
 
 /// Parses a `BENCH_harness.json` file into rows keyed by
@@ -64,6 +83,23 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<String, HarnessRow>, String> {
             Some(v) => Some(RunSummary::from_json(v).map_err(|e| format!("row {i}: {e}"))?),
             None => None,
         };
+        let serve = match row.get("serve") {
+            Some(v) => {
+                let sub = |name: &str| -> Result<f64, String> {
+                    v.get(name)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("row {i}: serve block missing {name:?}"))
+                };
+                Some(ServeRow {
+                    p50_us: sub("p50_us")?,
+                    p99_us: sub("p99_us")?,
+                    qps: sub("qps")?,
+                    questions_per_query: sub("questions_per_query")?,
+                    plan_cache_hit_rate: sub("plan_cache_hit_rate")?,
+                })
+            }
+            None => None,
+        };
         let parsed = HarnessRow {
             key: key.clone(),
             cells: field("cells")? as u64,
@@ -76,6 +112,7 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<String, HarnessRow>, String> {
                 .get("peak_alloc_bytes")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0) as u64,
+            serve,
         };
         rows.insert(key, parsed);
     }
@@ -102,6 +139,14 @@ pub struct CompareConfig {
     /// allocation counters (i.e. both were traced with the counting
     /// allocator compiled in).
     pub max_alloc_growth: f64,
+    /// Max allowed growth of `serve.p99_us` between matching serve
+    /// load-generator rows. Per-request tail latency is roughly
+    /// independent of how many queries a run issued, so — unlike the
+    /// wall-clock gates — this applies even when the query counts
+    /// differ. `None` leaves tail latency ungated (the default: latency
+    /// is noisy on shared CI hardware, so the gate is opt-in via
+    /// `--max-p99-growth`).
+    pub max_p99_growth: Option<f64>,
 }
 
 impl Default for CompareConfig {
@@ -111,6 +156,7 @@ impl Default for CompareConfig {
             max_throughput_drop: 1.5,
             check_counters: true,
             max_alloc_growth: 1.5,
+            max_p99_growth: None,
         }
     }
 }
@@ -285,6 +331,25 @@ pub fn compare(
                         base.peak_alloc_bytes, cur.peak_alloc_bytes, cfg.max_alloc_growth
                     ),
                 });
+            }
+        }
+
+        if let (Some(limit), Some(bs), Some(cs)) = (cfg.max_p99_growth, &base.serve, &cur.serve) {
+            if bs.p99_us > 0.0 && cs.p99_us > 0.0 {
+                let growth = cs.p99_us / bs.p99_us;
+                if growth > limit {
+                    outcome.regressions.push(Regression {
+                        key: key.clone(),
+                        metric: "serve:p99_us".into(),
+                        baseline: bs.p99_us,
+                        current: cs.p99_us,
+                        message: format!(
+                            "{key}: p99 latency grew {:.0}us -> {:.0}us \
+                             ({growth:.2}x > {limit:.2}x allowed)",
+                            bs.p99_us, cs.p99_us
+                        ),
+                    });
+                }
             }
         }
 
@@ -470,6 +535,66 @@ mod tests {
             ..CompareConfig::default()
         };
         assert!(compare(&base, &bad, &lax).passed());
+    }
+
+    #[test]
+    fn p99_latency_gate_is_opt_in_and_workload_independent() {
+        let with_p99 = |queries: u64, p99: f64| {
+            format!(
+                "{{\"experiment\":\"serve@c8\",\"threads\":8,\"cells\":8,\"reps\":{reps},\
+                 \"units\":{queries},\"wall_secs\":{wall:.4},\"cells_per_sec\":4.0,\
+                 \"units_per_sec\":480.0,\"cache_hits\":10,\"cache_misses\":4,\
+                 \"cache_hit_rate\":0.714,\"serve\":{{\"p50_us\":800,\"p99_us\":{p99},\
+                 \"qps\":120.0,\"questions_per_query\":6.0,\
+                 \"plan_cache_hit_rate\":0.97}}}}",
+                reps = queries / 8,
+                wall = queries as f64 / 480.0,
+            )
+        };
+        let base = snapshot(&[with_p99(960, 4000.0)]);
+        assert_eq!(
+            base["serve@c8"].serve,
+            Some(ServeRow {
+                p50_us: 800.0,
+                p99_us: 4000.0,
+                qps: 120.0,
+                questions_per_query: 6.0,
+                plan_cache_hit_rate: 0.97,
+            })
+        );
+
+        // 3x tail growth, measured over a *smaller* query count (the CI
+        // smoke): still caught once the gate is armed.
+        let bad = snapshot(&[with_p99(96, 12000.0)]);
+        assert!(
+            compare(&base, &bad, &CompareConfig::default()).passed(),
+            "gate must be opt-in"
+        );
+        let armed = CompareConfig {
+            max_p99_growth: Some(2.0),
+            ..CompareConfig::default()
+        };
+        let outcome = compare(&base, &bad, &armed);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "serve:p99_us");
+        assert!(outcome.render().contains("p99 latency grew"), "{outcome:?}");
+
+        // Within threshold: passes; rows without serve stats are skipped.
+        let ok = snapshot(&[with_p99(96, 6000.0)]);
+        assert!(compare(&base, &ok, &armed).passed());
+        let plain = snapshot(&[row("serve@c8", 2.0, 960)]);
+        assert!(compare(&plain, &bad, &armed).passed());
+        assert!(compare(&base, &plain, &armed).passed());
+    }
+
+    #[test]
+    fn malformed_serve_block_errors_cleanly() {
+        let text = "[{\"experiment\":\"serve@c1\",\"threads\":1,\"cells\":1,\"reps\":1,\
+                    \"units\":1,\"wall_secs\":1.0,\"cells_per_sec\":1.0,\
+                    \"units_per_sec\":1.0,\"cache_hits\":0,\"cache_misses\":0,\
+                    \"cache_hit_rate\":0.0,\"serve\":{\"p50_us\":800}}]";
+        let err = parse_rows(text).unwrap_err();
+        assert!(err.contains("serve block missing"), "{err}");
     }
 
     #[test]

@@ -61,11 +61,14 @@ usage:
 
   disq-insight compare --baseline <a.json> --current <b.json>
                        [--max-slowdown <ratio>] [--max-alloc-growth <ratio>]
-                       [--no-counters]
+                       [--max-p99-growth <ratio>] [--no-counters]
       Gate on performance: exit 1 when any row of <current> regressed
       past the threshold (default 1.5x) relative to <baseline>, when
       deterministic counters drifted on an identical workload, or when
       traced allocation counts grew past --max-alloc-growth.
+      --max-p99-growth additionally gates the tail latency of the
+      serve load-generator rows (`serve@c<conns>`); it applies across
+      differing query counts, since p99 is per-request.
 
   disq-insight serve <trace.jsonl> is not a thing: live metrics come
       from the traced process itself via DISQ_METRICS_ADDR=127.0.0.1:PORT.
@@ -396,6 +399,15 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--max-alloc-growth must be >= 1.0".into());
                 }
                 cfg.max_alloc_growth = v;
+            }
+            "--max-p99-growth" => {
+                let v: f64 = next_value(&mut it, "--max-p99-growth")?
+                    .parse()
+                    .map_err(|e| format!("--max-p99-growth: {e}"))?;
+                if v.is_nan() || v < 1.0 {
+                    return Err("--max-p99-growth must be >= 1.0".into());
+                }
+                cfg.max_p99_growth = Some(v);
             }
             "--no-counters" => cfg.check_counters = false,
             other => return Err(format!("unexpected argument {other:?}")),

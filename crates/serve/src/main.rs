@@ -1,0 +1,42 @@
+//! The `disq-serve` binary: loads a domain, binds `DISQ_SERVE_ADDR`
+//! (default `127.0.0.1:7878`) and serves queries until killed.
+//!
+//! ```sh
+//! DISQ_PLAN_DIR=/tmp/disq-plans disq-serve &
+//! curl -s -X POST http://127.0.0.1:7878/query \
+//!   -d '{"attribute":"Bmi","predicate":">= 25","objects":40}'
+//! ```
+
+use disq_serve::{Engine, QueryServer, ServeConfig, SERVE_ADDR_ENV};
+use std::sync::Arc;
+
+fn main() {
+    disq_trace::init_from_env();
+    let config = ServeConfig::from_env();
+    let addr = std::env::var(SERVE_ADDR_ENV).unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let engine = match Engine::new(config.clone()) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("disq-serve: {}", e.message());
+            std::process::exit(1);
+        }
+    };
+    let server = match QueryServer::start(&addr, engine) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("disq-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "disq-serve listening on http://{} (domain={}, population={}, seed={})",
+        server.local_addr(),
+        config.domain,
+        config.population,
+        config.seed
+    );
+    println!("endpoints: POST /query, GET /stats, GET /healthz");
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,260 @@
+//! End-to-end contract tests: the acceptance criterion's bit-identity
+//! claim (single-connection serve answers ≡ in-process `evaluate_query`)
+//! plus plan-cache behaviour (memory hits, disk warm-start, version
+//! gating via the store).
+
+mod common;
+
+use common::{connect, oneshot, request};
+use disq_serve::{Engine, QueryServer, ReferenceSession, ServeConfig};
+use disq_trace::json::{self, Json};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_config(plan_dir: Option<std::path::PathBuf>) -> ServeConfig {
+    ServeConfig {
+        population: 120,
+        seed: 42,
+        default_objects: 25,
+        read_timeout: Duration::from_millis(2000),
+        plan_dir,
+        ..ServeConfig::default()
+    }
+}
+
+/// Extracts `(object, value_bits)` pairs from a `/query` response body.
+fn parse_rows(body: &str) -> Vec<(u64, u64)> {
+    let parsed = json::parse(body).expect("query response parses");
+    parsed
+        .get("rows")
+        .and_then(Json::as_arr)
+        .expect("rows array")
+        .iter()
+        .map(|row| {
+            let object = row.get("object").and_then(Json::as_u64).expect("object id");
+            let value = row.get("value").and_then(|v| v.as_f64()).expect("value");
+            (object, value.to_bits())
+        })
+        .collect()
+}
+
+fn query_body(attribute: &str, predicate: Option<&str>, objects: usize) -> String {
+    match predicate {
+        Some(p) => {
+            format!("{{\"attribute\":\"{attribute}\",\"predicate\":\"{p}\",\"objects\":{objects}}}")
+        }
+        None => format!("{{\"attribute\":\"{attribute}\",\"objects\":{objects}}}"),
+    }
+}
+
+/// The query sequence both paths run, mixing attributes, predicates and
+/// a cache hit (the second Bmi query).
+const SEQUENCE: &[(&str, Option<&str>, usize)] = &[
+    ("Bmi", Some(">= 25"), 30),
+    ("Bmi", None, 20),
+    ("Age", Some("< 40"), 25),
+    ("Bmi", Some("<= 27.5"), 30),
+];
+
+#[test]
+fn single_connection_serve_is_bit_identical_to_in_process_path() {
+    let engine = Arc::new(Engine::new(test_config(None)).expect("engine"));
+    let mut server = QueryServer::start("127.0.0.1:0", engine).expect("bind");
+    let mut conn: TcpStream = connect(server.local_addr());
+
+    let mut reference = ReferenceSession::new(test_config(None)).expect("reference");
+
+    for &(attr, predicate, objects) in SEQUENCE {
+        let resp = request(
+            &mut conn,
+            "POST",
+            "/query",
+            &query_body(attr, predicate, objects),
+        );
+        assert_eq!(resp.status, 200, "{attr}: {}", resp.body);
+        let served = parse_rows(&resp.body);
+
+        let pred = predicate.map(|p| disq_serve::parse_predicate(p).unwrap());
+        let want = reference.query(attr, pred, Some(objects)).unwrap();
+        let want_rows: Vec<(u64, u64)> = want
+            .rows
+            .iter()
+            .map(|r| (r.object.0 as u64, r.values[0].to_bits()))
+            .collect();
+        assert_eq!(
+            served, want_rows,
+            "{attr} {predicate:?}: serve and in-process answers must be bit-identical"
+        );
+
+        // The response also reports scanned/matched consistently.
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            parsed.get("scanned").and_then(Json::as_u64).unwrap(),
+            objects as u64
+        );
+        assert_eq!(
+            parsed.get("matched").and_then(Json::as_u64).unwrap(),
+            served.len() as u64
+        );
+    }
+
+    // Plan-cache accounting: Bmi(miss) Bmi(hit) Age(miss) Bmi(hit).
+    let stats = oneshot(server.local_addr(), "GET", "/stats", "");
+    assert_eq!(stats.status, 200);
+    let parsed = json::parse(&stats.body).unwrap();
+    let cache = parsed.get("plan_cache").expect("plan_cache");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64).unwrap(), 2);
+    assert_eq!(cache.get("misses").and_then(Json::as_u64).unwrap(), 2);
+    assert_eq!(parsed.get("queries").and_then(Json::as_u64).unwrap(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn plan_source_is_reported_and_cached() {
+    let engine = Arc::new(Engine::new(test_config(None)).expect("engine"));
+    let server = QueryServer::start("127.0.0.1:0", engine).expect("bind");
+    let addr = server.local_addr();
+    let first = oneshot(addr, "POST", "/query", &query_body("Bmi", None, 10));
+    assert_eq!(first.status, 200);
+    let parsed = json::parse(&first.body).unwrap();
+    assert_eq!(
+        parsed.get("plan").and_then(Json::as_str).unwrap(),
+        "computed"
+    );
+    let second = oneshot(addr, "POST", "/query", &query_body("Bmi", None, 10));
+    let parsed = json::parse(&second.body).unwrap();
+    assert_eq!(parsed.get("plan").and_then(Json::as_str).unwrap(), "memory");
+}
+
+#[test]
+fn restart_warm_starts_from_the_plan_store() {
+    let dir = std::env::temp_dir().join(format!("disq-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First daemon: computes the plan, persists it.
+    {
+        let engine = Arc::new(Engine::new(test_config(Some(dir.clone()))).expect("engine"));
+        let server = QueryServer::start("127.0.0.1:0", engine).expect("bind");
+        let resp = oneshot(
+            server.local_addr(),
+            "POST",
+            "/query",
+            &query_body("Bmi", None, 10),
+        );
+        assert_eq!(resp.status, 200);
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            parsed.get("plan").and_then(Json::as_str).unwrap(),
+            "computed"
+        );
+    }
+    assert!(
+        std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) > 0,
+        "plan store directory must hold the persisted plan"
+    );
+
+    // Second daemon, same store: loads from disk instead of recomputing,
+    // and — because plans are seeded purely by (seed, attribute) — its
+    // answers still match a fresh in-process reference.
+    let engine = Arc::new(Engine::new(test_config(Some(dir.clone()))).expect("engine"));
+    let server = QueryServer::start("127.0.0.1:0", engine).expect("bind");
+    let mut conn = connect(server.local_addr());
+    let resp = request(&mut conn, "POST", "/query", &query_body("Bmi", None, 10));
+    assert_eq!(resp.status, 200);
+    let parsed = json::parse(&resp.body).unwrap();
+    assert_eq!(parsed.get("plan").and_then(Json::as_str).unwrap(), "disk");
+
+    let mut reference = ReferenceSession::new(test_config(None)).expect("reference");
+    let want = reference.query("Bmi", None, Some(10)).unwrap();
+    let want_rows: Vec<(u64, u64)> = want
+        .rows
+        .iter()
+        .map(|r| (r.object.0 as u64, r.values[0].to_bits()))
+        .collect();
+    assert_eq!(parse_rows(&resp.body), want_rows);
+
+    let stats = oneshot(server.local_addr(), "GET", "/stats", "");
+    let parsed = json::parse(&stats.body).unwrap();
+    assert_eq!(
+        parsed
+            .get("plan_cache")
+            .and_then(|c| c.get("disk_loads"))
+            .and_then(Json::as_u64)
+            .unwrap(),
+        1
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_queries_coalesce_questions() {
+    // 8 parallel clients hammer the same attribute over the same
+    // objects; the micro-batcher must share at least some batches. A
+    // wide window keeps batch leaders waiting long enough for the
+    // other clients' questions to arrive even on a loaded box.
+    let config = ServeConfig {
+        population: 60,
+        seed: 7,
+        default_objects: 12,
+        batcher: disq_crowd::BatcherConfig {
+            window: Duration::from_millis(50),
+            max_batch: 8,
+        },
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(Engine::new(config).expect("engine"));
+    // Warm the plan first so the parallel phase is all online work.
+    let server = QueryServer::start("127.0.0.1:0", engine).expect("bind");
+    let addr = server.local_addr();
+    let warm = oneshot(addr, "POST", "/query", &query_body("Bmi", None, 12));
+    assert_eq!(warm.status, 200);
+
+    // Coalescing needs queries to actually overlap, which a fully
+    // loaded single-CPU test host can defeat by serializing the client
+    // threads; a barrier per round plus retries makes overlap all but
+    // certain without ever asserting on a single racy window.
+    let mut coalesced = 0;
+    for _round in 0..20 {
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut conn = connect(addr);
+                    barrier.wait();
+                    let resp = request(&mut conn, "POST", "/query", &query_body("Bmi", None, 12));
+                    assert_eq!(resp.status, 200);
+                });
+            }
+        });
+        let stats = oneshot(addr, "GET", "/stats", "");
+        let parsed = json::parse(&stats.body).unwrap();
+        let batcher = parsed.get("batcher").expect("batcher stats");
+        let requested = batcher
+            .get("requested_questions")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let asked = batcher
+            .get("asked_questions")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let saved = batcher
+            .get("saved_questions")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(asked <= requested);
+        assert_eq!(requested - asked, saved, "saved = requested − asked");
+        coalesced = batcher
+            .get("coalesced_batches")
+            .and_then(Json::as_u64)
+            .unwrap();
+        if coalesced > 0 {
+            break;
+        }
+    }
+    assert!(
+        coalesced > 0,
+        "8 concurrent same-attribute clients never shared a batch across 20 rounds"
+    );
+}

@@ -203,6 +203,83 @@ impl StatsTrio {
         Ok(n)
     }
 
+    /// Rebuilds a trio from raw component arrays, storing every value
+    /// **verbatim** — no clamping, no symmetrization, no NaN repair.
+    ///
+    /// This is the deserialization counterpart of the raw accessors
+    /// ([`s_o_rows`](Self::s_o_rows) etc.): a trio serialized field by
+    /// field and rebuilt through `from_parts` is bit-identical to the
+    /// original, including negative zeros, non-canonical NaN payloads and
+    /// edge values the incremental setters would clamp. Only the shape is
+    /// validated: `s_o` must be `n_targets × n_attrs`, `s_a` square
+    /// `n_attrs × n_attrs`, and `target_var` length `n_targets`.
+    pub fn from_parts(
+        s_o: Vec<Vec<f64>>,
+        s_a: Vec<Vec<f64>>,
+        s_c: Vec<f64>,
+        target_var: Vec<f64>,
+    ) -> Result<Self, TrioError> {
+        let n_attrs = s_c.len();
+        for row in &s_o {
+            if row.len() != n_attrs {
+                return Err(TrioError::BadLength {
+                    what: "s_o row",
+                    expected: n_attrs,
+                    found: row.len(),
+                });
+            }
+        }
+        if s_a.len() != n_attrs {
+            return Err(TrioError::BadLength {
+                what: "s_a",
+                expected: n_attrs,
+                found: s_a.len(),
+            });
+        }
+        for row in &s_a {
+            if row.len() != n_attrs {
+                return Err(TrioError::BadLength {
+                    what: "s_a row",
+                    expected: n_attrs,
+                    found: row.len(),
+                });
+            }
+        }
+        if target_var.len() != s_o.len() {
+            return Err(TrioError::BadLength {
+                what: "target_var",
+                expected: s_o.len(),
+                found: target_var.len(),
+            });
+        }
+        Ok(StatsTrio {
+            s_o,
+            s_a,
+            s_c,
+            target_var,
+        })
+    }
+
+    /// Raw `S_o` rows (`rows[t][a]`), for serialization.
+    pub fn s_o_rows(&self) -> &[Vec<f64>] {
+        &self.s_o
+    }
+
+    /// Raw `S_a` rows, for serialization.
+    pub fn s_a_rows(&self) -> &[Vec<f64>] {
+        &self.s_a
+    }
+
+    /// Raw `S_c` values, for serialization.
+    pub fn s_c_values(&self) -> &[f64] {
+        &self.s_c
+    }
+
+    /// Raw target variances, for serialization.
+    pub fn target_variances(&self) -> &[f64] {
+        &self.target_var
+    }
+
     /// Signed `S_o` entry for `(target, attr)`.
     pub fn s_o(&self, target: usize, attr: usize) -> f64 {
         self.s_o[target][attr]
@@ -680,6 +757,67 @@ mod tests {
                 assert_ne!(seen[i], seen[j], "mutations {i} and {j} collided");
             }
         }
+    }
+
+    #[test]
+    fn from_parts_is_bit_exact_including_clamp_edge_values() {
+        // Values the incremental setters would clamp or repair: negative
+        // variances, negative zero, a non-canonical NaN payload.
+        let odd_nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let s_o = vec![vec![0.5, odd_nan]];
+        let s_a = vec![vec![-0.0, 0.3], vec![0.4, -2.5]]; // asymmetric on purpose
+        let s_c = vec![-1.0, 0.0];
+        let tv = vec![-0.0];
+        let t = StatsTrio::from_parts(s_o.clone(), s_a.clone(), s_c.clone(), tv.clone()).unwrap();
+        assert_eq!(t.n_targets(), 1);
+        assert_eq!(t.n_attrs(), 2);
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&t.s_o_rows()[0]), bits(&s_o[0]));
+        assert_eq!(bits(&t.s_a_rows()[0]), bits(&s_a[0]));
+        assert_eq!(bits(&t.s_a_rows()[1]), bits(&s_a[1]));
+        assert_eq!(bits(t.s_c_values()), bits(&s_c));
+        assert_eq!(bits(t.target_variances()), bits(&tv));
+        // A round trip through the accessors reproduces the same trio,
+        // fingerprint included.
+        let back = StatsTrio::from_parts(
+            t.s_o_rows().to_vec(),
+            t.s_a_rows().to_vec(),
+            t.s_c_values().to_vec(),
+            t.target_variances().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        // s_o row too short.
+        assert!(matches!(
+            StatsTrio::from_parts(
+                vec![vec![1.0]],
+                vec![vec![0.0; 2]; 2],
+                vec![0.0; 2],
+                vec![0.0]
+            ),
+            Err(TrioError::BadLength { .. })
+        ));
+        // s_a not square: wrong row count, then wrong row length.
+        assert!(matches!(
+            StatsTrio::from_parts(vec![vec![1.0]], Vec::new(), vec![0.0], vec![0.0]),
+            Err(TrioError::BadLength { what: "s_a", .. })
+        ));
+        assert!(matches!(
+            StatsTrio::from_parts(vec![vec![1.0]], vec![vec![0.0, 0.0]], vec![0.0], vec![0.0]),
+            Err(TrioError::BadLength {
+                what: "s_a row",
+                ..
+            })
+        ));
+        // target_var length mismatch.
+        assert!(matches!(
+            StatsTrio::from_parts(vec![vec![1.0]], vec![vec![0.0]], vec![0.0], vec![0.0, 0.0]),
+            Err(TrioError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -37,6 +37,13 @@ fn counter_help(c: Counter) -> &'static str {
         Counter::TraceDroppedEvents => "Events evicted by a capped in-memory trace sink",
         Counter::AllocBytes => "Heap bytes requested while tracing was active",
         Counter::Allocs => "Heap allocation calls while tracing was active",
+        Counter::ServeRequests => "HTTP requests accepted by the disq-serve daemon",
+        Counter::ServeErrors => "Serve requests answered with a 4xx/5xx error",
+        Counter::PlanCacheHits => "Queries answered from an in-memory cached plan",
+        Counter::PlanCacheMisses => "Queries that computed or loaded a plan",
+        Counter::PlanStoreLoads => "Plans warm-started from the on-disk plan store",
+        Counter::CoalescedBatches => "Question batches shared by concurrent queries",
+        Counter::CoalescedQuestionsSaved => "Crowd questions avoided by batch sharing",
     }
 }
 

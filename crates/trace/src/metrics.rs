@@ -91,10 +91,27 @@ pub enum Counter {
     /// Allocator calls while tracing was active (same gating as
     /// [`Counter::AllocBytes`]).
     Allocs,
+    /// HTTP requests accepted by the `disq-serve` daemon.
+    ServeRequests,
+    /// Serve requests answered with a 4xx/5xx error.
+    ServeErrors,
+    /// `/query` requests answered from an in-memory cached plan.
+    PlanCacheHits,
+    /// `/query` requests that had to compute (or load) a plan.
+    PlanCacheMisses,
+    /// Plans warm-started from the on-disk plan store instead of
+    /// recomputed via `preprocess`.
+    PlanStoreLoads,
+    /// Cross-request question batches shared by ≥ 2 concurrent queries
+    /// (the serve-path micro-batcher).
+    CoalescedBatches,
+    /// Crowd questions avoided by batch sharing
+    /// (`Σ kᵢ − max kᵢ` per coalesced batch).
+    CoalescedQuestionsSaved,
 }
 
 /// Number of counters.
-pub const COUNTER_COUNT: usize = 25;
+pub const COUNTER_COUNT: usize = 32;
 
 impl Counter {
     /// Every counter, in `RunSummary` order.
@@ -124,6 +141,13 @@ impl Counter {
         Counter::TraceDroppedEvents,
         Counter::AllocBytes,
         Counter::Allocs,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanStoreLoads,
+        Counter::CoalescedBatches,
+        Counter::CoalescedQuestionsSaved,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -154,6 +178,13 @@ impl Counter {
             Counter::TraceDroppedEvents => "trace_dropped_events",
             Counter::AllocBytes => "alloc_bytes",
             Counter::Allocs => "allocs",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeErrors => "serve_errors",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanStoreLoads => "plan_store_loads",
+            Counter::CoalescedBatches => "coalesced_batches",
+            Counter::CoalescedQuestionsSaved => "coalesced_questions_saved",
         }
     }
 }
