@@ -205,6 +205,7 @@ pub fn run_load(name: &str, conns: usize, queries: usize, plan_cache: bool) -> H
     let lookups = hits + misses;
     let serve = ServeStats {
         p50_us: percentile_us(&latencies, 0.50),
+        p90_us: percentile_us(&latencies, 0.90),
         p99_us: percentile_us(&latencies, 0.99),
         qps: if wall > 0.0 { total as f64 / wall } else { 0.0 },
         questions_per_query: asked_delta as f64 / queries_delta as f64,
@@ -250,7 +251,7 @@ pub fn run_sweep(conns: &[usize], queries: usize) -> String {
     let mut table = Table::new(
         "disq-serve load generator: Zipf attribute mix over keep-alive connections",
         &[
-            "row", "conns", "queries", "p50 us", "p99 us", "QPS", "q/query", "hit rate",
+            "row", "conns", "queries", "p50 us", "p90 us", "p99 us", "QPS", "q/query", "hit rate",
         ],
     );
     // Cold baseline: plan cache off, single connection, a smaller query
@@ -288,6 +289,7 @@ fn push_row(table: &mut Table, t: &HarnessTimings) {
         t.threads.to_string(),
         t.units.to_string(),
         s.p50_us.to_string(),
+        s.p90_us.to_string(),
         s.p99_us.to_string(),
         format!("{:.0}", s.qps),
         format!("{:.2}", s.questions_per_query),
@@ -321,6 +323,7 @@ mod tests {
     fn percentiles_pick_sorted_ranks() {
         let lat: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile_us(&lat, 0.50), 51);
+        assert_eq!(percentile_us(&lat, 0.90), 90);
         assert_eq!(percentile_us(&lat, 0.99), 99);
         assert_eq!(percentile_us(&[], 0.5), 0);
     }
@@ -333,7 +336,7 @@ mod tests {
         assert_eq!(t.key(), "serve@c2");
         assert_eq!(t.units, 6);
         let s = t.serve.expect("serve stats");
-        assert!(s.p99_us >= s.p50_us);
+        assert!(s.p90_us >= s.p50_us && s.p99_us >= s.p90_us);
         assert!(s.qps > 0.0);
         assert!(
             (s.plan_cache_hit_rate - 1.0).abs() < 1e-12,

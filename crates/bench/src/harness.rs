@@ -23,6 +23,9 @@ use std::time::Instant;
 pub struct ServeStats {
     /// Median request latency in microseconds.
     pub p50_us: u64,
+    /// 90th-percentile request latency in microseconds — the "almost
+    /// everyone" latency, less noisy than p99 at CI-sized query counts.
+    pub p90_us: u64,
     /// 99th-percentile request latency in microseconds.
     pub p99_us: u64,
     /// Completed queries per wall-clock second across all connections.
@@ -36,10 +39,18 @@ pub struct ServeStats {
 impl ServeStats {
     /// The `"serve":{...}` JSON fragment embedded in a harness row.
     pub fn to_json(&self) -> String {
+        // p90_us rides at the tail so rows written before it existed
+        // share an exact prefix with current ones (and old readers that
+        // stop at known keys keep working).
         format!(
             "{{\"p50_us\":{},\"p99_us\":{},\"qps\":{:.2},\
-             \"questions_per_query\":{:.4},\"plan_cache_hit_rate\":{:.4}}}",
-            self.p50_us, self.p99_us, self.qps, self.questions_per_query, self.plan_cache_hit_rate,
+             \"questions_per_query\":{:.4},\"plan_cache_hit_rate\":{:.4},\"p90_us\":{}}}",
+            self.p50_us,
+            self.p99_us,
+            self.qps,
+            self.questions_per_query,
+            self.plan_cache_hit_rate,
+            self.p90_us,
         )
     }
 }
@@ -431,6 +442,7 @@ mod tests {
         let mut c8 = sample("serve@c8", 8);
         c8.serve = Some(ServeStats {
             p50_us: 900,
+            p90_us: 2_000,
             p99_us: 4_200,
             qps: 310.5,
             questions_per_query: 6.0,
@@ -454,6 +466,9 @@ mod tests {
             text.contains("\"serve\":{\"p50_us\":900,\"p99_us\":4200,\"qps\":310.50"),
             "{text}"
         );
+        // p90 is additive: it trails the legacy keys so old rows keep
+        // the same prefix shape.
+        assert!(text.contains("\"p90_us\":2000}"), "{text}");
         let hist = std::fs::read_to_string(history_path(&path)).unwrap();
         assert_eq!(hist.lines().count(), 1, "only the first c8 row moved");
 

@@ -104,6 +104,10 @@ struct BatchState {
     k_sum: usize,
     /// Requests sharing this batch.
     joiners: usize,
+    /// Trace request id of every sharer (0 = outside any request
+    /// scope); stamped onto the flush event so a coalesced batch stays
+    /// attributable to each request whose questions rode it.
+    reqs: Vec<u64>,
     /// Set by the leader when it detaches the batch to execute it;
     /// arrivals that see this must open a fresh batch instead.
     closed: bool,
@@ -291,6 +295,7 @@ impl<P: CrowdPlatform> CoalescingCrowd<P> {
                                 k_max: k,
                                 k_sum: k,
                                 joiners: 1,
+                                reqs: vec![disq_trace::span::current_request()],
                                 closed: false,
                                 result: None,
                             }),
@@ -317,10 +322,15 @@ impl<P: CrowdPlatform> CoalescingCrowd<P> {
                 st.joiners += 1;
                 st.k_sum += k;
                 st.k_max = st.k_max.max(k);
+                st.reqs.push(disq_trace::span::current_request());
                 batch.cv.notify_all(); // the leader re-checks saturation
+                let wait_span =
+                    disq_trace::span!("batch_wait", "o={} a={} k={} follow", key.0, key.1, k);
                 while st.result.is_none() {
                     st = batch.cv.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
+                drop(wait_span);
+                disq_trace::span::note_coalesce_width(st.joiners as u64);
                 return split_result(&st, k, out);
             }
         }
@@ -337,6 +347,8 @@ impl<P: CrowdPlatform> CoalescingCrowd<P> {
     ) -> Result<(), CrowdError> {
         let deadline = Instant::now() + self.inner.config.window;
         {
+            let _wait_span =
+                disq_trace::span!("batch_wait", "o={} a={} k={} lead", key.0, key.1, k);
             let mut st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if st.joiners >= self.inner.config.max_batch {
@@ -361,10 +373,13 @@ impl<P: CrowdPlatform> CoalescingCrowd<P> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&key);
-        let (k_max, k_sum, joiners) = {
+        let (k_max, k_sum, joiners, reqs) = {
             let mut st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
             st.closed = true;
-            (st.k_max, st.k_sum, st.joiners)
+            let mut reqs = std::mem::take(&mut st.reqs);
+            reqs.sort_unstable();
+            reqs.dedup();
+            (st.k_max, st.k_sum, st.joiners, reqs)
         };
 
         self.inner
@@ -379,15 +394,36 @@ impl<P: CrowdPlatform> CoalescingCrowd<P> {
             disq_trace::count(disq_trace::Counter::CoalescedBatches);
             disq_trace::count_n(disq_trace::Counter::CoalescedQuestionsSaved, saved);
         }
+        disq_trace::span::note_coalesce_width(joiners as u64);
 
         let mut answers = Vec::with_capacity(k_max);
-        let outcome = self.with_platform(|p| {
-            p.ask_values(
-                ObjectId(key.0 as usize),
-                AttributeId(key.1 as usize),
+        let outcome = {
+            // The flush runs on the leader's thread (and under its
+            // request scope); the event below carries every sharer.
+            let _flush_span = disq_trace::span!(
+                "batch_flush",
+                "o={} a={} k_max={} joiners={}",
+                key.0,
+                key.1,
                 k_max,
-                &mut answers,
-            )
+                joiners
+            );
+            self.with_platform(|p| {
+                p.ask_values(
+                    ObjectId(key.0 as usize),
+                    AttributeId(key.1 as usize),
+                    k_max,
+                    &mut answers,
+                )
+            })
+        };
+        disq_trace::emit(move || disq_trace::TraceEvent::BatchFlush {
+            object: key.0,
+            attr: key.1,
+            k_max: k_max as u32,
+            k_sum: k_sum as u32,
+            joiners: joiners as u32,
+            reqs,
         });
         let mut st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
         st.result = Some((answers, outcome));

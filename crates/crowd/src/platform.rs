@@ -30,6 +30,24 @@ use disq_trace::Timer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Environment variable: artificial per-answer latency in microseconds
+/// for batched value questions (default 0 = off). CI's traced serve
+/// smoke uses it to inject a provably slow request for the flight
+/// recorder to catch; the sleep happens outside every RNG draw and
+/// ledger charge, so answer streams stay bit-identical.
+pub const CROWD_SLEEP_ENV: &str = "DISQ_CROWD_SLEEP_US";
+
+/// Reads [`CROWD_SLEEP_ENV`] once per process.
+fn injected_sleep_us() -> u64 {
+    static SLEEP_US: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SLEEP_US.get_or_init(|| {
+        std::env::var(CROWD_SLEEP_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    })
+}
+
 /// Salt XORed into the crowd seed to derive the *worker-identity* RNG
 /// stream. Keeping identity draws on a separate stream is what lets the
 /// provenance layer stamp every answer without perturbing the
@@ -352,10 +370,14 @@ impl SimulatedCrowd {
         let spec = self.population.spec().attr(a);
         let (kind, mean, sd, worker_sd) = (spec.kind, spec.mean, spec.sd, spec.worker_sd);
         let truth = self.population.value(o, a);
+        let sleep_us = injected_sleep_us();
         out.reserve(k);
         for _ in 0..k {
             let (v, w) = disq_trace::time(Timer::CrowdQuestion, || {
                 self.ledger.charge(qk, price)?;
+                if sleep_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+                }
                 Ok(self.draw_value(kind, truth, mean, sd, worker_sd))
             })?;
             out.push(v);

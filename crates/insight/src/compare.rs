@@ -20,6 +20,10 @@ use std::path::Path;
 pub struct ServeRow {
     /// Median request latency, microseconds.
     pub p50_us: f64,
+    /// 90th-percentile request latency, microseconds. `None` for rows
+    /// written before the harness recorded it — legacy snapshots must
+    /// keep parsing, so it is additive rather than required.
+    pub p90_us: Option<f64>,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
     /// Queries per second across all connections.
@@ -92,6 +96,7 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<String, HarnessRow>, String> {
                 };
                 Some(ServeRow {
                     p50_us: sub("p50_us")?,
+                    p90_us: v.get("p90_us").and_then(Json::as_f64),
                     p99_us: sub("p99_us")?,
                     qps: sub("qps")?,
                     questions_per_query: sub("questions_per_query")?,
@@ -556,6 +561,9 @@ mod tests {
             base["serve@c8"].serve,
             Some(ServeRow {
                 p50_us: 800.0,
+                // The fixture row predates p90 recording: the field is
+                // additive, so legacy snapshots parse with None.
+                p90_us: None,
                 p99_us: 4000.0,
                 qps: 120.0,
                 questions_per_query: 6.0,
@@ -585,6 +593,18 @@ mod tests {
         let plain = snapshot(&[row("serve@c8", 2.0, 960)]);
         assert!(compare(&plain, &bad, &armed).passed());
         assert!(compare(&base, &plain, &armed).passed());
+    }
+
+    #[test]
+    fn serve_rows_with_p90_parse_it() {
+        let text = "[{\"experiment\":\"serve@c1\",\"threads\":1,\"cells\":1,\"reps\":1,\
+                    \"units\":1,\"wall_secs\":1.0,\"cells_per_sec\":1.0,\
+                    \"units_per_sec\":1.0,\"cache_hits\":0,\"cache_misses\":0,\
+                    \"cache_hit_rate\":0.0,\"serve\":{\"p50_us\":800,\"p99_us\":4200,\
+                    \"qps\":120.0,\"questions_per_query\":6.0,\
+                    \"plan_cache_hit_rate\":0.97,\"p90_us\":2000}}]";
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows["serve@c1"].serve.unwrap().p90_us, Some(2000.0));
     }
 
     #[test]

@@ -236,6 +236,7 @@ mod tests {
             id,
             parent,
             tid: 1,
+            req: 0,
             label: label.into(),
             detail: String::new(),
         }

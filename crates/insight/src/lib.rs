@@ -44,6 +44,7 @@ pub mod compare;
 pub mod explain;
 pub mod flame;
 pub mod report;
+pub mod slow;
 pub mod table;
 pub mod timeline;
 pub mod trend;
@@ -54,6 +55,7 @@ pub use compare::{compare, load_rows, CompareConfig, CompareOutcome, HarnessRow,
 pub use explain::{ExplainReport, QueryExplain};
 pub use flame::{FlameGraph, FlameNode};
 pub use report::{render_timers, RunReport};
+pub use slow::SlowReport;
 pub use timeline::Timeline;
 pub use trend::{TrendPoint, TrendReport, TrendSeries};
 pub use workers::{WorkerCard, WorkersReport};

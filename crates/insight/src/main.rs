@@ -1,7 +1,7 @@
 //! The `disq-insight` CLI: run reports, Err(b) calibration scoring and
 //! perf-regression gating over DisQ trace artifacts.
 
-use disq_insight::{calib, compare, explain, flame, report, timeline, trend, workers};
+use disq_insight::{calib, compare, explain, flame, report, slow, timeline, trend, workers};
 use disq_trace::TraceReader;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -34,6 +34,17 @@ usage:
       used DISQ_WORKER_MODEL=hetero — the Spearman rank agreement
       between shrunk quality and the planted profiles. Exits 3 when the
       trace file is missing or carries no worker events.
+
+  disq-insight slow <slow-dump.jsonl> [--json]
+      Critical-path analysis of one tail-latency flight-recorder dump
+      (written by disq-serve under DISQ_SLOW_DIR when a request exceeds
+      DISQ_SLOW_US or the rolling p99). Attributes the request's wall
+      time to serving phases — plan lookup, plan compute (cache miss),
+      batcher wait, crowd batch flush, estimation kernel, regression —
+      and prints the heaviest-child chain from the request span down.
+      Exits 1 when the dump is malformed (truncated span forest or
+      unmatched ends), 3 when the file is missing or holds no request
+      span.
 
   disq-insight trend <BENCH_harness.json | *.history.jsonl> [--json]
       Render per-experiment wall/throughput/peak-heap trajectories from
@@ -106,6 +117,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("report") => cmd_report(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("workers") => cmd_workers(&args[1..]),
+        Some("slow") => cmd_slow(&args[1..]),
         Some("trend") => cmd_trend(&args[1..]),
         Some("calib") => cmd_calib(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -254,6 +266,51 @@ fn cmd_workers(args: &[String]) -> Result<ExitCode, String> {
         out(&report.render());
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_slow(args: &[String]) -> Result<ExitCode, String> {
+    let mut dump: Option<PathBuf> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if dump.is_none() => dump = Some(a.into()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let dump = dump.ok_or("slow: missing <slow-dump.jsonl>")?;
+    if !dump.exists() {
+        return no_data(format!(
+            "slow: {} does not exist — disq-serve writes dumps under \
+             DISQ_SLOW_DIR when a request trips the slow trigger",
+            dump.display()
+        ));
+    }
+    let mut reader =
+        TraceReader::open(&dump).map_err(|e| format!("cannot open {}: {e}", dump.display()))?;
+    let Some(report) = slow::SlowReport::from_reader(&mut reader) else {
+        return no_data(format!(
+            "slow: no request span in {} — not a slow-request dump",
+            dump.display()
+        ));
+    };
+    if report.skipped > 0 {
+        eprintln!("warning: skipped {} corrupt dump lines", report.skipped);
+    }
+    if json {
+        out(&report.to_json());
+        out("\n");
+    } else {
+        out(&report.render());
+    }
+    // A dump whose span forest does not close is useless for critical-
+    // path claims: signal it so CI catches recorder truncation bugs.
+    Ok(if report.well_formed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: malformed dump (open spans or unmatched ends)");
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {

@@ -124,6 +124,10 @@ pub struct RunReport {
     pub spam_decisions: u64,
     /// Worker answers dropped across all spam decisions.
     pub spam_answers_dropped: u64,
+    /// Cross-request `batch_flush` events (coalesced crowd batches).
+    pub batch_flushes: u64,
+    /// Requests that shared a coalesced batch, summed over flushes.
+    pub batch_joiners: u64,
     /// Labels of spans opened but not yet closed (keyed by span id);
     /// non-empty after absorbing a truncated trace.
     pub open_spans: std::collections::BTreeMap<u64, String>,
@@ -282,6 +286,10 @@ impl RunReport {
             TraceEvent::SpamDecision { answers, kept, .. } => {
                 self.spam_decisions += 1;
                 self.spam_answers_dropped += u64::from(answers - kept);
+            }
+            TraceEvent::BatchFlush { joiners, .. } => {
+                self.batch_flushes += 1;
+                self.batch_joiners += u64::from(joiners);
             }
         }
     }
@@ -960,6 +968,7 @@ mod tests {
             id: 1,
             parent: None,
             tid: 1,
+            req: 0,
             label: "preprocess".into(),
             detail: String::new(),
         });
@@ -967,6 +976,7 @@ mod tests {
             id: 2,
             parent: Some(1),
             tid: 1,
+            req: 0,
             label: "examples".into(),
             detail: "n1=30".into(),
         });

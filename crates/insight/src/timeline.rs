@@ -31,6 +31,7 @@ struct OpenSpan {
     label: String,
     detail: String,
     parent: Option<u64>,
+    req: u64,
     start_us: u64,
 }
 
@@ -80,6 +81,7 @@ impl Timeline {
                 id,
                 parent,
                 tid,
+                req,
                 label,
                 detail,
             } => {
@@ -90,6 +92,7 @@ impl Timeline {
                         label: label.clone(),
                         detail: detail.clone(),
                         parent: *parent,
+                        req: *req,
                         start_us: ts,
                     },
                 );
@@ -124,6 +127,9 @@ impl Timeline {
                         let _ = write!(e, "{p}");
                     }
                     None => e.push_str("null"),
+                }
+                if span.req != 0 {
+                    let _ = write!(e, ",\"req\":{}", span.req);
                 }
                 let _ = write!(
                     e,
@@ -255,6 +261,7 @@ mod tests {
             id,
             parent,
             tid: 1,
+            req: 0,
             label: label.into(),
             detail: format!("d{id}"),
         }
@@ -354,5 +361,57 @@ mod tests {
         tl.add(&start(1, None, "we\"ird\\label"), Some(1));
         tl.add(&end(1, 10), Some(2));
         validate(&tl.render()).unwrap();
+    }
+
+    /// Two serving threads interleave request-stamped spans into one
+    /// sink; the timeline must close every span and keep each
+    /// request's spans grouped under its id.
+    #[test]
+    fn interleaved_request_spans_group_by_request_id() {
+        use disq_trace::MemorySink;
+        use std::sync::{Arc, Barrier};
+
+        let sink = Arc::new(MemorySink::new());
+        disq_trace::install(sink.clone());
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|scope| {
+            for req_id in [101u64, 202u64] {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let _scope = disq_trace::span::enter_request(req_id);
+                    let _outer = disq_trace::span!("request", "req {req_id}");
+                    barrier.wait(); // both requests open before either closes
+                    for i in 0..3 {
+                        let _inner = disq_trace::span!("object", "o={i}");
+                    }
+                });
+            }
+        });
+        disq_trace::uninstall();
+
+        let mut tl = Timeline::new();
+        for event in sink.take() {
+            tl.add(&event, None);
+        }
+        assert_eq!(tl.unmatched_ends, 0, "every end matched a start");
+        assert_eq!(tl.open_spans(), 0, "every span closed");
+        assert_eq!(tl.spans_complete, 8, "2 × (1 request + 3 objects)");
+
+        let rendered = tl.render();
+        validate(&rendered).unwrap();
+        let doc = json::parse(&rendered).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        for req_id in [101u64, 202u64] {
+            let n = events
+                .iter()
+                .filter(|e| {
+                    e.get("args")
+                        .and_then(|a| a.get("req"))
+                        .and_then(Json::as_u64)
+                        == Some(req_id)
+                })
+                .count();
+            assert_eq!(n, 4, "request {req_id} keeps exactly its own spans");
+        }
     }
 }

@@ -30,6 +30,13 @@ pub struct TrendPoint {
     /// Peak live-heap bytes (0 when the row was not measured with the
     /// allocation watermark).
     pub peak_alloc_bytes: u64,
+    /// 90th-percentile request latency (µs) from the row's `serve`
+    /// block. `None` for non-serve rows and for serve rows written
+    /// before the harness recorded p90.
+    pub serve_p90_us: Option<f64>,
+    /// 99th-percentile request latency (µs) from the row's `serve`
+    /// block; `None` for non-serve rows.
+    pub serve_p99_us: Option<f64>,
 }
 
 /// One experiment key's measurements in file order (oldest first).
@@ -58,11 +65,18 @@ fn absorb_row(rows: &mut BTreeMap<String, Vec<TrendPoint>>, row: &Json) -> bool 
     let (Some(wall), Some(ups)) = (num("wall_secs"), num("units_per_sec")) else {
         return false;
     };
+    let serve_num = |name: &str| {
+        row.get("serve")
+            .and_then(|s| s.get(name))
+            .and_then(Json::as_f64)
+    };
     rows.entry(key.to_string()).or_default().push(TrendPoint {
         units: num("units").unwrap_or(0.0) as u64,
         wall_secs: wall,
         units_per_sec: ups,
         peak_alloc_bytes: num("peak_alloc_bytes").unwrap_or(0.0) as u64,
+        serve_p90_us: serve_num("p90_us"),
+        serve_p99_us: serve_num("p99_us"),
     });
     true
 }
@@ -135,8 +149,10 @@ impl TrendReport {
                 "units/s",
                 "Δthroughput",
                 "peak heap",
+                "p90/p99 us",
             ])
             .aligns(&[
+                Align::Right,
                 Align::Right,
                 Align::Right,
                 Align::Right,
@@ -166,6 +182,12 @@ impl TrendReport {
                     match p.peak_alloc_bytes {
                         0 => "-".into(),
                         b => fmt_bytes(b),
+                    },
+                    match (p.serve_p90_us, p.serve_p99_us) {
+                        (Some(p90), Some(p99)) => format!("{p90:.0}/{p99:.0}"),
+                        // Legacy serve rows carry p99 but predate p90.
+                        (None, Some(p99)) => format!("-/{p99:.0}"),
+                        _ => "-".into(),
                     },
                 ]);
             }
@@ -206,7 +228,16 @@ impl TrendReport {
                 write_f64(&mut o, p.wall_secs);
                 o.push_str(",\"units_per_sec\":");
                 write_f64(&mut o, p.units_per_sec);
-                let _ = write!(o, ",\"peak_alloc_bytes\":{}}}", p.peak_alloc_bytes);
+                let _ = write!(o, ",\"peak_alloc_bytes\":{}", p.peak_alloc_bytes);
+                if let Some(p90) = p.serve_p90_us {
+                    o.push_str(",\"serve_p90_us\":");
+                    write_f64(&mut o, p90);
+                }
+                if let Some(p99) = p.serve_p99_us {
+                    o.push_str(",\"serve_p99_us\":");
+                    write_f64(&mut o, p99);
+                }
+                o.push('}');
             }
             o.push_str("]}");
         }
@@ -327,6 +358,42 @@ mod tests {
         assert_eq!(r.series.len(), 1);
         assert_eq!(r.skipped, 2);
         assert!(r.render().contains("2 unparseable row(s) skipped"));
+    }
+
+    #[test]
+    fn serve_tail_latency_rides_along_when_present() {
+        // One legacy serve row (p99 only) and one current row (p90 too):
+        // both parse; the tail column renders what each point carries.
+        let legacy = "{\"experiment\":\"serve@c8\",\"units\":960,\"wall_secs\":2.0,\
+                      \"units_per_sec\":480.0,\"serve\":{\"p50_us\":800,\"p99_us\":4000,\
+                      \"qps\":120.0,\"questions_per_query\":6.0,\"plan_cache_hit_rate\":0.97}}";
+        let current = "{\"experiment\":\"serve@c8\",\"units\":960,\"wall_secs\":1.8,\
+                       \"units_per_sec\":533.0,\"serve\":{\"p50_us\":700,\"p99_us\":3600,\
+                       \"qps\":130.0,\"questions_per_query\":6.0,\
+                       \"plan_cache_hit_rate\":0.97,\"p90_us\":1500}}";
+        let r = TrendReport::from_history(&format!("{legacy}\n{current}\n"));
+        assert_eq!(r.skipped, 0);
+        let points = &r.series[0].points;
+        assert_eq!(points[0].serve_p90_us, None);
+        assert_eq!(points[0].serve_p99_us, Some(4000.0));
+        assert_eq!(points[1].serve_p90_us, Some(1500.0));
+        let text = r.render();
+        assert!(text.contains("-/4000"), "legacy tail cell: {text}");
+        assert!(text.contains("1500/3600"), "current tail cell: {text}");
+        let doc = json::parse(&r.to_json()).unwrap();
+        let pts = doc.get("series").and_then(Json::as_arr).unwrap()[0]
+            .get("points")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert!(pts[0].get("serve_p90_us").is_none());
+        assert_eq!(
+            pts[1].get("serve_p90_us").and_then(Json::as_f64),
+            Some(1500.0)
+        );
+        assert_eq!(
+            pts[1].get("serve_p99_us").and_then(Json::as_f64),
+            Some(3600.0)
+        );
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Maximum request body the server reads.
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
 
+/// Content type of every JSON endpoint.
+pub const CT_JSON: &str = "application/json";
+/// Content type of the Prometheus text exposition (`/metrics`).
+pub const CT_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -156,13 +161,26 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body (always a single line).
+    /// Response body (a single JSON line on every endpoint but
+    /// `/metrics`).
     pub body: String,
     /// Close the connection after writing.
     pub close: bool,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
+    /// A 200 JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            body,
+            close: false,
+            content_type: CT_JSON,
+        }
+    }
+
     /// A JSON error response for `status`.
     pub fn error(status: u16, message: &str) -> Response {
         let mut body = String::from("{\"error\":");
@@ -172,8 +190,20 @@ impl Response {
             status,
             body,
             close: false,
+            content_type: CT_JSON,
         }
     }
+}
+
+/// What the router learned about a request beyond its response — the
+/// pieces the access log wants (target attribute, plan source).
+#[derive(Debug, Clone, Default)]
+pub struct RequestMeta {
+    /// Attribute named by a `/query` body that parsed far enough to
+    /// have one (recorded even when the attribute turns out unknown).
+    pub attribute: Option<String>,
+    /// Where the plan came from, on a successful `/query`.
+    pub plan: Option<PlanSource>,
 }
 
 fn reason(status: u16) -> &'static str {
@@ -194,9 +224,10 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()>
     let mut out = String::with_capacity(resp.body.len() + 128);
     let _ = write!(
         out,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         resp.status,
         reason(resp.status),
+        resp.content_type,
         resp.body.len(),
         if resp.close { "close" } else { "keep-alive" }
     );
@@ -248,7 +279,11 @@ fn stats_body(engine: &Engine) -> String {
     s
 }
 
-fn handle_query(engine: &Engine, req: &Request) -> Result<Response, ServeError> {
+fn handle_query(
+    engine: &Engine,
+    req: &Request,
+    meta: &mut RequestMeta,
+) -> Result<Response, ServeError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
     if text.trim().is_empty() {
@@ -263,6 +298,7 @@ fn handle_query(engine: &Engine, req: &Request) -> Result<Response, ServeError> 
         .and_then(Json::as_str)
         .ok_or_else(|| ServeError::BadRequest("missing string field 'attribute'".into()))?
         .to_string();
+    meta.attribute = Some(attribute.clone());
     let predicate = match parsed.get("predicate") {
         None | Some(Json::Null) => None,
         Some(p) => {
@@ -279,37 +315,42 @@ fn handle_query(engine: &Engine, req: &Request) -> Result<Response, ServeError> 
         })? as usize),
     };
     let (result, source) = engine.run_query(&attribute, predicate, objects)?;
-    Ok(Response {
-        status: 200,
-        body: render_result(&attribute, &result, source),
-        close: false,
-    })
+    meta.plan = Some(source);
+    Ok(Response::json(render_result(&attribute, &result, source)))
+}
+
+/// The `/metrics` body: counter/timer exposition plus every labelled
+/// gauge family (SLO compliance, burn rate, latency histograms, drift
+/// levels) in one scrape.
+fn metrics_body() -> String {
+    let mut body = disq_trace::prometheus_text(&disq_trace::summary());
+    body.push_str(&disq_trace::gauge::render());
+    body
 }
 
 /// Routes one request. Known paths with the wrong method get 405;
-/// unknown paths 404.
-pub fn handle(engine: &Engine, req: &Request) -> Response {
+/// unknown paths 404. Returns the response plus what the access log
+/// wants to know about the request.
+pub fn handle(engine: &Engine, req: &Request) -> (Response, RequestMeta) {
+    let mut meta = RequestMeta::default();
     let mut resp = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/query") => {
-            handle_query(engine, req).unwrap_or_else(|e| Response::error(e.status(), &e.message()))
-        }
-        ("GET", "/healthz") => Response {
+        ("POST", "/query") => handle_query(engine, req, &mut meta)
+            .unwrap_or_else(|e| Response::error(e.status(), &e.message())),
+        ("GET", "/healthz") => Response::json("{\"ok\":true}".into()),
+        ("GET", "/stats") => Response::json(stats_body(engine)),
+        ("GET", "/metrics") => Response {
             status: 200,
-            body: "{\"ok\":true}".into(),
+            body: metrics_body(),
             close: false,
+            content_type: CT_PROMETHEUS,
         },
-        ("GET", "/stats") => Response {
-            status: 200,
-            body: stats_body(engine),
-            close: false,
-        },
-        (_, "/query") | (_, "/healthz") | (_, "/stats") => {
+        (_, "/query") | (_, "/healthz") | (_, "/stats") | (_, "/metrics") => {
             Response::error(405, &format!("method {} not allowed here", req.method))
         }
         (_, path) => Response::error(404, &format!("no such endpoint '{path}'")),
     };
     resp.close = resp.close || req.close;
-    resp
+    (resp, meta)
 }
 
 #[cfg(test)]
@@ -346,5 +387,61 @@ mod tests {
         assert_eq!(r.body, "{\"error\":\"invalid JSON: line 1\"}");
         assert!(!r.body.contains('\n'));
         assert!(json::parse(&r.body).is_ok());
+        assert_eq!(r.content_type, CT_JSON);
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            body: Vec::new(),
+            close: false,
+        }
+    }
+
+    #[test]
+    fn healthz_route_answers_json_ok() {
+        let engine = Engine::new(crate::ServeConfig {
+            population: 30,
+            ..crate::ServeConfig::default()
+        })
+        .unwrap();
+        let (resp, _) = handle(&engine, &get("/healthz"));
+        assert_eq!((resp.status, resp.body.as_str()), (200, "{\"ok\":true}"));
+        assert_eq!(resp.content_type, CT_JSON);
+        let (resp, _) = handle(
+            &engine,
+            &Request {
+                method: "POST".into(),
+                ..get("/healthz")
+            },
+        );
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let engine = Engine::new(crate::ServeConfig {
+            population: 30,
+            ..crate::ServeConfig::default()
+        })
+        .unwrap();
+        let (resp, _) = handle(&engine, &get("/metrics"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, CT_PROMETHEUS);
+        assert!(
+            resp.body
+                .contains("# TYPE disq_serve_requests_total counter"),
+            "{}",
+            resp.body
+        );
+        let (resp, _) = handle(
+            &engine,
+            &Request {
+                method: "DELETE".into(),
+                ..get("/metrics")
+            },
+        );
+        assert_eq!(resp.status, 405);
     }
 }

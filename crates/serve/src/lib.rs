@@ -28,8 +28,10 @@
 #![warn(missing_docs)]
 
 pub mod http;
+mod obs;
 mod server;
 
+pub use obs::RequestRecord;
 pub use server::QueryServer;
 
 use disq_core::online::{evaluate_query, QueryResult};
@@ -55,6 +57,21 @@ pub const SERVE_SEED_ENV: &str = "DISQ_SERVE_SEED";
 /// Environment variable: listen address of the `disq-serve` binary
 /// (default `127.0.0.1:7878`).
 pub const SERVE_ADDR_ENV: &str = "DISQ_SERVE_ADDR";
+/// Environment variable: set to `0`/`off` to disable the always-on
+/// in-memory flight recorder (on by default).
+pub const RECORDER_ENV: &str = "DISQ_FLIGHT_RECORDER";
+/// Environment variable: fixed slow-request threshold in microseconds.
+/// Unset means "use a rolling per-route p99 estimate".
+pub const SLOW_US_ENV: &str = "DISQ_SLOW_US";
+/// Environment variable: directory receiving slow-request flight
+/// recorder dumps. Unset disables dumping.
+pub const SLOW_DIR_ENV: &str = "DISQ_SLOW_DIR";
+/// Environment variable: path of the JSONL access log. Unset disables
+/// access logging.
+pub const ACCESS_LOG_ENV: &str = "DISQ_ACCESS_LOG";
+/// Environment variable: per-request latency SLO in microseconds
+/// (default 100 000 = 100 ms), feeding the compliance/burn-rate gauges.
+pub const SLO_US_ENV: &str = "DISQ_SLO_US";
 
 /// Configuration of one serving session.
 #[derive(Debug, Clone)]
@@ -81,6 +98,19 @@ pub struct ServeConfig {
     /// `false` disables plan reuse entirely: every query recomputes its
     /// plan (the cold baseline the bench measures speedup against).
     pub plan_cache: bool,
+    /// Installs the process-global in-memory flight recorder for the
+    /// engine's lifetime (on by default; ~zero cost idle).
+    pub flight_recorder: bool,
+    /// Fixed slow-request threshold (µs). `None` falls back to a
+    /// rolling per-route p99 estimate once enough requests were seen.
+    pub slow_us: Option<u64>,
+    /// Directory receiving slow-request dumps; `None` disables dumping.
+    pub slow_dir: Option<PathBuf>,
+    /// JSONL access-log path; `None` disables access logging.
+    pub access_log: Option<PathBuf>,
+    /// Per-request latency SLO (µs) for the compliance and burn-rate
+    /// gauges.
+    pub slo_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +126,11 @@ impl Default for ServeConfig {
             b_prc: Money::from_dollars(30.0),
             b_obj: Money::from_cents(4.0),
             plan_cache: true,
+            flight_recorder: true,
+            slow_us: None,
+            slow_dir: None,
+            access_log: None,
+            slo_us: 100_000,
         }
     }
 }
@@ -121,6 +156,22 @@ impl ServeConfig {
             .ok()
             .filter(|d| !d.trim().is_empty())
             .map(|d| PathBuf::from(d.trim()));
+        if let Ok(v) = std::env::var(RECORDER_ENV) {
+            let v = v.trim();
+            c.flight_recorder = !(v == "0" || v.eq_ignore_ascii_case("off"));
+        }
+        c.slow_us = env_parse::<u64>(SLOW_US_ENV);
+        c.slow_dir = std::env::var(SLOW_DIR_ENV)
+            .ok()
+            .filter(|d| !d.trim().is_empty())
+            .map(|d| PathBuf::from(d.trim()));
+        c.access_log = std::env::var(ACCESS_LOG_ENV)
+            .ok()
+            .filter(|d| !d.trim().is_empty())
+            .map(|d| PathBuf::from(d.trim()));
+        if let Some(slo) = env_parse::<u64>(SLO_US_ENV) {
+            c.slo_us = slo.max(1);
+        }
         c
     }
 }
@@ -226,6 +277,7 @@ fn compute_plan(
     let target = spec
         .id_of(label)
         .ok_or_else(|| ServeError::UnknownAttribute(label.to_string()))?;
+    let _span = disq_trace::span!("plan_compute", "attr={label}");
     let mut crowd = SimulatedCrowd::new(
         population.clone(),
         CrowdConfig::default(),
@@ -335,6 +387,11 @@ pub struct Engine {
     store: Option<PlanStore>,
     config: ServeConfig,
     stats: EngineStats,
+    obs: obs::Observer,
+    /// True iff this engine installed the process-global flight
+    /// recorder (and must uninstall it on drop). An engine never
+    /// replaces a recorder someone else installed.
+    owns_recorder: bool,
 }
 
 impl Engine {
@@ -357,6 +414,11 @@ impl Engine {
             config.batcher,
         );
         let store = config.plan_dir.as_ref().map(PlanStore::new);
+        let owns_recorder = config.flight_recorder && disq_trace::recorder().is_none();
+        if owns_recorder {
+            disq_trace::install_recorder(Arc::new(disq_trace::FlightRecorder::new()));
+        }
+        let obs = obs::Observer::new(&config);
         Ok(Engine {
             spec,
             population,
@@ -365,6 +427,8 @@ impl Engine {
             store,
             config,
             stats: EngineStats::default(),
+            obs,
+            owns_recorder,
         })
     }
 
@@ -439,7 +503,10 @@ impl Engine {
             .spec
             .id_of(attribute)
             .ok_or_else(|| ServeError::UnknownAttribute(attribute.to_string()))?;
-        let (plan, source) = self.plan_for(attribute)?;
+        let (plan, source) = {
+            let _span = disq_trace::span!("plan_lookup", "attr={attribute}");
+            self.plan_for(attribute)?
+        };
         let n = objects
             .unwrap_or(self.config.default_objects)
             .min(self.population.n_objects());
@@ -489,6 +556,15 @@ impl Engine {
         );
     }
 
+    /// Records one finished request into the access log, the latency
+    /// histograms and SLO gauges, and — when it crossed the slow
+    /// threshold — dumps its causal trace slice from the flight
+    /// recorder. Called by the server per request; tests may call it
+    /// directly.
+    pub fn observe_request(&self, rec: &RequestRecord<'_>) {
+        self.obs.observe(rec);
+    }
+
     /// Current counters (queries, cache, batcher).
     pub fn snapshot(&self) -> ServeSnapshot {
         let b = self.online.stats();
@@ -501,6 +577,17 @@ impl Engine {
             requested_questions: b.requested_questions,
             coalesced_batches: b.coalesced_batches,
             saved_questions: b.saved_questions,
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Leave the process exactly as we found it: a bench binary that
+        // ran a serve experiment must not keep tracing active for later
+        // (allocation-identical) batch experiments.
+        if self.owns_recorder {
+            disq_trace::uninstall_recorder();
         }
     }
 }

@@ -35,7 +35,7 @@ fn main() {
         config.population,
         config.seed
     );
-    println!("endpoints: POST /query, GET /stats, GET /healthz");
+    println!("endpoints: POST /query, GET /stats, GET /healthz, GET /metrics");
     loop {
         std::thread::park();
     }

@@ -2,8 +2,8 @@
 //! the graceful-shutdown pattern proven by `disq-trace`'s metrics
 //! server (stop flag + loopback poke + join).
 
-use crate::http::{self, ReadOutcome, Response};
-use crate::Engine;
+use crate::http::{self, ReadOutcome, RequestMeta, Response};
+use crate::{Engine, RequestRecord};
 use disq_trace::Counter;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -11,6 +11,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A running query daemon bound to a local address.
 ///
@@ -109,13 +110,40 @@ fn serve_connection(engine: &Engine, mut stream: TcpStream, stop: &AtomicBool) {
         let (resp, fatal) = match outcome {
             ReadOutcome::Request(req) => {
                 disq_trace::count(Counter::ServeRequests);
-                let resp =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| http::handle(engine, &req)))
-                        .unwrap_or_else(|_| {
-                            let mut r = Response::error(500, "internal error (handler panicked)");
-                            r.close = true;
-                            r
-                        });
+                // Request scope: every span (and coalesced batch) this
+                // thread opens while handling carries `request_id`, so
+                // the flight recorder can cut a per-request slice.
+                let request_id = disq_trace::span::next_request_id();
+                let _req_scope = disq_trace::span::enter_request(request_id);
+                let questions_before = disq_trace::span::thread_questions();
+                let started = Instant::now();
+                let (resp, meta) = {
+                    // Closed before `observe_request` runs so the
+                    // request's SpanEnd is in the recorder when a slow
+                    // dump fires.
+                    let span = disq_trace::span!("request", "{} {}", req.method, req.path);
+                    let out =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| http::handle(engine, &req)))
+                            .unwrap_or_else(|_| {
+                                let mut r =
+                                    Response::error(500, "internal error (handler panicked)");
+                                r.close = true;
+                                (r, RequestMeta::default())
+                            });
+                    drop(span);
+                    out
+                };
+                engine.observe_request(&RequestRecord {
+                    request_id,
+                    route: &req.path,
+                    attribute: meta.attribute.as_deref(),
+                    status: resp.status,
+                    latency_us: started.elapsed().as_micros() as u64,
+                    questions: disq_trace::span::thread_questions()
+                        .saturating_sub(questions_before),
+                    plan: meta.plan,
+                    coalesce_width: disq_trace::span::take_coalesce_width(),
+                });
                 let fatal = resp.close;
                 (resp, fatal)
             }

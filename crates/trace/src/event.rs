@@ -377,6 +377,9 @@ pub enum TraceEvent {
         parent: Option<u64>,
         /// Trace-thread id of the opening thread (1-based).
         tid: u64,
+        /// Request id scoped onto the opening thread (see
+        /// [`crate::span::enter_request`]); 0 = no request context.
+        req: u64,
         /// Static span label (`preprocess`, `dismantle_round`, …).
         label: String,
         /// Free-form detail (`k=3`, a target name, …); may be empty.
@@ -400,6 +403,25 @@ pub enum TraceEvent {
         questions: u64,
         /// Kernel-timer nanoseconds recorded while open.
         kernel_ns: u64,
+    },
+    /// The micro-batcher flushed one coalesced `(object, attribute)`
+    /// cell to the crowd platform, answering every sharer at once. The
+    /// flush runs on the leading request's thread; `reqs` preserves the
+    /// causal link to every other request whose questions rode along.
+    BatchFlush {
+        /// Object id of the coalesced cell.
+        object: u64,
+        /// Attribute id of the coalesced cell.
+        attr: u32,
+        /// Questions actually asked (the max over sharers).
+        k_max: u32,
+        /// Questions requested across all sharers.
+        k_sum: u32,
+        /// Number of requests sharing the flush.
+        joiners: u32,
+        /// Request ids of every participant (sorted, deduplicated;
+        /// 0 = a participant outside any request scope).
+        reqs: Vec<u64>,
     },
 }
 
@@ -427,6 +449,7 @@ impl TraceEvent {
             TraceEvent::WorkerStats { .. } => "worker_stats",
             TraceEvent::SpanStart { .. } => "span_start",
             TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::BatchFlush { .. } => "batch_flush",
         }
     }
 
@@ -800,6 +823,7 @@ impl TraceEvent {
                 id,
                 parent,
                 tid,
+                req,
                 label,
                 detail,
             } => {
@@ -810,7 +834,13 @@ impl TraceEvent {
                     }
                     None => s.push_str("null"),
                 }
-                let _ = write!(s, ",\"tid\":{tid},\"label\":");
+                let _ = write!(s, ",\"tid\":{tid}");
+                // Only request-scoped spans carry the field, so traces
+                // from non-serving runs stay byte-identical.
+                if *req != 0 {
+                    let _ = write!(s, ",\"req\":{req}");
+                }
+                s.push_str(",\"label\":");
                 write_str(&mut s, label);
                 s.push_str(",\"detail\":");
                 write_str(&mut s, detail);
@@ -830,6 +860,27 @@ impl TraceEvent {
                      \"alloc_bytes\":{alloc_bytes},\"allocs\":{allocs},\
                      \"questions\":{questions},\"kernel_ns\":{kernel_ns}"
                 );
+            }
+            TraceEvent::BatchFlush {
+                object,
+                attr,
+                k_max,
+                k_sum,
+                joiners,
+                reqs,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"object\":{object},\"attr\":{attr},\"k_max\":{k_max},\
+                     \"k_sum\":{k_sum},\"joiners\":{joiners},\"reqs\":["
+                );
+                for (i, r) in reqs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{r}");
+                }
+                s.push(']');
             }
         }
         s.push('}');
@@ -1140,6 +1191,10 @@ impl TraceEvent {
                     None => return Err("span_start: missing parent".into()),
                 },
                 tid: u64_field("tid")?,
+                // Additive field: absent in traces written before
+                // request scoping existed, and for spans outside any
+                // request.
+                req: v.get("req").and_then(Json::as_u64).unwrap_or(0),
                 label: str_field("label")?,
                 detail: str_field("detail")?,
             }),
@@ -1152,6 +1207,24 @@ impl TraceEvent {
                 questions: u64_field("questions")?,
                 kernel_ns: u64_field("kernel_ns")?,
             }),
+            "batch_flush" => {
+                let mut reqs = Vec::new();
+                for r in v
+                    .get("reqs")
+                    .and_then(Json::as_arr)
+                    .ok_or("batch_flush: missing reqs")?
+                {
+                    reqs.push(r.as_u64().ok_or("batch_flush: bad request id")?);
+                }
+                Ok(TraceEvent::BatchFlush {
+                    object: u64_field("object")?,
+                    attr: u32_field("attr")?,
+                    k_max: u32_field("k_max")?,
+                    k_sum: u32_field("k_sum")?,
+                    joiners: u32_field("joiners")?,
+                    reqs,
+                })
+            }
             other => Err(format!("unknown event tag {other:?}")),
         }
     }
@@ -1349,6 +1422,7 @@ mod tests {
                 id: 42,
                 parent: Some(41),
                 tid: 1,
+                req: 7,
                 label: "dismantle_round".into(),
                 detail: "k=3".into(),
             },
@@ -1356,6 +1430,7 @@ mod tests {
                 id: 43,
                 parent: None,
                 tid: 2,
+                req: 0,
                 label: "preprocess".into(),
                 detail: String::new(),
             },
@@ -1367,6 +1442,14 @@ mod tests {
                 allocs: 9_001,
                 questions: 57,
                 kernel_ns: 2_000_000,
+            },
+            TraceEvent::BatchFlush {
+                object: 12,
+                attr: 3,
+                k_max: 5,
+                k_sum: 9,
+                joiners: 3,
+                reqs: vec![7, 8, 11],
             },
         ]
     }
@@ -1388,7 +1471,29 @@ mod tests {
         for event in samples() {
             seen.insert(event.name());
         }
-        assert_eq!(seen.len(), 20);
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn zero_request_span_start_omits_the_req_field() {
+        // Spans opened outside any request scope must serialize exactly
+        // as they did before the field existed (byte-compat with old
+        // traces and the round-trip tests that re-serialize them).
+        let event = TraceEvent::SpanStart {
+            id: 43,
+            parent: None,
+            tid: 2,
+            req: 0,
+            label: "preprocess".into(),
+            detail: String::new(),
+        };
+        let line = event.to_json();
+        assert!(!line.contains("\"req\""), "{line}");
+        assert_eq!(TraceEvent::parse(&line).unwrap(), event);
+        // Legacy lines without the field parse with req = 0.
+        let legacy = "{\"event\":\"span_start\",\"id\":43,\"parent\":null,\
+                      \"tid\":2,\"label\":\"preprocess\",\"detail\":\"\"}";
+        assert_eq!(TraceEvent::parse(legacy).unwrap(), event);
     }
 
     #[test]

@@ -44,6 +44,9 @@ fn counter_help(c: Counter) -> &'static str {
         Counter::PlanStoreLoads => "Plans warm-started from the on-disk plan store",
         Counter::CoalescedBatches => "Question batches shared by concurrent queries",
         Counter::CoalescedQuestionsSaved => "Crowd questions avoided by batch sharing",
+        Counter::AccessLogWriteErrors => "Access-log lines that failed to write",
+        Counter::SlowDumpWriteErrors => "Slow-request flight-recorder dumps that failed to write",
+        Counter::SlowDumps => "Slow-request flight-recorder dumps written",
     }
 }
 

@@ -55,6 +55,7 @@ pub mod gauge;
 pub mod json;
 mod metrics;
 pub mod reader;
+mod recorder;
 pub mod serve;
 mod sink;
 pub mod span;
@@ -67,27 +68,37 @@ pub use metrics::{
     HIST_BUCKETS, TIMER_COUNT,
 };
 pub use reader::{SkippedLine, TraceReader, MAX_SKIP_DETAILS};
+pub use recorder::{FlightRecorder, RECORDER_DEFAULT_CAP, RECORDER_DEFAULT_RETAIN};
 pub use serve::{MetricsServer, METRICS_ENV_VAR};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink, MEMORY_SINK_DEFAULT_CAP};
-pub use span::{thread_alloc_bytes, thread_allocs, SpanGuard};
+pub use span::{thread_alloc_bytes, thread_allocs, RequestGuard, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Once, RwLock};
 use std::time::Instant;
 
-/// Fast-path gate: true iff a sink is installed.
+/// Fast-path gate: true iff a sink or a flight recorder is installed.
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+static RECORDER: RwLock<Option<Arc<FlightRecorder>>> = RwLock::new(None);
 static ENV_INIT: Once = Once::new();
 
 /// Environment variable naming the JSONL trace file.
 pub const TRACE_ENV_VAR: &str = "DISQ_TRACE";
 
-/// True iff a sink is installed. Instrumented code uses this to skip
-/// building expensive event payloads (and to gate kernel timers).
+/// True iff a sink or flight recorder is installed. Instrumented code
+/// uses this to skip building expensive event payloads (and to gate
+/// kernel timers).
 #[inline]
 pub fn active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Recomputes the fast-path gate from both destination slots. Called
+/// after a slot empties; installs set the gate directly.
+fn refresh_active() {
+    let on = SINK.read().unwrap().is_some() || RECORDER.read().unwrap().is_some();
+    ACTIVE.store(on, Ordering::Relaxed);
 }
 
 /// Allocates a process-unique audit id, correlating one
@@ -103,8 +114,7 @@ pub fn next_audit_id() -> u64 {
 /// Installs `sink` as the process-global trace destination, replacing
 /// any previous sink (which is flushed and returned).
 pub fn install(sink: Arc<dyn TraceSink>) -> Option<Arc<dyn TraceSink>> {
-    let mut slot = SINK.write().unwrap();
-    let old = slot.replace(sink);
+    let old = SINK.write().unwrap().replace(sink);
     ACTIVE.store(true, Ordering::Relaxed);
     if let Some(old) = &old {
         old.flush();
@@ -113,15 +123,37 @@ pub fn install(sink: Arc<dyn TraceSink>) -> Option<Arc<dyn TraceSink>> {
 }
 
 /// Removes the global sink (flushing it), returning to the free
-/// `NullSink` behaviour.
+/// `NullSink` behaviour (tracing stays active if a flight recorder is
+/// still installed).
 pub fn uninstall() -> Option<Arc<dyn TraceSink>> {
-    let mut slot = SINK.write().unwrap();
-    ACTIVE.store(false, Ordering::Relaxed);
-    let old = slot.take();
+    let old = SINK.write().unwrap().take();
+    refresh_active();
     if let Some(old) = &old {
         old.flush();
     }
     old
+}
+
+/// Installs `rec` as the process-global flight recorder, replacing and
+/// returning any previous one. Events then fan out to both the sink
+/// (if any) and the recorder.
+pub fn install_recorder(rec: Arc<FlightRecorder>) -> Option<Arc<FlightRecorder>> {
+    let old = RECORDER.write().unwrap().replace(rec);
+    ACTIVE.store(true, Ordering::Relaxed);
+    old
+}
+
+/// Removes the global flight recorder, returning it (tracing stays
+/// active if a sink is still installed).
+pub fn uninstall_recorder() -> Option<Arc<FlightRecorder>> {
+    let old = RECORDER.write().unwrap().take();
+    refresh_active();
+    old
+}
+
+/// The installed flight recorder, if any.
+pub fn recorder() -> Option<Arc<FlightRecorder>> {
+    RECORDER.read().unwrap().clone()
 }
 
 /// Installs a [`JsonlSink`] at the path named by `DISQ_TRACE` and starts
@@ -159,8 +191,16 @@ pub fn emit(build: impl FnOnce() -> TraceEvent) {
         return;
     }
     let sink = SINK.read().unwrap().clone();
+    let rec = RECORDER.read().unwrap().clone();
+    if sink.is_none() && rec.is_none() {
+        return;
+    }
+    let event = build();
+    if let Some(rec) = rec {
+        rec.record(&event);
+    }
     if let Some(sink) = sink {
-        sink.emit(&build());
+        sink.emit(&event);
     }
 }
 
@@ -238,6 +278,30 @@ mod tests {
         uninstall();
         assert!(Arc::ptr_eq(&(first as Arc<dyn TraceSink>), &old));
         assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn recorder_alone_activates_tracing_and_captures_events() {
+        let _guard = GLOBAL_SINK_LOCK.lock().unwrap();
+        uninstall();
+        uninstall_recorder();
+        assert!(!active());
+        let rec = Arc::new(FlightRecorder::new());
+        install_recorder(rec.clone());
+        assert!(active(), "recorder alone must activate tracing");
+        emit(event);
+        assert_eq!(rec.len(), 1);
+        // A sink composes: both destinations see subsequent events.
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        emit(event);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(sink.len(), 1);
+        // Removing only the sink keeps tracing active.
+        uninstall();
+        assert!(active());
+        uninstall_recorder();
+        assert!(!active());
     }
 
     #[test]

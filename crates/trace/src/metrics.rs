@@ -108,10 +108,17 @@ pub enum Counter {
     /// Crowd questions avoided by batch sharing
     /// (`Σ kᵢ − max kᵢ` per coalesced batch).
     CoalescedQuestionsSaved,
+    /// Access-log lines that failed to write (the log keeps serving;
+    /// the first failure warns on stderr).
+    AccessLogWriteErrors,
+    /// Slow-request flight-recorder dumps that failed to write.
+    SlowDumpWriteErrors,
+    /// Slow-request flight-recorder dumps written successfully.
+    SlowDumps,
 }
 
 /// Number of counters.
-pub const COUNTER_COUNT: usize = 32;
+pub const COUNTER_COUNT: usize = 35;
 
 impl Counter {
     /// Every counter, in `RunSummary` order.
@@ -148,6 +155,9 @@ impl Counter {
         Counter::PlanStoreLoads,
         Counter::CoalescedBatches,
         Counter::CoalescedQuestionsSaved,
+        Counter::AccessLogWriteErrors,
+        Counter::SlowDumpWriteErrors,
+        Counter::SlowDumps,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -185,6 +195,9 @@ impl Counter {
             Counter::PlanStoreLoads => "plan_store_loads",
             Counter::CoalescedBatches => "coalesced_batches",
             Counter::CoalescedQuestionsSaved => "coalesced_questions_saved",
+            Counter::AccessLogWriteErrors => "access_log_write_errors",
+            Counter::SlowDumpWriteErrors => "slow_dump_write_errors",
+            Counter::SlowDumps => "slow_dumps",
         }
     }
 }

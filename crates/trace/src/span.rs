@@ -42,6 +42,8 @@ use std::time::Instant;
 
 /// Process-wide span id allocator (ids are unique across threads).
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide request id allocator (ids start at 1; 0 = "no request").
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 /// Trace-thread id allocator; ids start at 1 (0 = "no thread", used by
 /// non-span instant events in exports).
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -66,6 +68,12 @@ thread_local! {
     static QUESTIONS: Cell<u64> = const { Cell::new(0) };
     static KERNEL_NS: Cell<u64> = const { Cell::new(0) };
     static TID: Cell<u64> = const { Cell::new(0) };
+    // The request currently being served on this thread (0 = none); set
+    // by `enter_request` and stamped onto every span opened underneath.
+    static REQUEST: Cell<u64> = const { Cell::new(0) };
+    // Widest batch this thread's questions were coalesced into since the
+    // last `take_coalesce_width` (0 = never coalesced).
+    static COALESCE_WIDTH: Cell<u64> = const { Cell::new(0) };
     // The span stack itself is only touched from `enter`/`Drop`, never
     // from the allocator, so a `RefCell<Vec<_>>` (with its TLS
     // destructor) is fine here.
@@ -95,9 +103,67 @@ pub fn thread_allocs() -> u64 {
     ALLOC_COUNT.with(Cell::get)
 }
 
+/// Crowd questions attributed to this thread so far (ticks only while
+/// tracing is active — see [`note_questions`]). Monotone within a
+/// thread; callers take deltas around a region of interest.
+pub fn thread_questions() -> u64 {
+    QUESTIONS.with(Cell::get)
+}
+
 /// Current depth of this thread's span stack (open spans).
 pub fn depth() -> usize {
     STACK.with(|s| s.borrow().len())
+}
+
+/// Allocates a process-unique request id (starting at 1; 0 means "no
+/// request"). The serve layer assigns one per accepted HTTP request and
+/// scopes it with [`enter_request`].
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request id currently scoped onto this thread (0 = none).
+pub fn current_request() -> u64 {
+    REQUEST.with(Cell::get)
+}
+
+/// RAII scope for a request id: every span opened on this thread while
+/// the guard lives is stamped with the id (`req` field of
+/// [`TraceEvent::SpanStart`]). Restores the previous id on drop; `!Send`
+/// because the id lives in a thread-local.
+#[must_use = "the request scope ends when its guard drops"]
+pub struct RequestGuard {
+    prev: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Scopes `id` onto this thread until the returned guard drops. Always
+/// on (one `Cell` store) — the id must be available for access logging
+/// and slow-request dumps even when no sink is installed.
+pub fn enter_request(id: u64) -> RequestGuard {
+    let prev = REQUEST.with(|c| c.replace(id));
+    RequestGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        REQUEST.with(|c| c.set(self.prev));
+    }
+}
+
+/// Records that this thread's questions rode a coalesced batch of
+/// `width` sharers; keeps the maximum until [`take_coalesce_width`].
+pub fn note_coalesce_width(width: u64) {
+    COALESCE_WIDTH.with(|c| c.set(c.get().max(width)));
+}
+
+/// Returns and resets the widest coalesced batch this thread joined
+/// since the last call (0 = all questions went direct).
+pub fn take_coalesce_width() -> u64 {
+    COALESCE_WIDTH.with(|c| c.replace(0))
 }
 
 /// Called by the global-allocator wrapper on every successful
@@ -174,10 +240,12 @@ pub fn enter(label: &'static str, detail: impl FnOnce() -> String) -> SpanGuard 
     let tid = current_tid();
     let parent = STACK.with(|s| s.borrow().last().map(|f| f.id));
     let detail = detail();
+    let req = current_request();
     crate::emit(move || TraceEvent::SpanStart {
         id,
         parent,
         tid,
+        req,
         label: label.to_string(),
         detail,
     });
@@ -391,6 +459,58 @@ mod tests {
             .expect("span_end emitted");
         assert_eq!(end.0, 5);
         assert!(end.1 >= 250, "kernel_ns {} < 250", end.1);
+    }
+
+    #[test]
+    fn spans_inherit_the_scoped_request_id() {
+        let _guard = GLOBAL_SINK_LOCK.lock().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        crate::install(sink.clone());
+        {
+            let _before = crate::span!("before");
+            let scope = enter_request(77);
+            assert_eq!(current_request(), 77);
+            let _inside = crate::span!("inside");
+            {
+                // Nested scopes restore the outer id on drop.
+                let _deeper = enter_request(78);
+                let _nested = crate::span!("nested");
+            }
+            assert_eq!(current_request(), 77);
+            drop(scope);
+            assert_eq!(current_request(), 0);
+            let _after = crate::span!("after");
+        }
+        crate::uninstall();
+        let req_of = |want: &str| {
+            sink.events()
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::SpanStart { req, label, .. } if label == want => Some(*req),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("no span {want:?}"))
+        };
+        assert_eq!(req_of("before"), 0);
+        assert_eq!(req_of("inside"), 77);
+        assert_eq!(req_of("nested"), 78);
+        assert_eq!(req_of("after"), 0);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn coalesce_width_keeps_the_max_until_taken() {
+        note_coalesce_width(3);
+        note_coalesce_width(2);
+        assert_eq!(take_coalesce_width(), 3);
+        assert_eq!(take_coalesce_width(), 0);
     }
 
     #[test]
